@@ -1,0 +1,22 @@
+"""Fig. 10 — layer-wise resilience of the non-resilient groups."""
+
+from repro.experiments import fig10
+from repro.experiments.common import ExperimentScale
+
+
+def test_fig10_layerwise_resilience(benchmark):
+    scale = ExperimentScale(eval_samples=64,
+                            nm_values=(0.1, 0.05, 0.02, 0.0),
+                            batch_size=64)
+    result = benchmark.pedantic(lambda: fig10.run(scale=scale),
+                                rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    assert len(result.curves) == 2 * 18  # two groups x 18 layers
+    for group in ("mac_outputs", "activations"):
+        ranking = result.tolerable_nm_by_layer(group, max_drop=0.02)
+        # paper: the first convolutional layer is the least resilient
+        assert ranking["Conv2D"] <= min(ranking.values()) + 1e-9, group
+        # paper: Caps3D (the routed conv layer) is highly resilient —
+        # at micro scale we require it to clearly beat the first conv
+        assert ranking["Caps3D"] >= ranking["Conv2D"], group

@@ -1,0 +1,21 @@
+"""Fig. 11 — distribution of convolution inputs across DeepCaps layers."""
+
+import pytest
+
+from repro.experiments import fig11
+
+
+def test_fig11_input_distribution(benchmark):
+    result = benchmark.pedantic(lambda: fig11.run(num_images=32),
+                                rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    assert len(result.per_layer_quantised) == 18
+    freq, centres = result.histogram()
+    assert freq.sum() == pytest.approx(100.0, abs=1e-6)
+    # distribution is non-uniform (the paper's reason to measure NM on
+    # real inputs): some operand band carries far more mass than uniform
+    assert freq.max() > 2 * (100.0 / len(freq))
+    # a specific layer contributes a characteristic peak (paper: Caps2D1)
+    peak = result.peak_layer()
+    assert peak in result.per_layer_quantised

@@ -1,0 +1,25 @@
+"""Fig. 12 — group-wise resilience across the four other benchmarks."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_groupwise_all_benchmarks(benchmark, quick_scale):
+    result = benchmark.pedantic(lambda: fig12.run(scale=quick_scale),
+                                rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    assert len(result.panels) == 4
+    # paper: "MAC outputs and activations are less resilient than the
+    # other two groups" — key property, valid for every benchmark
+    for name, panel in result.panels.items():
+        tolerable = {g: c.tolerable_nm(0.02)
+                     for g, c in panel.curves.items()}
+        assert tolerable["softmax"] >= tolerable["mac_outputs"], name
+        assert tolerable["logits_update"] >= tolerable["mac_outputs"], name
+        assert tolerable["softmax"] >= tolerable["activations"], name
+
+    # paper: the CapsNet (single routing layer) logits update is not more
+    # resilient than the DeepCaps (two routing layers) one on MNIST
+    deep = result.tolerable_nm("DeepCaps/MNIST", "logits_update", 0.02)
+    caps = result.tolerable_nm("CapsNet/MNIST", "logits_update", 0.02)
+    assert caps <= deep + 1e-9

@@ -1,0 +1,11 @@
+"""Fig. 4 — energy breakdown by operation type (mult 96%, add 3%)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_energy_breakdown(benchmark):
+    result = benchmark(fig4.run)
+    print("\n" + result.format_text())
+    assert result.shares["mult"] > 0.90        # paper: 96 %
+    assert result.shares["add"] < 0.10         # paper: 3 %
+    assert result.shares["other"] < 0.02       # paper: < 1 %

@@ -1,0 +1,16 @@
+"""Fig. 5 — optimisation potential: Acc / XM / XA / XAM design points."""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_fig5_optimization_potential(benchmark):
+    result = benchmark(fig5.run)
+    print("\n" + result.format_text())
+    savings = {name: p.saving_vs_accurate for name, p in result.points.items()}
+    # paper: XM -28.3 %, XA -1.9 %, XAM -30.2 %
+    assert savings["XM"] == pytest.approx(0.283, abs=0.02)
+    assert savings["XA"] == pytest.approx(0.019, abs=0.01)
+    assert savings["XAM"] == pytest.approx(0.302, abs=0.02)
+    assert savings["Acc"] == pytest.approx(0.0)

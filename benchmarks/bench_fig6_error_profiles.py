@@ -1,0 +1,22 @@
+"""Fig. 6 — arithmetic-error distributions of NGR/DM1 with Gaussian fits."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+def test_fig6_error_profiles(benchmark):
+    result = benchmark.pedantic(lambda: fig6.run(samples=100_000),
+                                rounds=1, iterations=1)
+    print("\n" + result.format_text())
+    for name in ("mul8u_NGR", "mul8u_DM1"):
+        stds = [result.profiles[(name, d)].fit.std for d in (1, 9, 81)]
+        # spread grows like sqrt(MAC depth) (paper Fig. 6, 1 -> 9 -> 81)
+        assert stds[1] / stds[0] == pytest.approx(3.0, rel=0.3)
+        assert stds[2] / stds[0] == pytest.approx(9.0, rel=0.3)
+        # accumulated error is Gaussian-like (the paper's modelling premise)
+        assert result.profiles[(name, 9)].gaussian_like
+        assert result.profiles[(name, 81)].gaussian_like
+    # DM1 is the noisier, cheaper component (paper: -50% vs -29% power)
+    assert result.profiles[("mul8u_DM1", 81)].fit.std > \
+        result.profiles[("mul8u_NGR", 81)].fit.std

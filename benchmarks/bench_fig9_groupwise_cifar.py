@@ -1,0 +1,24 @@
+"""Fig. 9 — group-wise resilience of DeepCaps on (synthetic) CIFAR-10."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_fig9_groupwise_resilience(benchmark, quick_scale):
+    result = benchmark.pedantic(lambda: fig9.run(scale=quick_scale),
+                                rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    tolerable = {g: c.tolerable_nm(0.02) for g, c in result.curves.items()}
+    # paper headline: softmax & logits update are more resilient than
+    # MAC outputs & activations
+    assert min(tolerable["softmax"], tolerable["logits_update"]) >= \
+        max(tolerable["mac_outputs"], tolerable["activations"])
+    # the softmax tolerates an order of magnitude more noise than MACs
+    assert tolerable["softmax"] >= 10 * tolerable["mac_outputs"]
+    # large noise destroys the MAC group entirely (paper: ~-80 %)
+    assert result.curves["mac_outputs"].drop_at(0.5) < -0.5
+    # clean evaluation shows no drop
+    for curve in result.curves.values():
+        assert curve.drop_at(0.0) == pytest.approx(0.0, abs=1e-9)

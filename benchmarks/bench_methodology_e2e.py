@@ -1,0 +1,30 @@
+"""Fig. 7 — the complete six-step ReD-CaNe methodology, end to end."""
+
+from repro.approx import default_library
+from repro.core import ReDCaNe, ReDCaNeConfig
+from repro.zoo import get_trained
+
+
+def test_methodology_end_to_end(benchmark):
+    entry = get_trained("capsnet-micro", "synth-mnist")
+    config = ReDCaNeConfig(
+        nm_values=(0.5, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0),
+        batch_size=96, safety_factor=2.0)
+    library = default_library()
+    test_set = entry.test_set.subset(96)
+
+    design = benchmark.pedantic(
+        lambda: ReDCaNe(entry.model, test_set, library, config).run(),
+        rounds=1, iterations=1)
+    print("\n" + design.summary())
+
+    # the routing softmax must be marked resilient (paper Sec. VI)
+    assert "softmax" in design.resilient_groups
+    # the design must not cost meaningful accuracy...
+    assert design.accuracy_cost <= 0.03
+    # ...while saving substantial multiplier energy
+    assert design.multiplier_energy_saving is not None
+    assert design.multiplier_energy_saving > 0.3
+    # every operation got a component no noisier than its tolerance
+    for assignment in design.selection.assignments.values():
+        assert assignment.measured_nm <= assignment.tolerable_nm + 1e-9

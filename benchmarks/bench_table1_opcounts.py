@@ -1,0 +1,16 @@
+"""Table I — op counts and unit energies of full-size DeepCaps."""
+
+from repro.experiments import table1
+
+
+def test_table1_opcounts(benchmark):
+    result = benchmark(table1.run)
+    print("\n" + result.format_text())
+    counts = result.counts
+    # paper magnitudes: giga-scale mul/add, mega-scale div, kilo-scale exp
+    assert counts.mul > 1e9 and counts.add > 1e9
+    assert 1e5 < counts.div < 1e7
+    assert 1e4 < counts.exp < 1e6
+    assert 1e4 < counts.sqrt < 1e6
+    for label, ours, paper, ratio, _ in result.rows():
+        assert 0.25 <= ratio <= 4.0, f"{label}: {ratio:.2f}x off paper"

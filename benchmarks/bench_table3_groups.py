@@ -1,0 +1,20 @@
+"""Table III — operation grouping via Step 1 group extraction."""
+
+from repro.experiments import table3
+from repro.nn.hooks import INJECTABLE_GROUPS
+
+
+def test_table3_group_extraction(benchmark):
+    result = benchmark(lambda: table3.run(preset="deepcaps-micro"))
+    print("\n" + result.format_text())
+    rows = result.rows()
+    assert [group for _, group, _, _ in rows] == list(INJECTABLE_GROUPS)
+    counts = {group: sites for _, group, _, sites in rows}
+    assert all(counts[g] > 0 for g in INJECTABLE_GROUPS)
+    # routing-only groups live in exactly the two routing layers
+    assert set(result.extraction.layers_in_group("softmax")) == \
+        {"Caps3D", "ClassCaps"}
+    assert set(result.extraction.layers_in_group("logits_update")) == \
+        {"Caps3D", "ClassCaps"}
+    # MAC outputs cover all 18 layers of Fig. 10
+    assert len(result.extraction.layers_in_group("mac_outputs")) == 18

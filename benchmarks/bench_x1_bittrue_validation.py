@@ -1,0 +1,24 @@
+"""X1 — bit-true LUT execution vs the Gaussian noise model."""
+
+from repro.experiments import bittrue_validation
+
+
+def test_x1_bittrue_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: bittrue_validation.run(eval_samples=64),
+        rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    entries = {e["component"]: e for e in result.entries}
+    # benign component: bit-true accuracy stays near clean
+    assert entries["mul8u_NGR"]["bit_true"] > 0.8
+    # aggressive biased component: bit-true collapses
+    assert entries["mul8u_QKX"]["bit_true"] < 0.5
+    # the accumulation-aware Gaussian model tracks reality much better
+    # than naive per-product injection
+    assert result.max_gap("aware") < result.max_gap("naive")
+    # and preserves the qualitative ranking across components
+    by_true = sorted(entries, key=lambda n: entries[n]["bit_true"])
+    by_aware = sorted(entries, key=lambda n: entries[n]["aware"])
+    assert by_true[0] == by_aware[0] or \
+        abs(entries[by_true[0]]["aware"] - entries[by_aware[0]]["aware"]) < 0.1

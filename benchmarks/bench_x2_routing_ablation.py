@@ -1,0 +1,24 @@
+"""X2 — routing-iteration ablation (tests the paper's resilience claim)."""
+
+from repro.experiments import ablation
+from repro.experiments.common import ExperimentScale
+
+
+def test_x2_routing_iteration_ablation(benchmark):
+    scale = ExperimentScale(eval_samples=96,
+                            nm_values=(0.5, 0.2, 0.1, 0.05, 0.0),
+                            batch_size=96)
+    result = benchmark.pedantic(
+        lambda: ablation.run_routing_ablation(
+            benchmark="DeepCaps/MNIST", iterations=(1, 2, 3, 5),
+            scale=scale),
+        rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    assert set(result.tolerable_by_iterations) == {1, 2, 3, 5}
+    # the network stays functional at every routing depth
+    for iters, accuracy in result.baseline_by_iterations.items():
+        assert accuracy > 0.5, f"{iters} iterations: {accuracy:.2%}"
+    # the paper attributes routing-group resilience to iterative coefficient
+    # updates; with >1 iteration the softmax group must tolerate large NM
+    assert result.tolerable_by_iterations[3] >= 0.05

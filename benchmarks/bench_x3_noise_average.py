@@ -1,0 +1,24 @@
+"""X3 — biased noise (NA != 0) sweep at fixed NM."""
+
+from repro.experiments import ablation
+from repro.experiments.common import ExperimentScale
+
+
+def test_x3_noise_average_sweep(benchmark):
+    scale = ExperimentScale(eval_samples=96, batch_size=96)
+    result = benchmark.pedantic(
+        lambda: ablation.run_noise_average_sweep(
+            benchmark="DeepCaps/MNIST", nm=0.005,
+            na_values=(-0.05, -0.01, 0.0, 0.01, 0.05), scale=scale),
+        rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    assert set(result.drops) == {"mac_outputs", "softmax", "logits_update"}
+    mac = dict(result.drops["mac_outputs"])
+    # zero-bias is (near-)optimal for the MAC group
+    assert mac[0.0] >= min(mac.values()) - 1e-9
+    # strong bias on MAC outputs costs accuracy
+    assert min(mac[-0.05], mac[0.05]) <= mac[0.0] + 1e-9
+    # the routing softmax renormalises and absorbs bias far better
+    softmax = dict(result.drops["softmax"])
+    assert min(softmax.values()) >= min(mac.values())

@@ -1,0 +1,21 @@
+"""X4 — Eq. 1 quantisation word-length sweep."""
+
+from repro.experiments import ablation
+from repro.experiments.common import ExperimentScale
+
+
+def test_x4_quantization_sweep(benchmark):
+    scale = ExperimentScale(eval_samples=96, batch_size=96)
+    result = benchmark.pedantic(
+        lambda: ablation.run_quantization_sweep(
+            benchmark="CapsNet/MNIST", bit_widths=(2, 4, 6, 8, 10),
+            scale=scale),
+        rounds=1, iterations=1)
+    print("\n" + result.format_text())
+
+    # paper (via CapsAcc [17]): 8-bit fixed point is accurate enough
+    assert result.accuracy_by_bits[8] >= result.baseline_accuracy - 0.02
+    assert result.accuracy_by_bits[10] >= result.baseline_accuracy - 0.02
+    # accuracy is monotone-ish in word length at the low end
+    assert result.accuracy_by_bits[2] <= result.accuracy_by_bits[6] + 0.05
+    assert result.accuracy_by_bits[4] <= result.accuracy_by_bits[8] + 0.05

@@ -1,0 +1,35 @@
+"""Benchmark-suite fixtures.
+
+Each ``bench_*`` file regenerates one paper artifact (see DESIGN.md
+per-experiment index).  Benchmarks assert the *shape* of the paper's
+findings and time the regeneration.  Heavy artifacts run with
+``benchmark.pedantic(rounds=1)``; trained models come from the zoo cache
+(first run trains them, ~2 minutes total).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.zoo import PAPER_BENCHMARKS, get_trained
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_zoo():
+    """Train-or-load every benchmark model once, up front."""
+    for _, preset, dataset in PAPER_BENCHMARKS:
+        get_trained(preset, dataset)
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    """Reduced sweep used by the accuracy-in-the-loop benches."""
+    return ExperimentScale(eval_samples=96,
+                           nm_values=(0.5, 0.1, 0.05, 0.01, 0.002, 0.0),
+                           batch_size=96)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are too heavy to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""End-to-end approximate-CapsNet design across all paper benchmarks.
+
+Runs the full six-step ReD-CaNe methodology (Fig. 7) on each Table II
+benchmark, producing for every network: the per-operation component
+assignment, the validated accuracy of the resulting approximate design,
+and the estimated multiplier-energy saving.
+
+Run:  python examples/design_approximate_capsnet.py  [benchmark ...]
+      (default: DeepCaps/MNIST and CapsNet/MNIST)
+"""
+
+import sys
+
+from repro.approx import default_library
+from repro.core import ReDCaNe, ReDCaNeConfig
+from repro.zoo import PAPER_BENCHMARKS, get_trained
+
+
+def design_for(label: str, *, eval_samples: int = 128) -> None:
+    benchmarks = {b[0]: (b[1], b[2]) for b in PAPER_BENCHMARKS}
+    preset, dataset = benchmarks[label]
+    print(f"\n=== {label} ({preset} on {dataset}) ===")
+    entry = get_trained(preset, dataset)
+    print(f"clean accuracy: {entry.test_accuracy:.2%}")
+    config = ReDCaNeConfig(
+        nm_values=(0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.001, 0.0),
+        safety_factor=2.0)
+    design = ReDCaNe(entry.model, entry.test_set.subset(eval_samples),
+                     default_library(), config).run()
+    print(design.summary())
+
+
+def main() -> None:
+    requested = [a for a in sys.argv[1:] if not a.startswith("-")]
+    labels = requested or ["DeepCaps/MNIST", "CapsNet/MNIST"]
+    for label in labels:
+        design_for(label)
+
+
+if __name__ == "__main__":
+    main()

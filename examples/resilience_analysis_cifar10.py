@@ -1,0 +1,52 @@
+"""Reproduce the paper's CIFAR-10 case study (Sec. VI-A, Figs. 9-10).
+
+Uses the trained DeepCaps zoo entry on the synthetic CIFAR-10 stand-in,
+runs the group-wise (Step 2) and layer-wise (Step 4) resilience sweeps,
+and prints ASCII renderings of the two figures.
+
+Run:  python examples/resilience_analysis_cifar10.py  [--quick]
+"""
+
+import sys
+
+from repro.experiments import fig9, fig10
+from repro.experiments.common import ExperimentScale
+
+
+def ascii_curve(points: list[tuple[float, float]], *, width: int = 40) -> str:
+    """One-line sparkline of accuracy drop vs NM (left = large NM)."""
+    glyphs = " .:-=+*#%@"
+    cells = []
+    for _, drop in points:
+        severity = min(max(-drop, 0.0), 1.0)
+        cells.append(glyphs[int(severity * (len(glyphs) - 1))])
+    return "".join(cells).ljust(width)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    scale = (ExperimentScale.quick() if quick
+             else ExperimentScale(eval_samples=192))
+
+    print("=== Fig. 9: group-wise resilience (DeepCaps / synth-cifar10) ===")
+    result9 = fig9.run(scale=scale)
+    print(result9.format_text())
+    print("\nseverity sparklines (large NM -> small NM; darker = worse):")
+    for group, series in result9.series().items():
+        print(f"  {group:14s} |{ascii_curve(series)}|")
+    ranking = result9.resilience_ranking()
+    print(f"\nresilience ranking: {' > '.join(ranking)}")
+    print("paper: softmax / logits update more resilient than "
+          "MAC outputs / activations\n")
+
+    print("=== Fig. 10: layer-wise resilience of non-resilient groups ===")
+    result10 = fig10.run(scale=scale)
+    print(result10.format_text())
+    for group in ("mac_outputs", "activations"):
+        print(f"\n{group}: least resilient = "
+              f"{result10.least_resilient_layer(group)} "
+              f"(paper: the first convolutional layer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable builds are unavailable; this shim lets
+``pip install -e . --no-build-isolation`` (and plain ``pip install -e .``)
+use the legacy setuptools develop path.  Package metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

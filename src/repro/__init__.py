@@ -1,0 +1,17 @@
+"""ReD-CaNe reproduction (Marchisio et al., DATE 2020).
+
+A systematic methodology for resilience analysis and design of Capsule
+Networks under approximation errors, rebuilt end-to-end in NumPy:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` -- autograd + capsule layer substrate
+* :mod:`repro.models` -- CapsNet [25] and DeepCaps [24]
+* :mod:`repro.data` -- synthetic datasets (offline stand-ins)
+* :mod:`repro.approx` -- approximate 8-bit arithmetic component library
+* :mod:`repro.hw` -- accelerator op-count / energy model
+* :mod:`repro.core` -- the six-step ReD-CaNe methodology itself
+* :mod:`repro.experiments` -- regeneration of every paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

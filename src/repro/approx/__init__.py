@@ -1,0 +1,26 @@
+"""Approximate-arithmetic component substrate (EvoApprox8B stand-in)."""
+
+from .adders import ADDER_5LT, ADDERS, EXACT_ADDER, AdderModel
+from .bittrue import ApproximateConvExecutor, approximate_conv2d
+from .error_profile import (FIG6_ACCUMULATIONS, ErrorProfile, GaussianFit,
+                            arithmetic_errors, is_gaussian_like,
+                            measure_noise_parameters, profile_multiplier,
+                            sample_operands)
+from .library import (ACCURATE_MULTIPLIER_NAME, TABLE_IV_NAMES,
+                      ComponentLibrary, default_library)
+from .multipliers import FAMILIES, MultiplierModel, build_lut, exact_lut
+from .quantization import (QuantParams, dequantize, quantization_noise,
+                           quantize, quantize_array)
+
+__all__ = [
+    "MultiplierModel", "build_lut", "exact_lut", "FAMILIES",
+    "AdderModel", "EXACT_ADDER", "ADDER_5LT", "ADDERS",
+    "ComponentLibrary", "default_library", "TABLE_IV_NAMES",
+    "ACCURATE_MULTIPLIER_NAME",
+    "ErrorProfile", "GaussianFit", "arithmetic_errors", "profile_multiplier",
+    "measure_noise_parameters", "is_gaussian_like", "sample_operands",
+    "FIG6_ACCUMULATIONS",
+    "QuantParams", "quantize", "dequantize", "quantize_array",
+    "quantization_noise",
+    "ApproximateConvExecutor", "approximate_conv2d",
+]

@@ -1,0 +1,73 @@
+"""Behavioural models of approximate adders (paper Fig. 5).
+
+The paper's energy-potential study pairs the NGR approximate multiplier
+with the **5LT** approximate adder from EvoApprox8B.  Adders contribute only
+~3 % of CapsNet compute energy (Fig. 4), which is why the paper focuses on
+multipliers; we model adders anyway so that Fig. 5's Acc/XM/XA/XAM design
+points can be regenerated and so the ablation benches can inject
+adder-style errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdderModel", "EXACT_ADDER", "ADDER_5LT", "ADDERS"]
+
+
+@dataclass(frozen=True)
+class AdderModel:
+    """An approximate adder truncating carries below ``loa_bits``.
+
+    Lower-part-OR adder (LOA) semantics: the low ``loa_bits`` of the sum
+    are approximated by a bitwise OR of the operands (no carry chain),
+    the upper part adds exactly.
+
+    ``power_reduction`` is relative to the accurate adder of Table I
+    (0.0202 pJ per 8-bit addition).
+    """
+
+    name: str
+    loa_bits: int = 0
+    power_reduction: float = 0.0
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised approximate sum of non-negative integer arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if self.loa_bits == 0:
+            return a + b
+        mask = (1 << self.loa_bits) - 1
+        low = (a | b) & mask
+        high = (a & ~mask) + (b & ~mask)
+        return high + low
+
+    def error(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Arithmetic error vs the accurate sum (Eq. 2 analogue)."""
+        return self.add(a, b) - (np.asarray(a, dtype=np.int64)
+                                 + np.asarray(b, dtype=np.int64))
+
+    @property
+    def is_exact(self) -> bool:
+        return self.loa_bits == 0
+
+
+#: Accurate 8-bit adder (Table I energy baseline).
+EXACT_ADDER = AdderModel("add8u_ACC", loa_bits=0, power_reduction=0.0)
+
+#: Behavioural stand-in for EvoApprox8B's 5LT adder.  Its power reduction
+#: is set so that approximating *only* adders saves ~1.9 % of total CapsNet
+#: energy (paper Fig. 5) given the ~3 % adder energy share of Fig. 4.
+ADDER_5LT = AdderModel("add8u_5LT", loa_bits=5, power_reduction=0.53)
+
+ADDERS: dict[str, AdderModel] = {
+    adder.name: adder for adder in (
+        EXACT_ADDER,
+        ADDER_5LT,
+        AdderModel("add8u_2LT", loa_bits=2, power_reduction=0.20),
+        AdderModel("add8u_3LT", loa_bits=3, power_reduction=0.35),
+        AdderModel("add8u_7LT", loa_bits=7, power_reduction=0.80),
+    )
+}

@@ -1,0 +1,155 @@
+"""Bit-true execution of convolutions with approximate multipliers.
+
+This is validation extension X1 (DESIGN.md): the paper *models* approximate
+multipliers as Gaussian noise; here we actually run every convolution
+product through the component's 256×256 LUT on Eq.-1-quantised operands,
+so the Gaussian-injection prediction can be compared against ground truth
+on a small CapsNet.
+
+Quantisation layout: with Eq. 1 affine quantisation ``x = m_x + s_x q_x``
+(``q`` in 0..255), a dot product decomposes as::
+
+    Σ x·w = s_x s_w Σ q_x q_w  +  s_x m_w Σ q_x  +  s_w m_x Σ q_w  +  K m_x m_w
+
+Only the ``Σ q_x q_w`` term exercises the 8×8 multiplier array; the three
+correction terms are cheap scalar/accumulate work on exact hardware.  The
+approximate LUT therefore replaces exactly the products the paper's noise
+model targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, im2col
+from .multipliers import MultiplierModel
+from .quantization import QuantParams, quantize
+
+__all__ = ["approximate_conv2d", "ApproximateConvExecutor"]
+
+
+def _lut_matmul(lut: np.ndarray, q_cols: np.ndarray, q_w: np.ndarray, *,
+                chunk: int = 2048) -> np.ndarray:
+    """``out[m, f] = Σ_k lut[q_cols[m, k], q_w[f, k]]`` with row chunking.
+
+    Materialising the (M, F, K) gather is the memory hot spot; chunking
+    keeps it bounded.
+    """
+    m_total, k = q_cols.shape
+    f_total = q_w.shape[0]
+    out = np.empty((m_total, f_total), dtype=np.float64)
+    for start in range(0, m_total, chunk):
+        stop = min(start + chunk, m_total)
+        gathered = lut[q_cols[start:stop, None, :], q_w[None, :, :]]
+        out[start:stop] = gathered.sum(axis=2, dtype=np.int64)
+    return out
+
+
+def approximate_conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                       multiplier: MultiplierModel, *, stride: int = 1,
+                       padding: int = 0, bits: int = 8) -> np.ndarray:
+    """Bit-true approximate convolution on float inputs.
+
+    Activations and weights are quantised per Eq. 1 (per-tensor affine),
+    products are taken from the component LUT, correction terms and bias
+    are exact.
+    """
+    cols, (oh, ow) = im2col(np.asarray(x, dtype=np.float32),
+                            weight.shape[2:], stride, padding)
+    n = x.shape[0]
+    f = weight.shape[0]
+    w_mat = weight.reshape(f, -1).astype(np.float64)
+    k = w_mat.shape[1]
+
+    x_params = QuantParams.from_array(cols, bits)
+    w_params = QuantParams.from_array(w_mat, bits)
+    q_cols = quantize(cols, x_params)
+    q_w = quantize(w_mat, w_params)
+
+    qq = _lut_matmul(multiplier.lut, q_cols, q_w)
+    sum_qx = q_cols.sum(axis=1, dtype=np.int64)[:, None]
+    sum_qw = q_w.sum(axis=1, dtype=np.int64)[None, :]
+    out = (x_params.scale * w_params.scale * qq
+           + x_params.scale * w_params.minimum * sum_qx
+           + w_params.scale * x_params.minimum * sum_qw
+           + k * x_params.minimum * w_params.minimum)
+    out += bias[None, :]
+    return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2).astype(np.float32)
+
+
+class ApproximateConvExecutor:
+    """Monkey-patch-free bit-true runner for a model's convolutions.
+
+    Temporarily replaces the fused :func:`repro.tensor.ops.conv2d` data path
+    of selected layers by routing their forward through
+    :func:`approximate_conv2d`.  Usage::
+
+        with ApproximateConvExecutor(model, multiplier, layers={"Conv1"}):
+            accuracy = evaluate_accuracy(model, test_set)
+
+    Only inference is supported (no gradients through the LUT path).
+    """
+
+    def __init__(self, model, multiplier: MultiplierModel, *,
+                 layers: set[str] | None = None, bits: int = 8):
+        self.model = model
+        self.multiplier = multiplier
+        self.layers = layers
+        self.bits = bits
+        self._originals: list[tuple[object, object]] = []
+
+    def _wrap(self, module) -> None:
+        original = module.forward
+
+        def bit_true_forward(x: Tensor, _module=module) -> Tensor:
+            data = x.data
+            reshaped = None
+            if data.ndim == 5:  # capsule map: fold (C, D) into channels
+                n, c, d, h, w = data.shape
+                data = data.reshape(n, c * d, h, w)
+                reshaped = (n, h, w)
+            out = approximate_conv2d(
+                data, _module.weight.data, _module.bias.data,
+                self.multiplier, stride=_module.stride,
+                padding=_module.padding, bits=self.bits)
+            result = Tensor(out)
+            return self._postprocess(_module, result)
+
+        self._originals.append((module, original))
+        module.forward = bit_true_forward
+
+    @staticmethod
+    def _postprocess(module, out: Tensor) -> Tensor:
+        """Re-apply the layer's nonlinearity/reshape on the conv result."""
+        from ..nn.capsules import ConvCaps2D, PrimaryCaps
+        from ..nn.layers import Conv2D
+        from ..tensor import squash
+        if isinstance(module, Conv2D):
+            return out.relu() if module.activation == "relu" else out
+        if isinstance(module, PrimaryCaps):
+            n, _, oh, ow = out.shape
+            caps = out.reshape(n, module.num_caps, module.caps_dim, oh, ow)
+            return squash(caps, axis=2)
+        if isinstance(module, ConvCaps2D):
+            n, _, oh, ow = out.shape
+            caps = out.reshape(n, module.out_caps, module.out_dim, oh, ow)
+            return squash(caps, axis=2)
+        raise TypeError(f"unsupported module type {type(module).__name__}")
+
+    def __enter__(self) -> "ApproximateConvExecutor":
+        from ..nn.capsules import ConvCaps2D, PrimaryCaps
+        from ..nn.layers import Conv2D
+        for module in self.model.modules():
+            if not isinstance(module, (Conv2D, PrimaryCaps, ConvCaps2D)):
+                continue
+            if self.layers is not None and module.name not in self.layers:
+                continue
+            self._wrap(module)
+        if not self._originals:
+            raise LookupError("no matching convolutional layers to wrap")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for module, original in self._originals:
+            module.forward = original
+        self._originals.clear()

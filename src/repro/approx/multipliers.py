@@ -1,0 +1,208 @@
+"""Behavioural models of approximate 8×8→16-bit unsigned multipliers.
+
+The paper draws components from the EvoApprox8B library [19] — silicon-
+characterised circuits whose netlists are not available offline.  We rebuild
+the library *behaviourally*: each component is a deterministic function
+``(a, b) -> P'`` on uint8 operands, realised as a 256×256 look-up table.
+Five structural families from the approximate-arithmetic literature cover
+the error behaviours the paper reports (Gaussian-like for most components,
+Fig. 6; biased/large-error for a few):
+
+``exact``
+    The accurate product (reference, Eq. 2).
+``trunc``
+    Product-LSB truncation with an optional additive compensation constant
+    (fixed-width multipliers); residual error is uniform, hence near-
+    Gaussian after MAC accumulation.
+``bam``
+    Broken-array multiplier: partial products with bit significance below a
+    threshold are omitted (negatively biased).
+``mitchell``
+    Mitchell logarithmic multiplier with optional gain compensation
+    (signed, input-dependent error).
+``drum``
+    Dynamic-range unbiased multiplier: operands rounded to ``k``
+    significant bits (relative error, near zero mean).
+``ormask``
+    Aggressive low-cost model: low operand bits forced to one
+    (positively biased; models the worst Table IV components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MultiplierModel", "build_lut", "FAMILIES", "exact_lut"]
+
+_N = 256  # 8-bit operand space
+
+
+def _operand_grids() -> tuple[np.ndarray, np.ndarray]:
+    a = np.arange(_N, dtype=np.int64)[:, None]
+    b = np.arange(_N, dtype=np.int64)[None, :]
+    return a, b
+
+
+def exact_lut() -> np.ndarray:
+    """Accurate 8-bit product table ``P[a, b] = a * b`` (int64)."""
+    a, b = _operand_grids()
+    return a * b
+
+
+def _trunc_lut(drop_bits: int = 0, compensation: int = 0) -> np.ndarray:
+    """Zero the ``drop_bits`` LSBs of the product, then add a constant."""
+    if not 0 <= drop_bits <= 15:
+        raise ValueError("drop_bits must be in [0, 15]")
+    product = exact_lut()
+    mask = ~((1 << drop_bits) - 1)
+    return (product & mask) + int(compensation)
+
+
+def _bam_lut(threshold: int = 6) -> np.ndarray:
+    """Broken-array multiplier: omit partial products ``a_i b_j`` with
+    ``i + j < threshold``."""
+    if not 0 <= threshold <= 15:
+        raise ValueError("threshold must be in [0, 15]")
+    a, b = _operand_grids()
+    result = np.zeros((_N, _N), dtype=np.int64)
+    for i in range(8):
+        for j in range(8):
+            if i + j >= threshold:
+                result += ((a >> i) & 1) * ((b >> j) & 1) << (i + j)
+    return result
+
+
+def _mitchell_lut(gain: float = 1.0) -> np.ndarray:
+    """Mitchell's logarithmic multiplier (1962), optional gain compensation.
+
+    ``P' = 2^(la+lb) (1 + ma + mb)`` when ``ma + mb < 1`` else
+    ``P' = 2^(la+lb+1) (ma + mb)`` where ``v = 2^lv (1 + mv)``.
+    """
+    a, b = _operand_grids()
+    a_f = a.astype(np.float64)
+    b_f = b.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        la = np.floor(np.log2(np.maximum(a_f, 1.0)))
+        lb = np.floor(np.log2(np.maximum(b_f, 1.0)))
+    ma = a_f / (2.0 ** la) - 1.0
+    mb = b_f / (2.0 ** lb) - 1.0
+    msum = ma + mb
+    low = 2.0 ** (la + lb) * (1.0 + msum)
+    high = 2.0 ** (la + lb + 1.0) * msum
+    product = np.where(msum < 1.0, low, high) * gain
+    product = np.where((a == 0) | (b == 0), 0.0, product)
+    return np.rint(product).astype(np.int64)
+
+
+def _round_to_k_bits(values: np.ndarray, k: int) -> np.ndarray:
+    """Round each value to ``k`` significant bits (round-half-up)."""
+    values = values.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        msb = np.floor(np.log2(np.maximum(values, 1.0)))
+    shift = np.maximum(msb - (k - 1), 0.0)
+    scale = 2.0 ** shift
+    return np.rint(values / scale) * scale
+
+
+def _drum_lut(k: int = 4) -> np.ndarray:
+    """DRUM-style multiplier: operands rounded to ``k`` significant bits."""
+    if not 1 <= k <= 8:
+        raise ValueError("k must be in [1, 8]")
+    a, b = _operand_grids()
+    a_r = _round_to_k_bits(a, k)
+    b_r = _round_to_k_bits(b, k)
+    return np.rint(a_r * b_r).astype(np.int64)
+
+
+def _ormask_lut(k: int = 4, drop_bits: int = 0) -> np.ndarray:
+    """Force the ``k`` low operand bits to one, optionally truncating the
+    product — a cheap, strongly positively-biased circuit model."""
+    if not 0 <= k <= 8:
+        raise ValueError("k must be in [0, 8]")
+    a, b = _operand_grids()
+    mask = (1 << k) - 1
+    product = (a | mask) * (b | mask)
+    if drop_bits:
+        product &= ~((1 << drop_bits) - 1)
+    return product
+
+
+FAMILIES: dict[str, Callable[..., np.ndarray]] = {
+    "exact": lambda: exact_lut(),
+    "trunc": _trunc_lut,
+    "bam": _bam_lut,
+    "mitchell": _mitchell_lut,
+    "drum": _drum_lut,
+    "ormask": _ormask_lut,
+}
+
+
+def build_lut(family: str, **params) -> np.ndarray:
+    """Construct the 256×256 product table for a family/parameter choice."""
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown multiplier family {family!r}; "
+                       f"available: {sorted(FAMILIES)}") from None
+    return builder(**params)
+
+
+@dataclass
+class MultiplierModel:
+    """A concrete approximate multiplier with metadata.
+
+    Attributes
+    ----------
+    name:
+        Component identifier (``mul8u_NGR`` style for Table IV members).
+    family / params:
+        Behavioural model (see module docstring).
+    power_uw / area_um2:
+        Synthesis metadata.  For the Table IV components these are the
+        paper's published 45 nm values; for extra family members they are
+        interpolated from the truncation level (documented estimate).
+    paper_nm / paper_na:
+        The paper's measured noise magnitude/average under the *modelled*
+        (uniform) input distribution, where published (Table IV), else None.
+    """
+
+    name: str
+    family: str
+    params: dict = field(default_factory=dict)
+    power_uw: float = float("nan")
+    area_um2: float = float("nan")
+    paper_na: float | None = None
+    paper_nm: float | None = None
+    _lut: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def lut(self) -> np.ndarray:
+        """Lazily-built 256×256 product table."""
+        if self._lut is None:
+            self._lut = build_lut(self.family, **self.params)
+        return self._lut
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised approximate product of uint8 operand arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.size and (a.min() < 0 or a.max() > 255):
+            raise ValueError("operand a outside uint8 range")
+        if b.size and (b.min() < 0 or b.max() > 255):
+            raise ValueError("operand b outside uint8 range")
+        return self.lut[a, b]
+
+    def error_table(self) -> np.ndarray:
+        """Full 256×256 arithmetic-error table ``P'(a,b) - P(a,b)`` (Eq. 2)."""
+        return self.lut - exact_lut()
+
+    @property
+    def is_exact(self) -> bool:
+        return not np.any(self.error_table())
+
+    def power_reduction(self, baseline_uw: float) -> float:
+        """Relative power saving vs an accurate multiplier (positive = saves)."""
+        return 1.0 - self.power_uw / baseline_uw

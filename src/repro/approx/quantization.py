@@ -1,0 +1,71 @@
+"""Fixed-point quantisation (paper Eq. 1).
+
+``Q(x) = (x - min(x)) / (max(x) - min(x)) * (2^b - 1)``
+
+The paper simulates CapsNets in floating point and folds the quantisation
+effect of b-bit fixed-point hardware into the noise model; the bit-true
+validation path (:mod:`repro.approx.bittrue`) uses this module to map
+activations/weights into the uint8 operand space of the component library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantParams", "quantize", "dequantize", "quantize_array",
+           "quantization_noise"]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantisation parameters for one tensor."""
+
+    minimum: float
+    maximum: float
+    bits: int = 8
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def scale(self) -> float:
+        """Real-value step per integer level."""
+        span = self.maximum - self.minimum
+        return span / self.levels if span > 0 else 1.0
+
+    @classmethod
+    def from_array(cls, x: np.ndarray, bits: int = 8) -> "QuantParams":
+        """Calibrate min/max from the data (the paper's Eq. 1 convention)."""
+        x = np.asarray(x)
+        if x.size == 0:
+            raise ValueError("cannot calibrate quantisation on empty array")
+        return cls(float(x.min()), float(x.max()), bits)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map real values to integer levels ``[0, 2^b - 1]`` per Eq. 1."""
+    x = np.asarray(x, dtype=np.float64)
+    q = (x - params.minimum) / max(params.maximum - params.minimum, 1e-30)
+    return np.clip(np.rint(q * params.levels), 0, params.levels).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map integer levels back to real values."""
+    return (np.asarray(q, dtype=np.float64) * params.scale
+            + params.minimum).astype(np.float32)
+
+
+def quantize_array(x: np.ndarray, bits: int = 8
+                   ) -> tuple[np.ndarray, QuantParams]:
+    """Calibrate on ``x`` and quantise it; returns ``(levels, params)``."""
+    params = QuantParams.from_array(x, bits)
+    return quantize(x, params), params
+
+
+def quantization_noise(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Round-trip error ``dequantize(quantize(x)) - x`` (ablation X4)."""
+    q, params = quantize_array(x, bits)
+    return dequantize(q, params) - np.asarray(x, dtype=np.float32)

@@ -1,0 +1,111 @@
+"""Command-line interface: regenerate paper artifacts by ID.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 fig5
+    python -m repro run fig9 --quick
+    python -m repro run all --quick
+
+Each artifact prints the same rows/series the paper reports (measured next
+to published values where applicable).  ``--quick`` shrinks the evaluation
+scale of the accuracy-in-the-loop artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (ablation, bittrue_validation, fig4, fig5, fig6,
+                          fig9, fig10, fig11, fig12, table1, table2, table3,
+                          table4)
+from .experiments.common import ExperimentScale
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _scaled(runner: Callable, **fixed):
+    def run(quick: bool):
+        scale = ExperimentScale.quick() if quick else ExperimentScale()
+        return runner(scale=scale, **fixed)
+    return run
+
+
+def _plain(runner: Callable, **fixed):
+    def run(_quick: bool):
+        return runner(**fixed)
+    return run
+
+
+#: artifact id -> (description, runner(quick) -> result with format_text()).
+ARTIFACTS: dict[str, tuple[str, Callable]] = {
+    "table1": ("DeepCaps op counts + unit energies", _plain(table1.run)),
+    "fig4": ("energy breakdown by op type", _plain(fig4.run)),
+    "fig5": ("Acc/XM/XA/XAM optimisation potential", _plain(fig5.run)),
+    "fig6": ("multiplier error profiles + Gaussian fits",
+             lambda quick: fig6.run(samples=20_000 if quick else 100_000)),
+    "table2": ("clean benchmark accuracies", _plain(table2.run)),
+    "table3": ("operation grouping (group extraction)", _plain(table3.run)),
+    "fig9": ("group-wise resilience, DeepCaps/CIFAR-10", _scaled(fig9.run)),
+    "fig10": ("layer-wise resilience of non-resilient groups",
+              _scaled(fig10.run)),
+    "fig11": ("conv-input distributions",
+              lambda quick: fig11.run(num_images=8 if quick else 32)),
+    "table4": ("component power/area/NA/NM",
+               lambda quick: table4.run(num_images=8 if quick else 16,
+                                        samples=20_000 if quick else 50_000)),
+    "fig12": ("group-wise resilience, other benchmarks", _scaled(fig12.run)),
+    "x1": ("bit-true validation of the noise model",
+           lambda quick: bittrue_validation.run(
+               eval_samples=32 if quick else 64)),
+    "x2": ("routing-iteration ablation",
+           _scaled(ablation.run_routing_ablation)),
+    "x3": ("biased-noise (NA) sweep",
+           _scaled(ablation.run_noise_average_sweep)),
+    "x4": ("quantisation word-length sweep",
+           _scaled(ablation.run_quantization_sweep)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReD-CaNe (DATE 2020) reproduction — regenerate paper "
+                    "tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available artifacts")
+    run = sub.add_parser("run", help="regenerate one or more artifacts")
+    run.add_argument("artifacts", nargs="+",
+                     help="artifact ids (see 'list'), or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced evaluation scale")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in ARTIFACTS)
+        for name, (description, _) in ARTIFACTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    requested = list(ARTIFACTS) if "all" in args.artifacts else args.artifacts
+    unknown = [name for name in requested if name not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}; "
+              f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    for name in requested:
+        _, runner = ARTIFACTS[name]
+        result = runner(args.quick)
+        print(result.format_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""ReD-CaNe core: noise model, group taxonomy, resilience analysis,
+component selection and the six-step methodology pipeline."""
+
+from .groups import GroupExtraction, extract_groups
+from .methodology import ApproximateCapsNetDesign, ReDCaNe, ReDCaNeConfig
+from .noise import (GaussianNoiseInjector, NoiseSpec, make_noise_registry,
+                    tensor_range)
+from .resilience import (PAPER_NM_SWEEP, ResilienceCurve, ResiliencePoint,
+                         group_wise_analysis, layer_wise_analysis,
+                         mark_resilient, noisy_accuracy)
+from .selection import OperationAssignment, SelectionReport, select_components
+
+__all__ = [
+    "NoiseSpec", "GaussianNoiseInjector", "make_noise_registry",
+    "tensor_range",
+    "GroupExtraction", "extract_groups",
+    "PAPER_NM_SWEEP", "ResiliencePoint", "ResilienceCurve",
+    "group_wise_analysis", "layer_wise_analysis", "mark_resilient",
+    "noisy_accuracy",
+    "OperationAssignment", "SelectionReport", "select_components",
+    "ReDCaNe", "ReDCaNeConfig", "ApproximateCapsNetDesign",
+]

@@ -1,0 +1,80 @@
+"""Step 1 — Group Extraction (paper Sec. IV, Table III).
+
+Runs one probe inference with an observing registry and collects every
+emitted injection site, organising them into the four operation groups of
+Table III.  The extraction is *empirical* (from the executed graph), not
+declarative, so any model built from :mod:`repro.nn` layers is supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.hooks import (GROUP_DESCRIPTIONS, INJECTABLE_GROUPS, HookRegistry,
+                        InjectionSite, use_registry)
+from ..tensor import Tensor, no_grad
+
+__all__ = ["GroupExtraction", "extract_groups"]
+
+
+@dataclass
+class GroupExtraction:
+    """The discovered operation groups of a model's inference graph."""
+
+    model_name: str
+    sites: list[InjectionSite] = field(default_factory=list)
+    shapes: dict[InjectionSite, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def groups(self) -> dict[str, list[InjectionSite]]:
+        """Injectable sites keyed by Table III group, in execution order."""
+        result: dict[str, list[InjectionSite]] = {
+            group: [] for group in INJECTABLE_GROUPS}
+        for site in self.sites:
+            if site.group in result:
+                result[site.group].append(site)
+        return result
+
+    def layers_in_group(self, group: str) -> list[str]:
+        """Distinct layer names contributing sites to ``group``."""
+        seen: dict[str, None] = {}
+        for site in self.groups[group]:
+            seen.setdefault(site.layer, None)
+        return list(seen)
+
+    def table3(self) -> list[tuple[int, str, str, int]]:
+        """Rows of paper Table III: (#, group, description, site count)."""
+        return [
+            (index + 1, group, GROUP_DESCRIPTIONS[group],
+             len(self.groups[group]))
+            for index, group in enumerate(INJECTABLE_GROUPS)
+        ]
+
+    def summary(self) -> str:
+        lines = [f"Group extraction for {self.model_name}:"]
+        for index, group, description, count in self.table3():
+            layers = self.layers_in_group(group)
+            lines.append(f"  #{index} {group:14s} {count:3d} sites over "
+                         f"{len(layers):2d} layers — {description}")
+        return "\n".join(lines)
+
+
+def extract_groups(model, sample_input: np.ndarray) -> GroupExtraction:
+    """Execute Step 1 on ``model`` with a representative input batch."""
+    extraction = GroupExtraction(model_name=type(model).__name__)
+    seen: set[InjectionSite] = set()
+
+    def observer(site: InjectionSite, value: np.ndarray) -> None:
+        if site not in seen:
+            seen.add(site)
+            extraction.sites.append(site)
+            extraction.shapes[site] = tuple(value.shape)
+
+    registry = HookRegistry()
+    registry.add_observer(lambda site: True, observer)
+    model.eval()
+    with no_grad(), use_registry(registry):
+        model(Tensor(np.asarray(sample_input, dtype=np.float32)))
+    return extraction

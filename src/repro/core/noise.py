@@ -1,0 +1,130 @@
+"""Noise-injection model (paper Sec. III-C, Eq. 3-4).
+
+An approximation error on tensor ``X`` with shape ``s`` is modelled as
+
+``ΔX = Gauss(s, NM · R(X)) + NA · R(X)``   and   ``X' = X + ΔX``
+
+where ``R(X)`` is the value range of ``X`` and ``NM``/``NA`` are the noise
+magnitude / noise average of the approximate component (Sec. III-B).  The
+range is computed *per tensor, at injection time*, mirroring the paper's
+specialised TensorFlow node ("std = NM · R(τ), m = NA · R(τ), given the
+range R of the node τ").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.hooks import (INJECTABLE_GROUPS, HookRegistry, InjectionSite)
+
+__all__ = ["NoiseSpec", "GaussianNoiseInjector", "make_noise_registry",
+           "tensor_range"]
+
+
+def tensor_range(x: np.ndarray) -> float:
+    """``R(X) = max(X) - min(X)`` (paper Sec. III-B)."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return float(x.max() - x.min())
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Noise parameters of one injection: magnitude, average, RNG seed."""
+
+    nm: float = 0.0
+    na: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nm < 0:
+            raise ValueError("noise magnitude NM must be non-negative")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.nm == 0.0 and self.na == 0.0
+
+
+class GaussianNoiseInjector:
+    """Callable transform implementing Eq. 3-4 at an injection site.
+
+    A fresh RNG is derived per (seed, site) pair so that injections are
+    reproducible yet independent across sites and across forward passes
+    within one evaluation.
+    """
+
+    def __init__(self, spec: NoiseSpec):
+        self.spec = spec
+        self._streams: dict[InjectionSite, np.random.Generator] = {}
+        self.injection_count = 0
+
+    def _rng(self, site: InjectionSite) -> np.random.Generator:
+        stream = self._streams.get(site)
+        if stream is None:
+            # zlib.crc32 is stable across processes (Python's hash() is
+            # salted per process and would break run-to-run reproducibility)
+            site_key = zlib.crc32(
+                f"{site.layer}|{site.group}|{site.tag}".encode())
+            stream = np.random.default_rng((self.spec.seed, site_key))
+            self._streams[site] = stream
+        return stream
+
+    def __call__(self, site: InjectionSite, value: np.ndarray) -> np.ndarray:
+        if self.spec.is_zero:
+            return value
+        value_range = tensor_range(value)
+        if value_range == 0.0:
+            return value
+        self.injection_count += 1
+        rng = self._rng(site)
+        std = self.spec.nm * value_range
+        mean = self.spec.na * value_range
+        if std == 0.0:
+            return value + np.float32(mean)
+        noise = rng.normal(mean, std, size=value.shape).astype(np.float32)
+        return value + noise
+
+    def reset(self) -> None:
+        """Drop per-site RNG streams (restores determinism for a rerun)."""
+        self._streams.clear()
+        self.injection_count = 0
+
+
+def make_noise_registry(spec: NoiseSpec, *, groups=None, layers=None,
+                        tags=None) -> HookRegistry:
+    """Build a registry injecting ``spec`` noise at matching sites.
+
+    Parameters
+    ----------
+    groups / layers / tags:
+        Optional iterables restricting where noise is injected; ``None``
+        means "no constraint".  Only Table III groups are injectable.
+    """
+    group_set = set(groups) if groups is not None else None
+    layer_set = set(layers) if layers is not None else None
+    tag_set = set(tags) if tags is not None else None
+    if group_set is not None:
+        unknown = group_set - set(INJECTABLE_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"non-injectable groups: {sorted(unknown)}; "
+                f"injectable: {list(INJECTABLE_GROUPS)}")
+
+    def matcher(site: InjectionSite) -> bool:
+        if site.group not in INJECTABLE_GROUPS:
+            return False
+        if group_set is not None and site.group not in group_set:
+            return False
+        if layer_set is not None and site.layer not in layer_set:
+            return False
+        if tag_set is not None and site.tag not in tag_set:
+            return False
+        return True
+
+    registry = HookRegistry()
+    registry.add_transform(matcher, GaussianNoiseInjector(spec))
+    return registry

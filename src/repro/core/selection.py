@@ -1,0 +1,109 @@
+"""Step 6 — Select Approximate Components (paper Sec. IV).
+
+For each operation (a Table III group, optionally refined per layer), the
+tolerable noise magnitude obtained from the resilience curves is mapped to
+the lowest-power library component whose *measured* NM fits under it:
+"more aggressive approximations are selected for more resilient
+operations, without significantly affecting the classification accuracy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..approx.library import ComponentLibrary
+
+__all__ = ["OperationAssignment", "SelectionReport", "select_components"]
+
+
+@dataclass(frozen=True)
+class OperationAssignment:
+    """Chosen component for one operation class."""
+
+    group: str
+    layer: str | None          # None = applies to the whole group
+    tolerable_nm: float
+    component: str
+    measured_nm: float
+    measured_na: float
+    power_uw: float
+    power_saving: float        # vs the accurate multiplier
+
+    @property
+    def target(self) -> str:
+        return self.group if self.layer is None else f"{self.group}@{self.layer}"
+
+
+@dataclass
+class SelectionReport:
+    """All Step-6 assignments plus library context."""
+
+    assignments: dict[tuple[str, str | None], OperationAssignment]
+    accurate_power_uw: float
+
+    def assignment_for(self, group: str, layer: str | None
+                       ) -> OperationAssignment:
+        """Most specific assignment for (group, layer): exact, else group."""
+        if (group, layer) in self.assignments:
+            return self.assignments[(group, layer)]
+        if (group, None) in self.assignments:
+            return self.assignments[(group, None)]
+        raise KeyError(f"no assignment covers ({group!r}, {layer!r})")
+
+    @property
+    def mean_power_saving(self) -> float:
+        """Unweighted mean multiplier power saving across assignments."""
+        savings = [a.power_saving for a in self.assignments.values()]
+        return float(np.mean(savings)) if savings else 0.0
+
+    def summary(self) -> str:
+        lines = ["Step 6 — component selection:"]
+        for assignment in self.assignments.values():
+            lines.append(
+                f"  {assignment.target:30s} tolerable NM {assignment.tolerable_nm:7.4f}"
+                f" -> {assignment.component:13s}"
+                f" (NM {assignment.measured_nm:7.4f},"
+                f" power {assignment.power_uw:5.0f} uW,"
+                f" saves {assignment.power_saving:+.0%})")
+        lines.append(f"  mean multiplier power saving: "
+                     f"{self.mean_power_saving:+.0%}")
+        return "\n".join(lines)
+
+
+def select_components(tolerances: dict[tuple[str, str | None], float],
+                      library: ComponentLibrary, *,
+                      safety_factor: float = 1.0, bound_na: bool = True,
+                      samples: int = 50_000) -> SelectionReport:
+    """Map per-operation tolerable NM values to library components.
+
+    Parameters
+    ----------
+    tolerances:
+        ``{(group, layer_or_None): tolerable_nm}`` from Steps 2-5.
+    safety_factor:
+        Divides each tolerable NM before the library query (>= 1 gives
+        margin against error compounding when every operation is
+        approximated simultaneously).
+    bound_na:
+        Additionally require ``|NA| <= budget``.  The resilience sweep is
+        run at NA = 0 (paper Sec. VI-A), so a component whose error *bias*
+        exceeds the noise budget would violate the analysis assumptions —
+        Eq. 3 models NA explicitly for this reason.
+    """
+    if safety_factor < 1.0:
+        raise ValueError("safety_factor must be >= 1")
+    accurate_power = library.accurate.power_uw
+    assignments = {}
+    for (group, layer), tolerable_nm in tolerances.items():
+        budget = tolerable_nm / safety_factor
+        result = library.select(budget, samples=samples,
+                                max_abs_na=budget if bound_na else None)
+        assignments[(group, layer)] = OperationAssignment(
+            group=group, layer=layer, tolerable_nm=tolerable_nm,
+            component=result.component.name,
+            measured_nm=result.measured_nm, measured_na=result.measured_na,
+            power_uw=result.component.power_uw,
+            power_saving=result.component.power_reduction(accurate_power))
+    return SelectionReport(assignments, accurate_power)

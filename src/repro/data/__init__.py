@@ -1,0 +1,13 @@
+"""Synthetic dataset substrate (offline stand-ins for the paper's datasets)."""
+
+from .datasets import (Dataset, available_datasets, dataset_image_shape,
+                       make_dataset, make_split)
+from .synth import (render_digit, render_garment, synth_cifar10_image,
+                    synth_fashion_image, synth_mnist_image, synth_svhn_image)
+
+__all__ = [
+    "Dataset", "make_dataset", "make_split", "available_datasets",
+    "dataset_image_shape",
+    "render_digit", "render_garment", "synth_mnist_image",
+    "synth_fashion_image", "synth_cifar10_image", "synth_svhn_image",
+]

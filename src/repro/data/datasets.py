@@ -1,0 +1,118 @@
+"""Dataset container and factory for the synthetic benchmark suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .synth import GENERATORS
+
+__all__ = ["Dataset", "make_dataset", "make_split", "available_datasets",
+           "dataset_image_shape"]
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        ``(N, C, H, W)`` float32 array in ``[0, 1]``.
+    labels:
+        ``(N,)`` int64 class labels.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+    num_classes: int = 10
+    class_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have equal length")
+        if self.images.ndim != 4:
+            raise ValueError("images must be (N, C, H, W)")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """``(C, H, W)`` of a single sample."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, count: int, *, seed: int | None = None) -> "Dataset":
+        """First (or randomly chosen, if ``seed``) ``count`` samples."""
+        count = min(count, len(self))
+        if seed is None:
+            index = np.arange(count)
+        else:
+            index = np.random.default_rng(seed).choice(
+                len(self), size=count, replace=False)
+        return Dataset(self.images[index], self.labels[index],
+                       name=self.name, num_classes=self.num_classes,
+                       class_names=self.class_names)
+
+    def batches(self, batch_size: int, *, shuffle: bool = False,
+                seed: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(images, labels)`` minibatches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            np.random.default_rng(seed).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            index = order[start:start + batch_size]
+            yield self.images[index], self.labels[index]
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`make_dataset`."""
+    return sorted(GENERATORS)
+
+
+def dataset_image_shape(name: str) -> tuple[int, int, int]:
+    """``(C, H, W)`` produced by dataset ``name`` at its default size."""
+    _, channels, size = _lookup(name)
+    return channels, size, size
+
+
+def _lookup(name: str):
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"available: {available_datasets()}") from None
+
+
+def make_dataset(name: str, num_samples: int, *, seed: int = 0,
+                 size: int | None = None) -> Dataset:
+    """Generate ``num_samples`` images of synthetic dataset ``name``.
+
+    Labels are balanced (round-robin) and the generator is deterministic
+    given ``seed``.
+    """
+    generator, channels, default_size = _lookup(name)
+    size = size or default_size
+    rng = np.random.default_rng(seed)
+    labels = np.arange(num_samples) % 10
+    rng.shuffle(labels)
+    images = np.empty((num_samples, channels, size, size), dtype=np.float32)
+    for i, label in enumerate(labels):
+        images[i] = generator(int(label), rng, size)
+    return Dataset(images, labels, name=name)
+
+
+def make_split(name: str, num_train: int, num_test: int, *,
+               seed: int = 0, size: int | None = None
+               ) -> tuple[Dataset, Dataset]:
+    """Generate disjoint train/test splits (different RNG streams)."""
+    train = make_dataset(name, num_train, seed=seed, size=size)
+    test = make_dataset(name, num_test, seed=seed + 10_000, size=size)
+    return train, test

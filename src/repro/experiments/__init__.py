@@ -1,0 +1,30 @@
+"""Regeneration of every table and figure of the paper, plus extensions.
+
+========  =============================================  ==================
+artifact  content                                        module
+========  =============================================  ==================
+Table I   DeepCaps op counts + unit energies             ``table1``
+Fig. 4    energy breakdown by op type                    ``fig4``
+Fig. 5    Acc/XM/XA/XAM optimisation potential           ``fig5``
+Fig. 6    multiplier error profiles + Gaussian fits      ``fig6``
+Table II  clean benchmark accuracies                     ``table2``
+Table III operation grouping                             ``table3``
+Fig. 9    group-wise resilience (CIFAR-10)               ``fig9``
+Fig. 10   layer-wise resilience (CIFAR-10)               ``fig10``
+Fig. 11   conv-input distributions                       ``fig11``
+Table IV  component power/area/NA/NM                     ``table4``
+Fig. 12   group-wise resilience (other benchmarks)       ``fig12``
+X1        bit-true validation of the noise model         ``bittrue_validation``
+X2-X4     routing/NA/quantisation ablations              ``ablation``
+========  =============================================  ==================
+"""
+
+from . import (ablation, bittrue_validation, fig4, fig5, fig6, fig9, fig10,
+               fig11, fig12, table1, table2, table3, table4)
+from .common import ExperimentScale, benchmark_entry, format_table
+
+__all__ = [
+    "table1", "fig4", "fig5", "fig6", "table2", "table3", "fig9", "fig10",
+    "fig11", "table4", "fig12", "ablation", "bittrue_validation",
+    "ExperimentScale", "benchmark_entry", "format_table",
+]

@@ -1,0 +1,191 @@
+"""Extension experiments beyond the paper (DESIGN.md X2-X4).
+
+X2 — routing-iteration ablation: the paper *attributes* the resilience of
+the routing groups to the per-iteration recomputation of the coupling
+coefficients ("the coefficients are updated dynamically at run-time, thus
+they can adapt to the noise").  Routing depth is an inference-time knob in
+our layers, so the hypothesis is directly testable: resilience of the
+softmax/logits groups should not degrade (and typically improves) with
+more iterations.
+
+X3 — biased noise: the main analysis fixes NA = 0; here NA is swept at a
+fixed NM, quantifying how much error *bias* (cf. the ormask components of
+Table IV) costs relative to error spread.
+
+X4 — quantisation bits: Eq. 1 round-trip error injected at the MAC outputs
+for varying word lengths, reproducing the "8 bits is enough" observation
+the paper imports from CapsAcc [17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..approx import quantization_noise
+from ..core import NoiseSpec, group_wise_analysis, noisy_accuracy
+from ..nn.hooks import (GROUP_LOGITS, GROUP_MAC, GROUP_SOFTMAX, HookRegistry,
+                        use_registry)
+from ..train import evaluate_accuracy
+from .common import ExperimentScale, benchmark_entry, format_table
+
+__all__ = ["RoutingAblationResult", "run_routing_ablation",
+           "NoiseAverageResult", "run_noise_average_sweep",
+           "QuantizationResult", "run_quantization_sweep"]
+
+
+# ----------------------------------------------------------------- X2
+@dataclass
+class RoutingAblationResult:
+    """Tolerable NM of the routing groups vs routing iteration count."""
+
+    benchmark: str
+    group: str
+    tolerable_by_iterations: dict[int, float]
+    baseline_by_iterations: dict[int, float]
+
+    def rows(self) -> list[tuple]:
+        return [(iters, self.baseline_by_iterations[iters],
+                 self.tolerable_by_iterations[iters])
+                for iters in sorted(self.tolerable_by_iterations)]
+
+    def format_text(self) -> str:
+        formatted = [(i, f"{b:.2%}", f"{t:g}") for i, b, t in self.rows()]
+        return format_table(
+            ["routing iters", "clean accuracy", "tolerable NM"], formatted,
+            title=f"X2 — routing ablation, {self.benchmark}, "
+                  f"group {self.group}")
+
+
+def _set_routing_iterations(model, iterations: int) -> list:
+    """Set routing depth on all routing layers; returns (layer, old) pairs."""
+    previous = []
+    for module in model.modules():
+        if hasattr(module, "routing_iterations"):
+            previous.append((module, module.routing_iterations))
+            module.routing_iterations = iterations
+    if not previous:
+        raise LookupError("model has no routing layers")
+    return previous
+
+
+def run_routing_ablation(*, benchmark: str = "DeepCaps/MNIST",
+                         group: str = GROUP_SOFTMAX,
+                         iterations: tuple[int, ...] = (1, 2, 3, 5),
+                         scale: ExperimentScale | None = None,
+                         max_drop: float = 0.02,
+                         seed: int = 0) -> RoutingAblationResult:
+    """X2: sweep routing depth, measuring routing-group resilience."""
+    scale = scale or ExperimentScale.quick()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(scale.eval_samples)
+    tolerable, baselines = {}, {}
+    saved = _set_routing_iterations(entry.model, 3)
+    try:
+        for iters in iterations:
+            _set_routing_iterations(entry.model, iters)
+            curves = group_wise_analysis(
+                entry.model, test_set, groups=[group],
+                nm_values=scale.nm_values, seed=seed,
+                batch_size=scale.batch_size)
+            curve = curves[group]
+            baselines[iters] = curve.baseline_accuracy
+            tolerable[iters] = curve.tolerable_nm(max_drop)
+    finally:
+        for module, value in saved:
+            module.routing_iterations = value
+    return RoutingAblationResult(benchmark, group, tolerable, baselines)
+
+
+# ----------------------------------------------------------------- X3
+@dataclass
+class NoiseAverageResult:
+    """Accuracy drop vs NA at fixed NM, per group."""
+
+    benchmark: str
+    nm: float
+    drops: dict[str, list[tuple[float, float]]]  # group -> [(na, drop)]
+
+    def rows(self) -> list[tuple]:
+        return [(group, na, drop) for group, pairs in self.drops.items()
+                for na, drop in pairs]
+
+    def format_text(self) -> str:
+        formatted = [(g, f"{na:+g}", f"{drop:+.3f}")
+                     for g, na, drop in self.rows()]
+        return format_table(
+            ["group", "NA", "accuracy drop"], formatted,
+            title=f"X3 — biased noise at NM={self.nm}, {self.benchmark}")
+
+
+def run_noise_average_sweep(*, benchmark: str = "DeepCaps/MNIST",
+                            nm: float = 0.005,
+                            na_values: tuple[float, ...] = (
+                                -0.05, -0.01, 0.0, 0.01, 0.05),
+                            groups: tuple[str, ...] = (
+                                GROUP_MAC, GROUP_SOFTMAX, GROUP_LOGITS),
+                            scale: ExperimentScale | None = None,
+                            seed: int = 0) -> NoiseAverageResult:
+    """X3: NA sweep at a fixed, otherwise-tolerable NM."""
+    scale = scale or ExperimentScale.quick()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(scale.eval_samples)
+    baseline = evaluate_accuracy(entry.model, test_set,
+                                 batch_size=scale.batch_size)
+    drops: dict[str, list[tuple[float, float]]] = {}
+    for group in groups:
+        pairs = []
+        for na in na_values:
+            accuracy = noisy_accuracy(
+                entry.model, test_set, NoiseSpec(nm=nm, na=na, seed=seed),
+                groups=[group], batch_size=scale.batch_size)
+            pairs.append((na, accuracy - baseline))
+        drops[group] = pairs
+    return NoiseAverageResult(benchmark, nm, drops)
+
+
+# ----------------------------------------------------------------- X4
+@dataclass
+class QuantizationResult:
+    """Accuracy vs fixed-point word length."""
+
+    benchmark: str
+    accuracy_by_bits: dict[int, float]
+    baseline_accuracy: float
+
+    def rows(self) -> list[tuple]:
+        return [(bits, self.accuracy_by_bits[bits],
+                 self.accuracy_by_bits[bits] - self.baseline_accuracy)
+                for bits in sorted(self.accuracy_by_bits)]
+
+    def format_text(self) -> str:
+        formatted = [(b, f"{a:.2%}", f"{d:+.3f}") for b, a, d in self.rows()]
+        return format_table(
+            ["bits", "accuracy", "drop"], formatted,
+            title=f"X4 — Eq. 1 quantisation sweep, {self.benchmark} "
+                  f"(float baseline {self.baseline_accuracy:.2%})")
+
+
+def run_quantization_sweep(*, benchmark: str = "CapsNet/MNIST",
+                           bit_widths: tuple[int, ...] = (2, 4, 6, 8, 10),
+                           scale: ExperimentScale | None = None
+                           ) -> QuantizationResult:
+    """X4: inject Eq. 1 round-trip error at MAC outputs for each width."""
+    scale = scale or ExperimentScale.quick()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(scale.eval_samples)
+    baseline = evaluate_accuracy(entry.model, test_set,
+                                 batch_size=scale.batch_size)
+    accuracy_by_bits = {}
+    for bits in bit_widths:
+        registry = HookRegistry()
+
+        def transform(site, value, _bits=bits):
+            return value + quantization_noise(value, _bits)
+
+        registry.add_transform(HookRegistry.match(group=GROUP_MAC), transform)
+        with use_registry(registry):
+            accuracy_by_bits[bits] = evaluate_accuracy(
+                entry.model, test_set, batch_size=scale.batch_size)
+    return QuantizationResult(benchmark, accuracy_by_bits, baseline)

@@ -1,0 +1,189 @@
+"""X1 — bit-true validation of the Gaussian noise-injection model.
+
+The paper's central modelling assumption (Sec. III) is that an approximate
+multiplier inside a convolution behaves like additive Gaussian noise.  We
+validate it directly, at two levels of fidelity:
+
+* **naive model** — inject the component's per-product (NA, NM) from
+  Table IV at the conv MAC outputs.  This ignores that a K-deep MAC chain
+  accumulates K error terms.
+* **accumulation-aware model** — scale the per-product error statistics to
+  the layer's MAC depth K (bias ×K, spread ×√K — the scaling visible in
+  the paper's own Fig. 6 profiles), convert to real units through the
+  Eq. 1 quantisation scales, and normalise by the layer's observed output
+  range.
+
+Ground truth is obtained by routing *every* convolution product through
+the component's 256×256 LUT (:mod:`repro.approx.bittrue`).
+
+Expected outcome (recorded in EXPERIMENTS.md): the naive model
+systematically underestimates the damage of biased components, while the
+accumulation-aware model tracks bit-true accuracy closely — evidence both
+for the paper's Gaussian framework and for the importance of measuring NM
+at the accumulation level, as Fig. 6 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..approx import (ApproximateConvExecutor, MultiplierModel, QuantParams,
+                      default_library, sample_operands)
+from ..core import GaussianNoiseInjector, NoiseSpec
+from ..nn.hooks import (GROUP_MAC, GROUP_MAC_INPUTS, HookRegistry,
+                        use_registry)
+from ..tensor import Tensor, no_grad
+from ..train import evaluate_accuracy
+from .common import benchmark_entry, format_table
+
+__all__ = ["BitTrueResult", "run", "layer_noise_parameters"]
+
+#: Components spanning benign to aggressive error levels.
+DEFAULT_COMPONENTS = ("mul8u_NGR", "mul8u_DM1", "mul8u_12N4", "mul8u_QKX")
+
+
+def _capture_layer_stats(model, images: np.ndarray,
+                         layers: set[str]) -> dict[str, dict]:
+    """Input range, output range and MAC depth per convolutional layer."""
+    from ..nn.capsules import ConvCaps2D, PrimaryCaps
+    from ..nn.layers import Conv2D
+
+    stats: dict[str, dict] = {}
+    for module in model.modules():
+        if isinstance(module, (Conv2D, PrimaryCaps, ConvCaps2D)):
+            if module.name in layers:
+                weight = module.weight.data
+                w_params = QuantParams.from_array(weight, 8)
+                from ..approx import quantize
+                stats[module.name] = {
+                    "mac_depth": int(np.prod(weight.shape[1:])),
+                    "weight_range": float(weight.max() - weight.min()),
+                    "weight_pool": quantize(weight.reshape(-1), w_params),
+                }
+
+    rng = np.random.default_rng(0)
+
+    def observer(site, value):
+        if site.layer in stats:
+            if site.group == GROUP_MAC_INPUTS:
+                stats[site.layer]["input_range"] = float(
+                    value.max() - value.min())
+                flat = value.reshape(-1)
+                if flat.size > 50_000:
+                    flat = rng.choice(flat, size=50_000, replace=False)
+                from ..approx import quantize
+                in_params = QuantParams.from_array(value, 8)
+                stats[site.layer]["input_pool"] = quantize(flat, in_params)
+            elif site.group == GROUP_MAC:
+                stats[site.layer]["output_range"] = float(
+                    value.max() - value.min())
+
+    registry = HookRegistry()
+    registry.add_observer(lambda site: True, observer)
+    model.eval()
+    with no_grad(), use_registry(registry):
+        model(Tensor(images))
+    return stats
+
+
+def layer_noise_parameters(component: MultiplierModel, layer_stats: dict, *,
+                           samples: int = 50_000, seed: int = 0
+                           ) -> tuple[float, float]:
+    """Accumulation-aware (NA, NM) for one conv layer.
+
+    Per-product LUT error (mean m, std s, integer units) is measured over
+    the layer's *real* operand distributions (quantised activations ×
+    quantised weights — the paper's Table IV "real ΔX" columns), scaled to
+    real units by the Eq. 1 scales and to the layer's MAC depth K (mean
+    ×K, std ×√K under independence), then normalised by the observed
+    output range — yielding parameters in the units Eq. 3 expects.
+    """
+    rng = np.random.default_rng(seed)
+    a = sample_operands(rng, samples, layer_stats.get("input_pool"))
+    b = sample_operands(rng, samples, layer_stats.get("weight_pool"))
+    errors = component.multiply(a, b) - a * b
+    scale_in = layer_stats["input_range"] / 255.0
+    scale_w = layer_stats["weight_range"] / 255.0
+    unit = scale_in * scale_w
+    k = layer_stats["mac_depth"]
+    out_range = layer_stats["output_range"]
+    if out_range <= 0:
+        raise ValueError("degenerate output range")
+    na = k * float(errors.mean()) * unit / out_range
+    nm = np.sqrt(k) * float(errors.std()) * unit / out_range
+    return na, nm
+
+
+@dataclass
+class BitTrueResult:
+    """Bit-true vs modelled accuracy per component."""
+
+    benchmark: str
+    baseline_accuracy: float
+    entries: list[dict]
+
+    def rows(self) -> list[tuple]:
+        return [(e["component"], e["bit_true"], e["naive"], e["aware"])
+                for e in self.entries]
+
+    def max_gap(self, model_key: str = "aware") -> float:
+        """Largest |bit-true − model| accuracy gap across components."""
+        return max((abs(e["bit_true"] - e[model_key])
+                    for e in self.entries), default=0.0)
+
+    def format_text(self) -> str:
+        formatted = [(c, f"{bt:.2%}", f"{naive:.2%}", f"{aware:.2%}",
+                      f"{bt - aware:+.3f}")
+                     for c, bt, naive, aware in self.rows()]
+        return format_table(
+            ["component", "bit-true", "naive model", "accum.-aware model",
+             "gap(aware)"],
+            formatted,
+            title=f"X1 — bit-true validation, {self.benchmark} "
+                  f"(clean {self.baseline_accuracy:.2%})")
+
+
+def run(*, benchmark: str = "CapsNet/MNIST", eval_samples: int = 64,
+        components: tuple[str, ...] = DEFAULT_COMPONENTS,
+        layers: set[str] | None = None, seed: int = 0) -> BitTrueResult:
+    """Compare bit-true LUT execution against both Gaussian models."""
+    library = default_library()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(eval_samples)
+    baseline = evaluate_accuracy(entry.model, test_set)
+    conv_layers = layers if layers is not None else {"Conv1", "PrimaryCaps"}
+    stats = _capture_layer_stats(entry.model, test_set.images[:16],
+                                 conv_layers)
+
+    results = []
+    for name in components:
+        component = library.get(name)
+        with ApproximateConvExecutor(entry.model, component,
+                                     layers=conv_layers):
+            bit_true = evaluate_accuracy(entry.model, test_set)
+
+        na, nm = library.measured_parameters(name)
+        naive_registry = HookRegistry()
+        naive_registry.add_transform(
+            lambda site, _layers=conv_layers: (
+                site.group == GROUP_MAC and site.layer in _layers),
+            GaussianNoiseInjector(NoiseSpec(nm=nm, na=na, seed=seed)))
+        with use_registry(naive_registry):
+            naive = evaluate_accuracy(entry.model, test_set)
+
+        aware_registry = HookRegistry()
+        for layer, layer_stats in stats.items():
+            layer_na, layer_nm = layer_noise_parameters(
+                component, layer_stats, seed=seed)
+            aware_registry.add_transform(
+                HookRegistry.match(group=GROUP_MAC, layer=layer),
+                GaussianNoiseInjector(NoiseSpec(nm=layer_nm, na=layer_na,
+                                                seed=seed)))
+        with use_registry(aware_registry):
+            aware = evaluate_accuracy(entry.model, test_set)
+
+        results.append({"component": name, "bit_true": bit_true,
+                        "naive": naive, "aware": aware})
+    return BitTrueResult(benchmark, baseline, results)

@@ -1,0 +1,58 @@
+"""Shared plumbing for the paper-artifact regeneration modules.
+
+Every experiment module exposes a ``run(...)`` returning a small result
+dataclass with a ``rows()`` (tables) or ``series()`` (figures) method plus
+``format_text()`` so benches and examples can print the same artifact the
+paper shows.  ``quick=True`` shrinks sweeps/eval sets for CI-speed runs;
+defaults regenerate the full artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..zoo import ZooEntry, get_trained
+
+__all__ = ["benchmark_entry", "format_table", "ExperimentScale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Evaluation-scale knobs shared by the accuracy-in-the-loop artifacts."""
+
+    eval_samples: int = 256
+    nm_values: tuple[float, ...] = (
+        0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0)
+    batch_size: int = 64
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Reduced scale for benchmark harness runs."""
+        return cls(eval_samples=96, nm_values=(0.5, 0.05, 0.005, 0.0),
+                   batch_size=96)
+
+
+def benchmark_entry(label: str) -> ZooEntry:
+    """Trained zoo model for a paper benchmark label (e.g. 'DeepCaps/MNIST')."""
+    from ..zoo import PAPER_BENCHMARKS
+    for bench_label, preset, dataset in PAPER_BENCHMARKS:
+        if bench_label == label:
+            return get_trained(preset, dataset)
+    known = [b[0] for b in PAPER_BENCHMARKS]
+    raise KeyError(f"unknown benchmark {label!r}; known: {known}")
+
+
+def format_table(headers: list[str], rows: list[tuple], *,
+                 title: str = "") -> str:
+    """Monospace table rendering used by every experiment's format_text."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows))
+              if str_rows else len(headers[i]) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Fig. 10 — layer-wise resilience of the non-resilient groups (Step 4).
+
+For the MAC-outputs and activations groups of the CIFAR-10 DeepCaps, noise
+is injected one layer at a time across all 18 layers (Conv2D, Caps2D1-15,
+Caps3D, ClassCaps).
+
+Paper findings encoded as shape checks:
+
+* the first convolutional layer is the least resilient;
+* Caps3D — the only convolutional layer with dynamic routing — is the most
+  resilient, which the paper attributes to the run-time adaptation of the
+  routing coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ResilienceCurve, layer_wise_analysis
+from ..nn.hooks import GROUP_ACTIVATIONS, GROUP_MAC
+from .common import ExperimentScale, benchmark_entry, format_table
+
+__all__ = ["Fig10Result", "run", "NON_RESILIENT_GROUPS"]
+
+#: The groups Fig. 10 refines (identified as non-resilient by Step 3).
+NON_RESILIENT_GROUPS = (GROUP_MAC, GROUP_ACTIVATIONS)
+
+
+@dataclass
+class Fig10Result:
+    """Per-(group, layer) accuracy-drop curves."""
+
+    benchmark: str
+    baseline_accuracy: float
+    curves: dict[tuple[str, str], ResilienceCurve]
+    layers: list[str]
+
+    def series(self) -> dict[tuple[str, str], list[tuple[float, float]]]:
+        return {key: [(p.nm, p.accuracy_drop) for p in curve.points]
+                for key, curve in self.curves.items()}
+
+    def tolerable_nm_by_layer(self, group: str,
+                              max_drop: float = 0.01) -> dict[str, float]:
+        """Step-5 input: tolerable NM per layer within one group."""
+        return {layer: self.curves[(group, layer)].tolerable_nm(max_drop)
+                for layer in self.layers if (group, layer) in self.curves}
+
+    def most_resilient_layer(self, group: str) -> str:
+        ranking = self.tolerable_nm_by_layer(group)
+        return max(ranking, key=lambda layer: ranking[layer])
+
+    def least_resilient_layer(self, group: str) -> str:
+        ranking = self.tolerable_nm_by_layer(group)
+        return min(ranking, key=lambda layer: ranking[layer])
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for (group, layer), curve in self.curves.items():
+            for point in curve.points:
+                rows.append((group, layer, point.nm, point.accuracy_drop))
+        return rows
+
+    def format_text(self) -> str:
+        lines = [f"Fig. 10 — layer-wise resilience, {self.benchmark} "
+                 f"(baseline {self.baseline_accuracy:.2%})"]
+        for group in dict.fromkeys(g for g, _ in self.curves):
+            ranking = self.tolerable_nm_by_layer(group)
+            formatted = [(layer, f"{nm:g}") for layer, nm in ranking.items()]
+            lines.append(format_table(
+                ["layer", "tolerable NM"], formatted,
+                title=f"group: {group}"))
+        return "\n".join(lines)
+
+
+def run(*, benchmark: str = "DeepCaps/CIFAR-10",
+        groups: tuple[str, ...] = NON_RESILIENT_GROUPS,
+        scale: ExperimentScale | None = None, seed: int = 0,
+        layers: list[str] | None = None) -> Fig10Result:
+    """Step-4 sweep over every layer of the non-resilient groups."""
+    scale = scale or ExperimentScale()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(scale.eval_samples)
+    layers = layers if layers is not None else entry.model.layer_names
+    curves = layer_wise_analysis(
+        entry.model, test_set, groups=list(groups), layers=layers,
+        nm_values=scale.nm_values, na=0.0, seed=seed,
+        batch_size=scale.batch_size)
+    baseline = next(iter(curves.values())).baseline_accuracy
+    return Fig10Result(benchmark, baseline, curves, layers)

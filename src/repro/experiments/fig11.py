@@ -1,0 +1,109 @@
+"""Fig. 11 — distribution of convolution-layer inputs (DeepCaps/CIFAR-10).
+
+The paper samples 10⁶ elements from the inputs of every Conv2D layer of
+the trained DeepCaps, quantised to the 8-bit operand space, and observes a
+roughly Gaussian distribution with a characteristic peak contributed by
+the first Caps2D layer.  These samples are the "real" input distribution
+used for the Table IV NM/NA measurement.
+
+Implementation: an observing registry on the ``mac_inputs`` pseudo-group
+captures layer inputs during inference; values are mapped to [0, 255] with
+the Eq. 1 quantiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..approx import QuantParams, quantize
+from ..nn.hooks import GROUP_MAC_INPUTS, HookRegistry, use_registry
+from ..tensor import Tensor, no_grad
+from .common import benchmark_entry, format_table
+
+__all__ = ["Fig11Result", "run", "capture_conv_inputs", "PAPER_FOCUS_LAYERS"]
+
+#: The layers the paper's right panel zooms into.
+PAPER_FOCUS_LAYERS = ("Caps2D1", "Caps2D5", "Caps2D9", "Caps2D10")
+
+
+def capture_conv_inputs(model, images: np.ndarray, *,
+                        max_per_layer: int = 400_000, seed: int = 0
+                        ) -> dict[str, np.ndarray]:
+    """Sampled raw conv-input values per layer (pre-quantisation)."""
+    rng = np.random.default_rng(seed)
+    captured: dict[str, list[np.ndarray]] = {}
+
+    def observer(site, value: np.ndarray) -> None:
+        pool = captured.setdefault(site.layer, [])
+        flat = value.reshape(-1)
+        if flat.size > max_per_layer // 8:
+            flat = rng.choice(flat, size=max_per_layer // 8, replace=False)
+        pool.append(flat.copy())
+
+    registry = HookRegistry()
+    registry.add_observer(HookRegistry.match(group=GROUP_MAC_INPUTS), observer)
+    model.eval()
+    with no_grad(), use_registry(registry):
+        model(Tensor(images))
+    return {layer: np.concatenate(chunks)[:max_per_layer]
+            for layer, chunks in captured.items()}
+
+
+@dataclass
+class Fig11Result:
+    """Quantised input histograms, total and per layer."""
+
+    benchmark: str
+    per_layer_quantised: dict[str, np.ndarray]
+    bins: int = 64
+
+    @property
+    def all_values(self) -> np.ndarray:
+        return np.concatenate(list(self.per_layer_quantised.values()))
+
+    def histogram(self, layer: str | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """(frequency %, bin centres) over the 0..255 operand space."""
+        values = (self.all_values if layer is None
+                  else self.per_layer_quantised[layer])
+        counts, edges = np.histogram(values, bins=self.bins, range=(0, 255))
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        return 100.0 * counts / max(values.size, 1), centres
+
+    def peak_layer(self, low: int = 40, high: int = 50) -> str:
+        """Layer with the largest mass in the [low, high] operand band —
+        the paper identifies Caps2D1 as the source of the 40-50 peak."""
+        best_layer, best_mass = "", -1.0
+        for layer, values in self.per_layer_quantised.items():
+            mass = float(np.mean((values >= low) & (values <= high)))
+            if mass > best_mass:
+                best_layer, best_mass = layer, mass
+        return best_layer
+
+    def rows(self) -> list[tuple]:
+        return [(layer, values.size, float(values.mean()),
+                 float(values.std()))
+                for layer, values in self.per_layer_quantised.items()]
+
+    def format_text(self) -> str:
+        formatted = [(layer, size, f"{mean:.1f}", f"{std:.1f}")
+                     for layer, size, mean, std in self.rows()]
+        return format_table(
+            ["layer", "samples", "mean (0-255)", "std"], formatted,
+            title=f"Fig. 11 — conv-input distribution, {self.benchmark} "
+                  f"(peak band layer: {self.peak_layer()})")
+
+
+def run(*, benchmark: str = "DeepCaps/CIFAR-10", num_images: int = 64,
+        seed: int = 0) -> Fig11Result:
+    """Capture and quantise conv inputs of a trained benchmark model."""
+    entry = benchmark_entry(benchmark)
+    images = entry.test_set.images[:num_images]
+    raw = capture_conv_inputs(entry.model, images, seed=seed)
+    quantised = {}
+    for layer, values in raw.items():
+        params = QuantParams.from_array(values, bits=8)
+        quantised[layer] = quantize(values, params).astype(np.int64)
+    return Fig11Result(benchmark, quantised)

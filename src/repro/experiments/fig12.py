@@ -1,0 +1,60 @@
+"""Fig. 12 — group-wise resilience across the remaining benchmarks.
+
+Repeats the Step-2 sweep of Fig. 9 on DeepCaps/SVHN, DeepCaps/MNIST,
+CapsNet/Fashion-MNIST and CapsNet/MNIST.
+
+Paper findings encoded as shape checks:
+
+* MAC outputs and activations are less resilient than softmax and logits
+  update in every benchmark;
+* the logits update of the single-routing-layer CapsNet on MNIST is
+  slightly *less* resilient than on the two-routing-layer DeepCaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.hooks import INJECTABLE_GROUPS
+from .common import ExperimentScale
+from .fig9 import Fig9Result, run as run_fig9
+
+__all__ = ["Fig12Result", "run", "FIG12_BENCHMARKS"]
+
+FIG12_BENCHMARKS = ("DeepCaps/SVHN", "DeepCaps/MNIST",
+                    "CapsNet/Fashion-MNIST", "CapsNet/MNIST")
+
+
+@dataclass
+class Fig12Result:
+    """One Fig. 9-style panel per benchmark."""
+
+    panels: dict[str, Fig9Result]
+
+    def series(self) -> dict[str, dict[str, list[tuple[float, float]]]]:
+        return {name: panel.series() for name, panel in self.panels.items()}
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for name, panel in self.panels.items():
+            for group, curve in panel.curves.items():
+                for point in curve.points:
+                    rows.append((name, group, point.nm, point.accuracy_drop))
+        return rows
+
+    def tolerable_nm(self, benchmark: str, group: str,
+                     max_drop: float = 0.01) -> float:
+        return self.panels[benchmark].curves[group].tolerable_nm(max_drop)
+
+    def format_text(self) -> str:
+        return "\n\n".join(panel.format_text()
+                           for panel in self.panels.values())
+
+
+def run(*, benchmarks: tuple[str, ...] = FIG12_BENCHMARKS,
+        scale: ExperimentScale | None = None, seed: int = 0) -> Fig12Result:
+    """Step-2 sweeps over the four additional benchmarks."""
+    scale = scale or ExperimentScale()
+    panels = {name: run_fig9(benchmark=name, scale=scale, seed=seed)
+              for name in benchmarks}
+    return Fig12Result(panels)

@@ -1,0 +1,44 @@
+"""Fig. 4 — energy breakdown of DeepCaps computation by operation type.
+
+Paper result: multipliers 96 %, adders 3 %, everything else < 1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw import count_model_ops, energy_breakdown
+from ..models import build_model
+from .common import format_table
+
+__all__ = ["Fig4Result", "run", "PAPER_SHARES"]
+
+PAPER_SHARES = {"mult": 0.96, "add": 0.03, "other": 0.01}
+
+
+@dataclass
+class Fig4Result:
+    """Energy shares by op class, ours vs paper."""
+
+    shares: dict[str, float]
+    total_mj: float
+
+    def rows(self) -> list[tuple]:
+        return [(kind, self.shares[kind], PAPER_SHARES[kind])
+                for kind in ("mult", "add", "other")]
+
+    def format_text(self) -> str:
+        formatted = [(kind, f"{ours:.1%}", f"{paper:.0%}")
+                     for kind, ours, paper in self.rows()]
+        return format_table(
+            ["op class", "share (ours)", "share (paper)"], formatted,
+            title=f"Fig. 4 — DeepCaps energy breakdown "
+                  f"(total {self.total_mj:.2f} mJ/inference)")
+
+
+def run(*, image_size: int = 64, in_channels: int = 3) -> Fig4Result:
+    """Energy shares of one full-size DeepCaps inference."""
+    model = build_model("deepcaps", in_channels=in_channels,
+                        image_size=image_size)
+    breakdown = energy_breakdown(count_model_ops(model).total)
+    return Fig4Result(breakdown.fig4_shares, breakdown.total_pj / 1e9)

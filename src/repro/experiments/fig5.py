@@ -1,0 +1,51 @@
+"""Fig. 5 — optimisation potential of approximate components in CapsNets.
+
+Energy of the Acc / XM / XA / XAM design points using the NGR approximate
+multiplier and the 5LT approximate adder.  Paper savings vs accurate:
+XM −28.3 %, XA −1.9 %, XAM −30.2 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approx import ADDER_5LT, default_library
+from ..hw import DesignPoint, count_model_ops, design_points
+from ..models import build_model
+from .common import format_table
+
+__all__ = ["Fig5Result", "run", "PAPER_SAVINGS"]
+
+PAPER_SAVINGS = {"Acc": 0.0, "XM": 0.283, "XA": 0.019, "XAM": 0.302}
+
+
+@dataclass
+class Fig5Result:
+    """Design-point energies and savings, ours vs paper."""
+
+    points: dict[str, DesignPoint]
+
+    def rows(self) -> list[tuple]:
+        return [(name, point.total_pj / 1e9, point.saving_vs_accurate,
+                 PAPER_SAVINGS[name])
+                for name, point in self.points.items()]
+
+    def format_text(self) -> str:
+        formatted = [(name, f"{energy:.2f}", f"{ours:+.1%}", f"{paper:+.1%}")
+                     for name, energy, ours, paper in self.rows()]
+        return format_table(
+            ["design", "energy [mJ]", "saving (ours)", "saving (paper)"],
+            formatted,
+            title="Fig. 5 — optimisation potential (NGR mult + 5LT adder)")
+
+
+def run(*, image_size: int = 64, in_channels: int = 3,
+        multiplier_name: str = "mul8u_NGR") -> Fig5Result:
+    """Regenerate the four design points of Fig. 5."""
+    model = build_model("deepcaps", in_channels=in_channels,
+                        image_size=image_size)
+    counts = count_model_ops(model).total
+    library = default_library()
+    points = design_points(counts, multiplier=library.get(multiplier_name),
+                           adder=ADDER_5LT)
+    return Fig5Result(points)

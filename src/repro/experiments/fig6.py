@@ -1,0 +1,69 @@
+"""Fig. 6 — arithmetic-error distributions and Gaussian interpolations.
+
+For the NGR (top) and DM1 (bottom) multipliers, the error ``ΔP'`` (Eq. 2)
+is profiled for a single multiplication, a 9-deep MAC chain and an 81-deep
+MAC chain (3×3 and 9×9 convolution kernels), with 10⁵ samples each, and
+interpolated by a Gaussian — exactly the paper's construction.
+
+Shape checks encoded here: error spread grows ~√depth, and by the central
+limit theorem the accumulated distributions become Gaussian-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approx import (FIG6_ACCUMULATIONS, ErrorProfile, default_library,
+                      profile_multiplier)
+from .common import format_table
+
+__all__ = ["Fig6Result", "run"]
+
+#: The two components the paper plots (footnote 3: the other Gaussian-like
+#: members behave similarly).
+FIG6_COMPONENTS = ("mul8u_NGR", "mul8u_DM1")
+
+
+@dataclass
+class Fig6Result:
+    """Error profiles per (component, accumulation depth)."""
+
+    profiles: dict[tuple[str, int], ErrorProfile]
+    samples: int
+
+    def series(self) -> dict[tuple[str, int], tuple]:
+        """(histogram counts, bin centres, gaussian fit) per curve."""
+        out = {}
+        for key, profile in self.profiles.items():
+            counts, centres = profile.histogram()
+            out[key] = (counts, centres, profile.fit)
+        return out
+
+    def rows(self) -> list[tuple]:
+        return [(name, depth, profile.fit.mean, profile.fit.std,
+                 profile.gaussian_like)
+                for (name, depth), profile in self.profiles.items()]
+
+    def format_text(self) -> str:
+        formatted = [(name, depth, f"{mean:+.1f}", f"{std:.1f}",
+                      "yes" if gaussian else "no")
+                     for name, depth, mean, std, gaussian in self.rows()]
+        return format_table(
+            ["multiplier", "MAC depth", "fit mean", "fit std",
+             "Gaussian-like"],
+            formatted,
+            title=f"Fig. 6 — arithmetic-error profiles "
+                  f"({self.samples} samples/curve)")
+
+
+def run(*, samples: int = 100_000, seed: int = 0,
+        components: tuple[str, ...] = FIG6_COMPONENTS) -> Fig6Result:
+    """Profile the Fig. 6 components at 1/9/81 MAC depths."""
+    library = default_library()
+    profiles = {}
+    for name in components:
+        multiplier = library.get(name)
+        for depth in FIG6_ACCUMULATIONS:
+            profiles[(name, depth)] = profile_multiplier(
+                multiplier, accumulations=depth, samples=samples, seed=seed)
+    return Fig6Result(profiles, samples)

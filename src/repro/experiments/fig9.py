@@ -1,0 +1,77 @@
+"""Fig. 9 — group-wise resilience for the CIFAR-10 benchmark (Step 2).
+
+Injects NA = 0 Gaussian noise with NM swept over [0.5 … 0.001] into each
+Table III group of the trained DeepCaps (other groups kept accurate) and
+records the accuracy drop.
+
+Paper findings encoded as shape checks (see tests/benches):
+
+* softmax and logits update tolerate much larger NM than MAC outputs and
+  activations (their curves stay flat to far higher noise);
+* at very low NM the drop is ≈ 0 (occasionally slightly positive — the
+  paper attributes this to a dropout-like regularisation effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ResilienceCurve, group_wise_analysis
+from ..nn.hooks import INJECTABLE_GROUPS
+from .common import ExperimentScale, benchmark_entry, format_table
+
+__all__ = ["Fig9Result", "run"]
+
+
+@dataclass
+class Fig9Result:
+    """Group-wise accuracy-drop curves for one benchmark."""
+
+    benchmark: str
+    baseline_accuracy: float
+    curves: dict[str, ResilienceCurve]
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """{group: [(nm, accuracy_drop)]} — the plotted lines of Fig. 9."""
+        return {group: [(p.nm, p.accuracy_drop) for p in curve.points]
+                for group, curve in self.curves.items()}
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for group, curve in self.curves.items():
+            for point in curve.points:
+                rows.append((group, point.nm, point.accuracy,
+                             point.accuracy_drop))
+        return rows
+
+    def resilience_ranking(self, max_drop: float = 0.01) -> list[str]:
+        """Groups ordered from most to least resilient (tolerable NM)."""
+        return sorted(self.curves,
+                      key=lambda g: self.curves[g].tolerable_nm(max_drop),
+                      reverse=True)
+
+    def format_text(self) -> str:
+        nm_values = [p.nm for p in next(iter(self.curves.values())).points]
+        headers = ["group"] + [f"NM={nm:g}" for nm in nm_values]
+        formatted = []
+        for group, curve in self.curves.items():
+            formatted.append(tuple([group] + [f"{p.accuracy_drop:+.3f}"
+                                              for p in curve.points]))
+        return format_table(
+            headers, formatted,
+            title=f"Fig. 9 — group-wise resilience, {self.benchmark} "
+                  f"(baseline {self.baseline_accuracy:.2%})")
+
+
+def run(*, benchmark: str = "DeepCaps/CIFAR-10",
+        scale: ExperimentScale | None = None, seed: int = 0) -> Fig9Result:
+    """Step-2 sweep on a trained benchmark model."""
+    scale = scale or ExperimentScale()
+    entry = benchmark_entry(benchmark)
+    test_set = entry.test_set.subset(scale.eval_samples)
+    curves = group_wise_analysis(
+        entry.model, test_set, groups=list(INJECTABLE_GROUPS),
+        nm_values=scale.nm_values, na=0.0, seed=seed,
+        batch_size=scale.batch_size)
+    baseline = next(iter(curves.values())).baseline_accuracy
+    return Fig9Result(benchmark, baseline, curves)

@@ -1,0 +1,72 @@
+"""Table I — number and unit energy of DeepCaps basic operations.
+
+Regenerates the op-count column analytically from the full-size DeepCaps
+(64×64×3 input, as used for CIFAR-10 in [24]) and pairs it with the 45 nm
+unit energies.  Paper values are attached for direct comparison; counting
+conventions are documented in :mod:`repro.hw.opcount`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw import PAPER_45NM, OpCounts, count_model_ops
+from ..models import build_model
+from .common import format_table
+
+__all__ = ["Table1Result", "run", "PAPER_COUNTS"]
+
+#: Paper Table I "# OPS" column.
+PAPER_COUNTS = {
+    "add": 1.91e9,
+    "mul": 2.15e9,
+    "div": 4.17e6,
+    "exp": 175e3,
+    "sqrt": 502e3,
+}
+
+_LABELS = {"add": "Addition", "mul": "Multiplication", "div": "Division",
+           "exp": "Exponential", "sqrt": "Square Root"}
+
+
+@dataclass
+class Table1Result:
+    """Measured op counts vs paper, with unit energies."""
+
+    counts: OpCounts
+    image_size: int
+
+    def rows(self) -> list[tuple]:
+        """(operation, ours, paper, ratio, unit energy pJ) per op kind."""
+        measured = self.counts.as_dict()
+        rows = []
+        for kind, label in _LABELS.items():
+            ours = measured[kind]
+            paper = PAPER_COUNTS[kind]
+            rows.append((label, ours, paper, ours / paper,
+                         PAPER_45NM.energy_of(kind)))
+        return rows
+
+    def format_text(self) -> str:
+        formatted = [
+            (label, f"{ours / 1e9:.3f} G" if ours >= 1e9
+             else f"{ours / 1e6:.2f} M" if ours >= 1e6 else f"{ours / 1e3:.0f} K",
+             f"{paper / 1e9:.2f} G" if paper >= 1e9
+             else f"{paper / 1e6:.2f} M" if paper >= 1e6 else f"{paper / 1e3:.0f} K",
+             f"{ratio:.2f}x", f"{energy:.4f}")
+            for label, ours, paper, ratio, energy in self.rows()
+        ]
+        return format_table(
+            ["OPERATION", "# OPS (ours)", "# OPS (paper)", "ratio",
+             "Unit Energy [pJ]"],
+            formatted,
+            title=f"Table I — DeepCaps ops ({self.image_size}x"
+                  f"{self.image_size} input)")
+
+
+def run(*, image_size: int = 64, in_channels: int = 3) -> Table1Result:
+    """Count one full-size DeepCaps inference."""
+    model = build_model("deepcaps", in_channels=in_channels,
+                        image_size=image_size)
+    report = count_model_ops(model)
+    return Table1Result(report.total, image_size)

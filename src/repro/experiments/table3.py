@@ -1,0 +1,46 @@
+"""Table III — grouping of the CapsNet inference operations.
+
+Runs Step 1 (group extraction) on a model and checks that the discovered
+taxonomy matches the paper's four groups: MAC outputs, activations,
+softmax, and logits update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import GroupExtraction, extract_groups
+from ..models import build_model
+from .common import format_table
+
+__all__ = ["Table3Result", "run"]
+
+
+@dataclass
+class Table3Result:
+    """Extraction outcome for one model."""
+
+    extraction: GroupExtraction
+
+    def rows(self) -> list[tuple]:
+        return self.extraction.table3()
+
+    def format_text(self) -> str:
+        formatted = [(index, group, description, sites)
+                     for index, group, description, sites in self.rows()]
+        return format_table(
+            ["#", "Group Name", "Description", "sites"], formatted,
+            title=f"Table III — operation groups "
+                  f"({self.extraction.model_name})")
+
+
+def run(*, preset: str = "deepcaps-micro", in_channels: int = 3,
+        image_size: int = 32, seed: int = 0) -> Table3Result:
+    """Extract the operation groups of an (untrained) model instance."""
+    model = build_model(preset, in_channels=in_channels,
+                        image_size=image_size, seed=seed)
+    sample = np.random.default_rng(seed).random(
+        (2, in_channels, image_size, image_size), dtype=np.float32)
+    return Table3Result(extract_groups(model, sample))

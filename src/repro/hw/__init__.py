@@ -1,0 +1,11 @@
+"""Hardware accelerator op-count and energy model."""
+
+from .energy import (DesignPoint, EnergyBreakdown, design_points,
+                     energy_breakdown)
+from .opcount import ModelOpReport, OpCounts, count_model_ops
+from .tech import OP_KINDS, PAPER_45NM, TechLibrary
+
+__all__ = ["OpCounts", "ModelOpReport", "count_model_ops",
+           "TechLibrary", "PAPER_45NM", "OP_KINDS",
+           "EnergyBreakdown", "energy_breakdown",
+           "DesignPoint", "design_points"]

@@ -1,0 +1,96 @@
+"""Accelerator energy model (paper Table I, Fig. 4, Fig. 5).
+
+Energy of one inference = Σ_kind count(kind) × unit_energy(kind), with
+optional scaling of the multiplier / adder unit energies when approximate
+components are substituted.  Component energy is assumed proportional to
+its synthesised power at iso-frequency (the paper reports power reductions
+and applies them to energy the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approx.adders import AdderModel
+from ..approx.multipliers import MultiplierModel
+from .opcount import OpCounts
+from .tech import OP_KINDS, PAPER_45NM, TechLibrary
+
+__all__ = ["EnergyBreakdown", "energy_breakdown", "DesignPoint",
+           "design_points"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per op kind (pJ) and shares (Fig. 4)."""
+
+    per_kind_pj: dict[str, float]
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.per_kind_pj.values())
+
+    @property
+    def shares(self) -> dict[str, float]:
+        """Fraction of total energy per op kind."""
+        total = self.total_pj
+        if total <= 0:
+            raise ValueError("zero total energy")
+        return {kind: value / total for kind, value in self.per_kind_pj.items()}
+
+    @property
+    def fig4_shares(self) -> dict[str, float]:
+        """Fig. 4 grouping: multiplier / adder / everything else."""
+        shares = self.shares
+        other = 1.0 - shares["mul"] - shares["add"]
+        return {"mult": shares["mul"], "add": shares["add"], "other": other}
+
+
+def energy_breakdown(counts: OpCounts, tech: TechLibrary = PAPER_45NM, *,
+                     mul_scale: float = 1.0, add_scale: float = 1.0
+                     ) -> EnergyBreakdown:
+    """Energy of one inference with optional approximate scaling factors."""
+    if mul_scale <= 0 or add_scale <= 0:
+        raise ValueError("energy scale factors must be positive")
+    per_kind = {}
+    for kind in OP_KINDS:
+        scale = {"mul": mul_scale, "add": add_scale}.get(kind, 1.0)
+        per_kind[kind] = counts.as_dict()[kind] * tech.energy_of(kind) * scale
+    return EnergyBreakdown(per_kind)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One bar of Fig. 5."""
+
+    name: str
+    total_pj: float
+    saving_vs_accurate: float
+
+
+def design_points(counts: OpCounts, *, multiplier: MultiplierModel,
+                  adder: AdderModel, tech: TechLibrary = PAPER_45NM,
+                  accurate_multiplier_power_uw: float = 391.0
+                  ) -> dict[str, DesignPoint]:
+    """Fig. 5: energy of the Acc / XM / XA / XAM design points.
+
+    * ``Acc``: accurate multipliers and adders;
+    * ``XM``: approximate multipliers only;
+    * ``XA``: approximate adders only;
+    * ``XAM``: both approximated.
+    """
+    mul_scale = multiplier.power_uw / accurate_multiplier_power_uw
+    add_scale = 1.0 - adder.power_reduction
+    configs = {
+        "Acc": (1.0, 1.0),
+        "XM": (mul_scale, 1.0),
+        "XA": (1.0, add_scale),
+        "XAM": (mul_scale, add_scale),
+    }
+    baseline = energy_breakdown(counts, tech).total_pj
+    points = {}
+    for name, (m_scale, a_scale) in configs.items():
+        total = energy_breakdown(counts, tech, mul_scale=m_scale,
+                                 add_scale=a_scale).total_pj
+        points[name] = DesignPoint(name, total, 1.0 - total / baseline)
+    return points

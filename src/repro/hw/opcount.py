@@ -1,0 +1,199 @@
+"""Analytic operation counting over CapsNet/DeepCaps inference graphs.
+
+Regenerates the "# OPS" column of paper Table I: the number of additions,
+multiplications, divisions, exponentials and square roots in one inference
+pass.  Counts are derived symbolically from layer hyper-parameters (no
+execution), walking the same structure as the model ``forward``.
+
+Counting conventions (stated because the paper does not spell out its own):
+
+* a ``K``-tap MAC is ``K`` multiplications and ``K`` additions (the
+  accumulator add for every product, plus bias);
+* ``squash`` on a D-dimensional capsule: ``2D + 1`` mul, ``D`` add,
+  1 sqrt, 1 div;
+* ``softmax`` over ``C`` values: ``C`` exp, ``C - 1`` add, ``C`` div;
+* routing iteration: weighted sum + squash + softmax, plus the logits
+  update (dot products and accumulation) on all but the final iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models import CapsNet, DeepCaps
+from ..nn import ClassCaps, Conv2D, ConvCaps2D, ConvCaps3D, PrimaryCaps
+from ..tensor import conv_output_size
+
+__all__ = ["OpCounts", "count_model_ops", "ModelOpReport"]
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation totals by kind (one inference, batch size 1)."""
+
+    add: int = 0
+    mul: int = 0
+    div: int = 0
+    exp: int = 0
+    sqrt: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(self.add + other.add, self.mul + other.mul,
+                        self.div + other.div, self.exp + other.exp,
+                        self.sqrt + other.sqrt)
+
+    def scaled(self, factor: int) -> "OpCounts":
+        return OpCounts(self.add * factor, self.mul * factor,
+                        self.div * factor, self.exp * factor,
+                        self.sqrt * factor)
+
+    @property
+    def total(self) -> int:
+        return self.add + self.mul + self.div + self.exp + self.sqrt
+
+    def as_dict(self) -> dict[str, int]:
+        return {"add": self.add, "mul": self.mul, "div": self.div,
+                "exp": self.exp, "sqrt": self.sqrt}
+
+
+@dataclass
+class ModelOpReport:
+    """Per-layer and total op counts for a model."""
+
+    per_layer: dict[str, OpCounts] = field(default_factory=dict)
+
+    @property
+    def total(self) -> OpCounts:
+        result = OpCounts()
+        for counts in self.per_layer.values():
+            result = result + counts
+        return result
+
+
+def _conv_counts(out_ch: int, oh: int, ow: int, in_ch: int,
+                 kernel: int) -> OpCounts:
+    macs = out_ch * oh * ow * in_ch * kernel * kernel
+    return OpCounts(add=macs, mul=macs)
+
+
+def _squash_counts(num_caps: int, dim: int) -> OpCounts:
+    # division applied per vector element (v_d = s_d*|s| / (1+|s|^2)),
+    # plus one for the scale factor
+    return OpCounts(add=num_caps * dim, mul=num_caps * (2 * dim + 1),
+                    div=num_caps * (dim + 1), sqrt=num_caps)
+
+
+def _softmax_counts(groups: int, classes: int) -> OpCounts:
+    return OpCounts(add=groups * (classes - 1), exp=groups * classes,
+                    div=groups * classes)
+
+
+def _routing_counts(c_in: int, c_out: int, dim: int, positions: int,
+                    iterations: int) -> OpCounts:
+    """Dynamic routing cost, excluding vote generation."""
+    total = OpCounts()
+    pair_terms = c_in * c_out * dim * positions
+    for r in range(1, iterations + 1):
+        total = total + _softmax_counts(c_in * positions, c_out)
+        total = total + OpCounts(add=pair_terms, mul=pair_terms)  # Σ k·û
+        total = total + _squash_counts(c_out * positions, dim)
+        if r < iterations:
+            # agreement dot products + logits accumulation
+            total = total + OpCounts(
+                add=pair_terms + c_in * c_out * positions, mul=pair_terms)
+    return total
+
+
+def _count_conv2d(layer: Conv2D, h: int, w: int) -> tuple[OpCounts, int, int]:
+    oh = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+    ow = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+    counts = _conv_counts(layer.out_channels, oh, ow, layer.in_channels,
+                          layer.kernel_size)
+    return counts, oh, ow
+
+
+def _count_primary(layer: PrimaryCaps, in_ch: int, h: int, w: int
+                   ) -> tuple[OpCounts, int, int]:
+    oh = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+    ow = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+    counts = _conv_counts(layer.num_caps * layer.caps_dim, oh, ow, in_ch,
+                          layer.kernel_size)
+    counts = counts + _squash_counts(layer.num_caps * oh * ow, layer.caps_dim)
+    return counts, oh, ow
+
+
+def _count_convcaps2d(layer: ConvCaps2D, h: int, w: int
+                      ) -> tuple[OpCounts, int, int]:
+    oh = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+    ow = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+    counts = _conv_counts(layer.out_caps * layer.out_dim, oh, ow,
+                          layer.in_caps * layer.in_dim, layer.kernel_size)
+    counts = counts + _squash_counts(layer.out_caps * oh * ow, layer.out_dim)
+    return counts, oh, ow
+
+
+def _count_convcaps3d(layer: ConvCaps3D, h: int, w: int
+                      ) -> tuple[OpCounts, int, int]:
+    oh = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+    ow = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+    votes = _conv_counts(layer.out_caps * layer.out_dim, oh, ow,
+                         layer.in_dim, layer.kernel_size)
+    counts = votes.scaled(layer.in_caps)
+    counts = counts + _routing_counts(layer.in_caps, layer.out_caps,
+                                      layer.out_dim, oh * ow,
+                                      layer.routing_iterations)
+    return counts, oh, ow
+
+
+def _count_classcaps(layer: ClassCaps) -> OpCounts:
+    votes = layer.in_caps * layer.out_caps * layer.out_dim * layer.in_dim
+    counts = OpCounts(add=votes, mul=votes)
+    return counts + _routing_counts(layer.in_caps, layer.out_caps,
+                                    layer.out_dim, 1,
+                                    layer.routing_iterations)
+
+
+def count_model_ops(model) -> ModelOpReport:
+    """Per-layer op counts for a :class:`CapsNet` or :class:`DeepCaps`."""
+    if isinstance(model, CapsNet):
+        return _count_capsnet(model)
+    if isinstance(model, DeepCaps):
+        return _count_deepcaps(model)
+    raise TypeError(f"unsupported model type {type(model).__name__}")
+
+
+def _count_capsnet(model: CapsNet) -> ModelOpReport:
+    report = ModelOpReport()
+    h = w = model.image_size
+    counts, h, w = _count_conv2d(model.conv1, h, w)
+    report.per_layer["Conv1"] = counts
+    counts, h, w = _count_primary(model.primary, model.conv1.out_channels, h, w)
+    report.per_layer["PrimaryCaps"] = counts
+    report.per_layer["ClassCaps"] = _count_classcaps(model.class_caps)
+    return report
+
+
+def _count_deepcaps(model: DeepCaps) -> ModelOpReport:
+    report = ModelOpReport()
+    h = w = model.image_size
+    counts, h, w = _count_conv2d(model.conv, h, w)
+    report.per_layer["Conv2D"] = counts
+    for cell in model.cells:
+        counts, dh, dw = _count_convcaps2d(cell.first, h, w)
+        report.per_layer[cell.first.name] = counts
+        counts, _, _ = _count_convcaps2d(cell.second, dh, dw)
+        report.per_layer[cell.second.name] = counts
+        counts, _, _ = _count_convcaps2d(cell.third, dh, dw)
+        report.per_layer[cell.third.name] = counts
+        if isinstance(cell.skip, ConvCaps3D):
+            counts, _, _ = _count_convcaps3d(cell.skip, dh, dw)
+        else:
+            counts, _, _ = _count_convcaps2d(cell.skip, dh, dw)
+        report.per_layer[cell.skip.name] = counts
+        # cell output merge: element-wise addition of two capsule maps
+        merge_elems = (cell.third.out_caps * cell.third.out_dim * dh * dw)
+        report.per_layer[cell.third.name] = (
+            report.per_layer[cell.third.name] + OpCounts(add=merge_elems))
+        h, w = dh, dw
+    report.per_layer["ClassCaps"] = _count_classcaps(model.class_caps)
+    return report

@@ -1,0 +1,50 @@
+"""Technology data: per-operation energies (paper Table I, right column).
+
+The paper synthesised 8-bit fixed-point operators in 45 nm CMOS with
+Synopsys Design Compiler; those unit energies are data, not algorithm, so
+we embed them verbatim as the default technology library (see DESIGN.md
+substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechLibrary", "PAPER_45NM", "OP_KINDS"]
+
+#: Operation kinds counted by :mod:`repro.hw.opcount`, in Table I order.
+OP_KINDS: tuple[str, ...] = ("add", "mul", "div", "exp", "sqrt")
+
+
+@dataclass(frozen=True)
+class TechLibrary:
+    """Unit energy per operation kind, in picojoules."""
+
+    add_pj: float
+    mul_pj: float
+    div_pj: float
+    exp_pj: float
+    sqrt_pj: float
+    name: str = "custom"
+
+    def energy_of(self, kind: str) -> float:
+        """Unit energy of operation ``kind`` in pJ."""
+        try:
+            return getattr(self, f"{kind}_pj")
+        except AttributeError:
+            raise KeyError(f"unknown op kind {kind!r}; "
+                           f"expected one of {OP_KINDS}") from None
+
+    def as_dict(self) -> dict[str, float]:
+        return {kind: self.energy_of(kind) for kind in OP_KINDS}
+
+
+#: Paper Table I: 8-bit fixed point, 45 nm, Synopsys DC.
+PAPER_45NM = TechLibrary(
+    add_pj=0.0202,
+    mul_pj=0.5354,
+    div_pj=1.0717,
+    exp_pj=0.1578,
+    sqrt_pj=0.7805,
+    name="paper-45nm-8bit",
+)

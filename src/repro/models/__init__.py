@@ -1,0 +1,8 @@
+"""CapsNet [25] and DeepCaps [24] model implementations."""
+
+from .capsnet import CapsNet
+from .deepcaps import CapsCell, DeepCaps
+from .registry import PRESETS, available_presets, build_model
+
+__all__ = ["CapsNet", "DeepCaps", "CapsCell", "PRESETS",
+           "available_presets", "build_model"]

@@ -1,0 +1,131 @@
+"""The DeepCaps architecture of Rajasegaran et al. [24], per paper Fig. 2.
+
+The network is an initial convolution followed by four *capsule cells*.
+Each cell downsamples with its first ConvCaps2D (stride 2), applies two more
+ConvCaps2D layers, and adds a skip branch taken from the first layer's
+output.  In the last cell, the skip branch is the ConvCaps3D layer with
+dynamic routing; the merged capsules feed the fully-connected ClassCaps
+layer (also with routing).
+
+Layer naming matches paper Fig. 10 exactly:
+``Conv2D, Caps2D1 … Caps2D15, Caps3D, ClassCaps`` (18 layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (ClassCaps, Conv2D, ConvCaps2D, ConvCaps3D, Module,
+                  ModuleList, flatten_caps)
+from ..tensor import Tensor, capsule_lengths, conv_output_size
+
+__all__ = ["DeepCaps", "CapsCell"]
+
+
+class CapsCell(Module):
+    """One DeepCaps cell: 3 sequential ConvCaps2D plus a skip branch.
+
+    ``skip`` may be a :class:`ConvCaps2D` (cells 1-3) or a
+    :class:`ConvCaps3D` with dynamic routing (cell 4).
+    """
+
+    def __init__(self, first: ConvCaps2D, second: ConvCaps2D,
+                 third: ConvCaps2D, skip: Module):
+        super().__init__()
+        self.first = first
+        self.second = second
+        self.third = third
+        self.skip = skip
+        self.name = f"CapsCell[{first.name}..{skip.name}]"
+
+    def forward(self, x: Tensor) -> Tensor:
+        down = self.first(x)
+        main = self.third(self.second(down))
+        return main + self.skip(down)
+
+
+class DeepCaps(Module):
+    """DeepCaps network (paper Fig. 2).
+
+    Defaults give the full-size network: first cell capsules 32×4-D, later
+    cells 32×8-D, 16-D class capsules; ``image_size=64`` as used for
+    CIFAR-10 in [24].  The ``cell1_caps``/``caps`` knobs produce the scaled
+    ``mini``/``micro`` presets used for the accuracy-in-the-loop experiments
+    (see DESIGN.md scale policy).
+    """
+
+    def __init__(self, *, in_channels: int = 3, image_size: int = 64,
+                 num_classes: int = 10, cell1_caps: int = 32,
+                 cell1_dim: int = 4, caps: int = 32, caps_dim: int = 8,
+                 class_dim: int = 16, routing_iterations: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.cell1_caps = cell1_caps
+        self.cell1_dim = cell1_dim
+        self.caps = caps
+        self.caps_dim = caps_dim
+        self.routing_iterations = routing_iterations
+
+        self.conv = Conv2D(in_channels, cell1_caps * cell1_dim, 3, padding=1,
+                           activation="relu", name="Conv2D", rng=rng)
+
+        def caps2d(index: int, in_caps: int, in_dim: int, out_caps: int,
+                   out_dim: int, stride: int = 1) -> ConvCaps2D:
+            return ConvCaps2D(in_caps, in_dim, out_caps, out_dim, 3,
+                              stride=stride, padding=1,
+                              name=f"Caps2D{index}", rng=rng)
+
+        c1, d1, c, d = cell1_caps, cell1_dim, caps, caps_dim
+        self.cells = ModuleList([
+            CapsCell(caps2d(1, c1, d1, c1, d1, stride=2),
+                     caps2d(2, c1, d1, c1, d1), caps2d(3, c1, d1, c1, d1),
+                     caps2d(4, c1, d1, c1, d1)),
+            CapsCell(caps2d(5, c1, d1, c, d, stride=2),
+                     caps2d(6, c, d, c, d), caps2d(7, c, d, c, d),
+                     caps2d(8, c, d, c, d)),
+            CapsCell(caps2d(9, c, d, c, d, stride=2),
+                     caps2d(10, c, d, c, d), caps2d(11, c, d, c, d),
+                     caps2d(12, c, d, c, d)),
+            CapsCell(caps2d(13, c, d, c, d, stride=2),
+                     caps2d(14, c, d, c, d), caps2d(15, c, d, c, d),
+                     ConvCaps3D(c, d, c, d, 3, stride=1, padding=1,
+                                routing_iterations=routing_iterations,
+                                name="Caps3D", rng=rng)),
+        ])
+        final_grid = image_size
+        for _ in range(4):  # each cell's first ConvCaps2D has stride 2
+            final_grid = conv_output_size(final_grid, 3, 2, 1)
+        self.final_grid = final_grid
+        in_caps = caps * final_grid * final_grid
+        self.class_caps = ClassCaps(in_caps, caps_dim, num_classes, class_dim,
+                                    routing_iterations=routing_iterations,
+                                    name="ClassCaps", rng=rng)
+
+    # ------------------------------------------------------------- interface
+    @property
+    def layer_names(self) -> list[str]:
+        """Canonical layer names in Fig. 10 order (18 layers)."""
+        return (["Conv2D"] + [f"Caps2D{i}" for i in range(1, 16)]
+                + ["Caps3D", "ClassCaps"])
+
+    @property
+    def routing_layers(self) -> list[str]:
+        """Layers that perform dynamic routing."""
+        return ["Caps3D", "ClassCaps"]
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map images ``(N, C, H, W)`` to class capsules ``(N, classes, D)``."""
+        features = self.conv(x)
+        n, ch, h, w = features.shape
+        caps = features.reshape(n, self.cell1_caps, self.cell1_dim, h, w)
+        for cell in self.cells:
+            caps = cell(caps)
+        return self.class_caps(flatten_caps(caps))
+
+    def predict(self, x: Tensor) -> np.ndarray:
+        """Predicted class labels via capsule lengths."""
+        lengths = capsule_lengths(self.forward(x))
+        return np.argmax(lengths.data, axis=1)

@@ -1,0 +1,77 @@
+"""Model preset registry.
+
+``full`` presets match the published architectures (used for the analytic
+op-count / energy experiments of Table I, Figs. 4-5); ``mini``/``micro``
+presets scale channel counts so that accuracy-in-the-loop experiments run on
+a single CPU core (DESIGN.md, scale policy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .capsnet import CapsNet
+from .deepcaps import DeepCaps
+
+__all__ = ["build_model", "available_presets", "PRESETS"]
+
+_Builder = Callable[..., Any]
+
+
+def _capsnet_full(**kw) -> CapsNet:
+    return CapsNet(conv_channels=256, primary_caps=32, primary_dim=8, **kw)
+
+
+def _capsnet_mini(**kw) -> CapsNet:
+    return CapsNet(conv_channels=64, primary_caps=8, primary_dim=8, **kw)
+
+
+def _capsnet_micro(**kw) -> CapsNet:
+    return CapsNet(conv_channels=32, primary_caps=4, primary_dim=8, **kw)
+
+
+def _deepcaps_full(**kw) -> DeepCaps:
+    return DeepCaps(cell1_caps=32, cell1_dim=4, caps=32, caps_dim=8, **kw)
+
+
+def _deepcaps_mini(**kw) -> DeepCaps:
+    return DeepCaps(cell1_caps=8, cell1_dim=4, caps=8, caps_dim=8, **kw)
+
+
+def _deepcaps_micro(**kw) -> DeepCaps:
+    return DeepCaps(cell1_caps=4, cell1_dim=4, caps=4, caps_dim=8, **kw)
+
+
+PRESETS: dict[str, _Builder] = {
+    "capsnet": _capsnet_full,
+    "capsnet-mini": _capsnet_mini,
+    "capsnet-micro": _capsnet_micro,
+    "deepcaps": _deepcaps_full,
+    "deepcaps-mini": _deepcaps_mini,
+    "deepcaps-micro": _deepcaps_micro,
+}
+
+
+def available_presets() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(PRESETS)
+
+
+def build_model(preset: str, **kwargs):
+    """Instantiate a model preset.
+
+    Parameters
+    ----------
+    preset:
+        One of :func:`available_presets`.
+    kwargs:
+        Forwarded to the model constructor (``in_channels``, ``image_size``,
+        ``num_classes``, ``seed``, …).
+    """
+    try:
+        builder = PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {preset!r}; available: {available_presets()}"
+        ) from None
+    return builder(**kwargs)

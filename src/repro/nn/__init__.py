@@ -1,0 +1,25 @@
+"""Neural-network layer library with ReD-CaNe injection sites."""
+
+from . import hooks
+from .capsules import (ClassCaps, ConvCaps2D, ConvCaps3D, PrimaryCaps,
+                       flatten_caps)
+from .hooks import (GROUP_ACTIVATIONS, GROUP_LOGITS, GROUP_MAC,
+                    GROUP_MAC_INPUTS, GROUP_SOFTMAX, INJECTABLE_GROUPS,
+                    HookRegistry, InjectionSite, use_registry)
+from .layers import BatchNorm2D, Conv2D, Dense, Flatten
+from .losses import cross_entropy_loss, margin_loss, spread_loss
+from .module import Module, ModuleList, Parameter
+from .optim import SGD, Adam, Optimizer
+from .routing import dynamic_routing
+
+__all__ = [
+    "hooks", "HookRegistry", "InjectionSite", "use_registry",
+    "GROUP_MAC", "GROUP_ACTIVATIONS", "GROUP_SOFTMAX", "GROUP_LOGITS",
+    "GROUP_MAC_INPUTS", "INJECTABLE_GROUPS",
+    "Module", "ModuleList", "Parameter",
+    "Conv2D", "Dense", "BatchNorm2D", "Flatten",
+    "PrimaryCaps", "ConvCaps2D", "ConvCaps3D", "ClassCaps", "flatten_caps",
+    "dynamic_routing",
+    "margin_loss", "cross_entropy_loss", "spread_loss",
+    "Optimizer", "SGD", "Adam",
+]

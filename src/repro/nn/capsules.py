@@ -1,0 +1,215 @@
+"""Capsule layers: PrimaryCaps, ConvCaps2D, ConvCaps3D and ClassCaps.
+
+Capsule feature maps are represented as ``(N, C, D, H, W)`` tensors —
+``C`` capsule types of dimension ``D`` on an ``H×W`` grid — and fully
+connected capsule sets as ``(N, num_caps, D)``.
+
+Layer taxonomy follows the two architectures the paper evaluates:
+
+* **CapsNet** [25]: ``Conv2D`` → :class:`PrimaryCaps` → :class:`ClassCaps`.
+* **DeepCaps** [24] (paper Fig. 2): ``Conv2D`` → 4 capsule cells built from
+  :class:`ConvCaps2D` (squash only) with one :class:`ConvCaps3D`
+  (dynamic routing) in the final cell → :class:`ClassCaps`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, conv2d, conv_output_size, squash
+from . import hooks
+from .module import Module, Parameter
+from .routing import dynamic_routing
+
+__all__ = ["PrimaryCaps", "ConvCaps2D", "ConvCaps3D", "ClassCaps",
+           "flatten_caps"]
+
+
+def flatten_caps(x: Tensor) -> Tensor:
+    """Flatten a capsule map ``(N, C, D, H, W)`` to a set ``(N, C*H*W, D)``."""
+    n, c, d, h, w = x.shape
+    return x.transpose(0, 1, 3, 4, 2).reshape(n, c * h * w, d)
+
+
+class PrimaryCaps(Module):
+    """First capsule layer of CapsNet [25]: convolution + reshape + squash."""
+
+    def __init__(self, in_channels: int, num_caps: int, caps_dim: int,
+                 kernel_size: int, *, stride: int = 2, padding: int = 0,
+                 name: str = "PrimaryCaps",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_caps = num_caps
+        self.caps_dim = caps_dim
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.name = name
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(rng.normal(
+            0.0, np.sqrt(2.0 / fan_in),
+            (num_caps * caps_dim, in_channels, kernel_size, kernel_size),
+        ).astype(np.float32))
+        self.bias = Parameter(np.zeros(num_caps * caps_dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
+        out = conv2d(x, self.weight, self.bias,
+                     stride=self.stride, padding=self.padding)
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        n, _, oh, ow = out.shape
+        caps = out.reshape(n, self.num_caps, self.caps_dim, oh, ow)
+        caps = squash(caps, axis=2)
+        caps = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), caps)
+        return caps
+
+
+class ConvCaps2D(Module):
+    """Convolutional capsule layer without routing (DeepCaps Caps2D block).
+
+    Implemented, as in [24], as a regular convolution over the flattened
+    ``C*D`` channel axis followed by a capsule-wise squash.
+    """
+
+    def __init__(self, in_caps: int, in_dim: int, out_caps: int, out_dim: int,
+                 kernel_size: int = 3, *, stride: int = 1, padding: int = 1,
+                 name: str | None = None, init_gain: float = 3.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_caps = in_caps
+        self.in_dim = in_dim
+        self.out_caps = out_caps
+        self.out_dim = out_dim
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.name = name or f"ConvCaps2D_{out_caps}x{out_dim}"
+        fan_in = in_caps * in_dim * kernel_size * kernel_size
+        # Squash maps |s| -> |s|^2/(1+|s|^2): norms below 1 shrink
+        # quadratically, so a deep stack needs pre-squash norms near the
+        # |s| ~ 1.5 fixed point; init_gain > sqrt(2) keeps them there.
+        self.weight = Parameter(rng.normal(
+            0.0, init_gain / np.sqrt(fan_in),
+            (out_caps * out_dim, in_caps * in_dim, kernel_size, kernel_size),
+        ).astype(np.float32))
+        self.bias = Parameter(np.zeros(out_caps * out_dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, d, h, w = x.shape
+        if (c, d) != (self.in_caps, self.in_dim):
+            raise ValueError(
+                f"{self.name}: expected capsules ({self.in_caps},{self.in_dim}),"
+                f" got ({c},{d})")
+        flat = x.reshape(n, c * d, h, w)
+        flat = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), flat)
+        out = conv2d(flat, self.weight, self.bias,
+                     stride=self.stride, padding=self.padding)
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        _, _, oh, ow = out.shape
+        caps = out.reshape(n, self.out_caps, self.out_dim, oh, ow)
+        caps = squash(caps, axis=2)
+        caps = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), caps)
+        return caps
+
+
+class ConvCaps3D(Module):
+    """Convolutional capsule layer *with* dynamic routing (DeepCaps Caps3D).
+
+    As in [24], votes are produced by a convolution shared across input
+    capsule types (a 3-D convolution over ``(D, H, W)``), then routed
+    position-wise with :func:`dynamic_routing`.
+    """
+
+    def __init__(self, in_caps: int, in_dim: int, out_caps: int, out_dim: int,
+                 kernel_size: int = 3, *, stride: int = 1, padding: int = 1,
+                 routing_iterations: int = 3, name: str = "Caps3D",
+                 init_gain: float = 3.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_caps = in_caps
+        self.in_dim = in_dim
+        self.out_caps = out_caps
+        self.out_dim = out_dim
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.routing_iterations = routing_iterations
+        self.name = name
+        fan_in = in_dim * kernel_size * kernel_size
+        self.weight = Parameter(rng.normal(
+            0.0, init_gain / np.sqrt(fan_in),
+            (out_caps * out_dim, in_dim, kernel_size, kernel_size),
+        ).astype(np.float32))
+        self.bias = Parameter(np.zeros(out_caps * out_dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, d, h, w = x.shape
+        if (c, d) != (self.in_caps, self.in_dim):
+            raise ValueError(
+                f"{self.name}: expected capsules ({self.in_caps},{self.in_dim}),"
+                f" got ({c},{d})")
+        merged = x.reshape(n * c, d, h, w)
+        merged = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), merged)
+        votes = conv2d(merged, self.weight, self.bias,
+                       stride=self.stride, padding=self.padding)
+        votes = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_MAC, "votes"), votes)
+        oh = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        u_hat = votes.reshape(n, c, self.out_caps, self.out_dim, oh * ow)
+        routed = dynamic_routing(
+            u_hat, iterations=self.routing_iterations, layer_name=self.name)
+        return routed.reshape(n, self.out_caps, self.out_dim, oh, ow)
+
+
+class ClassCaps(Module):
+    """Fully-connected capsule layer with dynamic routing (DigitCaps in [25]).
+
+    Each input capsule ``i`` votes for each output capsule ``j`` through a
+    learned ``out_dim × in_dim`` transformation matrix ``W_ij``.
+    """
+
+    def __init__(self, in_caps: int, in_dim: int, out_caps: int, out_dim: int,
+                 *, routing_iterations: int = 3, name: str = "ClassCaps",
+                 init_std: float | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_caps = in_caps
+        self.in_dim = in_dim
+        self.out_caps = out_caps
+        self.out_dim = out_dim
+        self.routing_iterations = routing_iterations
+        self.name = name
+        # Routing averages ~in_caps votes, so vote magnitude must scale
+        # like 1/sqrt(in_caps) for class capsules to start trainable
+        # (0.1 for the 1152-capsule CapsNet of [25] matches this rule).
+        if init_std is None:
+            init_std = 1.2 / np.sqrt(in_caps)
+        self.weight = Parameter(rng.normal(
+            0.0, init_std, (in_caps, out_caps * out_dim, in_dim)).astype(np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, num_in, d = x.shape
+        if (num_in, d) != (self.in_caps, self.in_dim):
+            raise ValueError(
+                f"{self.name}: expected input caps ({self.in_caps},{self.in_dim}),"
+                f" got ({num_in},{d})")
+        x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
+        u = x.reshape(n, num_in, d, 1)
+        # (in_caps, out*dim, in_dim) @ (N, in_caps, in_dim, 1)
+        votes = self.weight.matmul(u).reshape(
+            n, num_in, self.out_caps, self.out_dim)
+        votes = hooks.emit(
+            hooks.InjectionSite(self.name, hooks.GROUP_MAC, "votes"), votes)
+        u_hat = votes.expand_dims(4)  # trailing position axis of size 1
+        routed = dynamic_routing(
+            u_hat, iterations=self.routing_iterations, layer_name=self.name)
+        return routed.reshape(n, self.out_caps, self.out_dim)

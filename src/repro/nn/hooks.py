@@ -1,0 +1,186 @@
+"""Named injection sites — the analogue of ReD-CaNe's TensorFlow graph nodes.
+
+The paper (Sec. V-B) modifies the protobuf computation graph, inserting a
+"specialized node for the noise injection" after chosen operations.  Our
+substrate instead has every layer *emit* an :class:`InjectionSite` at each
+operation of interest; an active :class:`HookRegistry` may then
+
+* **transform** the value (e.g. add Gaussian approximation noise), and/or
+* **observe** it (range capture, op counting, input-distribution sampling).
+
+Sites are classified into the four groups of Table III:
+
+====  =================  =================================================
+#     group              description (verbatim from the paper)
+====  =================  =================================================
+1     ``mac_outputs``    outputs of the matrix multiplications
+2     ``activations``    output of the activation functions (ReLU/squash)
+3     ``softmax``        results of the softmax (k coeff. in dyn. routing)
+4     ``logits_update``  update of the logits (b coeff. in dyn. routing)
+====  =================  =================================================
+
+plus the observation-only pseudo-group ``mac_inputs`` used for the
+input-distribution studies of Fig. 11 / Table IV (never perturbed).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = [
+    "GROUP_MAC", "GROUP_ACTIVATIONS", "GROUP_SOFTMAX", "GROUP_LOGITS",
+    "GROUP_MAC_INPUTS", "INJECTABLE_GROUPS", "GROUP_DESCRIPTIONS",
+    "InjectionSite", "HookRegistry", "use_registry", "active_registries",
+    "emit",
+]
+
+GROUP_MAC = "mac_outputs"
+GROUP_ACTIVATIONS = "activations"
+GROUP_SOFTMAX = "softmax"
+GROUP_LOGITS = "logits_update"
+GROUP_MAC_INPUTS = "mac_inputs"  # observation-only
+
+#: The four injectable groups of Table III, in paper order.
+INJECTABLE_GROUPS: tuple[str, ...] = (
+    GROUP_MAC, GROUP_ACTIVATIONS, GROUP_SOFTMAX, GROUP_LOGITS)
+
+#: Paper Table III descriptions, keyed by group name.
+GROUP_DESCRIPTIONS: dict[str, str] = {
+    GROUP_MAC: "Outputs of the matrix multiplications",
+    GROUP_ACTIVATIONS: "Output of the activation functions (RELU or SQUASH)",
+    GROUP_SOFTMAX: "Results of the softmax (k coefficients in dynamic routing)",
+    GROUP_LOGITS: "Update of the logits (b coefficients in dynamic routing)",
+}
+
+
+@dataclass(frozen=True)
+class InjectionSite:
+    """Identity of one operation output inside a model's inference graph.
+
+    Attributes
+    ----------
+    layer:
+        Canonical layer name (e.g. ``"Caps2D3"``, ``"ClassCaps"``).
+    group:
+        One of the Table III group names (or ``mac_inputs``).
+    tag:
+        Optional sub-operation qualifier, e.g. ``"routing_iter1"`` or
+        ``"votes"``.
+    """
+
+    layer: str
+    group: str
+    tag: str = ""
+
+    def __str__(self) -> str:
+        suffix = f"/{self.tag}" if self.tag else ""
+        return f"{self.layer}[{self.group}]{suffix}"
+
+
+Matcher = Callable[[InjectionSite], bool]
+Transform = Callable[[InjectionSite, np.ndarray], np.ndarray]
+Observer = Callable[[InjectionSite, np.ndarray], None]
+
+
+class HookRegistry:
+    """Collection of (matcher, transform) and (matcher, observer) pairs.
+
+    A registry is *activated* for the duration of a forward pass with
+    :func:`use_registry`; layers call :func:`emit` which consults every
+    active registry in activation order.
+    """
+
+    def __init__(self) -> None:
+        self._transforms: list[tuple[Matcher, Transform]] = []
+        self._observers: list[tuple[Matcher, Observer]] = []
+
+    # ------------------------------------------------------------ registration
+    def add_transform(self, matcher: Matcher, transform: Transform) -> None:
+        """Register a value transformation applied where ``matcher`` is true."""
+        self._transforms.append((matcher, transform))
+
+    def add_observer(self, matcher: Matcher, observer: Observer) -> None:
+        """Register a read-only observer called where ``matcher`` is true."""
+        self._observers.append((matcher, observer))
+
+    def clear(self) -> None:
+        self._transforms.clear()
+        self._observers.clear()
+
+    # --------------------------------------------------------------- matching
+    @staticmethod
+    def match(group: str | None = None, layer: str | None = None,
+              tag: str | None = None) -> Matcher:
+        """Build a matcher from optional exact group/layer/tag constraints."""
+        def _matcher(site: InjectionSite) -> bool:
+            if group is not None and site.group != group:
+                return False
+            if layer is not None and site.layer != layer:
+                return False
+            if tag is not None and site.tag != tag:
+                return False
+            return True
+        return _matcher
+
+    # -------------------------------------------------------------- application
+    def apply(self, site: InjectionSite, value: np.ndarray) -> np.ndarray:
+        """Run observers then transforms for ``site``; return new value."""
+        for matcher, observer in self._observers:
+            if matcher(site):
+                observer(site, value)
+        for matcher, transform in self._transforms:
+            if matcher(site):
+                value = transform(site, value)
+        return value
+
+    @property
+    def has_transforms(self) -> bool:
+        return bool(self._transforms)
+
+    @property
+    def has_observers(self) -> bool:
+        return bool(self._observers)
+
+
+_ACTIVE: list[HookRegistry] = []
+
+
+@contextlib.contextmanager
+def use_registry(registry: HookRegistry) -> Iterator[HookRegistry]:
+    """Activate ``registry`` for the enclosed forward passes."""
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.remove(registry)
+
+
+def active_registries() -> tuple[HookRegistry, ...]:
+    """Currently active registries, in activation order."""
+    return tuple(_ACTIVE)
+
+
+def emit(site: InjectionSite, value: Tensor) -> Tensor:
+    """Pass ``value`` through every active registry at ``site``.
+
+    Transformations are applied as an additive constant so the autograd
+    graph is preserved unchanged (noise has zero gradient, mirroring the
+    paper where injection happens only at inference).
+    """
+    if not _ACTIVE:
+        return value
+    data = value.data
+    new_data = data
+    for registry in _ACTIVE:
+        new_data = registry.apply(site, new_data)
+    if new_data is data:
+        return value
+    if value.requires_grad:
+        return value + Tensor(new_data - data)
+    return Tensor(new_data, op=f"emit:{site}")

@@ -1,0 +1,140 @@
+"""Standard (non-capsule) layers with ReD-CaNe injection sites.
+
+Every layer emits its operation outputs through :func:`repro.nn.hooks.emit`
+under the canonical group taxonomy of Table III, so approximation noise can
+be attached without touching layer code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, conv2d
+from . import hooks
+from .module import Module, Parameter
+
+__all__ = ["Conv2D", "Dense", "BatchNorm2D", "Flatten"]
+
+
+def _he_normal(rng: np.random.Generator, shape: tuple[int, ...],
+               fan_in: int) -> np.ndarray:
+    """He-normal initialisation (good default for ReLU-style nets)."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float32)
+
+
+class Conv2D(Module):
+    """2-D convolution, optionally fused with a ReLU activation.
+
+    Emits a ``mac_inputs`` observation site (paper Fig. 11 samples the inputs
+    of every convolution), a ``mac_outputs`` injection site for the
+    pre-activation and, when ``activation='relu'``, an ``activations`` site.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 *, stride: int = 1, padding: int = 0,
+                 activation: str | None = None, name: str | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if activation not in (None, "relu"):
+            raise ValueError(f"unsupported activation: {activation!r}")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.activation = activation
+        self.name = name or f"Conv2D_{out_channels}"
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(_he_normal(
+            rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in))
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
+        out = conv2d(x, self.weight, self.bias,
+                     stride=self.stride, padding=self.padding)
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        if self.activation == "relu":
+            out = out.relu()
+            out = hooks.emit(
+                hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), out)
+        return out
+
+
+class Dense(Module):
+    """Fully-connected layer ``y = xW + b`` with MAC injection site."""
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 activation: str | None = None, name: str | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if activation not in (None, "relu"):
+            raise ValueError(f"unsupported activation: {activation!r}")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.name = name or f"Dense_{out_features}"
+        self.weight = Parameter(_he_normal(
+            rng, (in_features, out_features), in_features))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
+        out = x.matmul(self.weight) + self.bias
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        if self.activation == "relu":
+            out = out.relu()
+            out = hooks.emit(
+                hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), out)
+        return out
+
+
+class BatchNorm2D(Module):
+    """Batch normalisation over ``(N, C, H, W)`` inputs.
+
+    Running statistics are tracked as buffers; inference uses them so that
+    the noise-injection experiments are deterministic.
+    """
+
+    def __init__(self, num_features: int, *, momentum: float = 0.9,
+                 eps: float = 1e-5, name: str | None = None):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.name = name or f"BatchNorm2D_{num_features}"
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            momentum = self.momentum
+            self._buffers["running_mean"] = (
+                momentum * self._buffers["running_mean"]
+                + (1 - momentum) * mean.data.reshape(-1))
+            self._buffers["running_var"] = (
+                momentum * self._buffers["running_var"]
+                + (1 - momentum) * var.data.reshape(-1))
+            x_hat = centered / (var + self.eps).sqrt()
+        else:
+            shape = (1, self.num_features, 1, 1)
+            mean = Tensor(self._buffers["running_mean"].reshape(shape))
+            var = Tensor(self._buffers["running_var"].reshape(shape))
+            x_hat = (x - mean) / (var + self.eps).sqrt()
+        shape = (1, self.num_features, 1, 1)
+        return x_hat * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class Flatten(Module):
+    """Flatten everything but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,58 @@
+"""Loss functions for capsule-network training.
+
+The margin loss is the one used by both CapsNet [25] and DeepCaps [24]
+(the reconstruction decoder is training-only and, per the paper's footnote 1,
+out of scope for the inference resilience analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, capsule_lengths, log_softmax, one_hot
+
+__all__ = ["margin_loss", "cross_entropy_loss", "spread_loss"]
+
+
+def margin_loss(class_caps: Tensor, labels: np.ndarray, *,
+                m_plus: float = 0.9, m_minus: float = 0.1,
+                lambda_down: float = 0.5) -> Tensor:
+    """Sabour et al. margin loss on class-capsule lengths.
+
+    ``L_k = T_k max(0, m+ - |v_k|)^2 + λ (1-T_k) max(0, |v_k| - m-)^2``
+
+    Parameters
+    ----------
+    class_caps:
+        Output capsules ``(N, num_classes, dim)``.
+    labels:
+        Integer class labels ``(N,)``.
+    """
+    lengths = capsule_lengths(class_caps)  # (N, num_classes)
+    targets = Tensor(one_hot(labels, lengths.shape[1]))
+    present = (Tensor(np.float32(m_plus)) - lengths).maximum(0.0) ** 2
+    absent = (lengths - Tensor(np.float32(m_minus))).maximum(0.0) ** 2
+    per_class = targets * present + (1.0 - targets) * absent * lambda_down
+    return per_class.sum(axis=1).mean()
+
+
+def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross entropy on raw logits ``(N, num_classes)``."""
+    log_probs = log_softmax(logits, axis=1)
+    targets = Tensor(one_hot(labels, logits.shape[1]))
+    return -(targets * log_probs).sum(axis=1).mean()
+
+
+def spread_loss(class_caps: Tensor, labels: np.ndarray, *,
+                margin: float = 0.9) -> Tensor:
+    """Spread loss (Hinton et al., Matrix Capsules) on capsule lengths.
+
+    Included as an alternative capsule training criterion; useful for the
+    extension experiments.
+    """
+    lengths = capsule_lengths(class_caps)
+    n, num_classes = lengths.shape
+    targets = one_hot(labels, num_classes)
+    target_len = (lengths * Tensor(targets)).sum(axis=1, keepdims=True)
+    gap = (Tensor(np.float32(margin)) - (target_len - lengths)).maximum(0.0) ** 2
+    return (gap * Tensor(1.0 - targets)).sum(axis=1).mean()

@@ -1,0 +1,65 @@
+"""Dynamic routing-by-agreement (paper Fig. 3) with injection sites.
+
+One routing step computes, per iteration ``r``::
+
+    k = softmax(b)              -> group "softmax"
+    S = sum_i k_ij * u_hat_ij   -> group "mac_outputs"  (weighted sum)
+    V = squash(S)               -> group "activations"
+    b = b + <u_hat, V>          -> group "logits_update"
+
+The coupling coefficients ``k`` and logits ``b`` are exactly the quantities
+the paper's groups #3 and #4 perturb; their per-iteration recomputation is
+what the paper credits for the high resilience of routing layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, squash
+from . import hooks
+
+__all__ = ["dynamic_routing"]
+
+
+def dynamic_routing(u_hat: Tensor, *, iterations: int, layer_name: str) -> Tensor:
+    """Route votes ``u_hat`` of shape ``(N, Cin, Cout, D, P)``.
+
+    Parameters
+    ----------
+    u_hat:
+        Prediction ("vote") tensor: for each of ``P`` spatial positions,
+        ``Cin`` input capsules vote a ``D``-dimensional pose for each of
+        ``Cout`` output capsules.
+    iterations:
+        Number of routing iterations (the paper and [25] use 3).
+    layer_name:
+        Canonical layer name used in the emitted injection sites.
+
+    Returns
+    -------
+    Output capsules of shape ``(N, Cout, D, P)``.
+    """
+    if u_hat.ndim != 5:
+        raise ValueError(f"u_hat must be 5-D (N, Cin, Cout, D, P), got {u_hat.shape}")
+    if iterations < 1:
+        raise ValueError("routing needs at least one iteration")
+    n, c_in, c_out, _, p = u_hat.shape
+    logits = Tensor(np.zeros((n, c_in, c_out, 1, p), dtype=np.float32))
+    v = None
+    for r in range(1, iterations + 1):
+        k = logits.softmax(axis=2)
+        k = hooks.emit(hooks.InjectionSite(
+            layer_name, hooks.GROUP_SOFTMAX, f"iter{r}"), k)
+        s = (k * u_hat).sum(axis=1)  # (N, Cout, D, P)
+        s = hooks.emit(hooks.InjectionSite(
+            layer_name, hooks.GROUP_MAC, f"weighted_sum_iter{r}"), s)
+        v = squash(s, axis=2)
+        v = hooks.emit(hooks.InjectionSite(
+            layer_name, hooks.GROUP_ACTIVATIONS, f"squash_iter{r}"), v)
+        if r < iterations:
+            agreement = (u_hat * v.expand_dims(1)).sum(axis=3, keepdims=True)
+            logits = logits + agreement
+            logits = hooks.emit(hooks.InjectionSite(
+                layer_name, hooks.GROUP_LOGITS, f"iter{r}"), logits)
+    return v

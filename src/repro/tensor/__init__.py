@@ -1,0 +1,16 @@
+"""NumPy autograd substrate for the ReD-CaNe reproduction.
+
+Public surface: :class:`Tensor`, the fused :func:`conv2d` primitive and the
+capsule-specific composite functions (``squash``/``softmax``/…).
+"""
+
+from .functional import (capsule_lengths, log_softmax, one_hot, relu, softmax,
+                         squash)
+from .ops import conv2d, conv_output_size, im2col
+from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor", "as_tensor", "cat", "stack", "no_grad", "is_grad_enabled",
+    "conv2d", "conv_output_size", "im2col",
+    "squash", "softmax", "log_softmax", "relu", "capsule_lengths", "one_hot",
+]

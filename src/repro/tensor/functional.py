@@ -1,0 +1,59 @@
+"""Composite differentiable functions used across the CapsNet stack.
+
+These are the vectorised nonlinearities the paper singles out (Sec. II-A):
+the *squash* capsule activation, the routing softmax, and the classification
+helpers built on capsule lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["squash", "softmax", "relu", "capsule_lengths", "one_hot",
+           "log_softmax"]
+
+
+def squash(s: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """Capsule squashing nonlinearity from Sabour et al. [25].
+
+    ``v = (|s|^2 / (1 + |s|^2)) * s / |s|`` — bounds the capsule length to
+    ``[0, 1)`` so it can act as an existence probability while preserving
+    orientation.
+    """
+    s = as_tensor(s)
+    squared = (s * s).sum(axis=axis, keepdims=True)
+    norm = (squared + eps).sqrt()
+    scale = squared / ((squared + 1.0) * norm)
+    return s * scale
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    return as_tensor(x).softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable form)."""
+    x = as_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def capsule_lengths(caps: Tensor, axis: int = -1) -> Tensor:
+    """Euclidean length of each capsule vector (class probability proxy)."""
+    return as_tensor(caps).norm(axis=axis)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer labels as ``float32``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=np.float32)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return out.reshape(*labels.shape, num_classes)

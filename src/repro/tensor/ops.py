@@ -1,0 +1,113 @@
+"""Fused tensor primitives that need hand-written adjoints.
+
+The only heavyweight primitive required by CapsNet/DeepCaps inference is 2-D
+convolution; it is implemented once here via ``im2col`` + GEMM with an exact
+``col2im`` backward, and reused by every convolutional (capsule) layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["conv2d", "conv_output_size", "im2col"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution collapses spatial size {size} with kernel={kernel}, "
+            f"stride={stride}, padding={padding}")
+    return out
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int,
+           padding: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """Lower padded input patches to a GEMM-ready matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(KH, KW)`` patch size.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * OH * OW, C * KH * KW)``.
+    (OH, OW):
+        Output spatial dimensions.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, OH, OW, KH, KW)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols, dtype=np.float32), (oh, ow)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) with autograd support.
+
+    Parameters
+    ----------
+    x:
+        Input tensor ``(N, C, H, W)``.
+    weight:
+        Filter tensor ``(F, C, KH, KW)``.
+    bias:
+        Optional per-filter bias ``(F,)``.
+
+    Returns
+    -------
+    Tensor of shape ``(N, F, OH, OW)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"input channels {c} != filter channels {c_w}")
+
+    cols, (oh, ow) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(f, c * kh * kw)
+    out_mat = cols @ w_mat.T
+    if bias is not None:
+        out_mat += bias.data
+    out_data = out_mat.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor._result(out_data, parents, "conv2d")
+    if not out.requires_grad:
+        return out
+
+    def _backward():
+        grad_mat = out.grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate((grad_mat.T @ cols).reshape(weight.shape))
+        if x.requires_grad:
+            dcols = (grad_mat @ w_mat).reshape(n, oh, ow, c, kh, kw)
+            dcols = dcols.transpose(0, 3, 1, 2, 4, 5)  # (N, C, OH, OW, KH, KW)
+            hp, wp = h + 2 * padding, w + 2 * padding
+            dx_padded = np.zeros((n, c, hp, wp), dtype=np.float32)
+            for i in range(kh):
+                for j in range(kw):
+                    dx_padded[:, :, i:i + stride * oh:stride,
+                              j:j + stride * ow:stride] += dcols[:, :, :, :, i, j]
+            if padding:
+                dx_padded = dx_padded[:, :, padding:hp - padding, padding:wp - padding]
+            x._accumulate(dx_padded)
+
+    out._backward = _backward
+    return out

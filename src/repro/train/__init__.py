@@ -1,0 +1,7 @@
+"""Training loop and evaluation metrics."""
+
+from .metrics import accuracy, confusion_matrix, evaluate_accuracy
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = ["Trainer", "TrainConfig", "TrainResult",
+           "accuracy", "evaluate_accuracy", "confusion_matrix"]

@@ -1,0 +1,53 @@
+"""Evaluation metrics (paper Sec. IV: "monitoring the test accuracy")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn import Module
+from ..tensor import Tensor, capsule_lengths, no_grad
+
+__all__ = ["accuracy", "evaluate_accuracy", "confusion_matrix"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(predictions == labels))
+
+
+def evaluate_accuracy(model: Module, dataset: Dataset, *,
+                      batch_size: int = 64) -> float:
+    """Classification accuracy of a capsule model on ``dataset``.
+
+    Runs in inference mode with autograd disabled.  Any active hook registry
+    (noise injection) applies — this is the measurement primitive used by
+    every resilience-analysis step.
+    """
+    model.eval()
+    correct = 0
+    with no_grad():
+        for images, labels in dataset.batches(batch_size):
+            caps = model(Tensor(images))
+            lengths = capsule_lengths(caps)
+            correct += int(np.sum(np.argmax(lengths.data, axis=1) == labels))
+    return correct / len(dataset)
+
+
+def confusion_matrix(model: Module, dataset: Dataset, *,
+                     batch_size: int = 64) -> np.ndarray:
+    """``(num_classes, num_classes)`` confusion counts (rows = truth)."""
+    model.eval()
+    matrix = np.zeros((dataset.num_classes, dataset.num_classes), dtype=np.int64)
+    with no_grad():
+        for images, labels in dataset.batches(batch_size):
+            caps = model(Tensor(images))
+            predicted = np.argmax(capsule_lengths(caps).data, axis=1)
+            np.add.at(matrix, (labels, predicted), 1)
+    return matrix

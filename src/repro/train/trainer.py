@@ -1,0 +1,86 @@
+"""Training loop for capsule networks (paper Fig. 8, left half).
+
+The paper trains with TensorFlow on GPUs; the reproduction trains the scaled
+presets with Adam + margin loss on the NumPy substrate.  Training happens
+*before* ReD-CaNe is applied — the trained model is the methodology input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn import Adam, Module, margin_loss
+from ..tensor import Tensor
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`Trainer`."""
+
+    epochs: int = 8
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    lr_decay: float = 0.9          # multiplicative, per epoch
+    shuffle_seed: int = 0
+    log_every: int = 0             # batches; 0 disables logging
+    loss_fn: Callable = margin_loss
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch training history."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class Trainer:
+    """Minibatch trainer with margin loss and per-epoch LR decay."""
+
+    def __init__(self, model: Module, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+
+    def fit(self, dataset: Dataset) -> TrainResult:
+        """Train the model in place; returns the loss/accuracy history."""
+        config = self.config
+        result = TrainResult()
+        self.model.train()
+        for epoch in range(config.epochs):
+            self.optimizer.lr = config.learning_rate * config.lr_decay ** epoch
+            epoch_loss, batches, correct, seen = 0.0, 0, 0, 0
+            for step, (images, labels) in enumerate(dataset.batches(
+                    config.batch_size, shuffle=True,
+                    seed=config.shuffle_seed + epoch)):
+                loss, predictions = self._train_step(images, labels)
+                epoch_loss += loss
+                batches += 1
+                correct += int(np.sum(predictions == labels))
+                seen += len(labels)
+                if config.log_every and (step + 1) % config.log_every == 0:
+                    print(f"epoch {epoch + 1} step {step + 1}: "
+                          f"loss {loss:.4f}")
+            result.losses.append(epoch_loss / max(batches, 1))
+            result.train_accuracies.append(correct / max(seen, 1))
+        return result
+
+    def _train_step(self, images: np.ndarray,
+                    labels: np.ndarray) -> tuple[float, np.ndarray]:
+        self.optimizer.zero_grad()
+        caps = self.model(Tensor(images))
+        loss = self.config.loss_fn(caps, labels)
+        loss.backward()
+        self.optimizer.step()
+        lengths = np.linalg.norm(caps.data, axis=-1)
+        return float(loss.data), np.argmax(lengths, axis=1)

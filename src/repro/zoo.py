@@ -1,0 +1,104 @@
+"""Train-once model zoo for the experiment suite.
+
+The resilience experiments evaluate one trained model under dozens of
+noise configurations; retraining per experiment would dominate runtime.
+``get_trained`` trains (model preset, dataset) pairs on demand and caches
+the weights on disk (``.artifacts/zoo`` by default) keyed by every
+hyper-parameter that affects the result.
+
+The five paper benchmarks (Table II) map to these zoo entries:
+
+====================  ==================  =========================
+paper benchmark       preset (scaled)     dataset (synthetic stand-in)
+====================  ==================  =========================
+DeepCaps / CIFAR-10   deepcaps-micro      synth-cifar10
+DeepCaps / SVHN       deepcaps-micro      synth-svhn
+DeepCaps / MNIST      deepcaps-micro      synth-mnist
+CapsNet / F-MNIST     capsnet-micro       synth-fashion
+CapsNet / MNIST       capsnet-micro       synth-mnist
+====================  ==================  =========================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .data import Dataset, dataset_image_shape, make_split
+from .models import build_model
+from .train import TrainConfig, Trainer, evaluate_accuracy
+
+__all__ = ["ZooEntry", "PAPER_BENCHMARKS", "get_trained", "zoo_cache_dir"]
+
+
+#: (benchmark label, model preset, dataset name) for each Table II row.
+PAPER_BENCHMARKS: tuple[tuple[str, str, str], ...] = (
+    ("DeepCaps/CIFAR-10", "deepcaps-micro", "synth-cifar10"),
+    ("DeepCaps/SVHN", "deepcaps-micro", "synth-svhn"),
+    ("DeepCaps/MNIST", "deepcaps-micro", "synth-mnist"),
+    ("CapsNet/Fashion-MNIST", "capsnet-micro", "synth-fashion"),
+    ("CapsNet/MNIST", "capsnet-micro", "synth-mnist"),
+)
+
+
+@dataclass
+class ZooEntry:
+    """A trained model plus its data and provenance."""
+
+    preset: str
+    dataset_name: str
+    model: object
+    train_set: Dataset
+    test_set: Dataset
+    test_accuracy: float
+    from_cache: bool
+
+
+def zoo_cache_dir() -> str:
+    """Directory for cached weights (override with ``REPRO_ZOO_DIR``)."""
+    root = os.environ.get("REPRO_ZOO_DIR")
+    if root is None:
+        root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), ".artifacts", "zoo")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _cache_path(preset: str, dataset_name: str, num_train: int,
+                epochs: int, seed: int) -> str:
+    key = f"{preset}__{dataset_name}__n{num_train}__e{epochs}__s{seed}"
+    return os.path.join(zoo_cache_dir(), key + ".npz")
+
+
+def get_trained(preset: str, dataset_name: str, *, num_train: int = 1000,
+                num_test: int = 256, epochs: int = 6, seed: int = 3,
+                batch_size: int = 32, learning_rate: float = 2e-3,
+                use_cache: bool = True) -> ZooEntry:
+    """Return a trained model for (preset, dataset), training if uncached.
+
+    The dataset splits are regenerated deterministically (they are cheap);
+    only the weights are cached.
+    """
+    channels, size, _ = dataset_image_shape(dataset_name)
+    train_set, test_set = make_split(dataset_name, num_train, num_test,
+                                     seed=seed)
+    model = build_model(preset, in_channels=channels, image_size=size,
+                        seed=seed)
+    path = _cache_path(preset, dataset_name, num_train, epochs, seed)
+    if use_cache and os.path.exists(path):
+        with np.load(path) as archive:
+            model.load_state_dict({k: archive[k] for k in archive.files})
+        accuracy = evaluate_accuracy(model, test_set)
+        return ZooEntry(preset, dataset_name, model, train_set, test_set,
+                        accuracy, from_cache=True)
+
+    config = TrainConfig(epochs=epochs, batch_size=batch_size,
+                         learning_rate=learning_rate, shuffle_seed=seed)
+    Trainer(model, config).fit(train_set)
+    accuracy = evaluate_accuracy(model, test_set)
+    if use_cache:
+        np.savez_compressed(path, **model.state_dict())
+    return ZooEntry(preset, dataset_name, model, train_set, test_set,
+                    accuracy, from_cache=False)

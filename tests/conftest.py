@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Heavy resources (trained models, the component library) are session-scoped
+so the suite stays fast; tiny models are trained once on a few hundred
+synthetic samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import default_library
+from repro.data import make_split
+from repro.models import build_model
+from repro.train import TrainConfig, Trainer, evaluate_accuracy
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The 35-component approximate-multiplier library."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def mnist_splits():
+    """Small synthetic-MNIST train/test splits."""
+    return make_split("synth-mnist", 300, 96, seed=11)
+
+
+@pytest.fixture(scope="session")
+def trained_capsnet(mnist_splits):
+    """A capsnet-micro trained to high accuracy on synth-mnist."""
+    train_set, test_set = mnist_splits
+    model = build_model("capsnet-micro", in_channels=1, image_size=28, seed=5)
+    Trainer(model, TrainConfig(epochs=3, batch_size=32)).fit(train_set)
+    accuracy = evaluate_accuracy(model, test_set)
+    assert accuracy > 0.8, f"fixture model failed to train ({accuracy:.2%})"
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_deepcaps():
+    """A deepcaps-micro trained on synth-mnist (28x28, grayscale)."""
+    train_set, test_set = make_split("synth-mnist", 400, 96, seed=13)
+    model = build_model("deepcaps-micro", in_channels=1, image_size=28,
+                        seed=5)
+    Trainer(model, TrainConfig(epochs=4, batch_size=32)).fit(train_set)
+    accuracy = evaluate_accuracy(model, test_set)
+    assert accuracy > 0.8, f"fixture model failed to train ({accuracy:.2%})"
+    return model, test_set
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn()
+        flat[i] = original - eps
+        lower = fn()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad

@@ -1,0 +1,78 @@
+"""Approximate adders and the Eq. 1 quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (ADDER_5LT, ADDERS, EXACT_ADDER, AdderModel,
+                          QuantParams, dequantize, quantization_noise,
+                          quantize, quantize_array)
+
+
+class TestAdders:
+    def test_exact_adder(self):
+        a = np.arange(10)
+        b = np.arange(10)[::-1]
+        np.testing.assert_array_equal(EXACT_ADDER.add(a, b), a + b)
+        assert EXACT_ADDER.is_exact
+
+    def test_loa_semantics(self):
+        adder = AdderModel("t", loa_bits=4)
+        # low nibble OR'd, high part exact
+        assert adder.add(np.array([0b10001111]),
+                         np.array([0b01000001]))[0] == 0b11001111
+
+    def test_loa_error_bound(self):
+        adder = ADDER_5LT
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 1000)
+        b = rng.integers(0, 256, 1000)
+        error = adder.error(a, b)
+        assert np.abs(error).max() < (1 << (adder.loa_bits + 1))
+
+    def test_loa_zero_bits_exact(self):
+        adder = AdderModel("t", loa_bits=0)
+        assert not adder.error(np.arange(100), np.arange(100)).any()
+
+    def test_registry(self):
+        assert "add8u_5LT" in ADDERS
+        assert ADDERS["add8u_ACC"].is_exact
+        assert 0 < ADDER_5LT.power_reduction < 1
+
+
+class TestQuantization:
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.normal(0, 3, 1000).astype(np.float32)
+        q, params = quantize_array(x, bits=8)
+        error = dequantize(q, params) - x
+        assert np.abs(error).max() <= params.scale / 2 + 1e-6
+
+    def test_quantize_extremes(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        q, params = quantize_array(x, bits=8)
+        assert q[0] == 0 and q[-1] == 255
+
+    def test_levels_and_scale(self):
+        params = QuantParams(0.0, 10.0, bits=4)
+        assert params.levels == 15
+        assert params.scale == pytest.approx(10 / 15)
+
+    def test_constant_array(self):
+        x = np.full(5, 3.0)
+        q, params = quantize_array(x, bits=8)
+        assert (q == 0).all()
+        np.testing.assert_allclose(dequantize(q, params), x)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            QuantParams.from_array(np.array([]))
+
+    def test_more_bits_less_noise(self, rng):
+        x = rng.normal(size=500).astype(np.float32)
+        noise4 = np.abs(quantization_noise(x, 4)).mean()
+        noise8 = np.abs(quantization_noise(x, 8)).mean()
+        assert noise8 < noise4
+
+    def test_clipping(self):
+        params = QuantParams(0.0, 1.0, bits=8)
+        q = quantize(np.array([-5.0, 5.0]), params)
+        assert q[0] == 0 and q[1] == 255

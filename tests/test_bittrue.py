@@ -1,0 +1,84 @@
+"""Bit-true LUT convolution executor."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (ApproximateConvExecutor, MultiplierModel,
+                          approximate_conv2d)
+from repro.models import build_model
+from repro.tensor import Tensor, conv2d
+
+
+@pytest.fixture(scope="module")
+def exact_mult():
+    return MultiplierModel("acc", "exact")
+
+
+class TestApproximateConv2d:
+    def test_exact_lut_matches_float_conv(self, exact_mult, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        approx = approximate_conv2d(x, w, b, exact_mult, stride=1, padding=1)
+        reference = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1,
+                           padding=1).data
+        # only quantisation error remains (uint8 operands)
+        scale = np.abs(reference).max()
+        np.testing.assert_allclose(approx, reference, atol=0.1 * scale)
+
+    def test_lossy_component_changes_output(self, rng):
+        lossy = MultiplierModel("big", "ormask", {"k": 6})
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        b = np.zeros(3, dtype=np.float32)
+        exact = approximate_conv2d(x, w, b, MultiplierModel("acc", "exact"))
+        approx = approximate_conv2d(x, w, b, lossy)
+        assert not np.allclose(exact, approx)
+
+    def test_output_shape(self, exact_mult, rng):
+        x = rng.normal(size=(2, 1, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(5, 1, 3, 3)).astype(np.float32)
+        out = approximate_conv2d(x, w, np.zeros(5, dtype=np.float32),
+                                 exact_mult, stride=2, padding=0)
+        assert out.shape == (2, 5, 4, 4)
+
+
+class TestExecutor:
+    def test_exact_executor_preserves_predictions(self, exact_mult,
+                                                  trained_capsnet,
+                                                  mnist_splits):
+        _, test_set = mnist_splits
+        images = Tensor(test_set.images[:16])
+        baseline = trained_capsnet.predict(images)
+        with ApproximateConvExecutor(trained_capsnet, exact_mult):
+            approx = trained_capsnet.predict(images)
+        assert (baseline == approx).mean() > 0.85
+
+    def test_executor_restores_forward(self, exact_mult, trained_capsnet):
+        originals = [m.forward for m in trained_capsnet.modules()]
+        with ApproximateConvExecutor(trained_capsnet, exact_mult):
+            pass
+        restored = [m.forward for m in trained_capsnet.modules()]
+        assert originals == restored
+
+    def test_layer_filtering(self, exact_mult, trained_capsnet):
+        with ApproximateConvExecutor(trained_capsnet, exact_mult,
+                                     layers={"Conv1"}) as executor:
+            assert len(executor._originals) == 1
+
+    def test_no_matching_layers_raises(self, exact_mult, trained_capsnet):
+        with pytest.raises(LookupError):
+            with ApproximateConvExecutor(trained_capsnet, exact_mult,
+                                         layers={"NoSuchLayer"}):
+                pass
+
+    def test_aggressive_component_degrades_accuracy(self, trained_capsnet,
+                                                    mnist_splits):
+        from repro.train import evaluate_accuracy
+        _, test_set = mnist_splits
+        subset = test_set.subset(32)
+        clean = evaluate_accuracy(trained_capsnet, subset)
+        destroyer = MultiplierModel("bad", "ormask", {"k": 7})
+        with ApproximateConvExecutor(trained_capsnet, destroyer):
+            noisy = evaluate_accuracy(trained_capsnet, subset)
+        assert noisy < clean

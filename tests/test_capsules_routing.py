@@ -1,0 +1,163 @@
+"""Capsule layers and dynamic routing: shapes, sites, routing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ClassCaps, ConvCaps2D, ConvCaps3D, PrimaryCaps,
+                      dynamic_routing, flatten_caps, hooks)
+from repro.nn.hooks import HookRegistry, use_registry
+from repro.tensor import Tensor
+
+
+def collect_sites(fn):
+    sites = []
+    registry = HookRegistry()
+    registry.add_observer(lambda s: True, lambda s, v: sites.append(s))
+    with use_registry(registry):
+        fn()
+    return sites
+
+
+class TestDynamicRouting:
+    def make_votes(self, rng, n=2, cin=5, cout=3, dim=4, p=2):
+        return Tensor(rng.normal(size=(n, cin, cout, dim, p))
+                      .astype(np.float32))
+
+    def test_output_shape(self, rng):
+        v = dynamic_routing(self.make_votes(rng), iterations=3,
+                            layer_name="L")
+        assert v.shape == (2, 3, 4, 2)
+
+    def test_output_is_squashed(self, rng):
+        v = dynamic_routing(self.make_votes(rng), iterations=2,
+                            layer_name="L")
+        assert (np.linalg.norm(v.data, axis=2) < 1.0).all()
+
+    def test_single_iteration_is_uniform_coupling(self, rng):
+        # With zero logits, softmax over the Cout axis gives k = 1/Cout,
+        # so S = sum_i u_hat / Cout.
+        u_hat = self.make_votes(rng, cout=3)
+        v = dynamic_routing(u_hat, iterations=1, layer_name="L")
+        from repro.tensor import squash
+        expected = squash(u_hat.sum(axis=1) * (1.0 / 3.0), axis=2)
+        np.testing.assert_allclose(v.data, expected.data, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_agreement_concentrates_coupling(self):
+        # Input capsule 0 votes exactly the dominant direction for output 0;
+        # after routing, output 0 should align with that direction.
+        n, cin, cout, dim, p = 1, 4, 2, 3, 1
+        u_hat = np.zeros((n, cin, cout, dim, p), dtype=np.float32)
+        u_hat[0, :, 0, 0, 0] = 4.0   # all inputs agree on output 0, dim 0
+        u_hat[0, 0, 1, 1, 0] = 4.0   # only one input votes for output 1
+        u_hat[0, 1, 1, 1, 0] = -4.0  # ... and another disagrees
+        v = dynamic_routing(Tensor(u_hat), iterations=3, layer_name="L")
+        assert np.linalg.norm(v.data[0, 0]) > np.linalg.norm(v.data[0, 1])
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError, match="5-D"):
+            dynamic_routing(Tensor(np.zeros((2, 3, 4))), iterations=3,
+                            layer_name="L")
+        with pytest.raises(ValueError, match="iteration"):
+            dynamic_routing(self.make_votes(rng), iterations=0,
+                            layer_name="L")
+
+    def test_sites_per_iteration(self, rng):
+        u_hat = self.make_votes(rng)
+        sites = collect_sites(
+            lambda: dynamic_routing(u_hat, iterations=3, layer_name="R"))
+        softmax_sites = [s for s in sites if s.group == hooks.GROUP_SOFTMAX]
+        logits_sites = [s for s in sites if s.group == hooks.GROUP_LOGITS]
+        act_sites = [s for s in sites if s.group == hooks.GROUP_ACTIVATIONS]
+        assert len(softmax_sites) == 3
+        assert len(logits_sites) == 2  # no update after final iteration
+        assert len(act_sites) == 3
+        assert softmax_sites[0].tag == "iter1"
+        assert logits_sites[-1].tag == "iter2"
+
+
+class TestPrimaryCaps:
+    def test_shape_and_squash(self, rng):
+        layer = PrimaryCaps(4, num_caps=3, caps_dim=8, kernel_size=3,
+                            stride=2)
+        out = layer(Tensor(rng.normal(size=(2, 4, 9, 9)).astype(np.float32)))
+        assert out.shape == (2, 3, 8, 4, 4)
+        assert (np.linalg.norm(out.data, axis=2) < 1.0).all()
+
+
+class TestConvCaps2D:
+    def test_shape(self, rng):
+        layer = ConvCaps2D(3, 4, 5, 6, 3, stride=2, padding=1)
+        x = Tensor(rng.normal(size=(2, 3, 4, 8, 8)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (2, 5, 6, 4, 4)
+
+    def test_wrong_caps_shape_raises(self, rng):
+        layer = ConvCaps2D(3, 4, 5, 6)
+        with pytest.raises(ValueError, match="expected capsules"):
+            layer(Tensor(np.zeros((1, 2, 4, 8, 8))))
+
+    def test_sites(self, rng):
+        layer = ConvCaps2D(2, 4, 2, 4, name="cc")
+        x = Tensor(rng.normal(size=(1, 2, 4, 6, 6)).astype(np.float32))
+        sites = collect_sites(lambda: layer(x))
+        groups = {(s.layer, s.group) for s in sites}
+        assert ("cc", hooks.GROUP_MAC) in groups
+        assert ("cc", hooks.GROUP_ACTIVATIONS) in groups
+
+
+class TestConvCaps3D:
+    def test_shape(self, rng):
+        layer = ConvCaps3D(3, 4, 5, 6, 3, stride=2, padding=1,
+                           routing_iterations=2)
+        x = Tensor(rng.normal(size=(2, 3, 4, 8, 8)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (2, 5, 6, 4, 4)
+
+    def test_routing_sites_present(self, rng):
+        layer = ConvCaps3D(2, 4, 2, 4, name="c3d", routing_iterations=3)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4, 4)).astype(np.float32))
+        sites = collect_sites(lambda: layer(x))
+        assert any(s.group == hooks.GROUP_SOFTMAX and s.layer == "c3d"
+                   for s in sites)
+        assert any(s.group == hooks.GROUP_LOGITS and s.layer == "c3d"
+                   for s in sites)
+
+    def test_wrong_shape_raises(self):
+        layer = ConvCaps3D(2, 4, 2, 4)
+        with pytest.raises(ValueError, match="expected capsules"):
+            layer(Tensor(np.zeros((1, 3, 4, 4, 4))))
+
+
+class TestClassCaps:
+    def test_shape(self, rng):
+        layer = ClassCaps(12, 8, 10, 16, routing_iterations=3)
+        out = layer(Tensor(rng.normal(size=(2, 12, 8)).astype(np.float32)))
+        assert out.shape == (2, 10, 16)
+
+    def test_wrong_shape_raises(self):
+        layer = ClassCaps(12, 8, 10, 16)
+        with pytest.raises(ValueError, match="expected input caps"):
+            layer(Tensor(np.zeros((2, 11, 8))))
+
+    def test_init_std_scales_with_in_caps(self):
+        small = ClassCaps(16, 8, 10, 16, seed=0) if False else None
+        a = ClassCaps(16, 8, 10, 16)
+        b = ClassCaps(1024, 8, 10, 16)
+        assert a.weight.data.std() > b.weight.data.std()
+
+    def test_votes_site(self, rng):
+        layer = ClassCaps(6, 4, 3, 8, name="cls")
+        x = Tensor(rng.normal(size=(1, 6, 4)).astype(np.float32))
+        sites = collect_sites(lambda: layer(x))
+        assert any(s.layer == "cls" and s.group == hooks.GROUP_MAC
+                   and s.tag == "votes" for s in sites)
+
+
+def test_flatten_caps_layout():
+    x = Tensor(np.arange(2 * 3 * 4 * 2 * 2, dtype=np.float32)
+               .reshape(2, 3, 4, 2, 2))
+    out = flatten_caps(x)
+    assert out.shape == (2, 3 * 2 * 2, 4)
+    # capsule vectors must stay intact: first flattened capsule is x[0,0,:,0,0]
+    np.testing.assert_allclose(out.data[0, 0], x.data[0, 0, :, 0, 0])

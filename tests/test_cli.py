@@ -1,0 +1,42 @@
+"""Artifact-regeneration CLI."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig5", "fig9", "x1"):
+        assert name in out
+
+
+def test_artifact_registry_complete():
+    """Every paper artifact and extension has a CLI entry."""
+    expected = {"table1", "fig4", "fig5", "fig6", "table2", "table3",
+                "fig9", "fig10", "fig11", "table4", "fig12",
+                "x1", "x2", "x3", "x4"}
+    assert set(ARTIFACTS) == expected
+
+
+def test_run_analytic_artifact(capsys):
+    assert main(["run", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "XM" in out and "XAM" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "table1", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Multiplication" in out and "energy breakdown" in out
+
+
+def test_unknown_artifact(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

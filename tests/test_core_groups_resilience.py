@@ -1,0 +1,148 @@
+"""Group extraction (Step 1) and resilience analysis (Steps 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (PAPER_NM_SWEEP, NoiseSpec, ResilienceCurve,
+                        ResiliencePoint, extract_groups,
+                        group_wise_analysis, layer_wise_analysis,
+                        mark_resilient, noisy_accuracy)
+from repro.models import build_model
+from repro.nn.hooks import (GROUP_ACTIVATIONS, GROUP_LOGITS, GROUP_MAC,
+                            GROUP_SOFTMAX, INJECTABLE_GROUPS)
+
+
+class TestGroupExtraction:
+    @pytest.fixture(scope="class")
+    def extraction(self):
+        model = build_model("deepcaps-micro", in_channels=1, image_size=28)
+        sample = np.random.default_rng(0).random((2, 1, 28, 28),
+                                                 dtype=np.float32)
+        return extract_groups(model, sample)
+
+    def test_all_four_groups_found(self, extraction):
+        groups = extraction.groups
+        for group in INJECTABLE_GROUPS:
+            assert groups[group], f"group {group} has no sites"
+
+    def test_routing_groups_only_in_routing_layers(self, extraction):
+        assert set(extraction.layers_in_group(GROUP_SOFTMAX)) == \
+            {"Caps3D", "ClassCaps"}
+        assert set(extraction.layers_in_group(GROUP_LOGITS)) == \
+            {"Caps3D", "ClassCaps"}
+
+    def test_mac_group_covers_all_18_layers(self, extraction):
+        assert len(extraction.layers_in_group(GROUP_MAC)) == 18
+
+    def test_table3_rows(self, extraction):
+        rows = extraction.table3()
+        assert [r[0] for r in rows] == [1, 2, 3, 4]
+        assert rows[0][1] == GROUP_MAC
+        assert "softmax" in rows[2][2].lower()
+
+    def test_summary_text(self, extraction):
+        text = extraction.summary()
+        assert "DeepCaps" in text and "logits_update" in text
+
+    def test_capsnet_extraction(self):
+        model = build_model("capsnet-micro", in_channels=1, image_size=28)
+        sample = np.zeros((1, 1, 28, 28), dtype=np.float32)
+        extraction = extract_groups(model, sample)
+        assert extraction.layers_in_group(GROUP_SOFTMAX) == ["ClassCaps"]
+
+
+class TestResilienceCurve:
+    def make_curve(self, drops, nms=(0.5, 0.1, 0.01, 0.0)):
+        curve = ResilienceCurve(group="g", baseline_accuracy=0.9)
+        for nm, drop in zip(nms, drops):
+            curve.points.append(ResiliencePoint(nm, 0.0, 0.9 + drop, drop))
+        return curve
+
+    def test_tolerable_nm(self):
+        curve = self.make_curve([-0.5, -0.02, -0.001, 0.0])
+        assert curve.tolerable_nm(max_drop=0.01) == 0.01
+        assert curve.tolerable_nm(max_drop=0.05) == 0.1
+
+    def test_tolerable_nm_none(self):
+        curve = self.make_curve([-0.5, -0.4, -0.3, 0.0])
+        assert curve.tolerable_nm(max_drop=0.01) == 0.0
+
+    def test_is_resilient(self):
+        strong = self.make_curve([-0.001, 0.0, 0.0, 0.0])
+        weak = self.make_curve([-0.9, -0.8, -0.5, 0.0])
+        assert strong.is_resilient(nm_reference=0.05, max_drop=0.01)
+        assert not weak.is_resilient(nm_reference=0.05, max_drop=0.01)
+
+    def test_drop_at(self):
+        curve = self.make_curve([-0.5, -0.02, -0.001, 0.0])
+        assert curve.drop_at(0.1) == -0.02
+        with pytest.raises(KeyError):
+            curve.drop_at(0.3)
+
+    def test_target_naming(self):
+        assert ResilienceCurve(group="g").target == "g"
+        assert ResilienceCurve(group="g", layer="L").target == "g@L"
+
+    def test_paper_sweep_constant(self):
+        assert PAPER_NM_SWEEP[0] == 0.5
+        assert PAPER_NM_SWEEP[-1] == 0.0
+        assert len(PAPER_NM_SWEEP) == 10
+
+
+class TestAnalysis:
+    def test_zero_nm_equals_baseline(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        subset = test_set.subset(48)
+        curves = group_wise_analysis(
+            trained_capsnet, subset, groups=[GROUP_MAC],
+            nm_values=(0.0,), batch_size=48)
+        point = curves[GROUP_MAC].points[0]
+        assert point.accuracy_drop == pytest.approx(0.0, abs=1e-9)
+
+    def test_huge_noise_destroys_mac(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        subset = test_set.subset(48)
+        accuracy = noisy_accuracy(trained_capsnet, subset,
+                                  NoiseSpec(nm=2.0, seed=0),
+                                  groups=[GROUP_MAC])
+        assert accuracy < 0.5
+
+    def test_softmax_more_resilient_than_mac(self, trained_capsnet,
+                                             mnist_splits):
+        """The paper's headline finding, on the CapsNet benchmark."""
+        _, test_set = mnist_splits
+        subset = test_set.subset(64)
+        curves = group_wise_analysis(
+            trained_capsnet, subset,
+            groups=[GROUP_MAC, GROUP_SOFTMAX],
+            nm_values=(0.2, 0.05, 0.0), batch_size=64)
+        assert curves[GROUP_SOFTMAX].tolerable_nm(0.05) >= \
+            curves[GROUP_MAC].tolerable_nm(0.05)
+
+    def test_layer_wise_keys(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        subset = test_set.subset(32)
+        curves = layer_wise_analysis(
+            trained_capsnet, subset, groups=[GROUP_MAC],
+            layers=["Conv1", "PrimaryCaps"], nm_values=(0.05, 0.0),
+            batch_size=32)
+        assert set(curves) == {(GROUP_MAC, "Conv1"),
+                               (GROUP_MAC, "PrimaryCaps")}
+
+    def test_mark_resilient_split(self):
+        flat = ResilienceCurve(group="a", baseline_accuracy=1.0)
+        flat.points = [ResiliencePoint(0.05, 0, 1.0, 0.0),
+                       ResiliencePoint(0.0, 0, 1.0, 0.0)]
+        steep = ResilienceCurve(group="b", baseline_accuracy=1.0)
+        steep.points = [ResiliencePoint(0.05, 0, 0.2, -0.8),
+                        ResiliencePoint(0.0, 0, 1.0, 0.0)]
+        resilient, non_resilient = mark_resilient({"a": flat, "b": steep})
+        assert resilient == ["a"] and non_resilient == ["b"]
+
+    def test_baseline_passthrough(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        subset = test_set.subset(32)
+        curves = group_wise_analysis(
+            trained_capsnet, subset, groups=[GROUP_ACTIVATIONS],
+            nm_values=(0.0,), batch_size=32, baseline_accuracy=0.5)
+        assert curves[GROUP_ACTIVATIONS].baseline_accuracy == 0.5

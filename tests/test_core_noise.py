@@ -1,0 +1,129 @@
+"""Noise model (Eq. 3-4): injector semantics, registry construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (GaussianNoiseInjector, NoiseSpec, make_noise_registry,
+                        tensor_range)
+from repro.nn.hooks import GROUP_MAC, GROUP_SOFTMAX, InjectionSite
+
+
+@pytest.fixture
+def site():
+    return InjectionSite("L", GROUP_MAC)
+
+
+class TestTensorRange:
+    def test_basic(self):
+        assert tensor_range(np.array([1.0, 5.0, -2.0])) == 7.0
+
+    def test_constant(self):
+        assert tensor_range(np.full(4, 3.0)) == 0.0
+
+    def test_empty(self):
+        assert tensor_range(np.array([])) == 0.0
+
+
+class TestNoiseSpec:
+    def test_zero_detection(self):
+        assert NoiseSpec().is_zero
+        assert not NoiseSpec(nm=0.1).is_zero
+        assert not NoiseSpec(na=0.1).is_zero
+
+    def test_negative_nm_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(nm=-0.1)
+
+
+class TestInjector:
+    def test_eq3_statistics(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.1, na=0.05, seed=0))
+        value = np.linspace(0, 10, 100_000).astype(np.float32)
+        noisy = injector(site, value)
+        delta = noisy - value
+        # R = 10 -> std = 1.0, mean = 0.5
+        assert delta.std() == pytest.approx(1.0, rel=0.05)
+        assert delta.mean() == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_spec_identity(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec())
+        value = np.ones(5, dtype=np.float32)
+        assert injector(site, value) is value
+        assert injector.injection_count == 0
+
+    def test_zero_range_identity(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.5))
+        value = np.full(5, 2.0, dtype=np.float32)
+        assert injector(site, value) is value
+
+    def test_pure_bias(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.0, na=0.1))
+        value = np.array([0.0, 10.0], dtype=np.float32)
+        noisy = injector(site, value)
+        np.testing.assert_allclose(noisy, [1.0, 11.0], rtol=1e-5)
+
+    def test_reset_restores_determinism(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.2, seed=1))
+        value = np.arange(10, dtype=np.float32)
+        first = injector(site, value)
+        second = injector(site, value)
+        assert not np.allclose(first, second)  # stream advances
+        injector.reset()
+        np.testing.assert_allclose(injector(site, value), first)
+
+    def test_independent_streams_per_site(self):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.2, seed=1))
+        value = np.arange(10, dtype=np.float32)
+        a = injector(InjectionSite("A", GROUP_MAC), value)
+        b = injector(InjectionSite("B", GROUP_MAC), value)
+        assert not np.allclose(a, b)
+
+    def test_injection_count(self, site):
+        injector = GaussianNoiseInjector(NoiseSpec(nm=0.2))
+        value = np.arange(4, dtype=np.float32)
+        injector(site, value)
+        injector(site, value)
+        assert injector.injection_count == 2
+
+
+class TestRegistryFactory:
+    def test_group_filter(self):
+        registry = make_noise_registry(NoiseSpec(nm=0.3, seed=0),
+                                       groups=[GROUP_SOFTMAX])
+        value = np.arange(100, dtype=np.float32)
+        out = registry.apply(InjectionSite("L", GROUP_SOFTMAX), value.copy())
+        assert not np.allclose(out, value)
+        out2 = registry.apply(InjectionSite("L", GROUP_MAC), value.copy())
+        np.testing.assert_allclose(out2, value)
+
+    def test_layer_filter(self):
+        registry = make_noise_registry(NoiseSpec(nm=0.3, seed=0),
+                                       layers=["Conv1"])
+        value = np.arange(100, dtype=np.float32)
+        hit = registry.apply(InjectionSite("Conv1", GROUP_MAC), value.copy())
+        miss = registry.apply(InjectionSite("Conv2", GROUP_MAC), value.copy())
+        assert not np.allclose(hit, value)
+        np.testing.assert_allclose(miss, value)
+
+    def test_tag_filter(self):
+        registry = make_noise_registry(NoiseSpec(nm=0.3, seed=0),
+                                       tags=["iter1"])
+        value = np.arange(100, dtype=np.float32)
+        hit = registry.apply(InjectionSite("L", GROUP_MAC, "iter1"),
+                             value.copy())
+        miss = registry.apply(InjectionSite("L", GROUP_MAC, "iter2"),
+                              value.copy())
+        assert not np.allclose(hit, value)
+        np.testing.assert_allclose(miss, value)
+
+    def test_mac_inputs_never_injected(self):
+        from repro.nn.hooks import GROUP_MAC_INPUTS
+        registry = make_noise_registry(NoiseSpec(nm=0.5, seed=0))
+        value = np.arange(100, dtype=np.float32)
+        out = registry.apply(InjectionSite("L", GROUP_MAC_INPUTS),
+                             value.copy())
+        np.testing.assert_allclose(out, value)
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError, match="non-injectable"):
+            make_noise_registry(NoiseSpec(nm=0.1), groups=["bogus"])

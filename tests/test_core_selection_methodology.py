@@ -1,0 +1,104 @@
+"""Step 6 selection and the full six-step pipeline."""
+
+import pytest
+
+from repro.core import (ReDCaNe, ReDCaNeConfig, select_components)
+from repro.nn.hooks import GROUP_MAC, GROUP_SOFTMAX
+
+
+class TestSelection:
+    def test_budget_respected(self, library):
+        report = select_components({(GROUP_MAC, "Conv1"): 0.002},
+                                   library, samples=20_000)
+        assignment = report.assignments[(GROUP_MAC, "Conv1")]
+        assert assignment.measured_nm <= 0.002
+
+    def test_zero_tolerance_gives_accurate(self, library):
+        report = select_components({(GROUP_MAC, None): 0.0}, library,
+                                   samples=20_000)
+        assignment = report.assignments[(GROUP_MAC, None)]
+        assert assignment.component == library.accurate.name
+        assert assignment.power_saving == pytest.approx(0.0)
+
+    def test_higher_tolerance_saves_more_power(self, library):
+        low = select_components({(GROUP_MAC, None): 0.001}, library,
+                                samples=20_000)
+        high = select_components({(GROUP_MAC, None): 0.02}, library,
+                                 samples=20_000)
+        assert high.assignments[(GROUP_MAC, None)].power_saving >= \
+            low.assignments[(GROUP_MAC, None)].power_saving
+
+    def test_safety_factor_tightens(self, library):
+        plain = select_components({(GROUP_MAC, None): 0.01}, library,
+                                  samples=20_000)
+        safe = select_components({(GROUP_MAC, None): 0.01}, library,
+                                 safety_factor=4.0, samples=20_000)
+        assert safe.assignments[(GROUP_MAC, None)].measured_nm <= \
+            plain.assignments[(GROUP_MAC, None)].measured_nm
+
+    def test_invalid_safety_factor(self, library):
+        with pytest.raises(ValueError):
+            select_components({}, library, safety_factor=0.5)
+
+    def test_na_bound_enforced(self, library):
+        report = select_components({(GROUP_MAC, None): 0.05}, library,
+                                   bound_na=True, samples=20_000)
+        assignment = report.assignments[(GROUP_MAC, None)]
+        assert abs(assignment.measured_na) <= 0.05
+
+    def test_assignment_for_specificity(self, library):
+        report = select_components(
+            {(GROUP_MAC, None): 0.02, (GROUP_MAC, "Conv1"): 0.001},
+            library, samples=20_000)
+        specific = report.assignment_for(GROUP_MAC, "Conv1")
+        fallback = report.assignment_for(GROUP_MAC, "OtherLayer")
+        assert specific.layer == "Conv1"
+        assert fallback.layer is None
+        with pytest.raises(KeyError):
+            report.assignment_for(GROUP_SOFTMAX, None)
+
+    def test_summary_text(self, library):
+        report = select_components({(GROUP_SOFTMAX, None): 0.1}, library,
+                                   samples=20_000)
+        text = report.summary()
+        assert "Step 6" in text and "softmax" in text
+
+
+class TestMethodologyEndToEnd:
+    @pytest.fixture(scope="class")
+    def design(self, trained_capsnet, mnist_splits, library):
+        _, test_set = mnist_splits
+        config = ReDCaNeConfig(
+            nm_values=(0.5, 0.1, 0.05, 0.01, 0.001, 0.0),
+            batch_size=64, safety_factor=2.0)
+        return ReDCaNe(trained_capsnet, test_set.subset(64), library,
+                       config).run()
+
+    def test_all_steps_produce_output(self, design):
+        assert design.extraction.sites
+        assert design.group_curves
+        assert design.resilient_groups or design.non_resilient_groups
+        assert design.selection.assignments
+
+    def test_softmax_is_resilient(self, design):
+        """Paper Sec. VI: routing softmax is among the resilient groups."""
+        assert GROUP_SOFTMAX in design.resilient_groups
+
+    def test_mac_outputs_analysed_layer_wise(self, design):
+        if GROUP_MAC in design.non_resilient_groups:
+            layers = {layer for g, layer in design.layer_curves
+                      if g == GROUP_MAC}
+            assert layers == {"Conv1", "PrimaryCaps", "ClassCaps"}
+
+    def test_validated_accuracy_close_to_baseline(self, design):
+        assert design.validated_accuracy >= design.baseline_accuracy - 0.05
+        assert design.accuracy_cost <= 0.05
+
+    def test_energy_saving_estimated(self, design):
+        assert design.multiplier_energy_saving is not None
+        assert 0.0 < design.multiplier_energy_saving < 1.0
+
+    def test_summary_readable(self, design):
+        text = design.summary()
+        assert "baseline accuracy" in text
+        assert "Step 6" in text

@@ -1,0 +1,129 @@
+"""Synthetic dataset generators and the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Dataset, available_datasets, dataset_image_shape,
+                        make_dataset, make_split, render_digit,
+                        render_garment)
+
+
+class TestRenderers:
+    def test_digit_range_and_shape(self):
+        img = render_digit(7, 28)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.max() > 0.5  # strokes present
+
+    def test_digits_distinct(self):
+        glyphs = [render_digit(d, 28) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                diff = np.abs(glyphs[i] - glyphs[j]).mean()
+                assert diff > 0.005, f"digits {i} and {j} too similar"
+
+    def test_digit_validation(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+    def test_garments_distinct(self):
+        shapes = [render_garment(g, 28) for g in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(shapes[i] - shapes[j]).mean() > 0.005
+
+    def test_garment_validation(self):
+        with pytest.raises(ValueError):
+            render_garment(-1)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", ["synth-mnist", "synth-fashion",
+                                      "synth-cifar10", "synth-svhn"])
+    def test_shapes_and_ranges(self, name):
+        ds = make_dataset(name, 20, seed=0)
+        channels, size, _ = dataset_image_shape(name)
+        assert ds.images.shape == (20, channels, size, size)
+        assert ds.images.dtype == np.float32
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_determinism(self):
+        a = make_dataset("synth-mnist", 10, seed=5)
+        b = make_dataset("synth-mnist", 10, seed=5)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_content(self):
+        a = make_dataset("synth-mnist", 10, seed=5)
+        b = make_dataset("synth-mnist", 10, seed=6)
+        assert not np.allclose(a.images, b.images)
+
+    def test_label_balance(self):
+        ds = make_dataset("synth-cifar10", 100, seed=1)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert (counts == 10).all()
+
+    def test_split_disjoint_streams(self):
+        train, test = make_split("synth-mnist", 20, 20, seed=3)
+        assert not np.allclose(train.images, test.images)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("imagenet", 10)
+
+    def test_available(self):
+        assert set(available_datasets()) == {
+            "synth-mnist", "synth-fashion", "synth-cifar10", "synth-svhn"}
+
+
+class TestDatasetContainer:
+    def make(self, n=10):
+        rng = np.random.default_rng(0)
+        return Dataset(rng.random((n, 1, 8, 8), dtype=np.float32),
+                       np.arange(n) % 10, name="t")
+
+    def test_len_and_shape(self):
+        ds = self.make(12)
+        assert len(ds) == 12
+        assert ds.image_shape == (1, 8, 8)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Dataset(np.zeros((3, 1, 4, 4)), np.zeros(2, dtype=int))
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            Dataset(np.zeros((3, 4, 4)), np.zeros(3, dtype=int))
+
+    def test_subset_head(self):
+        ds = self.make(10)
+        sub = ds.subset(4)
+        assert len(sub) == 4
+        np.testing.assert_allclose(sub.images, ds.images[:4])
+
+    def test_subset_random(self):
+        ds = self.make(10)
+        sub = ds.subset(5, seed=1)
+        assert len(sub) == 5
+
+    def test_subset_larger_than_dataset(self):
+        ds = self.make(5)
+        assert len(ds.subset(100)) == 5
+
+    def test_batches_cover_everything(self):
+        ds = self.make(10)
+        batches = list(ds.batches(3))
+        assert [len(b[1]) for b in batches] == [3, 3, 3, 1]
+        total = np.concatenate([b[1] for b in batches])
+        np.testing.assert_array_equal(np.sort(total), np.sort(ds.labels))
+
+    def test_batches_shuffle_is_permutation(self):
+        ds = self.make(10)
+        labels = np.concatenate(
+            [b[1] for b in ds.batches(4, shuffle=True, seed=2)])
+        assert not np.array_equal(labels, ds.labels)
+        np.testing.assert_array_equal(np.sort(labels), np.sort(ds.labels))
+
+    def test_batches_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(self.make().batches(0))

@@ -1,0 +1,156 @@
+"""Accuracy-in-the-loop experiments at quick scale (zoo-cached models).
+
+These tests assert the *shape* of the paper's findings — orderings and
+qualitative behaviour — not absolute numbers (see DESIGN.md scale policy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig9, fig10, fig11, fig12, table2, table4
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale(eval_samples=64,
+                        nm_values=(0.5, 0.1, 0.02, 0.005, 0.0),
+                        batch_size=64)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_all_five_benchmarks(self, result):
+        assert len(result.accuracies) == 5
+
+    def test_high_clean_accuracy(self, result):
+        """Every benchmark must train well for resilience analysis to be
+        meaningful (paper Table II: 92.7-99.7%)."""
+        for label, accuracy in result.accuracies.items():
+            assert accuracy > 0.9, f"{label}: {accuracy:.2%}"
+
+    def test_format(self, result):
+        assert "Table II" in result.format_text()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(scale=QUICK)
+
+    def test_four_groups(self, result):
+        assert len(result.curves) == 4
+
+    def test_routing_groups_more_resilient(self, result):
+        """Paper: softmax & logits update tolerate more noise than MAC
+        outputs & activations."""
+        tolerable = {g: c.tolerable_nm(0.02)
+                     for g, c in result.curves.items()}
+        routing_min = min(tolerable["softmax"], tolerable["logits_update"])
+        feedforward_max = max(tolerable["mac_outputs"],
+                              tolerable["activations"])
+        assert routing_min >= feedforward_max
+
+    def test_mac_destroyed_at_large_nm(self, result):
+        assert result.curves["mac_outputs"].drop_at(0.5) < -0.5
+
+    def test_zero_nm_no_drop(self, result):
+        for curve in result.curves.values():
+            assert curve.drop_at(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ranking_and_series(self, result):
+        ranking = result.resilience_ranking()
+        assert set(ranking[:2]) == {"softmax", "logits_update"}
+        series = result.series()
+        assert len(series["softmax"]) == len(QUICK.nm_values)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(scale=ExperimentScale(
+            eval_samples=64, nm_values=(0.1, 0.02, 0.0), batch_size=64))
+
+    def test_covers_all_18_layers_twice(self, result):
+        assert len(result.curves) == 36
+
+    def test_first_conv_least_resilient(self, result):
+        """Paper: 'the first convolutional layer is the least resilient'."""
+        for group in ("mac_outputs", "activations"):
+            ranking = result.tolerable_nm_by_layer(group, max_drop=0.02)
+            assert ranking["Conv2D"] <= min(ranking.values()) + 1e-9
+
+    def test_routing_layer_among_resilient(self, result):
+        """Paper: Caps3D (dynamic routing) is highly resilient; at micro
+        scale we require it to beat the first conv clearly."""
+        ranking = result.tolerable_nm_by_layer("mac_outputs", max_drop=0.02)
+        assert ranking["Caps3D"] >= ranking["Conv2D"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(num_images=16)
+
+    def test_covers_all_conv_layers(self, result):
+        assert len(result.per_layer_quantised) == 18
+
+    def test_quantised_range(self, result):
+        values = result.all_values
+        assert values.min() >= 0 and values.max() <= 255
+
+    def test_histogram_percentages(self, result):
+        freq, centres = result.histogram()
+        assert freq.sum() == pytest.approx(100.0, abs=1e-6)
+        assert len(centres) == 64
+
+    def test_peak_layer_identified(self, result):
+        assert result.peak_layer() in result.per_layer_quantised
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run(num_images=8, samples=20_000,
+                          names=("mul8u_1JFF", "mul8u_NGR", "mul8u_DM1",
+                                 "mul8u_QKX"))
+
+    def test_accurate_has_zero_noise(self, result):
+        row = result.entries[0]
+        assert row["modeled_nm"] == 0.0 and row["real_nm"] == 0.0
+
+    def test_nm_ordering_preserved_under_both_distributions(self, result):
+        by_name = {e["name"]: e for e in result.entries}
+        assert by_name["mul8u_NGR"]["modeled_nm"] < \
+            by_name["mul8u_DM1"]["modeled_nm"] < \
+            by_name["mul8u_QKX"]["modeled_nm"]
+        assert by_name["mul8u_NGR"]["real_nm"] < \
+            by_name["mul8u_DM1"]["real_nm"] < \
+            by_name["mul8u_QKX"]["real_nm"]
+
+    def test_distributions_differ(self, result):
+        """Paper: NM/NA are dataset dependent — modelled vs real values
+        differ (but stay the same order of magnitude)."""
+        row = {e["name"]: e for e in result.entries}["mul8u_DM1"]
+        assert row["real_nm"] > 0
+        assert row["real_nm"] == pytest.approx(row["modeled_nm"], rel=5.0)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12.run(benchmarks=("DeepCaps/MNIST", "CapsNet/MNIST"),
+                         scale=QUICK)
+
+    def test_panels_present(self, result):
+        assert set(result.panels) == {"DeepCaps/MNIST", "CapsNet/MNIST"}
+
+    def test_key_property_all_benchmarks(self, result):
+        """Paper: 'MAC outputs and activations are less resilient than the
+        other two groups' in every benchmark."""
+        for name, panel in result.panels.items():
+            tolerable = {g: c.tolerable_nm(0.02)
+                         for g, c in panel.curves.items()}
+            assert tolerable["softmax"] >= tolerable["mac_outputs"], name
+            assert tolerable["logits_update"] >= \
+                tolerable["mac_outputs"], name

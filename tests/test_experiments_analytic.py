@@ -1,0 +1,114 @@
+"""Analytic experiments (no accuracy loop): Tables I/III, Figs. 4/5/6."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, table1, table3
+from repro.experiments.common import format_table
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_all_five_op_kinds(self, result):
+        assert len(result.rows()) == 5
+
+    def test_giga_scale_mul_add(self, result):
+        counts = result.counts
+        assert counts.mul > 1e9 and counts.add > 1e9
+
+    def test_within_factor_of_paper(self, result):
+        """Counting conventions differ; require agreement within ~4x."""
+        for label, ours, paper, ratio, _ in result.rows():
+            assert 0.25 <= ratio <= 4.0, f"{label} ratio {ratio}"
+
+    def test_format(self, result):
+        text = result.format_text()
+        assert "Multiplication" in text and "Unit Energy" in text
+
+
+class TestFig4:
+    def test_mult_dominates(self):
+        result = fig4.run()
+        assert result.shares["mult"] > 0.9
+        assert result.shares["add"] < 0.1
+        assert result.shares["other"] < 0.02
+        assert sum(result.shares.values()) == pytest.approx(1.0)
+
+    def test_format(self):
+        assert "energy breakdown" in fig4.run().format_text()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run()
+
+    def test_matches_paper_savings(self, result):
+        savings = {name: point.saving_vs_accurate
+                   for name, point in result.points.items()}
+        assert savings["XM"] == pytest.approx(0.283, abs=0.02)
+        assert savings["XA"] == pytest.approx(0.019, abs=0.01)
+        assert savings["XAM"] == pytest.approx(0.302, abs=0.02)
+
+    def test_xm_dominates_xa(self, result):
+        """The paper's argument for focusing on multipliers."""
+        assert result.points["XM"].saving_vs_accurate > \
+            10 * result.points["XA"].saving_vs_accurate
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(samples=30_000)
+
+    def test_all_six_profiles(self, result):
+        assert len(result.profiles) == 6  # 2 components x 3 depths
+
+    def test_std_grows_with_depth(self, result):
+        for name in ("mul8u_NGR", "mul8u_DM1"):
+            stds = [result.profiles[(name, d)].fit.std for d in (1, 9, 81)]
+            assert stds[0] < stds[1] < stds[2]
+            # sqrt scaling within tolerance
+            assert stds[1] / stds[0] == pytest.approx(3.0, rel=0.3)
+
+    def test_accumulated_profiles_gaussian(self, result):
+        """Paper: accumulated MAC errors are well fit by Gaussians (CLT)."""
+        for name in ("mul8u_NGR", "mul8u_DM1"):
+            assert result.profiles[(name, 81)].gaussian_like
+
+    def test_dm1_noisier_than_ngr(self, result):
+        assert result.profiles[("mul8u_DM1", 1)].fit.std > \
+            result.profiles[("mul8u_NGR", 1)].fit.std
+
+    def test_series_histograms(self, result):
+        counts, centres, fit = result.series()[("mul8u_NGR", 9)]
+        assert counts.sum() == 30_000
+        assert len(counts) == len(centres)
+        assert fit.std > 0
+
+
+class TestTable3:
+    def test_deepcaps_groups(self):
+        result = table3.run(preset="deepcaps-micro")
+        rows = result.rows()
+        assert len(rows) == 4
+        counts = {group: sites for _, group, _, sites in rows}
+        assert counts["mac_outputs"] > counts["softmax"]
+        assert counts["logits_update"] >= 4  # 2 routing layers x 2 updates
+
+    def test_capsnet_groups(self):
+        result = table3.run(preset="capsnet-micro", in_channels=1,
+                            image_size=28)
+        counts = {group: sites for _, group, _, sites in result.rows()}
+        assert counts["softmax"] == 3   # one routing layer, 3 iterations
+        assert counts["logits_update"] == 2
+
+
+def test_format_table_helper():
+    text = format_table(["a", "bb"], [(1, 22), (333, 4)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "333" in text

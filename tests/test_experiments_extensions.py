@@ -1,0 +1,90 @@
+"""Extension experiments: X1 bit-true validation, X2-X4 ablations."""
+
+import pytest
+
+from repro.experiments import ablation, bittrue_validation
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(eval_samples=48, nm_values=(0.2, 0.02, 0.0),
+                       batch_size=48)
+
+
+class TestBitTrue:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return bittrue_validation.run(
+            eval_samples=32, components=("mul8u_NGR", "mul8u_QKX"))
+
+    def test_entries_present(self, result):
+        assert len(result.entries) == 2
+        assert result.baseline_accuracy > 0.9
+
+    def test_benign_component_keeps_accuracy(self, result):
+        ngr = result.entries[0]
+        assert ngr["bit_true"] > 0.7
+
+    def test_aggressive_component_destroys(self, result):
+        qkx = result.entries[1]
+        assert qkx["bit_true"] < 0.5
+
+    def test_aware_model_tracks_bit_true_better(self, result):
+        """The accumulation-aware model must not be worse than the naive
+        per-product model overall."""
+        assert result.max_gap("aware") <= result.max_gap("naive") + 0.05
+
+    def test_format(self, result):
+        assert "bit-true" in result.format_text()
+
+
+class TestRoutingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run_routing_ablation(
+            benchmark="DeepCaps/MNIST", iterations=(1, 3), scale=TINY)
+
+    def test_iterations_swept(self, result):
+        assert set(result.tolerable_by_iterations) == {1, 3}
+
+    def test_clean_accuracy_stays_usable(self, result):
+        for iters, accuracy in result.baseline_by_iterations.items():
+            assert accuracy > 0.5, f"{iters} iterations: {accuracy:.2%}"
+
+    def test_restores_routing_depth(self, result, ):
+        from repro.experiments.common import benchmark_entry
+        entry = benchmark_entry("DeepCaps/MNIST")
+        assert entry.model.class_caps.routing_iterations == 3
+
+
+class TestNoiseAverage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run_noise_average_sweep(
+            benchmark="CapsNet/MNIST", nm=0.005,
+            na_values=(-0.05, 0.0, 0.05), scale=TINY)
+
+    def test_groups_swept(self, result):
+        assert set(result.drops) == {"mac_outputs", "softmax",
+                                     "logits_update"}
+
+    def test_zero_na_is_mildest_for_mac(self, result):
+        pairs = dict(result.drops["mac_outputs"])
+        assert pairs[0.0] >= min(pairs[-0.05], pairs[0.05]) - 0.05
+
+    def test_softmax_tolerates_bias(self, result):
+        """Routing coefficients renormalise, absorbing bias."""
+        for na, drop in result.drops["softmax"]:
+            assert drop > -0.2
+
+
+class TestQuantization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run_quantization_sweep(
+            benchmark="CapsNet/MNIST", bit_widths=(2, 8), scale=TINY)
+
+    def test_eight_bits_enough(self, result):
+        """Paper (via CapsAcc): 8-bit wordlength is accurate enough."""
+        assert result.accuracy_by_bits[8] >= result.baseline_accuracy - 0.02
+
+    def test_two_bits_hurt_more_than_eight(self, result):
+        assert result.accuracy_by_bits[2] <= result.accuracy_by_bits[8]

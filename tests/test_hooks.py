@@ -1,0 +1,122 @@
+"""Injection-site hook system: matching, transforms, observers, scoping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import hooks
+from repro.nn.hooks import HookRegistry, InjectionSite, emit, use_registry
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def site():
+    return InjectionSite("Conv1", hooks.GROUP_MAC, "votes")
+
+
+class TestInjectionSite:
+    def test_str(self, site):
+        assert str(site) == "Conv1[mac_outputs]/votes"
+        assert str(InjectionSite("L", "activations")) == "L[activations]"
+
+    def test_frozen_and_hashable(self, site):
+        with pytest.raises(AttributeError):
+            site.layer = "other"
+        assert len({site, InjectionSite("Conv1", hooks.GROUP_MAC, "votes")}) == 1
+
+    def test_group_constants(self):
+        assert hooks.INJECTABLE_GROUPS == (
+            "mac_outputs", "activations", "softmax", "logits_update")
+        assert hooks.GROUP_MAC_INPUTS not in hooks.INJECTABLE_GROUPS
+        for group in hooks.INJECTABLE_GROUPS:
+            assert group in hooks.GROUP_DESCRIPTIONS
+
+
+class TestMatcher:
+    def test_match_by_group(self, site):
+        assert HookRegistry.match(group=hooks.GROUP_MAC)(site)
+        assert not HookRegistry.match(group="softmax")(site)
+
+    def test_match_by_layer_and_tag(self, site):
+        assert HookRegistry.match(layer="Conv1", tag="votes")(site)
+        assert not HookRegistry.match(layer="Conv1", tag="other")(site)
+
+    def test_match_unconstrained(self, site):
+        assert HookRegistry.match()(site)
+
+
+class TestEmit:
+    def test_no_registry_is_identity(self, site):
+        t = Tensor([1.0, 2.0])
+        assert emit(site, t) is t
+
+    def test_transform_applies(self, site):
+        registry = HookRegistry()
+        registry.add_transform(HookRegistry.match(group=hooks.GROUP_MAC),
+                               lambda s, v: v + 1.0)
+        with use_registry(registry):
+            out = emit(site, Tensor([1.0]))
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_transform_nonmatching_is_noop(self, site):
+        registry = HookRegistry()
+        registry.add_transform(HookRegistry.match(group="softmax"),
+                               lambda s, v: v + 1.0)
+        with use_registry(registry):
+            t = Tensor([1.0])
+            assert emit(site, t) is t
+
+    def test_transforms_compose_in_order(self, site):
+        registry = HookRegistry()
+        registry.add_transform(lambda s: True, lambda s, v: v + 1.0)
+        registry.add_transform(lambda s: True, lambda s, v: v * 10.0)
+        with use_registry(registry):
+            out = emit(site, Tensor([1.0]))
+        np.testing.assert_allclose(out.data, [20.0])
+
+    def test_observer_sees_value_without_changing_it(self, site):
+        seen = []
+        registry = HookRegistry()
+        registry.add_observer(lambda s: True,
+                              lambda s, v: seen.append((s, v.copy())))
+        with use_registry(registry):
+            t = Tensor([3.0])
+            out = emit(site, t)
+        assert out is t
+        assert seen[0][0] == site
+        np.testing.assert_allclose(seen[0][1], [3.0])
+
+    def test_nested_registries_both_apply(self, site):
+        r1, r2 = HookRegistry(), HookRegistry()
+        r1.add_transform(lambda s: True, lambda s, v: v + 1.0)
+        r2.add_transform(lambda s: True, lambda s, v: v * 2.0)
+        with use_registry(r1), use_registry(r2):
+            out = emit(site, Tensor([1.0]))
+        np.testing.assert_allclose(out.data, [4.0])  # (1+1)*2
+
+    def test_registry_deactivated_after_context(self, site):
+        registry = HookRegistry()
+        registry.add_transform(lambda s: True, lambda s, v: v + 1.0)
+        with use_registry(registry):
+            pass
+        assert hooks.active_registries() == ()
+        t = Tensor([1.0])
+        assert emit(site, t) is t
+
+    def test_gradient_flows_through_injection(self, site):
+        registry = HookRegistry()
+        registry.add_transform(lambda s: True, lambda s, v: v + 5.0)
+        x = Tensor([2.0], requires_grad=True)
+        with use_registry(registry):
+            out = emit(site, x * 3.0)
+        out.sum().backward()
+        # noise is an additive constant: gradient unchanged
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_clear_and_flags(self):
+        registry = HookRegistry()
+        assert not registry.has_transforms and not registry.has_observers
+        registry.add_transform(lambda s: True, lambda s, v: v)
+        registry.add_observer(lambda s: True, lambda s, v: None)
+        assert registry.has_transforms and registry.has_observers
+        registry.clear()
+        assert not registry.has_transforms and not registry.has_observers

@@ -1,0 +1,153 @@
+"""Hardware op-count and energy model."""
+
+import numpy as np
+import pytest
+
+from repro.approx import ADDER_5LT, EXACT_ADDER, default_library
+from repro.hw import (OP_KINDS, PAPER_45NM, OpCounts, TechLibrary,
+                      count_model_ops, design_points, energy_breakdown)
+from repro.hw.opcount import (_conv_counts, _routing_counts, _softmax_counts,
+                              _squash_counts)
+from repro.models import build_model
+
+
+class TestOpCounts:
+    def test_addition(self):
+        total = OpCounts(add=1, mul=2) + OpCounts(add=10, div=3)
+        assert total.add == 11 and total.mul == 2 and total.div == 3
+
+    def test_scaled(self):
+        assert OpCounts(mul=5).scaled(3).mul == 15
+
+    def test_total_and_dict(self):
+        counts = OpCounts(1, 2, 3, 4, 5)
+        assert counts.total == 15
+        assert list(counts.as_dict()) == list(OP_KINDS)
+
+
+class TestPrimitiveCounts:
+    def test_conv_counts_formula(self):
+        counts = _conv_counts(out_ch=8, oh=10, ow=10, in_ch=3, kernel=3)
+        macs = 8 * 10 * 10 * 3 * 9
+        assert counts.mul == macs and counts.add == macs
+
+    def test_squash_counts(self):
+        counts = _squash_counts(num_caps=7, dim=8)
+        assert counts.sqrt == 7
+        assert counts.div == 7 * 9
+        assert counts.mul == 7 * 17
+
+    def test_softmax_counts(self):
+        counts = _softmax_counts(groups=5, classes=10)
+        assert counts.exp == 50 and counts.div == 50 and counts.add == 45
+
+    def test_routing_counts_iterations(self):
+        one = _routing_counts(4, 3, 8, 2, iterations=1)
+        three = _routing_counts(4, 3, 8, 2, iterations=3)
+        assert three.exp == 3 * one.exp
+        assert three.add > 3 * one.add  # logits updates add extra work
+
+
+class TestModelCounts:
+    def test_capsnet_layers(self):
+        model = build_model("capsnet-micro", in_channels=1, image_size=28)
+        report = count_model_ops(model)
+        assert list(report.per_layer) == ["Conv1", "PrimaryCaps", "ClassCaps"]
+        assert report.total.mul > 0
+
+    def test_deepcaps_has_18_layers(self):
+        model = build_model("deepcaps-micro", in_channels=3, image_size=32)
+        report = count_model_ops(model)
+        assert len(report.per_layer) == 18
+        assert set(report.per_layer) == set(model.layer_names)
+
+    def test_mul_roughly_equals_add(self):
+        """Convolution-dominated: Table I shows #add ~ #mul."""
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        total = count_model_ops(model).total
+        assert total.add == pytest.approx(total.mul, rel=0.1)
+
+    def test_routing_layers_have_exp(self):
+        model = build_model("deepcaps-micro", in_channels=3, image_size=32)
+        report = count_model_ops(model)
+        assert report.per_layer["Caps3D"].exp > 0
+        assert report.per_layer["ClassCaps"].exp > 0
+        assert report.per_layer["Conv2D"].exp == 0
+
+    def test_table1_magnitudes(self):
+        """Full DeepCaps at 64x64: giga-scale mul/add, mega-scale div."""
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        total = count_model_ops(model).total
+        assert 0.5e9 < total.mul < 5e9
+        assert 0.5e9 < total.add < 5e9
+        assert 1e5 < total.div < 1e7
+        assert total.sqrt > total.exp / 2
+
+    def test_unsupported_model(self):
+        with pytest.raises(TypeError):
+            count_model_ops(object())
+
+
+class TestEnergy:
+    def test_tech_library(self):
+        assert PAPER_45NM.energy_of("mul") == pytest.approx(0.5354)
+        with pytest.raises(KeyError):
+            PAPER_45NM.energy_of("fma")
+        assert set(PAPER_45NM.as_dict()) == set(OP_KINDS)
+
+    def test_breakdown_shares_sum_to_one(self):
+        counts = OpCounts(add=1000, mul=1000, div=10, exp=5, sqrt=5)
+        breakdown = energy_breakdown(counts)
+        assert sum(breakdown.shares.values()) == pytest.approx(1.0)
+        fig4 = breakdown.fig4_shares
+        assert sum(fig4.values()) == pytest.approx(1.0)
+
+    def test_mult_dominates_for_deepcaps(self):
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        breakdown = energy_breakdown(count_model_ops(model).total)
+        assert breakdown.fig4_shares["mult"] > 0.9  # paper: 96%
+
+    def test_mul_scale_reduces_energy(self):
+        counts = OpCounts(add=100, mul=100)
+        full = energy_breakdown(counts).total_pj
+        scaled = energy_breakdown(counts, mul_scale=0.5).total_pj
+        assert scaled < full
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            energy_breakdown(OpCounts(mul=1), mul_scale=0.0)
+
+    def test_zero_energy_shares_raise(self):
+        with pytest.raises(ValueError):
+            energy_breakdown(OpCounts()).shares
+
+
+class TestDesignPoints:
+    def test_fig5_ordering(self, library):
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        counts = count_model_ops(model).total
+        points = design_points(counts, multiplier=library.get("mul8u_NGR"),
+                               adder=ADDER_5LT)
+        assert set(points) == {"Acc", "XM", "XA", "XAM"}
+        assert points["Acc"].saving_vs_accurate == pytest.approx(0.0)
+        assert points["XAM"].total_pj < points["XM"].total_pj \
+            < points["XA"].total_pj < points["Acc"].total_pj
+
+    def test_fig5_paper_values(self, library):
+        """The paper's headline: XM -28.3%, XA -1.9%, XAM -30.2%."""
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        counts = count_model_ops(model).total
+        points = design_points(counts, multiplier=library.get("mul8u_NGR"),
+                               adder=ADDER_5LT)
+        assert points["XM"].saving_vs_accurate == pytest.approx(0.283,
+                                                                abs=0.02)
+        assert points["XA"].saving_vs_accurate == pytest.approx(0.019,
+                                                                abs=0.01)
+        assert points["XAM"].saving_vs_accurate == pytest.approx(0.302,
+                                                                 abs=0.02)
+
+    def test_exact_components_save_nothing(self, library):
+        counts = OpCounts(add=100, mul=100)
+        points = design_points(counts, multiplier=library.accurate,
+                               adder=EXACT_ADDER)
+        assert points["XAM"].saving_vs_accurate == pytest.approx(0.0)

@@ -1,0 +1,77 @@
+"""Cross-module integration: the full paper pipeline, from data to design."""
+
+import numpy as np
+import pytest
+
+from repro.approx import default_library
+from repro.core import (NoiseSpec, ReDCaNe, ReDCaNeConfig, extract_groups,
+                        noisy_accuracy)
+from repro.data import make_split
+from repro.models import build_model
+from repro.nn.hooks import GROUP_MAC
+from repro.train import TrainConfig, Trainer, evaluate_accuracy
+
+
+@pytest.mark.parametrize("preset,dataset,channels,size", [
+    ("capsnet-micro", "synth-fashion", 1, 28),
+    ("deepcaps-micro", "synth-svhn", 3, 32),
+])
+def test_train_inject_design_pipeline(preset, dataset, channels, size):
+    """Fig. 8 experimental setup end to end, one tiny benchmark per model."""
+    train_set, test_set = make_split(dataset, 500, 64, seed=21)
+    model = build_model(preset, in_channels=channels, image_size=size,
+                        seed=2)
+    Trainer(model, TrainConfig(epochs=5, batch_size=32)).fit(train_set)
+    clean = evaluate_accuracy(model, test_set)
+    assert clean > 0.7, f"{preset}/{dataset} trained poorly: {clean:.2%}"
+
+    # Noise injection degrades gracefully and monotonically-ish.
+    noisy_small = noisy_accuracy(model, test_set, NoiseSpec(nm=0.001, seed=0),
+                                 groups=[GROUP_MAC])
+    noisy_large = noisy_accuracy(model, test_set, NoiseSpec(nm=1.0, seed=0),
+                                 groups=[GROUP_MAC])
+    assert noisy_small >= clean - 0.1
+    assert noisy_large <= clean
+
+    # Group extraction sees the architecture.
+    extraction = extract_groups(model, test_set.images[:4])
+    expected_layers = 3 if preset.startswith("capsnet") else 18
+    assert len(extraction.layers_in_group(GROUP_MAC)) == expected_layers
+
+    # The methodology produces a validated design.
+    config = ReDCaNeConfig(nm_values=(0.1, 0.01, 0.0), batch_size=64,
+                           safety_factor=2.0)
+    design = ReDCaNe(model, test_set, default_library(), config).run()
+    assert design.selection.assignments
+    assert design.validated_accuracy >= design.baseline_accuracy - 0.15
+
+
+def test_state_dict_preserves_noisy_behaviour():
+    """Saving/loading a model must not change injection results (the zoo
+    cache underpins every experiment)."""
+    train_set, test_set = make_split("synth-mnist", 200, 48, seed=31)
+    model = build_model("capsnet-micro", in_channels=1, image_size=28,
+                        seed=4)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32)).fit(train_set)
+    state = model.state_dict()
+    reloaded = build_model("capsnet-micro", in_channels=1, image_size=28,
+                           seed=99)
+    reloaded.load_state_dict(state)
+    spec = NoiseSpec(nm=0.02, seed=7)
+    acc_a = noisy_accuracy(model, test_set, spec, groups=[GROUP_MAC])
+    acc_b = noisy_accuracy(reloaded, test_set, spec, groups=[GROUP_MAC])
+    assert acc_a == pytest.approx(acc_b, abs=1e-9)
+
+
+def test_noise_injection_does_not_leak_into_training():
+    """Registries are scoped: training after an injected evaluation must
+    behave as if no injection ever happened."""
+    train_set, _ = make_split("synth-mnist", 64, 16, seed=41)
+    model = build_model("capsnet-micro", in_channels=1, image_size=28,
+                        seed=6)
+    from repro.nn.hooks import active_registries
+    noisy_accuracy(model, train_set.subset(16), NoiseSpec(nm=0.5, seed=0),
+                   groups=[GROUP_MAC])
+    assert active_registries() == ()
+    result = Trainer(model, TrainConfig(epochs=1, batch_size=32)).fit(train_set)
+    assert np.isfinite(result.losses[0])

@@ -1,0 +1,112 @@
+"""Standard layers: shapes, activations, site emission, batch norm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2D, Conv2D, Dense, Flatten, hooks
+from repro.nn.hooks import HookRegistry, use_registry
+from repro.tensor import Tensor
+
+
+def collect_sites(module, x):
+    sites = []
+    registry = HookRegistry()
+    registry.add_observer(lambda s: True, lambda s, v: sites.append(s))
+    with use_registry(registry):
+        module(x)
+    return sites
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, 3, stride=2, padding=1, name="c")
+        out = layer(Tensor(rng.random((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_relu_applied(self, rng):
+        layer = Conv2D(1, 4, 3, activation="relu", name="c")
+        out = layer(Tensor(rng.normal(size=(1, 1, 6, 6)).astype(np.float32)))
+        assert (out.data >= 0).all()
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 3, activation="gelu")
+
+    def test_sites_emitted(self, rng):
+        layer = Conv2D(1, 4, 3, activation="relu", name="myconv")
+        x = Tensor(rng.random((1, 1, 6, 6), dtype=np.float32))
+        sites = collect_sites(layer, x)
+        groups = [(s.layer, s.group) for s in sites]
+        assert ("myconv", hooks.GROUP_MAC_INPUTS) in groups
+        assert ("myconv", hooks.GROUP_MAC) in groups
+        assert ("myconv", hooks.GROUP_ACTIVATIONS) in groups
+
+    def test_no_activation_site_without_relu(self, rng):
+        layer = Conv2D(1, 4, 3, name="c")
+        sites = collect_sites(layer,
+                              Tensor(rng.random((1, 1, 6, 6),
+                                                dtype=np.float32)))
+        assert all(s.group != hooks.GROUP_ACTIVATIONS for s in sites)
+
+
+class TestDense:
+    def test_shape_and_math(self, rng):
+        layer = Dense(4, 3, name="d")
+        layer.weight.data = np.eye(4, 3).astype(np.float32)
+        layer.bias.data = np.ones(3, dtype=np.float32)
+        out = layer(Tensor(np.array([[1.0, 2.0, 3.0, 4.0]])))
+        np.testing.assert_allclose(out.data, [[2.0, 3.0, 4.0]])
+
+    def test_relu(self):
+        layer = Dense(2, 2, activation="relu", name="d")
+        layer.weight.data = -np.eye(2, dtype=np.float32)
+        layer.bias.data = np.zeros(2, dtype=np.float32)
+        out = layer(Tensor(np.array([[1.0, 1.0]])))
+        np.testing.assert_allclose(out.data, [[0.0, 0.0]])
+
+    def test_sites(self, rng):
+        layer = Dense(4, 3, name="d")
+        sites = collect_sites(layer,
+                              Tensor(rng.random((2, 4), dtype=np.float32)))
+        assert [(s.layer, s.group) for s in sites] == [
+            ("d", hooks.GROUP_MAC_INPUTS), ("d", hooks.GROUP_MAC)]
+
+
+class TestBatchNorm2D:
+    def test_training_normalises(self, rng):
+        bn = BatchNorm2D(3)
+        x = Tensor(rng.normal(5.0, 2.0, size=(8, 3, 4, 4)).astype(np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)),
+                                   np.zeros(3), atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)),
+                                   np.ones(3), atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2D(2, momentum=0.5)
+        x = Tensor(rng.normal(3.0, 1.0, size=(16, 2, 4, 4)).astype(np.float32))
+        bn(x)
+        assert (bn._buffers["running_mean"] > 1.0).all()
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2)
+        bn._buffers["running_mean"] = np.array([1.0, 2.0], dtype=np.float32)
+        bn._buffers["running_var"] = np.array([4.0, 9.0], dtype=np.float32)
+        bn.eval()
+        x = Tensor(np.ones((1, 2, 1, 1), dtype=np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.reshape(-1),
+                                   [(1 - 1) / 2, (1 - 2) / 3], atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        bn = BatchNorm2D(1)
+        bn.gamma.data = np.array([2.0], dtype=np.float32)
+        bn.beta.data = np.array([1.0], dtype=np.float32)
+        x = Tensor(rng.normal(size=(4, 1, 3, 3)).astype(np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(), 1.0, atol=1e-4)
+
+
+def test_flatten():
+    out = Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+    assert out.shape == (2, 60)

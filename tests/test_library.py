@@ -1,0 +1,115 @@
+"""Component library: contents, selection, Pareto front."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (ACCURATE_MULTIPLIER_NAME, TABLE_IV_NAMES,
+                          ComponentLibrary, MultiplierModel, default_library)
+
+
+class TestContents:
+    def test_library_size_is_35(self, library):
+        assert len(library) == 35  # paper: 35 EvoApprox8B components
+
+    def test_named_components_present(self, library):
+        assert len(TABLE_IV_NAMES) == 15
+        for name in TABLE_IV_NAMES:
+            assert name in library
+
+    def test_accurate_component(self, library):
+        acc = library.accurate
+        assert acc.name == ACCURATE_MULTIPLIER_NAME
+        assert acc.is_exact
+        assert acc.power_uw == pytest.approx(391.0)
+
+    def test_paper_metadata_attached(self, library):
+        ngr = library.get("mul8u_NGR")
+        assert ngr.paper_na == pytest.approx(0.0001)
+        assert ngr.paper_nm == pytest.approx(0.0008)
+        assert ngr.area_um2 == pytest.approx(512.0)
+
+    def test_extras_have_no_paper_columns(self, library):
+        extra = library.get("mul8u_B08")
+        assert extra.paper_na is None and extra.paper_nm is None
+
+    def test_get_unknown(self, library):
+        with pytest.raises(KeyError, match="no component"):
+            library.get("mul8u_NOPE")
+
+    def test_duplicate_names_rejected(self):
+        comp = MultiplierModel("dup", "exact", power_uw=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ComponentLibrary([comp, MultiplierModel("dup", "exact")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentLibrary([])
+
+    def test_without_extras(self):
+        assert len(default_library(include_extras=False)) == 15
+
+
+class TestMeasurement:
+    def test_measured_parameters_cached(self, library):
+        first = library.measured_parameters("mul8u_NGR", samples=10_000)
+        second = library.measured_parameters("mul8u_NGR", samples=10_000)
+        assert first == second
+
+    def test_measured_tracks_paper_ranking(self, library):
+        """Our behavioural models must preserve the paper's NM ordering for
+        the well-separated components."""
+        nm = {name: library.measured_parameters(name, samples=20_000)[1]
+              for name in ("mul8u_14VP", "mul8u_NGR", "mul8u_DM1",
+                           "mul8u_96D", "mul8u_QKX")}
+        assert nm["mul8u_14VP"] < nm["mul8u_NGR"] < nm["mul8u_DM1"] \
+            < nm["mul8u_96D"] < nm["mul8u_QKX"]
+
+    def test_magnitudes_close_to_paper(self, library):
+        """Measured NM within 3x of the paper's published value (behavioural
+        re-creation, DESIGN.md)."""
+        for name in TABLE_IV_NAMES:
+            component = library.get(name)
+            if not component.paper_nm:
+                continue
+            _, nm = library.measured_parameters(name, samples=20_000)
+            assert nm == pytest.approx(component.paper_nm, rel=2.0), name
+
+
+class TestSelection:
+    def test_selects_cheapest_within_budget(self, library):
+        result = library.select(0.0050, samples=20_000)
+        assert result.measured_nm <= 0.0050
+        # every cheaper component must violate the budget
+        for component in library:
+            if component.power_uw < result.component.power_uw:
+                _, nm = library.measured_parameters(component.name,
+                                                    samples=20_000)
+                assert nm > 0.0050
+
+    def test_zero_budget_gives_accurate(self, library):
+        result = library.select(0.0, samples=20_000)
+        assert result.component.is_exact
+
+    def test_na_bound(self, library):
+        unbounded = library.select(0.05, samples=20_000)
+        bounded = library.select(0.05, max_abs_na=0.001, samples=20_000)
+        assert abs(bounded.measured_na) <= 0.001
+        assert bounded.component.power_uw >= unbounded.component.power_uw
+
+    def test_large_budget_picks_cheapest_overall(self, library):
+        result = library.select(1.0, samples=20_000)
+        cheapest = min(library, key=lambda c: c.power_uw)
+        assert result.component.name == cheapest.name
+
+
+class TestPareto:
+    def test_front_properties(self, library):
+        front = library.pareto_front()
+        assert front, "pareto front cannot be empty"
+        assert library.accurate.name in {c.name for c in front}
+        powers = [c.power_uw for c in front]
+        assert powers == sorted(powers)
+        # along the front, decreasing power must increase NM
+        nms = [library.measured_parameters(c.name)[1] for c in front]
+        assert all(nms[i] <= nms[i + 1] or powers[i] < powers[i + 1]
+                   for i in range(len(front) - 1))

@@ -1,0 +1,138 @@
+"""Losses and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, Adam, Parameter, cross_entropy_loss, margin_loss,
+                      spread_loss)
+from repro.tensor import Tensor
+
+
+def perfect_caps(labels, num_classes=4, dim=8, hot=0.95, cold=0.05):
+    """Capsules whose lengths are `hot` for the label, `cold` elsewhere."""
+    n = len(labels)
+    caps = np.zeros((n, num_classes, dim), dtype=np.float32)
+    caps[:, :, 0] = cold
+    caps[np.arange(n), labels, 0] = hot
+    return Tensor(caps)
+
+
+class TestMarginLoss:
+    def test_zero_for_ideal_prediction(self):
+        labels = np.array([0, 1, 2])
+        loss = margin_loss(perfect_caps(labels), labels)
+        # hot 0.95 > m+ = 0.9 and cold 0.05 < m- = 0.1 -> exactly zero
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_penalises_missing_class(self):
+        labels = np.array([0])
+        caps = np.zeros((1, 4, 8), dtype=np.float32)  # all lengths 0
+        loss = margin_loss(caps if isinstance(caps, Tensor) else Tensor(caps),
+                           labels)
+        assert float(loss.data) == pytest.approx(0.81, abs=1e-3)  # 0.9^2
+
+    def test_penalises_wrong_class_presence(self):
+        labels = np.array([0])
+        caps = np.zeros((1, 2, 4), dtype=np.float32)
+        caps[0, 0, 0] = 0.95   # correct present
+        caps[0, 1, 0] = 1.0    # wrong also present
+        loss = margin_loss(Tensor(caps), labels)
+        expected = 0.5 * (1.0 - 0.1) ** 2
+        assert float(loss.data) == pytest.approx(expected, abs=1e-3)
+
+    def test_differentiable(self):
+        caps = Tensor(np.random.default_rng(0).normal(
+            size=(2, 3, 4)).astype(np.float32), requires_grad=True)
+        margin_loss(caps, np.array([0, 2])).backward()
+        assert caps.grad is not None and np.isfinite(caps.grad).all()
+
+    def test_margin_loss_with_args(self):
+        labels = np.array([1])
+        caps = perfect_caps(labels, hot=0.8)
+        strict = margin_loss(caps, labels, m_plus=0.95)
+        lax = margin_loss(caps, labels, m_plus=0.5)
+        assert float(strict.data) > float(lax.data)
+
+
+class TestMarginLossSignature:
+    def test_invalid_caps_shape(self):
+        # lengths computed along last axis; 2-D logits are not capsules,
+        # but margin_loss should still operate on (N, classes, dim) only.
+        caps = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        loss = margin_loss(caps, np.array([0, 1]))
+        assert np.isfinite(float(loss.data))
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0, 0.0]], dtype=np.float32))
+        labels = np.array([0])
+        loss = float(cross_entropy_loss(logits, labels).data)
+        probs = np.exp([2.0, 0, 0]) / np.exp([2.0, 0, 0]).sum()
+        assert loss == pytest.approx(-np.log(probs[0]), abs=1e-4)
+
+    def test_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = float(cross_entropy_loss(logits, np.zeros(4, dtype=int)).data)
+        assert loss == pytest.approx(np.log(10), abs=1e-4)
+
+
+class TestSpreadLoss:
+    def test_zero_when_margin_satisfied(self):
+        labels = np.array([0])
+        caps = perfect_caps(labels, hot=0.99, cold=0.01)
+        assert float(spread_loss(caps, labels, margin=0.5).data) == \
+            pytest.approx(0.0, abs=1e-5)
+
+    def test_positive_when_violated(self):
+        labels = np.array([0])
+        caps = perfect_caps(labels, hot=0.5, cold=0.45)
+        assert float(spread_loss(caps, labels, margin=0.9).data) > 0
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad = np.array([0.5, 0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95], rtol=1e-5)
+
+    def test_sgd_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert (p.data - first) < -1.0  # second step larger than first
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        p.grad = np.zeros(1, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] < 10.0
+
+    def test_skip_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_adam_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-2)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.ones(1, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None

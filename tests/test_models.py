@@ -1,0 +1,100 @@
+"""Model architectures and the preset registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (CapsNet, DeepCaps, available_presets, build_model)
+from repro.tensor import Tensor
+
+
+class TestCapsNet:
+    def test_output_shape(self, rng):
+        model = build_model("capsnet-micro", in_channels=1, image_size=28)
+        out = model(Tensor(rng.random((3, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (3, 10, 16)
+
+    def test_layer_names(self):
+        model = build_model("capsnet-micro")
+        assert model.layer_names == ["Conv1", "PrimaryCaps", "ClassCaps"]
+        assert model.routing_layers == ["ClassCaps"]
+
+    def test_predict_returns_labels(self, rng):
+        model = build_model("capsnet-micro", in_channels=1, image_size=28)
+        labels = model.predict(Tensor(rng.random((4, 1, 28, 28),
+                                                 dtype=np.float32)))
+        assert labels.shape == (4,)
+        assert ((labels >= 0) & (labels < 10)).all()
+
+    def test_custom_num_classes(self, rng):
+        model = CapsNet(conv_channels=16, primary_caps=2, num_classes=5)
+        out = model(Tensor(rng.random((1, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (1, 5, 16)
+
+    def test_seed_reproducibility(self):
+        m1 = build_model("capsnet-micro", seed=7)
+        m2 = build_model("capsnet-micro", seed=7)
+        np.testing.assert_allclose(m1.conv1.weight.data,
+                                   m2.conv1.weight.data)
+        m3 = build_model("capsnet-micro", seed=8)
+        assert not np.allclose(m1.conv1.weight.data, m3.conv1.weight.data)
+
+
+class TestDeepCaps:
+    def test_output_shape_28(self, rng):
+        model = build_model("deepcaps-micro", in_channels=1, image_size=28)
+        out = model(Tensor(rng.random((2, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (2, 10, 16)
+
+    def test_output_shape_32_rgb(self, rng):
+        model = build_model("deepcaps-micro", in_channels=3, image_size=32)
+        out = model(Tensor(rng.random((2, 3, 32, 32), dtype=np.float32)))
+        assert out.shape == (2, 10, 16)
+        assert model.final_grid == 2
+
+    def test_layer_names_fig10(self):
+        model = build_model("deepcaps-micro")
+        names = model.layer_names
+        assert len(names) == 18
+        assert names[0] == "Conv2D"
+        assert names[1:16] == [f"Caps2D{i}" for i in range(1, 16)]
+        assert names[16:] == ["Caps3D", "ClassCaps"]
+        assert model.routing_layers == ["Caps3D", "ClassCaps"]
+
+    def test_all_layer_names_unique(self):
+        model = build_model("deepcaps-micro")
+        assert len(set(model.layer_names)) == 18
+
+    def test_four_cells_with_3d_skip(self):
+        from repro.nn import ConvCaps2D, ConvCaps3D
+        model = build_model("deepcaps-micro")
+        assert len(model.cells) == 4
+        for cell in model.cells[:3]:
+            assert isinstance(cell.skip, ConvCaps2D)
+        assert isinstance(model.cells[3].skip, ConvCaps3D)
+
+    def test_downsampling_strides(self):
+        model = build_model("deepcaps-micro")
+        for cell in model.cells:
+            assert cell.first.stride == 2
+            assert cell.second.stride == 1
+
+
+class TestRegistry:
+    def test_available_presets(self):
+        presets = available_presets()
+        assert {"capsnet", "capsnet-mini", "capsnet-micro", "deepcaps",
+                "deepcaps-mini", "deepcaps-micro"} <= set(presets)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            build_model("resnet50")
+
+    def test_scaling_order(self):
+        sizes = [build_model(p).num_parameters()
+                 for p in ("capsnet", "capsnet-mini", "capsnet-micro")]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_full_deepcaps_builds(self):
+        model = build_model("deepcaps", in_channels=3, image_size=64)
+        assert isinstance(model, DeepCaps)
+        assert model.num_parameters() > 1_000_000

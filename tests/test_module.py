@@ -1,0 +1,113 @@
+"""Module system: parameter discovery, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Module, ModuleList, Parameter
+from repro.nn.layers import BatchNorm2D
+
+
+class Block(Module):
+    def __init__(self):
+        super().__init__()
+        self.dense = Dense(4, 3, name="d1")
+        self.scale = Parameter(np.ones(3))
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.blocks = ModuleList([Block(), Block()])
+        self.head = Dense(3, 2, name="head")
+
+
+class TestDiscovery:
+    def test_named_parameters_qualified(self):
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "blocks.0.dense.weight" in names
+        assert "blocks.1.scale" in names
+        assert "head.bias" in names
+
+    def test_parameters_count(self):
+        net = Net()
+        expected = 2 * (4 * 3 + 3 + 3) + (3 * 2 + 2)
+        assert net.num_parameters() == expected
+
+    def test_modules_traversal(self):
+        net = Net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Block") == 2
+        assert kinds.count("Dense") == 3
+
+    def test_modulelist_rejects_non_modules(self):
+        with pytest.raises(TypeError):
+            ModuleList([42])
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = Net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = Net()
+        for param in net.parameters():
+            param.grad = np.ones_like(param.data)
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        for param in net1.parameters():
+            param.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(),
+                                      net2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_roundtrip_with_buffers(self):
+        bn1 = BatchNorm2D(3)
+        bn1._buffers["running_mean"] += 2.0
+        bn2 = BatchNorm2D(3)
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_allclose(bn2._buffers["running_mean"],
+                                   bn1._buffers["running_mean"])
+
+    def test_unexpected_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state.pop("head.bias")
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["head.bias"] = np.zeros(7)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["head.bias"][:] = 99.0
+        assert not np.any(dict(net.named_parameters())["head.bias"].data == 99.0)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)

@@ -1,0 +1,155 @@
+"""Approximate multiplier behavioural models."""
+
+import numpy as np
+import pytest
+
+from repro.approx import FAMILIES, MultiplierModel, build_lut, exact_lut
+from repro.approx.multipliers import (_bam_lut, _drum_lut, _mitchell_lut,
+                                      _ormask_lut, _trunc_lut)
+
+
+class TestExact:
+    def test_lut_is_product_table(self):
+        lut = exact_lut()
+        assert lut.shape == (256, 256)
+        assert lut[255, 255] == 255 * 255
+        assert lut[0, 200] == 0
+        assert lut[17, 13] == 221
+
+    def test_exact_model_has_zero_error(self):
+        model = MultiplierModel("acc", "exact")
+        assert model.is_exact
+        assert not model.error_table().any()
+
+
+class TestTruncation:
+    def test_drops_low_bits(self):
+        lut = _trunc_lut(drop_bits=4)
+        assert (lut % 16 == 0).all()
+
+    def test_error_bounds(self):
+        t = 6
+        error = _trunc_lut(drop_bits=t) - exact_lut()
+        assert error.max() <= 0
+        assert error.min() > -(1 << t)
+
+    def test_compensation_shifts_mean(self):
+        raw = _trunc_lut(drop_bits=8) - exact_lut()
+        comp = _trunc_lut(drop_bits=8, compensation=128) - exact_lut()
+        assert abs(comp.mean()) < abs(raw.mean())
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            _trunc_lut(drop_bits=16)
+
+
+class TestBrokenArray:
+    def test_threshold_zero_is_exact(self):
+        np.testing.assert_array_equal(_bam_lut(0), exact_lut())
+
+    def test_underestimates(self):
+        error = _bam_lut(8) - exact_lut()
+        assert error.max() <= 0
+        assert error.min() < 0
+
+    def test_monotone_in_threshold(self):
+        e1 = np.abs(_bam_lut(6) - exact_lut()).mean()
+        e2 = np.abs(_bam_lut(10) - exact_lut()).mean()
+        assert e2 > e1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _bam_lut(-1)
+
+
+class TestMitchell:
+    def test_zero_operands_exact(self):
+        lut = _mitchell_lut()
+        assert (lut[0, :] == 0).all()
+        assert (lut[:, 0] == 0).all()
+
+    def test_powers_of_two_exact(self):
+        lut = _mitchell_lut()
+        for a in (1, 2, 4, 128):
+            for b in (1, 8, 64):
+                assert lut[a, b] == a * b
+
+    def test_bounded_relative_error(self):
+        lut = _mitchell_lut()
+        exact = exact_lut()
+        mask = exact > 0
+        rel = (lut[mask] - exact[mask]) / exact[mask]
+        # Mitchell's error is within [-11.1%, 0]
+        assert rel.min() > -0.12
+        assert rel.max() <= 1e-9
+
+    def test_gain_compensation_reduces_bias(self):
+        exact = exact_lut()
+        plain = (_mitchell_lut() - exact).mean()
+        comp = (_mitchell_lut(gain=1.0387) - exact).mean()
+        assert abs(comp) < abs(plain)
+
+
+class TestDrum:
+    def test_k8_is_exact(self):
+        np.testing.assert_array_equal(_drum_lut(8), exact_lut())
+
+    def test_small_values_exact(self):
+        lut = _drum_lut(4)
+        small = exact_lut()[:16, :16]
+        np.testing.assert_array_equal(lut[:16, :16], small)
+
+    def test_near_unbiased(self):
+        error = _drum_lut(4) - exact_lut()
+        assert abs(error.mean()) < 0.02 * np.abs(error).mean() + 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _drum_lut(0)
+
+
+class TestOrMask:
+    def test_overestimates(self):
+        error = _ormask_lut(5) - exact_lut()
+        assert error.min() >= 0
+        assert error.mean() > 0
+
+    def test_k0_is_exact(self):
+        np.testing.assert_array_equal(_ormask_lut(0), exact_lut())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _ormask_lut(9)
+
+
+class TestModelInterface:
+    def test_build_lut_dispatch(self):
+        for family in FAMILIES:
+            lut = build_lut(family)
+            assert lut.shape == (256, 256)
+
+    def test_build_lut_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown multiplier family"):
+            build_lut("quantum")
+
+    def test_multiply_vectorised(self):
+        model = MultiplierModel("t", "trunc", {"drop_bits": 4})
+        a = np.array([10, 200, 0])
+        b = np.array([3, 100, 77])
+        out = model.multiply(a, b)
+        np.testing.assert_array_equal(out, model.lut[a, b])
+
+    def test_multiply_range_check(self):
+        model = MultiplierModel("t", "exact")
+        with pytest.raises(ValueError, match="operand"):
+            model.multiply(np.array([256]), np.array([1]))
+        with pytest.raises(ValueError, match="operand"):
+            model.multiply(np.array([1]), np.array([-1]))
+
+    def test_lut_cached(self):
+        model = MultiplierModel("t", "exact")
+        assert model.lut is model.lut
+
+    def test_power_reduction(self):
+        model = MultiplierModel("t", "exact", power_uw=200.0)
+        assert model.power_reduction(400.0) == pytest.approx(0.5)

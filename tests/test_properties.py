@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.approx import MultiplierModel, dequantize, quantize_array
+from repro.core import GaussianNoiseInjector, NoiseSpec
+from repro.nn.hooks import GROUP_MAC, InjectionSite
+from repro.tensor import Tensor, squash
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+@given(arrays(np.float32, st.tuples(st.integers(1, 5), st.integers(1, 8)),
+              elements=finite_floats))
+@settings(max_examples=60, deadline=None)
+def test_squash_length_always_below_one(data):
+    v = squash(Tensor(data), axis=1)
+    norms = np.linalg.norm(v.data, axis=1)
+    assert np.isfinite(v.data).all()
+    assert (norms <= 1.0 + 1e-5).all()
+
+
+@given(arrays(np.float32, st.integers(2, 200), elements=finite_floats),
+       st.integers(2, 12))
+@settings(max_examples=60, deadline=None)
+def test_quantisation_roundtrip_error_bounded(data, bits):
+    q, params = quantize_array(data, bits=bits)
+    restored = dequantize(q, params)
+    assert np.abs(restored - data).max() <= params.scale / 2 + 1e-4
+    assert q.min() >= 0 and q.max() <= params.levels
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_truncation_error_bound_pointwise(a, b, drop_bits):
+    model = MultiplierModel("t", "trunc", {"drop_bits": drop_bits})
+    error = int(model.multiply(np.array([a]), np.array([b]))[0]) - a * b
+    assert -(1 << drop_bits) < error <= 0
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(1, 8))
+@settings(max_examples=80, deadline=None)
+def test_ormask_always_overestimates(a, b, k):
+    model = MultiplierModel("o", "ormask", {"k": k})
+    approx = int(model.multiply(np.array([a]), np.array([b]))[0])
+    assert approx >= a * b
+
+
+@given(st.integers(1, 255), st.integers(1, 255))
+@settings(max_examples=80, deadline=None)
+def test_mitchell_relative_error_band(a, b):
+    model = MultiplierModel("m", "mitchell")
+    approx = int(model.multiply(np.array([a]), np.array([b]))[0])
+    relative = (approx - a * b) / (a * b)
+    assert -0.12 < relative <= 1e-9
+
+
+@given(arrays(np.float32, st.tuples(st.integers(2, 6), st.integers(2, 6)),
+              elements=finite_floats),
+       st.floats(0.0, 0.5), st.floats(-0.2, 0.2))
+@settings(max_examples=60, deadline=None)
+def test_noise_injection_preserves_shape_and_finiteness(data, nm, na):
+    injector = GaussianNoiseInjector(NoiseSpec(nm=nm, na=na, seed=0))
+    out = injector(InjectionSite("L", GROUP_MAC), data)
+    assert out.shape == data.shape
+    assert np.isfinite(out).all()
+
+
+@given(arrays(np.float32, st.tuples(st.integers(1, 4), st.integers(2, 6)),
+              elements=finite_floats))
+@settings(max_examples=60, deadline=None)
+def test_softmax_is_probability_simplex(data):
+    s = Tensor(data).softmax(axis=1).data
+    assert (s >= 0).all()
+    np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-4)
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_margin_loss_nonnegative(labels):
+    from repro.nn import margin_loss
+    rng = np.random.default_rng(0)
+    caps = Tensor(rng.normal(size=(len(labels), 10, 4)).astype(np.float32))
+    loss = float(margin_loss(caps, np.array(labels)).data)
+    assert loss >= 0.0
+
+
+@given(arrays(np.float32, st.tuples(st.integers(2, 5), st.integers(2, 5)),
+              elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_tensor_range_nonnegative_and_tight(data):
+    from repro.core import tensor_range
+    r = tensor_range(data)
+    assert r >= 0
+    assert r == float(data.max() - data.min())

@@ -1,0 +1,201 @@
+"""Unit tests for the autograd engine: forward semantics and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cat, is_grad_enabled, no_grad, stack
+from tests.conftest import numeric_gradient
+
+
+def check_grad(build, x_data, *, atol=1e-2, rtol=1e-2):
+    """Compare autograd gradient against central differences."""
+    x_data = np.asarray(x_data, dtype=np.float32)
+    x = Tensor(x_data, requires_grad=True)
+    out = build(x)
+    out.backward()
+    analytic = x.grad.copy()
+
+    def loss():
+        return float(build(Tensor(x_data)).data)
+
+    numeric = numeric_gradient(loss, x_data)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3, dtype=np.float32))
+        np.testing.assert_allclose((a + b).data,
+                                   np.tile(1.0 + np.arange(3), (2, 1)))
+
+    def test_scalar_ops(self):
+        t = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((t * 3).data, [6, 12])
+        np.testing.assert_allclose((t - 1).data, [1, 3])
+        np.testing.assert_allclose((1 - t).data, [-1, -3])
+        np.testing.assert_allclose((t / 2).data, [1, 2])
+        np.testing.assert_allclose((8 / t).data, [4, 2])
+        np.testing.assert_allclose((-t).data, [-2, -4])
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_batched(self):
+        a = np.random.default_rng(0).random((4, 2, 3), dtype=np.float32)
+        b = np.random.default_rng(1).random((3, 5), dtype=np.float32)
+        out = Tensor(a).matmul(Tensor(b))
+        np.testing.assert_allclose(out.data, a @ b, rtol=1e-5)
+
+    def test_reductions(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        t = Tensor(x)
+        assert t.sum().data == x.sum()
+        np.testing.assert_allclose(t.sum(axis=0).data, x.sum(0))
+        np.testing.assert_allclose(t.mean(axis=1, keepdims=True).data,
+                                   x.mean(1, keepdims=True))
+        np.testing.assert_allclose(t.max(axis=1).data, x.max(1))
+
+    def test_shape_ops(self):
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        t = Tensor(x)
+        assert t.reshape(6, 4).shape == (6, 4)
+        assert t.reshape((4, 6)).shape == (4, 6)
+        assert t.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.expand_dims(1).shape == (2, 1, 3, 4)
+        assert t[0].shape == (3, 4)
+
+    def test_softmax_simplex(self):
+        t = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        s = t.softmax(axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(5), rtol=1e-5)
+        assert (s.data >= 0).all()
+
+    def test_norm(self):
+        t = Tensor([[3.0, 4.0]])
+        np.testing.assert_allclose(t.norm(axis=1).data, [5.0], rtol=1e-5)
+
+    def test_repr_and_meta(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert t.ndim == 2 and t.size == 4 and len(t) == 2
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+
+class TestGradients:
+    def test_add(self):
+        check_grad(lambda x: (x + x * 2.0).sum(), np.random.rand(3, 4))
+
+    def test_mul_broadcast(self):
+        c = Tensor(np.random.rand(4).astype(np.float32))
+        check_grad(lambda x: (x * c).sum(), np.random.rand(3, 4))
+
+    def test_matmul(self):
+        w = Tensor(np.random.rand(4, 2).astype(np.float32))
+        check_grad(lambda x: x.matmul(w).sum(), np.random.rand(3, 4))
+
+    def test_matmul_weight_grad(self):
+        x_data = np.random.rand(3, 4).astype(np.float32)
+        w_data = np.random.rand(4, 2).astype(np.float32)
+        w = Tensor(w_data, requires_grad=True)
+        Tensor(x_data).matmul(w).sum().backward()
+        analytic = w.grad.copy()
+
+        def loss():
+            return float((x_data @ w_data).sum())
+
+        numeric = numeric_gradient(loss, w_data)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-2)
+
+    def test_reciprocal(self):
+        check_grad(lambda x: x.reciprocal().sum(), np.random.rand(5) + 0.5)
+
+    def test_pow(self):
+        check_grad(lambda x: (x ** 3).sum(), np.random.rand(4) + 0.1)
+
+    def test_exp_log_sqrt(self):
+        check_grad(lambda x: x.exp().sum(), np.random.rand(4))
+        check_grad(lambda x: x.log().sum(), np.random.rand(4) + 0.5)
+        check_grad(lambda x: x.sqrt().sum(), np.random.rand(4) + 0.5)
+
+    def test_activations(self):
+        data = np.random.randn(6).astype(np.float32) + 0.05
+        check_grad(lambda x: x.relu().sum(), data)
+        check_grad(lambda x: x.sigmoid().sum(), data)
+        check_grad(lambda x: x.tanh().sum(), data)
+        check_grad(lambda x: x.maximum(0.2).sum(), data)
+
+    def test_reductions_grad(self):
+        check_grad(lambda x: x.sum(axis=0).sum(), np.random.rand(3, 4))
+        check_grad(lambda x: x.mean(axis=1).sum(), np.random.rand(3, 4))
+        check_grad(lambda x: x.max(axis=1).sum(),
+                   np.random.default_rng(0).permutation(12).reshape(3, 4)
+                   .astype(np.float32))
+
+    def test_shape_ops_grad(self):
+        check_grad(lambda x: (x.reshape(6, 2) * 2).sum(), np.random.rand(3, 4))
+        check_grad(lambda x: (x.transpose(1, 0) ** 2).sum(), np.random.rand(3, 4))
+        check_grad(lambda x: x[1].sum(), np.random.rand(3, 4))
+        check_grad(lambda x: x.expand_dims(0).sum(), np.random.rand(3,))
+
+    def test_softmax_grad(self):
+        check_grad(lambda x: (x.softmax(axis=0) ** 2).sum(), np.random.rand(5))
+
+    def test_norm_grad(self):
+        check_grad(lambda x: x.norm(axis=0), np.random.rand(4) + 0.5)
+
+    def test_cat_grad(self):
+        x_data = np.random.rand(2, 3).astype(np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        y = Tensor(np.random.rand(2, 2).astype(np.float32))
+        cat([x, y], axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_stack(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = stack([x, x], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * np.ones(3))
+
+    def test_grad_accumulation_diamond(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+
+class TestGraphControl:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data  # shares memory
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_float32_everywhere(self):
+        t = Tensor(np.arange(3))  # int input
+        assert t.data.dtype == np.float32
+        assert (t * 2.5).data.dtype == np.float32

@@ -1,0 +1,110 @@
+"""Convolution primitive: reference correctness, gradients, shape rules."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.tensor import Tensor, conv2d, conv_output_size, im2col
+from tests.conftest import numeric_gradient
+
+
+def reference_conv(x, w, b, stride, padding):
+    """Direct cross-correlation via scipy, for verification."""
+    n, c, h, w_in = x.shape
+    f = w.shape[0]
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+    oh = (x.shape[2] - w.shape[2]) // stride + 1
+    ow = (x.shape[3] - w.shape[3]) // stride + 1
+    out = np.zeros((n, f, oh, ow), dtype=np.float64)
+    for i in range(n):
+        for j in range(f):
+            acc = np.zeros((x.shape[2] - w.shape[2] + 1,
+                            x.shape[3] - w.shape[3] + 1))
+            for k in range(c):
+                acc += signal.correlate2d(x[i, k], w[j, k], mode="valid")
+            out[i, j] = acc[::stride, ::stride] + b[j]
+    return out
+
+
+@pytest.mark.parametrize("stride,padding,kernel", [
+    (1, 0, 3), (2, 0, 3), (1, 1, 3), (2, 1, 3), (1, 0, 1), (2, 2, 5),
+])
+def test_conv2d_matches_reference(stride, padding, kernel):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+    w = rng.normal(size=(4, 3, kernel, kernel)).astype(np.float32)
+    b = rng.normal(size=4).astype(np.float32)
+    out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride,
+                 padding=padding)
+    expected = reference_conv(x, w, b, stride, padding)
+    np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+
+def test_conv2d_channel_mismatch():
+    x = Tensor(np.zeros((1, 3, 6, 6)))
+    w = Tensor(np.zeros((2, 4, 3, 3)))
+    with pytest.raises(ValueError, match="channels"):
+        conv2d(x, w)
+
+
+def test_conv_output_size():
+    assert conv_output_size(28, 9, 1, 0) == 20
+    assert conv_output_size(20, 9, 2, 0) == 6
+    assert conv_output_size(32, 3, 2, 1) == 16
+    with pytest.raises(ValueError):
+        conv_output_size(2, 5, 1, 0)
+
+
+def test_im2col_shape_and_content():
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    cols, (oh, ow) = im2col(x, (2, 2), 1, 0)
+    assert (oh, ow) == (3, 3)
+    assert cols.shape == (9, 4)
+    np.testing.assert_allclose(cols[0], [0, 1, 4, 5])  # first patch
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+def test_conv2d_input_gradient(stride, padding):
+    rng = np.random.default_rng(1)
+    x_data = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+    w_data = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+    b_data = rng.normal(size=3).astype(np.float32)
+    x = Tensor(x_data, requires_grad=True)
+    conv2d(x, Tensor(w_data), Tensor(b_data), stride=stride,
+           padding=padding).sum().backward()
+
+    def loss():
+        return float(reference_conv(x_data, w_data, b_data, stride,
+                                    padding).sum())
+
+    numeric = numeric_gradient(loss, x_data)
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-2, rtol=1e-2)
+
+
+def test_conv2d_weight_and_bias_gradient():
+    rng = np.random.default_rng(2)
+    x_data = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+    w_data = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+    b_data = rng.normal(size=3).astype(np.float32)
+    w = Tensor(w_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    conv2d(Tensor(x_data), w, b, stride=1, padding=1).sum().backward()
+
+    def loss_w():
+        return float(reference_conv(x_data, w_data, b_data, 1, 1).sum())
+
+    numeric_w = numeric_gradient(loss_w, w_data)
+    np.testing.assert_allclose(w.grad, numeric_w, atol=1e-2, rtol=1e-2)
+    # bias grad = number of output positions per filter
+    oh = ow = 5
+    np.testing.assert_allclose(b.grad, np.full(3, 2 * oh * ow), rtol=1e-5)
+
+
+def test_conv2d_no_grad_fast_path():
+    x = Tensor(np.zeros((1, 1, 4, 4)))
+    w = Tensor(np.zeros((1, 1, 3, 3)))
+    out = conv2d(x, w)
+    assert not out.requires_grad
+    assert out._backward is None

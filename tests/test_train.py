@@ -1,0 +1,71 @@
+"""Trainer and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.train import (TrainConfig, Trainer, accuracy, confusion_matrix,
+                         evaluate_accuracy)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == \
+            pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        train = make_dataset("synth-mnist", 160, seed=2)
+        model = build_model("capsnet-micro", in_channels=1, image_size=28,
+                            seed=1)
+        result = Trainer(model, TrainConfig(epochs=2, batch_size=32)).fit(train)
+        assert len(result.losses) == 2
+        assert result.losses[-1] < result.losses[0]
+        assert result.final_loss == result.losses[-1]
+
+    def test_accuracy_improves_over_chance(self):
+        train = make_dataset("synth-mnist", 200, seed=2)
+        model = build_model("capsnet-micro", in_channels=1, image_size=28,
+                            seed=1)
+        result = Trainer(model, TrainConfig(epochs=2, batch_size=32)).fit(train)
+        assert result.train_accuracies[-1] > 0.3
+
+    def test_lr_decay_applied(self):
+        train = make_dataset("synth-mnist", 32, seed=2)
+        model = build_model("capsnet-micro", in_channels=1, image_size=28)
+        trainer = Trainer(model, TrainConfig(epochs=2, learning_rate=1e-3,
+                                             lr_decay=0.5))
+        trainer.fit(train)
+        assert trainer.optimizer.lr == pytest.approx(5e-4)
+
+
+class TestEvaluation:
+    def test_evaluate_accuracy_range(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        acc = evaluate_accuracy(trained_capsnet, test_set)
+        assert 0.8 < acc <= 1.0
+
+    def test_confusion_matrix_consistency(self, trained_capsnet,
+                                          mnist_splits):
+        _, test_set = mnist_splits
+        matrix = confusion_matrix(trained_capsnet, test_set)
+        assert matrix.shape == (10, 10)
+        assert matrix.sum() == len(test_set)
+        acc = evaluate_accuracy(trained_capsnet, test_set)
+        assert np.trace(matrix) / matrix.sum() == pytest.approx(acc)
+
+    def test_evaluation_sets_eval_mode(self, trained_capsnet, mnist_splits):
+        _, test_set = mnist_splits
+        trained_capsnet.train()
+        evaluate_accuracy(trained_capsnet, test_set.subset(8))
+        assert not trained_capsnet.training

@@ -1,0 +1,50 @@
+"""Train-once zoo cache."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import PAPER_BENCHMARKS, get_trained, zoo_cache_dir
+
+
+def test_paper_benchmarks_table():
+    labels = [b[0] for b in PAPER_BENCHMARKS]
+    assert len(PAPER_BENCHMARKS) == 5  # Table II rows
+    assert "DeepCaps/CIFAR-10" in labels
+    assert "CapsNet/MNIST" in labels
+
+
+def test_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+    first = get_trained("capsnet-micro", "synth-mnist", num_train=120,
+                        num_test=48, epochs=1, seed=9)
+    assert not first.from_cache
+    second = get_trained("capsnet-micro", "synth-mnist", num_train=120,
+                         num_test=48, epochs=1, seed=9)
+    assert second.from_cache
+    assert second.test_accuracy == pytest.approx(first.test_accuracy)
+    w1 = dict(first.model.named_parameters())["conv1.weight"].data
+    w2 = dict(second.model.named_parameters())["conv1.weight"].data
+    np.testing.assert_allclose(w1, w2)
+
+
+def test_cache_key_distinguishes_configs(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+    get_trained("capsnet-micro", "synth-mnist", num_train=120, num_test=48,
+                epochs=1, seed=9)
+    other = get_trained("capsnet-micro", "synth-mnist", num_train=120,
+                        num_test=48, epochs=1, seed=10)
+    assert not other.from_cache  # different seed -> new training
+
+
+def test_no_cache_flag(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+    entry = get_trained("capsnet-micro", "synth-mnist", num_train=120,
+                        num_test=48, epochs=1, seed=11, use_cache=False)
+    assert not entry.from_cache
+    import os
+    assert not os.listdir(tmp_path)
+
+
+def test_zoo_cache_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path / "custom"))
+    assert zoo_cache_dir() == str(tmp_path / "custom")
