@@ -1,4 +1,11 @@
-"""Fig. 7 — the complete six-step ReD-CaNe methodology, end to end."""
+"""Fig. 7 — the complete six-step ReD-CaNe methodology, end to end.
+
+Runs the methodology through the vectorised sweep engine (the default
+``auto`` strategy) and checks that the resulting approximate-CapsNet
+design is the same one the naive per-point execution produces.
+"""
+
+import time
 
 from repro.approx import default_library
 from repro.core import ReDCaNe, ReDCaNeConfig
@@ -28,3 +35,20 @@ def test_methodology_end_to_end(benchmark):
     # every operation got a component no noisier than its tolerance
     for assignment in design.selection.assignments.values():
         assert assignment.measured_nm <= assignment.tolerable_nm + 1e-9
+
+    # The engine must hand Step 6 the same design the naive path produces.
+    naive_config = ReDCaNeConfig(
+        nm_values=config.nm_values, batch_size=96, safety_factor=2.0,
+        strategy="naive")
+    start = time.perf_counter()
+    naive = ReDCaNe(entry.model, test_set, library, naive_config).run()
+    naive_seconds = time.perf_counter() - start
+    print(f"naive end-to-end: {naive_seconds:.2f}s")
+
+    assert naive.resilient_groups == design.resilient_groups
+    assert naive.non_resilient_groups == design.non_resilient_groups
+    assert sorted(naive.selection.assignments) == \
+        sorted(design.selection.assignments)
+    assert naive.multiplier_energy_saving == \
+        design.multiplier_energy_saving
+    assert abs(naive.validated_accuracy - design.validated_accuracy) <= 0.02

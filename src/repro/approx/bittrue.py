@@ -30,18 +30,29 @@ __all__ = ["approximate_conv2d", "ApproximateConvExecutor"]
 
 def _lut_matmul(lut: np.ndarray, q_cols: np.ndarray, q_w: np.ndarray, *,
                 chunk: int = 2048) -> np.ndarray:
-    """``out[m, f] = Σ_k lut[q_cols[m, k], q_w[f, k]]`` with row chunking.
+    """``out[m, f] = Σ_k lut[q_cols[m, k], q_w[f, k]]`` via exact-int GEMM.
 
-    Materialising the (M, F, K) gather is the memory hot spot; chunking
-    keeps it bounded.
+    The LUT decomposes as ``lut = outer(0..side, 0..side) + err``: the
+    exact-product term is a plain integer matrix product, which BLAS
+    evaluates exactly in float64 (every partial sum stays below 2**53),
+    and only the *error* term needs the (M, F, K) gather — chunked over
+    rows to bound memory, and skipped entirely for an accurate multiplier
+    whose error LUT is all-zero.
     """
     m_total, k = q_cols.shape
     f_total = q_w.shape[0]
+    side = np.arange(lut.shape[0], dtype=np.int64)
+    err = np.asarray(lut, dtype=np.int64) - side[:, None] * side[None, :]
+    has_error = bool(err.any())
+    qw_t = q_w.astype(np.float64).T
     out = np.empty((m_total, f_total), dtype=np.float64)
     for start in range(0, m_total, chunk):
         stop = min(start + chunk, m_total)
-        gathered = lut[q_cols[start:stop, None, :], q_w[None, :, :]]
-        out[start:stop] = gathered.sum(axis=2, dtype=np.int64)
+        block = q_cols[start:stop]
+        out[start:stop] = block.astype(np.float64) @ qw_t
+        if has_error:
+            gathered = err[block[:, None, :], q_w[None, :, :]]
+            out[start:stop] += gathered.sum(axis=2, dtype=np.int64)
     return out
 
 
@@ -80,9 +91,11 @@ def approximate_conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
 class ApproximateConvExecutor:
     """Monkey-patch-free bit-true runner for a model's convolutions.
 
-    Temporarily replaces the fused :func:`repro.tensor.ops.conv2d` data path
-    of selected layers by routing their forward through
-    :func:`approximate_conv2d`.  Usage::
+    Temporarily replaces the conv *stage* of selected layers
+    (``compute_preact`` for plain/capsule convolutions, ``compute_votes``
+    for routed ConvCaps3D) with :func:`approximate_conv2d`; the layer's
+    own ``finish``/``route`` stage still applies its emits, reshapes and
+    nonlinearity.  Usage::
 
         with ApproximateConvExecutor(model, multiplier, layers={"Conv1"}):
             accuracy = evaluate_accuracy(model, test_set)
@@ -96,51 +109,45 @@ class ApproximateConvExecutor:
         self.multiplier = multiplier
         self.layers = layers
         self.bits = bits
-        self._originals: list[tuple[object, object]] = []
+        self._originals: list[tuple[object, str, object]] = []
+
+    def _approximate(self, module, data) -> Tensor:
+        return Tensor(approximate_conv2d(
+            data, module.weight.data, module.bias.data, self.multiplier,
+            stride=module.stride, padding=module.padding, bits=self.bits))
 
     def _wrap(self, module) -> None:
-        original = module.forward
+        from ..nn.capsules import ConvCaps2D, ConvCaps3D
 
-        def bit_true_forward(x: Tensor, _module=module) -> Tensor:
-            data = x.data
-            reshaped = None
-            if data.ndim == 5:  # capsule map: fold (C, D) into channels
-                n, c, d, h, w = data.shape
-                data = data.reshape(n, c * d, h, w)
-                reshaped = (n, h, w)
-            out = approximate_conv2d(
-                data, _module.weight.data, _module.bias.data,
-                self.multiplier, stride=_module.stride,
-                padding=_module.padding, bits=self.bits)
-            result = Tensor(out)
-            return self._postprocess(_module, result)
+        if isinstance(module, ConvCaps3D):
+            def bit_true_votes(x: Tensor, _module=module) -> Tensor:
+                n, c, d, h, w = x.shape
+                merged = x.data.reshape(n * c, d, h, w)
+                return self._approximate(_module, merged)
 
-        self._originals.append((module, original))
-        module.forward = bit_true_forward
+            attr, replacement = "compute_votes", bit_true_votes
+        elif isinstance(module, ConvCaps2D):
+            def bit_true_caps_preact(x: Tensor, _module=module) -> Tensor:
+                n, c, d, h, w = x.shape
+                return self._approximate(_module,
+                                         x.data.reshape(n, c * d, h, w))
 
-    @staticmethod
-    def _postprocess(module, out: Tensor) -> Tensor:
-        """Re-apply the layer's nonlinearity/reshape on the conv result."""
-        from ..nn.capsules import ConvCaps2D, PrimaryCaps
-        from ..nn.layers import Conv2D
-        from ..tensor import squash
-        if isinstance(module, Conv2D):
-            return out.relu() if module.activation == "relu" else out
-        if isinstance(module, PrimaryCaps):
-            n, _, oh, ow = out.shape
-            caps = out.reshape(n, module.num_caps, module.caps_dim, oh, ow)
-            return squash(caps, axis=2)
-        if isinstance(module, ConvCaps2D):
-            n, _, oh, ow = out.shape
-            caps = out.reshape(n, module.out_caps, module.out_dim, oh, ow)
-            return squash(caps, axis=2)
-        raise TypeError(f"unsupported module type {type(module).__name__}")
+            attr, replacement = "compute_preact", bit_true_caps_preact
+        else:
+            def bit_true_preact(x: Tensor, _module=module) -> Tensor:
+                return self._approximate(_module, x.data)
+
+            attr, replacement = "compute_preact", bit_true_preact
+
+        self._originals.append((module, attr, getattr(module, attr)))
+        setattr(module, attr, replacement)
 
     def __enter__(self) -> "ApproximateConvExecutor":
-        from ..nn.capsules import ConvCaps2D, PrimaryCaps
+        from ..nn.capsules import ConvCaps2D, ConvCaps3D, PrimaryCaps
         from ..nn.layers import Conv2D
         for module in self.model.modules():
-            if not isinstance(module, (Conv2D, PrimaryCaps, ConvCaps2D)):
+            if not isinstance(module,
+                              (Conv2D, PrimaryCaps, ConvCaps2D, ConvCaps3D)):
                 continue
             if self.layers is not None and module.name not in self.layers:
                 continue
@@ -150,6 +157,6 @@ class ApproximateConvExecutor:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        for module, original in self._originals:
-            module.forward = original
+        for module, attr, original in self._originals:
+            setattr(module, attr, original)
         self._originals.clear()

@@ -15,9 +15,11 @@ scale of the accuracy-in-the-loop artifacts.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable
 
+from .core.sweep import STRATEGIES
 from .experiments import (ablation, bittrue_validation, fig4, fig5, fig6,
                           fig9, fig10, fig11, fig12, table1, table2, table3,
                           table4)
@@ -27,14 +29,15 @@ __all__ = ["main", "ARTIFACTS"]
 
 
 def _scaled(runner: Callable, **fixed):
-    def run(quick: bool):
+    def run(quick: bool, strategy: str = "auto", workers: int = 0):
         scale = ExperimentScale.quick() if quick else ExperimentScale()
+        scale = dataclasses.replace(scale, strategy=strategy, workers=workers)
         return runner(scale=scale, **fixed)
     return run
 
 
 def _plain(runner: Callable, **fixed):
-    def run(_quick: bool):
+    def run(_quick: bool, _strategy: str = "auto", _workers: int = 0):
         return runner(**fixed)
     return run
 
@@ -45,20 +48,21 @@ ARTIFACTS: dict[str, tuple[str, Callable]] = {
     "fig4": ("energy breakdown by op type", _plain(fig4.run)),
     "fig5": ("Acc/XM/XA/XAM optimisation potential", _plain(fig5.run)),
     "fig6": ("multiplier error profiles + Gaussian fits",
-             lambda quick: fig6.run(samples=20_000 if quick else 100_000)),
+             lambda quick, *_: fig6.run(samples=20_000 if quick else 100_000)),
     "table2": ("clean benchmark accuracies", _plain(table2.run)),
     "table3": ("operation grouping (group extraction)", _plain(table3.run)),
     "fig9": ("group-wise resilience, DeepCaps/CIFAR-10", _scaled(fig9.run)),
     "fig10": ("layer-wise resilience of non-resilient groups",
               _scaled(fig10.run)),
     "fig11": ("conv-input distributions",
-              lambda quick: fig11.run(num_images=8 if quick else 32)),
+              lambda quick, *_: fig11.run(num_images=8 if quick else 32)),
     "table4": ("component power/area/NA/NM",
-               lambda quick: table4.run(num_images=8 if quick else 16,
-                                        samples=20_000 if quick else 50_000)),
+               lambda quick, *_: table4.run(
+                   num_images=8 if quick else 16,
+                   samples=20_000 if quick else 50_000)),
     "fig12": ("group-wise resilience, other benchmarks", _scaled(fig12.run)),
     "x1": ("bit-true validation of the noise model",
-           lambda quick: bittrue_validation.run(
+           lambda quick, *_: bittrue_validation.run(
                eval_samples=32 if quick else 64)),
     "x2": ("routing-iteration ablation",
            _scaled(ablation.run_routing_ablation)),
@@ -81,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="artifact ids (see 'list'), or 'all'")
     run.add_argument("--quick", action="store_true",
                      help="reduced evaluation scale")
+    run.add_argument("--strategy", choices=list(STRATEGIES), default="auto",
+                     help="resilience-sweep execution strategy "
+                          "(see repro.core.sweep)")
+    run.add_argument("--workers", type=int, default=0,
+                     help="fan sweep targets across this many processes")
     return parser
 
 
@@ -101,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in requested:
         _, runner = ARTIFACTS[name]
-        result = runner(args.quick)
+        result = runner(args.quick, args.strategy, args.workers)
         print(result.format_text())
         print()
     return 0

@@ -30,6 +30,7 @@ from .resilience import (PAPER_NM_SWEEP, ResilienceCurve,
                          group_wise_analysis, layer_wise_analysis,
                          mark_resilient)
 from .selection import SelectionReport, select_components
+from .sweep import SweepEngine
 
 __all__ = ["ReDCaNeConfig", "ApproximateCapsNetDesign", "ReDCaNe"]
 
@@ -46,6 +47,8 @@ class ReDCaNeConfig:
     batch_size: int = 64
     seed: int = 0
     safety_factor: float = 1.0   # Step 6 margin
+    strategy: str = "auto"       # sweep execution (see repro.core.sweep)
+    workers: int = 0             # >1 fans sweep targets across processes
     verbose: bool = False
 
 
@@ -127,12 +130,20 @@ class ReDCaNe:
                                      batch_size=config.batch_size)
         self._log(f"baseline accuracy {baseline:.4f}")
 
-        self._log("step 2: group-wise resilience analysis")
+        # One engine for Steps 2+4 so the prefix-activation cache built by
+        # the first sweep is reused by the layer-wise refinement.
+        engine = SweepEngine(self.model, self.dataset,
+                             batch_size=config.batch_size,
+                             strategy=config.strategy, workers=config.workers)
+
+        self._log(f"step 2: group-wise resilience analysis "
+                  f"({config.strategy})")
         groups = [g for g, sites in extraction.groups.items() if sites]
         group_curves = group_wise_analysis(
             self.model, self.dataset, groups=groups,
             nm_values=config.nm_values, na=config.na, seed=config.seed,
-            batch_size=config.batch_size, baseline_accuracy=baseline)
+            batch_size=config.batch_size, baseline_accuracy=baseline,
+            engine=engine)
 
         self._log("step 3: mark resilient groups")
         resilient_groups, non_resilient_groups = mark_resilient(
@@ -147,7 +158,8 @@ class ReDCaNe:
             layer_curves.update(layer_wise_analysis(
                 self.model, self.dataset, groups=[group], layers=layers,
                 nm_values=layer_nm, na=config.na, seed=config.seed,
-                batch_size=config.batch_size, baseline_accuracy=baseline))
+                batch_size=config.batch_size, baseline_accuracy=baseline,
+                engine=engine))
 
         self._log("step 5: mark resilient layers")
         resilient_layers, non_resilient_layers = mark_resilient(

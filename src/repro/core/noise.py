@@ -20,8 +20,8 @@ import numpy as np
 
 from ..nn.hooks import (INJECTABLE_GROUPS, HookRegistry, InjectionSite)
 
-__all__ = ["NoiseSpec", "GaussianNoiseInjector", "make_noise_registry",
-           "tensor_range"]
+__all__ = ["NoiseSpec", "GaussianNoiseInjector", "StackedNoiseInjector",
+           "make_noise_registry", "site_matcher", "tensor_range"]
 
 
 def tensor_range(x: np.ndarray) -> float:
@@ -94,15 +94,108 @@ class GaussianNoiseInjector:
         self.injection_count = 0
 
 
-def make_noise_registry(spec: NoiseSpec, *, groups=None, layers=None,
-                        tags=None) -> HookRegistry:
-    """Build a registry injecting ``spec`` noise at matching sites.
+class StackedNoiseInjector:
+    """Vectorised injector for NM-stacked ("sweep-axis") batches.
 
-    Parameters
-    ----------
-    groups / layers / tags:
-        Optional iterables restricting where noise is injected; ``None``
-        means "no constraint".  Only Table III groups are injectable.
+    The sweep engine (:mod:`repro.core.sweep`) stacks every noisy NM value
+    of one sweep target along the batch axis; this transform treats a
+    site value's leading axis as ``len(specs)`` equal slices, one per
+    sweep point, and gives slice ``j`` Gaussian noise with
+    ``std = nm_j * R_j`` and ``mean = na_j * R_j`` where ``R_j`` is that
+    slice's own value range — exactly Eq. 3-4 evaluated per point.
+
+    One standard-normal base draw per (site, batch) is shared by every
+    slice (common random numbers), so a whole NM curve costs a single
+    evaluation's worth of RNG work and the per-point curves come out
+    smoother than with independent draws.  Streams are derived from
+    ``(seed, salt, site)``, making results independent of which other
+    targets are swept and of the requested NM set.
+    """
+
+    def __init__(self, specs, *, seed: int = 0, salt: str = "",
+                 uniform_sites=frozenset(), base_cache=None):
+        self.seed = seed
+        self.salt = salt
+        #: Sites whose pre-noise slices are known identical (the first
+        #: injected site of a replay sees the tiled clean prefix), letting
+        #: the per-slice range reduce to one slice's range.
+        self.uniform_sites = frozenset(uniform_sites)
+        self._batch_index = 0
+        # A caller-provided cache shares base draws across injectors
+        # (e.g. across a sweep's targets); a private cache is dropped
+        # whenever the batch changes to bound memory.
+        self._shared = base_cache is not None
+        self._base: dict = base_cache if base_cache is not None else {}
+        self.set_specs(specs)
+
+    def set_specs(self, specs) -> None:
+        """Select the sweep points of the next replay (one slice each).
+
+        The engine replays a curve in batch-size-bounded chunks; because
+        the base draw per (site, batch) is cached, chunking does not change
+        the noise a given point receives.
+        """
+        self.specs = list(specs)
+        self._nms = np.array([spec.nm for spec in self.specs], np.float32)
+        self._nas = np.array([spec.na for spec in self.specs], np.float32)
+
+    def begin_batch(self, index: int = 0) -> None:
+        """Invalidate cached base draws (call when the batch changes).
+
+        Base draws are derived statelessly from ``(seed, salt, site,
+        batch index)``, so the noise a point receives is independent of
+        chunking, of the other targets swept, and of any worker-pool
+        partitioning — and two targets sharing a site share its draw
+        (common random numbers across targets, which *pairs* the curves
+        the methodology compares).
+        """
+        self._batch_index = index
+        if not self._shared:
+            self._base.clear()
+
+    def _base_draw(self, site: InjectionSite,
+                   shape: tuple[int, ...]) -> np.ndarray:
+        key = (site, self._batch_index)
+        z = self._base.get(key)
+        if z is None:
+            site_key = zlib.crc32(
+                f"{self.salt}|{site.layer}|{site.group}|{site.tag}".encode())
+            rng = np.random.default_rng(
+                (self.seed, site_key, self._batch_index))
+            z = rng.standard_normal(size=shape, dtype=np.float32)
+            self._base[key] = z
+        return z
+
+    def __call__(self, site: InjectionSite, value: np.ndarray) -> np.ndarray:
+        k = len(self.specs)
+        if value.shape[0] % k:
+            raise ValueError(
+                f"leading axis {value.shape[0]} of {site} is not divisible "
+                f"by the {k} stacked sweep points")
+        slices = value.reshape(k, value.shape[0] // k, *value.shape[1:])
+        if site in self.uniform_sites:
+            vrange = np.broadcast_to(
+                np.float32(tensor_range(slices[0])), (k,))
+        else:
+            flat = slices.reshape(k, -1)
+            vrange = (flat.max(axis=1) - flat.min(axis=1)).astype(np.float32)
+        broadcast = (k,) + (1,) * (slices.ndim - 1)
+        stds = (self._nms * vrange).reshape(broadcast)
+        means = (self._nas * vrange).reshape(broadcast)
+        z = self._base_draw(site, slices.shape[1:])
+        return (slices + z[None] * stds + means).reshape(value.shape)
+
+    def reset(self) -> None:
+        """Drop cached base draws (restores rerun determinism)."""
+        self._base.clear()
+
+
+def site_matcher(*, groups=None, layers=None, tags=None):
+    """Matcher over *injectable* sites with optional group/layer/tag sets.
+
+    Shared by :func:`make_noise_registry` and the sweep engine so that both
+    agree exactly on which sites a (groups, layers) restriction selects;
+    ``None`` means "no constraint".  Only Table III groups are injectable.
     """
     group_set = set(groups) if groups is not None else None
     layer_set = set(layers) if layers is not None else None
@@ -125,6 +218,21 @@ def make_noise_registry(spec: NoiseSpec, *, groups=None, layers=None,
             return False
         return True
 
+    return matcher
+
+
+def make_noise_registry(spec: NoiseSpec, *, groups=None, layers=None,
+                        tags=None) -> HookRegistry:
+    """Build a registry injecting ``spec`` noise at matching sites.
+
+    Parameters
+    ----------
+    groups / layers / tags:
+        Optional iterables restricting where noise is injected; ``None``
+        means "no constraint".  Only Table III groups are injectable.
+    """
     registry = HookRegistry()
-    registry.add_transform(matcher, GaussianNoiseInjector(spec))
+    registry.add_transform(site_matcher(groups=groups, layers=layers,
+                                        tags=tags),
+                           GaussianNoiseInjector(spec))
     return registry

@@ -6,6 +6,10 @@ test accuracy.  Group-wise analysis (Step 2) injects into every operation
 of one Table III group at a time; layer-wise analysis (Step 4) then
 refines the *non-resilient* groups layer by layer — the paper notes this
 ordering skips a considerable amount of useless testing.
+
+Both steps execute through the batched :mod:`repro.core.sweep` engine
+(prefix-activation caching + NM stacking); ``strategy="naive"`` restores
+the original one-evaluation-per-point loop.
 """
 
 from __future__ import annotations
@@ -83,57 +87,52 @@ def noisy_accuracy(model, dataset: Dataset, spec: NoiseSpec, *,
         return evaluate_accuracy(model, dataset, batch_size=batch_size)
 
 
-def _sweep(model, dataset: Dataset, curve: ResilienceCurve, nm_values,
-           na: float, seed: int, batch_size: int,
-           groups, layers) -> ResilienceCurve:
-    for nm in nm_values:
-        spec = NoiseSpec(nm=nm, na=na, seed=seed)
-        accuracy = noisy_accuracy(model, dataset, spec, groups=groups,
-                                  layers=layers, batch_size=batch_size)
-        curve.points.append(ResiliencePoint(
-            nm, na, accuracy, accuracy - curve.baseline_accuracy))
-    return curve
+def _engine(model, dataset, batch_size, strategy, workers, engine):
+    """Build (or reuse) the sweep engine behind the Step 2/4 entry points."""
+    if engine is not None:
+        return engine
+    from .sweep import SweepEngine
+    return SweepEngine(model, dataset, batch_size=batch_size,
+                       strategy=strategy, workers=workers)
 
 
 def group_wise_analysis(model, dataset: Dataset, *,
                         groups: list[str],
                         nm_values=PAPER_NM_SWEEP, na: float = 0.0,
                         seed: int = 0, batch_size: int = 64,
-                        baseline_accuracy: float | None = None
-                        ) -> dict[str, ResilienceCurve]:
+                        baseline_accuracy: float | None = None,
+                        strategy: str = "auto", workers: int = 0,
+                        engine=None) -> dict[str, ResilienceCurve]:
     """Step 2: inject the same noise into every operation within a group,
-    keeping the other groups accurate (paper Sec. VI-A)."""
-    if baseline_accuracy is None:
-        baseline_accuracy = evaluate_accuracy(model, dataset,
-                                              batch_size=batch_size)
-    results = {}
-    for group in groups:
-        curve = ResilienceCurve(group=group,
-                                baseline_accuracy=baseline_accuracy)
-        results[group] = _sweep(model, dataset, curve, nm_values, na, seed,
-                                batch_size, groups=[group], layers=None)
-    return results
+    keeping the other groups accurate (paper Sec. VI-A).
+
+    Execution routes through :class:`repro.core.sweep.SweepEngine`;
+    ``strategy="naive"`` restores the original one-evaluation-per-point
+    loop (see the engine's docstring for the other knobs).  A prebuilt
+    ``engine`` may be passed to share its prefix-activation cache across
+    Steps 2 and 4 (its batch size/strategy then take precedence).
+    """
+    engine = _engine(model, dataset, batch_size, strategy, workers, engine)
+    return engine.sweep([(group, None) for group in groups], nm_values,
+                        na=na, seed=seed, baseline_accuracy=baseline_accuracy)
 
 
 def layer_wise_analysis(model, dataset: Dataset, *,
                         groups: list[str], layers: list[str],
                         nm_values=PAPER_NM_SWEEP, na: float = 0.0,
                         seed: int = 0, batch_size: int = 64,
-                        baseline_accuracy: float | None = None
-                        ) -> dict[tuple[str, str], ResilienceCurve]:
-    """Step 4: per-layer injection for each (typically non-resilient) group."""
-    if baseline_accuracy is None:
-        baseline_accuracy = evaluate_accuracy(model, dataset,
-                                              batch_size=batch_size)
-    results = {}
-    for group in groups:
-        for layer in layers:
-            curve = ResilienceCurve(group=group, layer=layer,
-                                    baseline_accuracy=baseline_accuracy)
-            results[(group, layer)] = _sweep(
-                model, dataset, curve, nm_values, na, seed, batch_size,
-                groups=[group], layers=[layer])
-    return results
+                        baseline_accuracy: float | None = None,
+                        strategy: str = "auto", workers: int = 0,
+                        engine=None) -> dict[tuple[str, str], ResilienceCurve]:
+    """Step 4: per-layer injection for each (typically non-resilient) group.
+
+    Routed through the sweep engine exactly like
+    :func:`group_wise_analysis`.
+    """
+    engine = _engine(model, dataset, batch_size, strategy, workers, engine)
+    return engine.sweep(
+        [(group, layer) for group in groups for layer in layers], nm_values,
+        na=na, seed=seed, baseline_accuracy=baseline_accuracy)
 
 
 def mark_resilient(curves: dict, *, nm_reference: float = 0.05,

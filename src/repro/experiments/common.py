@@ -18,12 +18,19 @@ __all__ = ["benchmark_entry", "format_table", "ExperimentScale"]
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """Evaluation-scale knobs shared by the accuracy-in-the-loop artifacts."""
+    """Evaluation-scale knobs shared by the accuracy-in-the-loop artifacts.
+
+    ``strategy`` selects the sweep execution path (see
+    :mod:`repro.core.sweep`): ``auto`` routes Steps 2/4 through the
+    vectorised engine, ``naive`` restores the per-point loop.
+    """
 
     eval_samples: int = 256
     nm_values: tuple[float, ...] = (
         0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0)
     batch_size: int = 64
+    strategy: str = "auto"
+    workers: int = 0
 
     @classmethod
     def quick(cls) -> "ExperimentScale":

@@ -84,6 +84,7 @@ def run(*, benchmark: str = "DeepCaps/CIFAR-10",
     curves = layer_wise_analysis(
         entry.model, test_set, groups=list(groups), layers=layers,
         nm_values=scale.nm_values, na=0.0, seed=seed,
-        batch_size=scale.batch_size)
+        batch_size=scale.batch_size, strategy=scale.strategy,
+        workers=scale.workers)
     baseline = next(iter(curves.values())).baseline_accuracy
     return Fig10Result(benchmark, baseline, curves, layers)

@@ -60,11 +60,29 @@ class CapsNet(Module):
         """Layers that perform dynamic routing."""
         return ["ClassCaps"]
 
+    def forward_stages(self):
+        """Prefix-resumable decomposition (see :meth:`Module.forward_stages`).
+
+        Each convolution's GEMM is its own stage, with the layer's emits at
+        the start of the *next* stage, so a sweep that perturbs e.g. the
+        Conv1 MAC outputs replays from the cached pre-activation instead of
+        re-running the convolution.
+        """
+        affine = {"affine": True}
+        return [
+            ("Conv1.conv", self.conv1.compute_preact, affine),
+            ("Conv1.post", self.conv1.finish),
+            ("PrimaryCaps.conv", self.primary.compute_preact, affine),
+            ("PrimaryCaps.post", self.primary.finish),
+            ("ClassCaps.votes",
+             lambda caps: self.class_caps.compute_votes(flatten_caps(caps)),
+             affine),
+            ("ClassCaps.route", self.class_caps.route),
+        ]
+
     def forward(self, x: Tensor) -> Tensor:
         """Map images ``(N, C, H, W)`` to class capsules ``(N, classes, D)``."""
-        features = self.conv1(x)
-        caps = self.primary(features)
-        return self.class_caps(flatten_caps(caps))
+        return self.run_stages(x)
 
     def predict(self, x: Tensor) -> np.ndarray:
         """Predicted class labels via capsule lengths."""

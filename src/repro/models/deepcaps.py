@@ -38,10 +38,50 @@ class CapsCell(Module):
         self.skip = skip
         self.name = f"CapsCell[{first.name}..{skip.name}]"
 
+    def forward_stages(self):
+        """Staged form threading the skip branch through tuple states.
+
+        State convention: a bare Tensor between single-tensor stages, and a
+        ``(kept, current)`` tuple while both the skip input (``down``) or
+        merged main branch and an in-flight value must survive — every
+        element keeps the batch as its leading axis.
+        """
+        affine = {"affine": True}
+
+        def skip_stages():
+            skip = self.skip
+            if isinstance(skip, ConvCaps3D):
+                return [
+                    (f"{skip.name}.votes",
+                     lambda state: (state[1], skip.compute_votes(state[0])),
+                     affine),
+                    (f"{skip.name}.route",
+                     lambda state: state[0] + skip.route(state[1])),
+                ]
+            return [
+                (f"{skip.name}.conv",
+                 lambda state: (state[1], skip.compute_preact(state[0])),
+                 affine),
+                (f"{skip.name}.post",
+                 lambda state: state[0] + skip.finish(state[1])),
+            ]
+
+        return [
+            (f"{self.first.name}.conv", self.first.compute_preact, affine),
+            (f"{self.first.name}.post", self.first.finish),
+            (f"{self.second.name}.conv",
+             lambda down: (down, self.second.compute_preact(down)), affine),
+            (f"{self.second.name}.post",
+             lambda state: (state[0], self.second.finish(state[1]))),
+            (f"{self.third.name}.conv",
+             lambda state: (state[0], self.third.compute_preact(state[1])),
+             affine),
+            (f"{self.third.name}.post",
+             lambda state: (state[0], self.third.finish(state[1]))),
+        ] + skip_stages()
+
     def forward(self, x: Tensor) -> Tensor:
-        down = self.first(x)
-        main = self.third(self.second(down))
-        return main + self.skip(down)
+        return self.run_stages(x)
 
 
 class DeepCaps(Module):
@@ -116,14 +156,42 @@ class DeepCaps(Module):
         """Layers that perform dynamic routing."""
         return ["Caps3D", "ClassCaps"]
 
+    def _fold_caps(self, features: Tensor) -> Tensor:
+        """Fold stem channels ``(N, C*D, H, W)`` into capsules."""
+        n, _, h, w = features.shape
+        return features.reshape(n, self.cell1_caps, self.cell1_dim, h, w)
+
+    def forward_stages(self):
+        """Prefix-resumable decomposition (see :meth:`Module.forward_stages`):
+        the stem, each cell's staged form, then the ClassCaps votes/routing.
+        The stem's capsule fold rides with the first cell's (affine) conv so
+        the stem activation emit terminates its own stage.
+        """
+        affine = {"affine": True}
+        first_cell = self.cells[0]
+        stages = [
+            ("Conv2D.conv", self.conv.compute_preact, affine),
+            ("Conv2D.post", self.conv.finish),
+            ("cell1.Caps2D1.conv",
+             lambda features: first_cell.first.compute_preact(
+                 self._fold_caps(features)), affine),
+        ]
+        stages.extend((f"cell1.{entry[0]}",) + tuple(entry[1:])
+                      for entry in first_cell.forward_stages()[1:])
+        for index, cell in enumerate(self.cells[1:], start=2):
+            stages.extend((f"cell{index}.{entry[0]}",) + tuple(entry[1:])
+                          for entry in cell.forward_stages())
+        stages.extend([
+            ("ClassCaps.votes",
+             lambda caps: self.class_caps.compute_votes(flatten_caps(caps)),
+             affine),
+            ("ClassCaps.route", self.class_caps.route),
+        ])
+        return stages
+
     def forward(self, x: Tensor) -> Tensor:
         """Map images ``(N, C, H, W)`` to class capsules ``(N, classes, D)``."""
-        features = self.conv(x)
-        n, ch, h, w = features.shape
-        caps = features.reshape(n, self.cell1_caps, self.cell1_dim, h, w)
-        for cell in self.cells:
-            caps = cell(caps)
-        return self.class_caps(flatten_caps(caps))
+        return self.run_stages(x)
 
     def predict(self, x: Tensor) -> np.ndarray:
         """Predicted class labels via capsule lengths."""

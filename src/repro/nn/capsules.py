@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, conv2d, conv_output_size, squash
+from ..tensor import Tensor, conv2d, squash
 from . import hooks
 from .module import Module, Parameter
 from .routing import dynamic_routing
@@ -53,17 +53,25 @@ class PrimaryCaps(Module):
         ).astype(np.float32))
         self.bias = Parameter(np.zeros(num_caps * caps_dim, dtype=np.float32))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def compute_preact(self, x: Tensor) -> Tensor:
+        """Convolution only, before the ``mac_outputs`` emit (see
+        :meth:`repro.nn.Conv2D.compute_preact`)."""
         x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
-        out = conv2d(x, self.weight, self.bias,
-                     stride=self.stride, padding=self.padding)
-        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        return conv2d(x, self.weight, self.bias,
+                      stride=self.stride, padding=self.padding)
+
+    def finish(self, pre: Tensor) -> Tensor:
+        """MAC emit, capsule reshape and squash."""
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), pre)
         n, _, oh, ow = out.shape
         caps = out.reshape(n, self.num_caps, self.caps_dim, oh, ow)
         caps = squash(caps, axis=2)
         caps = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), caps)
         return caps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.finish(self.compute_preact(x))
 
 
 class ConvCaps2D(Module):
@@ -97,7 +105,8 @@ class ConvCaps2D(Module):
         ).astype(np.float32))
         self.bias = Parameter(np.zeros(out_caps * out_dim, dtype=np.float32))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def compute_preact(self, x: Tensor) -> Tensor:
+        """Convolution only, before the ``mac_outputs`` emit."""
         n, c, d, h, w = x.shape
         if (c, d) != (self.in_caps, self.in_dim):
             raise ValueError(
@@ -106,15 +115,21 @@ class ConvCaps2D(Module):
         flat = x.reshape(n, c * d, h, w)
         flat = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), flat)
-        out = conv2d(flat, self.weight, self.bias,
-                     stride=self.stride, padding=self.padding)
-        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
-        _, _, oh, ow = out.shape
+        return conv2d(flat, self.weight, self.bias,
+                      stride=self.stride, padding=self.padding)
+
+    def finish(self, pre: Tensor) -> Tensor:
+        """MAC emit, capsule reshape and squash."""
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), pre)
+        n, _, oh, ow = out.shape
         caps = out.reshape(n, self.out_caps, self.out_dim, oh, ow)
         caps = squash(caps, axis=2)
         caps = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), caps)
         return caps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.finish(self.compute_preact(x))
 
 
 class ConvCaps3D(Module):
@@ -148,7 +163,12 @@ class ConvCaps3D(Module):
         ).astype(np.float32))
         self.bias = Parameter(np.zeros(out_caps * out_dim, dtype=np.float32))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def compute_votes(self, x: Tensor) -> Tensor:
+        """Vote convolution only: ``(N, C, D, H, W) -> (N*C, Cout*D, OH, OW)``.
+
+        Ends *before* the votes emit so a sweep replay that perturbs this
+        layer's MAC outputs can reuse the cached raw votes.
+        """
         n, c, d, h, w = x.shape
         if (c, d) != (self.in_caps, self.in_dim):
             raise ValueError(
@@ -157,16 +177,23 @@ class ConvCaps3D(Module):
         merged = x.reshape(n * c, d, h, w)
         merged = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), merged)
-        votes = conv2d(merged, self.weight, self.bias,
-                       stride=self.stride, padding=self.padding)
+        return conv2d(merged, self.weight, self.bias,
+                      stride=self.stride, padding=self.padding)
+
+    def route(self, votes: Tensor) -> Tensor:
+        """Votes emit + position-wise dynamic routing of the raw votes."""
         votes = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_MAC, "votes"), votes)
-        oh = conv_output_size(h, self.kernel_size, self.stride, self.padding)
-        ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
-        u_hat = votes.reshape(n, c, self.out_caps, self.out_dim, oh * ow)
+        nc, _, oh, ow = votes.shape
+        n = nc // self.in_caps
+        u_hat = votes.reshape(n, self.in_caps, self.out_caps, self.out_dim,
+                              oh * ow)
         routed = dynamic_routing(
             u_hat, iterations=self.routing_iterations, layer_name=self.name)
         return routed.reshape(n, self.out_caps, self.out_dim, oh, ow)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.route(self.compute_votes(x))
 
 
 class ClassCaps(Module):
@@ -196,7 +223,12 @@ class ClassCaps(Module):
         self.weight = Parameter(rng.normal(
             0.0, init_std, (in_caps, out_caps * out_dim, in_dim)).astype(np.float32))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def compute_votes(self, x: Tensor) -> Tensor:
+        """Vote transformation only: ``(N, Cin, D) -> (N, Cin, Cout, Dout)``.
+
+        Ends *before* the votes emit so a sweep replay that perturbs this
+        layer's MAC outputs can reuse the cached votes.
+        """
         n, num_in, d = x.shape
         if (num_in, d) != (self.in_caps, self.in_dim):
             raise ValueError(
@@ -205,11 +237,18 @@ class ClassCaps(Module):
         x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
         u = x.reshape(n, num_in, d, 1)
         # (in_caps, out*dim, in_dim) @ (N, in_caps, in_dim, 1)
-        votes = self.weight.matmul(u).reshape(
+        return self.weight.matmul(u).reshape(
             n, num_in, self.out_caps, self.out_dim)
+
+    def route(self, votes: Tensor) -> Tensor:
+        """Votes emit + dynamic routing of the vote tensor."""
+        n = votes.shape[0]
         votes = hooks.emit(
             hooks.InjectionSite(self.name, hooks.GROUP_MAC, "votes"), votes)
         u_hat = votes.expand_dims(4)  # trailing position axis of size 1
         routed = dynamic_routing(
             u_hat, iterations=self.routing_iterations, layer_name=self.name)
         return routed.reshape(n, self.out_caps, self.out_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.route(self.compute_votes(x))

@@ -26,7 +26,7 @@ input-distribution studies of Fig. 11 / Table IV (never perturbed).
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 import numpy as np
@@ -36,8 +36,8 @@ from ..tensor import Tensor
 __all__ = [
     "GROUP_MAC", "GROUP_ACTIVATIONS", "GROUP_SOFTMAX", "GROUP_LOGITS",
     "GROUP_MAC_INPUTS", "INJECTABLE_GROUPS", "GROUP_DESCRIPTIONS",
-    "InjectionSite", "HookRegistry", "use_registry", "active_registries",
-    "emit",
+    "InjectionSite", "HookRegistry", "SiteRecorder", "use_registry",
+    "active_registries", "emit",
 ]
 
 GROUP_MAC = "mac_outputs"
@@ -146,6 +146,43 @@ class HookRegistry:
     @property
     def has_observers(self) -> bool:
         return bool(self._observers)
+
+
+class SiteRecorder:
+    """Observer recording every emitted site during a forward pass.
+
+    This is the *observe* half of the sweep engine's observe/replay
+    execution model (:mod:`repro.core.sweep`): one clean pass is run with a
+    recorder installed, attributing each site to the execution phase that
+    emitted it, so later noisy replays can resume at the first phase a
+    sweep target actually perturbs.
+
+    The ``marker`` attribute may be reassigned between sub-computations
+    (e.g. model stages); each site is tagged with the marker in effect the
+    first time it fires.  With ``record_values=True``, the most recent
+    emitted array per site is also retained (observation happens *before*
+    transforms, so with no transforms active these are the clean values).
+    """
+
+    def __init__(self, *, record_values: bool = False):
+        self.record_values = record_values
+        self.marker = None
+        self.sites: list[InjectionSite] = []
+        self.site_markers: dict[InjectionSite, object] = {}
+        self.values: dict[InjectionSite, np.ndarray] = {}
+
+    def __call__(self, site: InjectionSite, value: np.ndarray) -> None:
+        if site not in self.site_markers:
+            self.sites.append(site)
+            self.site_markers[site] = self.marker
+        if self.record_values:
+            self.values[site] = value
+
+    def install(self) -> HookRegistry:
+        """Build a registry with this recorder observing every site."""
+        registry = HookRegistry()
+        registry.add_observer(lambda site: True, self)
+        return registry
 
 
 _ACTIVE: list[HookRegistry] = []

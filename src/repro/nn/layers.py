@@ -50,16 +50,25 @@ class Conv2D(Module):
             rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in))
         self.bias = Parameter(np.zeros(out_channels, dtype=np.float32))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def compute_preact(self, x: Tensor) -> Tensor:
+        """The MAC stage: convolution only, *before* the ``mac_outputs``
+        emit — sweep replays that perturb this layer's outputs resume after
+        this stage and reuse its cached result."""
         x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
-        out = conv2d(x, self.weight, self.bias,
-                     stride=self.stride, padding=self.padding)
-        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), out)
+        return conv2d(x, self.weight, self.bias,
+                      stride=self.stride, padding=self.padding)
+
+    def finish(self, pre: Tensor) -> Tensor:
+        """Emit the MAC site and apply the (optional) activation."""
+        out = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC), pre)
         if self.activation == "relu":
             out = out.relu()
             out = hooks.emit(
                 hooks.InjectionSite(self.name, hooks.GROUP_ACTIVATIONS), out)
         return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.finish(self.compute_preact(x))
 
 
 class Dense(Module):

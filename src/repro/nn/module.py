@@ -134,6 +134,32 @@ class Module:
         for attr, child in self.children():
             yield from child._buffer_owners(prefix=f"{prefix}{attr}.")
 
+    # ------------------------------------------------------------ staged form
+    def forward_stages(self):
+        """Optional staged decomposition of :meth:`forward`.
+
+        Models that support prefix-resumable execution (the replay half of
+        the sweep engine's observe/replay mode, :mod:`repro.core.sweep`)
+        return a list of ``(stage_name, fn)`` or ``(stage_name, fn, meta)``
+        entries such that chaining ``state = fn(state)`` from the forward
+        input reproduces ``forward(x)`` bit-for-bit.  Stage state must be a
+        Tensor or a tuple of Tensors whose leading axis is (a multiple of)
+        the batch axis — the invariant that lets the engine cache stage
+        outputs and stack sweep points along the batch dimension.  ``meta``
+        may declare ``{"affine": True}`` for stages that are affine in
+        their input (convolution/vote GEMMs), enabling the engine to
+        factor a whole NM curve through one stage application.  The
+        default ``None`` means "no staged form"; the engine then treats
+        the whole forward as a single stage.
+        """
+        return None
+
+    def run_stages(self, x):
+        """Execute :meth:`forward_stages` as a chain (helper for forward)."""
+        for entry in self.forward_stages():
+            x = entry[1](x)
+        return x
+
     # ---------------------------------------------------------------- calling
     def forward(self, *args, **kwargs):
         raise NotImplementedError

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, squash
+from ..tensor import Tensor, squash, vote_agreement, weighted_vote_sum
 from . import hooks
 
 __all__ = ["dynamic_routing"]
@@ -51,15 +51,14 @@ def dynamic_routing(u_hat: Tensor, *, iterations: int, layer_name: str) -> Tenso
         k = logits.softmax(axis=2)
         k = hooks.emit(hooks.InjectionSite(
             layer_name, hooks.GROUP_SOFTMAX, f"iter{r}"), k)
-        s = (k * u_hat).sum(axis=1)  # (N, Cout, D, P)
+        s = weighted_vote_sum(k, u_hat)  # (N, Cout, D, P)
         s = hooks.emit(hooks.InjectionSite(
             layer_name, hooks.GROUP_MAC, f"weighted_sum_iter{r}"), s)
         v = squash(s, axis=2)
         v = hooks.emit(hooks.InjectionSite(
             layer_name, hooks.GROUP_ACTIVATIONS, f"squash_iter{r}"), v)
         if r < iterations:
-            agreement = (u_hat * v.expand_dims(1)).sum(axis=3, keepdims=True)
-            logits = logits + agreement
+            logits = logits + vote_agreement(u_hat, v)
             logits = hooks.emit(hooks.InjectionSite(
                 layer_name, hooks.GROUP_LOGITS, f"iter{r}"), logits)
     return v

@@ -5,12 +5,13 @@ capsule-specific composite functions (``squash``/``softmax``/…).
 """
 
 from .functional import (capsule_lengths, log_softmax, one_hot, relu, softmax,
-                         squash)
-from .ops import conv2d, conv_output_size, im2col
+                         squash, vote_agreement, weighted_vote_sum)
+from .ops import col2im, conv2d, conv_output_size, im2col
 from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "Tensor", "as_tensor", "cat", "stack", "no_grad", "is_grad_enabled",
-    "conv2d", "conv_output_size", "im2col",
+    "conv2d", "conv_output_size", "im2col", "col2im",
     "squash", "softmax", "log_softmax", "relu", "capsule_lengths", "one_hot",
+    "weighted_vote_sum", "vote_agreement",
 ]

@@ -12,7 +12,7 @@ import numpy as np
 from .tensor import Tensor, as_tensor
 
 __all__ = ["squash", "softmax", "relu", "capsule_lengths", "one_hot",
-           "log_softmax"]
+           "log_softmax", "weighted_vote_sum", "vote_agreement"]
 
 
 def squash(s: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
@@ -23,6 +23,17 @@ def squash(s: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
     orientation.
     """
     s = as_tensor(s)
+    if not s.requires_grad:
+        # Inference fast path: one fused sum-of-squares contraction instead
+        # of materialising the capsule-map-sized ``s*s`` temporary (squash
+        # runs on every capsule layer of every sweep replay).
+        data = s.data
+        labels = "abcdefghijk"[:data.ndim]
+        out_labels = labels.replace(labels[axis % data.ndim], "")
+        squared = np.einsum(f"{labels},{labels}->{out_labels}", data, data)
+        squared = np.expand_dims(squared, axis)
+        scale = squared / ((squared + 1.0) * np.sqrt(squared + eps))
+        return Tensor(data * scale.astype(np.float32), op="squash")
     squared = (s * s).sum(axis=axis, keepdims=True)
     norm = (squared + eps).sqrt()
     scale = squared / ((squared + 1.0) * norm)
@@ -49,6 +60,71 @@ def relu(x: Tensor) -> Tensor:
 def capsule_lengths(caps: Tensor, axis: int = -1) -> Tensor:
     """Euclidean length of each capsule vector (class probability proxy)."""
     return as_tensor(caps).norm(axis=axis)
+
+
+def weighted_vote_sum(coupling: Tensor, votes: Tensor) -> Tensor:
+    """Fused ``(coupling * votes).sum(axis=1)`` for dynamic routing.
+
+    ``coupling`` has shape ``(N, Cin, Cout, 1, P)`` and ``votes``
+    ``(N, Cin, Cout, D, P)``; the result is ``(N, Cout, D, P)``.  A single
+    einsum contraction avoids materialising the vote-sized product
+    temporary — the memory-bandwidth hot spot of the routing loop.
+    """
+    coupling = as_tensor(coupling)
+    votes = as_tensor(votes)
+    # Singleton axes make c_einsum ~30% slower — contract squeezed views.
+    if votes.shape[-1] == 1:
+        out_data = np.einsum("nio,niod->nod", coupling.data[:, :, :, 0, 0],
+                             votes.data[..., 0])[..., None]
+    else:
+        out_data = np.einsum("niop,niodp->nodp", coupling.data[:, :, :, 0, :],
+                             votes.data)
+    out = Tensor._result(out_data, (coupling, votes), "weighted_vote_sum")
+    if not out.requires_grad:
+        return out
+
+    def _backward():
+        grad = out.grad
+        if coupling.requires_grad:
+            dk = np.einsum("nodp,niodp->niop", grad, votes.data)
+            coupling._accumulate(dk[:, :, :, None, :])
+        if votes.requires_grad:
+            votes._accumulate(np.einsum(
+                "niop,nodp->niodp", coupling.data[:, :, :, 0, :], grad))
+
+    out._backward = _backward
+    return out
+
+
+def vote_agreement(votes: Tensor, v: Tensor) -> Tensor:
+    """Fused ``(votes * v.expand_dims(1)).sum(axis=3, keepdims=True)``.
+
+    ``votes`` has shape ``(N, Cin, Cout, D, P)`` and ``v``
+    ``(N, Cout, D, P)``; the result — the routing logits update — has
+    shape ``(N, Cin, Cout, 1, P)``.  Like :func:`weighted_vote_sum`, the
+    contraction skips the vote-sized temporary.
+    """
+    votes = as_tensor(votes)
+    v = as_tensor(v)
+    if votes.shape[-1] == 1:
+        out_data = np.einsum("niod,nod->nio", votes.data[..., 0],
+                             v.data[..., 0])[:, :, :, None, None]
+    else:
+        out_data = np.einsum("niodp,nodp->niop", votes.data,
+                             v.data)[:, :, :, None, :]
+    out = Tensor._result(out_data, (votes, v), "vote_agreement")
+    if not out.requires_grad:
+        return out
+
+    def _backward():
+        grad = out.grad[:, :, :, 0, :]
+        if votes.requires_grad:
+            votes._accumulate(np.einsum("niop,nodp->niodp", grad, v.data))
+        if v.requires_grad:
+            v._accumulate(np.einsum("niop,niodp->nodp", grad, votes.data))
+
+    out._backward = _backward
+    return out
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

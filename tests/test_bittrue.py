@@ -82,3 +82,33 @@ class TestExecutor:
         with ApproximateConvExecutor(trained_capsnet, destroyer):
             noisy = evaluate_accuracy(trained_capsnet, subset)
         assert noisy < clean
+
+
+class TestLutMatmulDecomposition:
+    """_lut_matmul = exact-int BLAS GEMM + gather over the *error* LUT."""
+
+    @staticmethod
+    def _reference(lut, q_cols, q_w):
+        return lut[q_cols[:, None, :], q_w[None, :, :]].sum(
+            axis=2, dtype=np.int64).astype(np.float64)
+
+    def test_accurate_lut_skips_gather_bit_identically(self):
+        from repro.approx.bittrue import _lut_matmul
+        rng = np.random.default_rng(1)
+        grid = np.arange(256, dtype=np.int64)
+        exact_lut = grid[:, None] * grid[None, :]
+        q_cols = rng.integers(0, 256, (37, 50)).astype(np.uint8)
+        q_w = rng.integers(0, 256, (5, 50)).astype(np.uint8)
+        out = _lut_matmul(exact_lut, q_cols, q_w, chunk=16)
+        assert np.array_equal(out, self._reference(exact_lut, q_cols, q_w))
+
+    def test_approximate_lut_bit_identical(self):
+        from repro.approx.bittrue import _lut_matmul
+        rng = np.random.default_rng(2)
+        grid = np.arange(256, dtype=np.int64)
+        lut = grid[:, None] * grid[None, :] + rng.integers(
+            -99, 99, (256, 256))
+        q_cols = rng.integers(0, 256, (37, 50)).astype(np.uint8)
+        q_w = rng.integers(0, 256, (5, 50)).astype(np.uint8)
+        out = _lut_matmul(lut, q_cols, q_w, chunk=16)
+        assert np.array_equal(out, self._reference(lut, q_cols, q_w))

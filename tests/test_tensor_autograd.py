@@ -199,3 +199,13 @@ class TestGraphControl:
         t = Tensor(np.arange(3))  # int input
         assert t.data.dtype == np.float32
         assert (t * 2.5).data.dtype == np.float32
+
+
+class TestItem:
+    def test_scalar_and_single_element(self):
+        assert Tensor(2.5).item() == pytest.approx(2.5)
+        assert Tensor([[4.0]]).item() == pytest.approx(4.0)
+
+    def test_multi_element_raises_clear_error(self):
+        with pytest.raises(ValueError, match=r"shape \(2, 3\)"):
+            Tensor(np.zeros((2, 3))).item()

@@ -108,3 +108,31 @@ def test_conv2d_no_grad_fast_path():
     out = conv2d(x, w)
     assert not out.requires_grad
     assert out._backward is None
+
+
+class TestCol2im:
+    """The strided scatter (conv2d input adjoint) has two implementations;
+    they must agree, and ``auto`` must accept every geometry."""
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (3, 1, 1), (3, 2, 0), (9, 2, 0), (5, 1, 2),
+    ])
+    def test_methods_agree(self, kernel, stride, padding):
+        from repro.tensor import col2im, conv_output_size
+        rng = np.random.default_rng(0)
+        n, c, h = 2, 3, 14
+        oh = conv_output_size(h, kernel, stride, padding)
+        dcols = rng.random((n, c, oh, oh, kernel, kernel),
+                           dtype=np.float32)
+        direct = col2im(dcols, (h, h), stride, padding, method="direct")
+        separable = col2im(dcols, (h, h), stride, padding,
+                           method="separable")
+        auto = col2im(dcols, (h, h), stride, padding)
+        np.testing.assert_allclose(direct, separable, atol=1e-4)
+        np.testing.assert_allclose(auto, direct, atol=1e-4)
+
+    def test_unknown_method_rejected(self):
+        from repro.tensor import col2im
+        with pytest.raises(ValueError, match="col2im"):
+            col2im(np.zeros((1, 1, 2, 2, 3, 3), np.float32), (4, 4), 1, 0,
+                   method="magic")
