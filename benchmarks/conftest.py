@@ -9,6 +9,7 @@ findings and time the regeneration.  Heavy artifacts run with
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -20,6 +21,17 @@ from repro.zoo import PAPER_BENCHMARKS, get_trained
 #: trajectory is tracked across PRs without remembering a CLI flag.
 BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "BENCH_sweep.json")
+
+#: Named scalar metrics recorded by bench tests this session (e.g. the
+#: routing-resumed speedup ratio); merged into ``BENCH_JSON`` under
+#: ``custom_metrics`` at unconfigure so the trajectory file carries them
+#: alongside the pytest-benchmark timings.
+RECORDED_METRICS: dict[str, float] = {}
+
+
+def record_metric(name: str, value: float) -> None:
+    """Record a named scalar into ``BENCH_sweep.json`` (custom_metrics)."""
+    RECORDED_METRICS[name] = float(value)
 
 
 def pytest_configure(config):
@@ -37,19 +49,61 @@ def pytest_configure(config):
         config._bench_json_scratch = scratch
 
 
+def _merge_previous_results(fresh: dict) -> dict:
+    """Carry benchmarks/metrics a partial run did not re-measure.
+
+    A ``pytest benchmarks/bench_foo.py`` invocation only produces
+    ``bench_foo`` results; wholesale-replacing the tracked file would
+    silently erase every other benchmark's trajectory entry and any
+    previously recorded ``custom_metrics``.  Fresh results win on name
+    collisions.
+    """
+    try:
+        with open(BENCH_JSON) as stream:
+            previous = json.load(stream)
+    except (OSError, ValueError):
+        return fresh
+    fresh_names = {bench.get("name") for bench in fresh.get("benchmarks", [])}
+    fresh.setdefault("benchmarks", []).extend(
+        bench for bench in previous.get("benchmarks", [])
+        if bench.get("name") not in fresh_names)
+    metrics = dict(previous.get("custom_metrics", {}))
+    metrics.update(fresh.get("custom_metrics", {}))
+    if metrics:
+        fresh["custom_metrics"] = metrics
+    return fresh
+
+
 def pytest_unconfigure(config):
-    """Promote freshly-written benchmark results over the tracked file."""
+    """Promote fresh benchmark results and metrics into the tracked file."""
+    fresh = None
     scratch = getattr(config, "_bench_json_scratch", None)
-    if scratch is None:
-        return
-    handle = config.option.benchmark_json
-    if handle is not None and not handle.closed:
-        handle.close()
-    if os.path.exists(scratch):
-        if os.path.getsize(scratch) > 0:
-            os.replace(scratch, BENCH_JSON)
-        else:
+    if scratch is not None:
+        handle = config.option.benchmark_json
+        if handle is not None and not handle.closed:
+            handle.close()
+        if os.path.exists(scratch):
+            if os.path.getsize(scratch) > 0:
+                try:
+                    with open(scratch) as stream:
+                        fresh = json.load(stream)
+                except (OSError, ValueError):
+                    fresh = None
             os.remove(scratch)
+    if fresh is None:
+        if not RECORDED_METRICS:
+            return
+        # Metrics were recorded but no benchmark dump landed in our
+        # scratch (e.g. the caller passed their own --benchmark-json):
+        # still fold them into the tracked file.
+        fresh = {}
+    if RECORDED_METRICS:
+        fresh.setdefault("custom_metrics", {}).update(RECORDED_METRICS)
+    # Merge BEFORE opening for write: open(..., "w") truncates, and the
+    # merge reads the previous tracked file.
+    merged = _merge_previous_results(fresh)
+    with open(BENCH_JSON, "w") as stream:
+        json.dump(merged, stream, indent=4)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -29,15 +29,18 @@ __all__ = ["main", "ARTIFACTS"]
 
 
 def _scaled(runner: Callable, **fixed):
-    def run(quick: bool, strategy: str = "auto", workers: int = 0):
+    def run(quick: bool, strategy: str = "auto", workers: int = 0,
+            shared_votes: bool = True):
         scale = ExperimentScale.quick() if quick else ExperimentScale()
-        scale = dataclasses.replace(scale, strategy=strategy, workers=workers)
+        scale = dataclasses.replace(scale, strategy=strategy, workers=workers,
+                                    shared_votes=shared_votes)
         return runner(scale=scale, **fixed)
     return run
 
 
 def _plain(runner: Callable, **fixed):
-    def run(_quick: bool, _strategy: str = "auto", _workers: int = 0):
+    def run(_quick: bool, _strategy: str = "auto", _workers: int = 0,
+            _shared_votes: bool = True):
         return runner(**fixed)
     return run
 
@@ -90,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(see repro.core.sweep)")
     run.add_argument("--workers", type=int, default=0,
                      help="fan sweep targets across this many processes")
+    run.add_argument("--no-shared-votes", action="store_true",
+                     help="disable the shared-votes routing fast path for "
+                          "routing-resumed sweep targets")
     return parser
 
 
@@ -110,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in requested:
         _, runner = ARTIFACTS[name]
-        result = runner(args.quick, args.strategy, args.workers)
+        result = runner(args.quick, args.strategy, args.workers,
+                        not args.no_shared_votes)
         print(result.format_text())
         print()
     return 0

@@ -5,11 +5,14 @@ Steps 2+4 (the resilience sweeps) execute through the batched
 :class:`~repro.core.sweep.SweepEngine`: one clean forward per test batch
 caches per-stage activations (observe), each sweep target replays from
 its first injected layer (replay), and a target's whole NM curve rides a
-single NM-stacked forward.  The ``strategy`` knob on the analysis
-functions and :class:`ReDCaNeConfig` selects between ``naive`` (the
-original per-point loop), ``cached`` (prefix replay, bit-identical to
-naive), ``vectorized`` (prefix replay + NM stacking, fastest) and
-``auto`` (vectorized with a safe naive fallback).
+single NM-stacked forward — for routing-resumed targets, a single
+shared-votes routing pass (:func:`repro.nn.dynamic_routing_shared`).
+The ``strategy`` knob on the analysis functions and
+:class:`ReDCaNeConfig` selects between ``naive`` (the original per-point
+loop), ``cached`` (prefix replay, bit-identical to naive),
+``vectorized`` (prefix replay + NM stacking, fastest) and ``auto``
+(vectorized with a safe naive fallback); ``shared_votes=False`` forces
+the generic stacked replay on routing-resumed targets.
 """
 
 from .groups import GroupExtraction, extract_groups

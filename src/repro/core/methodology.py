@@ -49,6 +49,7 @@ class ReDCaNeConfig:
     safety_factor: float = 1.0   # Step 6 margin
     strategy: str = "auto"       # sweep execution (see repro.core.sweep)
     workers: int = 0             # >1 fans sweep targets across processes
+    shared_votes: bool = True    # routing fast path for routing-resumed targets
     verbose: bool = False
 
 
@@ -134,7 +135,8 @@ class ReDCaNe:
         # the first sweep is reused by the layer-wise refinement.
         engine = SweepEngine(self.model, self.dataset,
                              batch_size=config.batch_size,
-                             strategy=config.strategy, workers=config.workers)
+                             strategy=config.strategy, workers=config.workers,
+                             shared_votes=config.shared_votes)
 
         self._log(f"step 2: group-wise resilience analysis "
                   f"({config.strategy})")

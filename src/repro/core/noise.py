@@ -166,6 +166,32 @@ class StackedNoiseInjector:
             self._base[key] = z
         return z
 
+    def affine_deltas(self, site: InjectionSite, value: np.ndarray) -> list:
+        """Factor this site's stacked injection as ``Σ_b coeffs_b[j]·delta_b``.
+
+        Valid only when every stacked slice would see the same clean
+        ``value`` (the first injected site of a replay, whose prefix is
+        the shared clean trace): point ``j``'s noisy value is then
+        ``value + nm_j·R·z + na_j·R`` with one shared base draw ``z`` and
+        ``R`` the clean value range.  Returns ``(coeffs, delta)`` pairs —
+        per-point coefficient vectors against shared delta arrays — that
+        the sweep engine feeds to
+        :func:`~repro.nn.dynamic_routing_shared` so the per-point noisy
+        vote stack is never materialised.  An empty list means the
+        injection is a no-op (zero range, or all-zero NM and NA).
+        """
+        value_range = np.float32(tensor_range(value))
+        deltas = []
+        if value_range == 0.0:
+            return deltas
+        if self._nms.any():
+            z = self._base_draw(site, value.shape)
+            deltas.append((self._nms * value_range, z))
+        if self._nas.any():
+            deltas.append((self._nas * value_range,
+                           np.ones(value.shape, np.float32)))
+        return deltas
+
     def __call__(self, site: InjectionSite, value: np.ndarray) -> np.ndarray:
         k = len(self.specs)
         if value.shape[0] % k:

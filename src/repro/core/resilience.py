@@ -87,13 +87,15 @@ def noisy_accuracy(model, dataset: Dataset, spec: NoiseSpec, *,
         return evaluate_accuracy(model, dataset, batch_size=batch_size)
 
 
-def _engine(model, dataset, batch_size, strategy, workers, engine):
+def _engine(model, dataset, batch_size, strategy, workers, shared_votes,
+            engine):
     """Build (or reuse) the sweep engine behind the Step 2/4 entry points."""
     if engine is not None:
         return engine
     from .sweep import SweepEngine
     return SweepEngine(model, dataset, batch_size=batch_size,
-                       strategy=strategy, workers=workers)
+                       strategy=strategy, workers=workers,
+                       shared_votes=shared_votes)
 
 
 def group_wise_analysis(model, dataset: Dataset, *,
@@ -102,17 +104,20 @@ def group_wise_analysis(model, dataset: Dataset, *,
                         seed: int = 0, batch_size: int = 64,
                         baseline_accuracy: float | None = None,
                         strategy: str = "auto", workers: int = 0,
+                        shared_votes: bool = True,
                         engine=None) -> dict[str, ResilienceCurve]:
     """Step 2: inject the same noise into every operation within a group,
     keeping the other groups accurate (paper Sec. VI-A).
 
     Execution routes through :class:`repro.core.sweep.SweepEngine`;
     ``strategy="naive"`` restores the original one-evaluation-per-point
-    loop (see the engine's docstring for the other knobs).  A prebuilt
-    ``engine`` may be passed to share its prefix-activation cache across
-    Steps 2 and 4 (its batch size/strategy then take precedence).
+    loop (see the engine's docstring for the other knobs, including the
+    ``shared_votes`` routing fast path).  A prebuilt ``engine`` may be
+    passed to share its prefix-activation cache across Steps 2 and 4
+    (its batch size/strategy then take precedence).
     """
-    engine = _engine(model, dataset, batch_size, strategy, workers, engine)
+    engine = _engine(model, dataset, batch_size, strategy, workers,
+                     shared_votes, engine)
     return engine.sweep([(group, None) for group in groups], nm_values,
                         na=na, seed=seed, baseline_accuracy=baseline_accuracy)
 
@@ -123,13 +128,15 @@ def layer_wise_analysis(model, dataset: Dataset, *,
                         seed: int = 0, batch_size: int = 64,
                         baseline_accuracy: float | None = None,
                         strategy: str = "auto", workers: int = 0,
+                        shared_votes: bool = True,
                         engine=None) -> dict[tuple[str, str], ResilienceCurve]:
     """Step 4: per-layer injection for each (typically non-resilient) group.
 
     Routed through the sweep engine exactly like
     :func:`group_wise_analysis`.
     """
-    engine = _engine(model, dataset, batch_size, strategy, workers, engine)
+    engine = _engine(model, dataset, batch_size, strategy, workers,
+                     shared_votes, engine)
     return engine.sweep(
         [(group, layer) for group in groups for layer in layers], nm_values,
         na=na, seed=seed, baseline_accuracy=baseline_accuracy)

@@ -23,7 +23,19 @@ finishes that thought at the execution layer with an observe/replay model:
    scales from per-slice value ranges (common random numbers across the
    NM axis).  NM = 0 points are read off the cached clean predictions for
    free.
-3. **Worker pool** — an opt-in ``workers`` knob fans independent targets
+3. **Shared-votes routing** — a target that resumes at a dynamic-routing
+   stage (its first injected site is the vote tensor or one of the
+   routing-loop sites) replays through
+   :func:`~repro.nn.dynamic_routing_shared`: the routing *state* is
+   NM-stacked but the vote tensor — the dominant operand of every
+   routing contraction — stays un-tiled and shared across points, and
+   vote-tensor noise rides along as common-random-number affine deltas
+   (:meth:`StackedNoiseInjector.affine_deltas`).  A whole NM curve then
+   costs one batched routing pass instead of ``len(nm_values)`` vote
+   reads.  Models advertise the entry points via ``{"routing":
+   RoutingSpec}`` stage metadata; the affine push below hands off to the
+   same path when its factored stage feeds a routing stage directly.
+4. **Worker pool** — an opt-in ``workers`` knob fans independent targets
    across processes with :mod:`concurrent.futures` (each worker rebuilds
    its own prefix cache; per-target RNG streams keep results identical to
    the sequential order).
@@ -44,14 +56,19 @@ Strategy knobs (``ReDCaNeConfig.strategy`` / analysis ``strategy=``):
     ``vectorized``, falling back to ``naive`` when ambient hook
     registries are active (their transforms would invalidate the cache).
 
-The engine assumes the model's parameters do not change between sweeps
-(call :meth:`SweepEngine.invalidate` otherwise) and that no other hook
-registry is active while it replays.
+Stale-cache protection: the cached clean trace is fingerprinted against
+the model's parameters and buffers, so mutating the model between sweeps
+(retraining, ``load_state_dict``, in-place weight edits) transparently
+rebuilds the cache on the next :meth:`SweepEngine.sweep` call.
+:meth:`SweepEngine.invalidate` remains for mutations the fingerprint
+cannot see (e.g. monkey-patched stage functions).  The engine still
+assumes no other hook registry is active while it replays.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -60,6 +77,7 @@ import numpy as np
 from ..data import Dataset
 from ..nn import hooks
 from ..nn.hooks import HookRegistry, InjectionSite, SiteRecorder, use_registry
+from ..nn.routing import SharedVotes, dynamic_routing_shared, stack_affine
 from ..tensor import Tensor, capsule_lengths, no_grad
 from ..train import evaluate_accuracy
 from .noise import (GaussianNoiseInjector, NoiseSpec, StackedNoiseInjector,
@@ -108,6 +126,7 @@ class _CleanTrace:
     site_terminal: dict[InjectionSite, bool]
     batches: list[_BatchTrace]
     clean_accuracy: float
+    fingerprint: int = 0  # parameter/buffer CRC at observe time
 
 
 def _tile_state(state, k: int):
@@ -133,7 +152,9 @@ def _state_stack_affine(base, bases):
     ``(delta_state, scales)`` pairs where ``scales`` holds one coefficient
     per stacked point.  Used by the affine push: the noisy stage outputs
     of a whole NM chunk are linear combinations of cached clean outputs
-    and one (or two) basis responses.
+    and one (or two) basis responses.  The scalar leaves evaluate through
+    :func:`~repro.nn.routing.stack_affine` — the single, order-pinned
+    implementation of the affine factorisation.
     """
     if isinstance(base, tuple):
         return tuple(
@@ -141,19 +162,16 @@ def _state_stack_affine(base, bases):
                                        for delta, scales in bases])
             for index, part in enumerate(base))
     points = len(bases[0][1])
-    expand = (slice(None),) + (None,) * base.ndim
-    stacked = np.broadcast_to(
-        base.data, (points,) + base.shape).astype(np.float32, copy=True)
-    for delta, scales in bases:
-        stacked += np.asarray(scales, np.float32)[expand] * delta[None]
-    return Tensor(stacked.reshape((points * base.shape[0],) + base.shape[1:]))
+    return Tensor(stack_affine(
+        base.data, [(scales, delta) for delta, scales in bases], points))
 
 
-def _sweep_chunk(model, dataset, batch_size, strategy, targets, nm_values,
-                 na, seed, baseline_accuracy):
+def _sweep_chunk(model, dataset, batch_size, strategy, shared_votes, targets,
+                 nm_values, na, seed, baseline_accuracy):
     """Worker-process entry point: sweep a subset of targets sequentially."""
     engine = SweepEngine(model, dataset, batch_size=batch_size,
-                         strategy=strategy, workers=0)
+                         strategy=strategy, workers=0,
+                         shared_votes=shared_votes)
     return engine.sweep(targets, nm_values, na=na, seed=seed,
                         baseline_accuracy=baseline_accuracy)
 
@@ -174,10 +192,15 @@ class SweepEngine:
         One of :data:`STRATEGIES` (see module docstring).
     workers:
         When > 1, fan independent targets across that many processes.
+    shared_votes:
+        Enable the shared-votes routing fast path for routing-resumed
+        targets under the ``vectorized``/``auto`` strategies (default
+        on; disable to force the generic NM-stacked replay).
     """
 
     def __init__(self, model, dataset: Dataset, *, batch_size: int = 64,
-                 strategy: str = "auto", workers: int = 0):
+                 strategy: str = "auto", workers: int = 0,
+                 shared_votes: bool = True):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"valid: {list(STRATEGIES)}")
@@ -186,6 +209,7 @@ class SweepEngine:
         self.batch_size = batch_size
         self.strategy = strategy
         self.workers = int(workers)
+        self.shared_votes = bool(shared_votes)
         self._trace: _CleanTrace | None = None
 
     # ----------------------------------------------------------------- public
@@ -222,8 +246,34 @@ class SweepEngine:
             self._base_draws = {}
 
     def invalidate(self) -> None:
-        """Drop the cached clean trace (call after mutating the model)."""
+        """Drop the cached clean trace.
+
+        Parameter and buffer mutations are detected automatically (the
+        trace carries a fingerprint checked on every sweep); call this
+        only for changes the fingerprint cannot see, such as
+        monkey-patched stage functions or a mutated dataset object.
+        """
         self._trace = None
+
+    # ------------------------------------------------------------ staleness
+    def _model_fingerprint(self) -> int:
+        """CRC over the model's parameters and buffers.
+
+        Cheap relative to a single forward pass, and exactly the state a
+        cached clean trace depends on — a changed fingerprint means the
+        cached activations no longer describe this model.
+        """
+        crc = 0
+        named_parameters = getattr(self.model, "named_parameters", None)
+        if named_parameters is None:
+            return crc
+        for _, param in named_parameters():
+            crc = zlib.crc32(np.ascontiguousarray(param.data), crc)
+        named_buffers = getattr(self.model, "named_buffers", None)
+        if named_buffers is not None:
+            for _, buffer in named_buffers():
+                crc = zlib.crc32(np.ascontiguousarray(buffer), crc)
+        return crc
 
     # ------------------------------------------------------------------ plans
     def _resolve_strategy(self) -> str:
@@ -246,9 +296,16 @@ class SweepEngine:
 
     def _clean_trace(self) -> _CleanTrace:
         """One clean forward over the dataset, caching per-stage states and
-        the site → stage attribution (observe half of observe/replay)."""
-        if self._trace is not None:
+        the site → stage attribution (observe half of observe/replay).
+
+        The trace is fingerprinted against the model's parameters and
+        buffers and rebuilt automatically when they changed since the
+        last sweep (the classic stale-cache bug of mutating a model
+        between sweeps without calling :meth:`invalidate`)."""
+        fingerprint = self._model_fingerprint()
+        if self._trace is not None and self._trace.fingerprint == fingerprint:
             return self._trace
+        self._trace = None
         stages = self._stages()
         recorder = SiteRecorder(record_values=True)
         site_terminal: dict[InjectionSite, bool] = {}
@@ -284,7 +341,8 @@ class SweepEngine:
             site_order=list(recorder.sites),
             site_terminal=site_terminal,
             batches=batches,
-            clean_accuracy=correct / len(self.dataset))
+            clean_accuracy=correct / len(self.dataset),
+            fingerprint=fingerprint)
         return self._trace
 
     # ---------------------------------------------------------------- replays
@@ -322,7 +380,13 @@ class SweepEngine:
                 order = {site: index
                          for index, site in enumerate(trace.site_order)}
                 first_site = min(matching, key=order.get)
-                if self._can_push(trace, matching, resume, first_site):
+                route_spec = self._routing_plan(trace, matcher, resume,
+                                                consume_votes=True)
+                if route_spec is not None:
+                    measured = self._run_route_shared(trace, live_specs,
+                                                      matcher, resume,
+                                                      first_site, route_spec)
+                elif self._can_push(trace, matching, resume, first_site):
                     measured = self._run_pushed(trace, live_specs, matcher,
                                                 resume, first_site)
                 else:
@@ -357,16 +421,22 @@ class SweepEngine:
                 correct += int(np.sum(predictions == batch.labels))
         return correct / len(self.dataset)
 
-    def _stack_chunk(self, trace: _CleanTrace, resume: int, points: int) -> int:
+    def _stack_chunk(self, trace: _CleanTrace, resume: int, points: int, *,
+                     expansion: int = 4, floor_bytes: int = 0) -> int:
         """How many NM points to stack per replay.
 
         Stacking trades Python/BLAS call overhead against working-set size;
         past the cache-friendly region the big stacked im2col/routing
         temporaries become bandwidth-bound and *lose* to smaller replays,
         so the chunk is bounded by the memory the replayed suffix touches
-        (``REPRO_SWEEP_STACK_BYTES`` overrides the budget).  Thanks to the
-        injector's cached base draws, chunking never changes the noise a
-        given point receives.
+        (``REPRO_SWEEP_STACK_BYTES`` overrides the budget).  ``expansion``
+        scales the per-slice estimate for stages that inflate their input
+        (im2col inside a replayed conv stage); the shared-votes routing
+        path passes 1 because its suffix is contraction-dominated, plus a
+        ``floor_bytes`` covering the stacked routing-state transients its
+        cached stage outputs cannot see.  Thanks to the injector's cached
+        base draws, chunking never changes the noise a given point
+        receives.
         """
         budget = int(os.environ.get("REPRO_SWEEP_STACK_BYTES", 16 << 20))
         batch = trace.batches[0]
@@ -375,8 +445,7 @@ class SweepEngine:
             (sum(part.data.nbytes for part in
                  (state if isinstance(state, tuple) else (state,)))
              for state in states), default=0)
-        # im2col inside a replayed conv stage expands the state further.
-        per_slice *= 4
+        per_slice = max(per_slice * expansion, floor_bytes)
         if per_slice <= 0:
             return points
         return max(1, min(points, budget // per_slice))
@@ -421,6 +490,102 @@ class SweepEngine:
         predictions = np.argmax(lengths, axis=1).reshape(points, len(labels))
         return (predictions == labels[None, :]).sum(axis=1)
 
+    # ------------------------------------------------- shared-votes routing
+    def _routing_plan(self, trace: _CleanTrace, matcher, stage_index: int,
+                      *, consume_votes: bool):
+        """The stage's :class:`~repro.nn.RoutingSpec` if the shared-votes
+        fast path applies there, else ``None``.
+
+        Applies when the stage advertises ``{"routing": spec}`` metadata
+        and every matching site attributed to it is handled inside the
+        shared routing call: sites emitted by the routing loop itself
+        (stacked emits compose unchanged), plus — only when
+        ``consume_votes`` — the layer's vote-tensor site, which the
+        engine converts into affine deltas instead of emitting.  The
+        affine-push handoff passes ``consume_votes=False`` because its
+        stacked votes already differ per point, so their per-slice noise
+        ranges no longer factor.
+        """
+        if not self.shared_votes:
+            return None
+        stages = self._stages()
+        if not 0 <= stage_index < len(stages):
+            return None
+        spec = stages[stage_index][2].get("routing")
+        if spec is None:
+            return None
+        if not consume_votes and matcher(spec.votes_site):
+            return None
+        for site, stage in trace.site_stage.items():
+            if stage != stage_index or not matcher(site):
+                continue
+            if site != spec.votes_site and site.layer != spec.layer.name:
+                return None
+        return spec
+
+    def _run_route_shared(self, trace: _CleanTrace, specs, matcher,
+                          resume: int, first_site: InjectionSite,
+                          spec) -> list[float]:
+        """A whole NM curve through one shared-votes routing pass per batch.
+
+        The cached clean input of the routing stage is read *un-tiled*:
+        its vote tensor becomes the :class:`~repro.nn.SharedVotes` base,
+        noise on the vote tensor itself (when the target matches the
+        votes site) becomes common-random-number affine deltas, and the
+        NM-stacked routing state flows through
+        :func:`~repro.nn.dynamic_routing_shared` — bit-identical to the
+        generic NM-stacked replay for pure routing-group targets, and
+        equivalent up to float reordering when vote deltas are present.
+        The replay of the post-routing suffix is unchanged.
+        """
+        k = len(specs)
+        injector = StackedNoiseInjector(specs, seed=specs[0].seed,
+                                        uniform_sites={first_site},
+                                        base_cache=self._base_draws)
+        registry = HookRegistry()
+        registry.add_transform(matcher, injector)
+        stages = self._stages()
+        layer = spec.layer
+        consume = (matcher(spec.votes_site)
+                   and spec.votes_site in trace.site_stage)
+        first_state = self._resume_state(trace.batches[0], resume)
+        first_raw = (first_state if spec.votes_index is None
+                     else first_state[spec.votes_index])
+        n, c_in, c_out, d, p = layer.votes_to_u_hat(first_raw.data).shape
+        # Per-point routing-state transients: couplings + logits
+        # (N, Cin, Cout, 1, P) and weighted sums + capsules (N, Cout, D, P).
+        routing_bytes = 8 * n * p * c_out * (c_in + d)
+        chunk = self._stack_chunk(trace, resume + 1, k, expansion=1,
+                                  floor_bytes=routing_bytes)
+        self.model.eval()
+        correct = np.zeros(k, dtype=np.int64)
+        with no_grad(), use_registry(registry):
+            for batch_index, batch in enumerate(trace.batches):
+                injector.begin_batch(batch_index)
+                state = self._resume_state(batch, resume)
+                raw = (state if spec.votes_index is None
+                       else state[spec.votes_index])
+                base = layer.votes_to_u_hat(raw.data)
+                for start in range(0, k, chunk):
+                    stacked = specs[start:start + chunk]
+                    injector.set_specs(stacked)
+                    deltas = []
+                    if consume:
+                        deltas = [
+                            (coeffs, layer.votes_to_u_hat(delta))
+                            for coeffs, delta in injector.affine_deltas(
+                                spec.votes_site, raw.data)]
+                    routed = dynamic_routing_shared(
+                        SharedVotes(base, points=len(stacked), deltas=deltas),
+                        iterations=layer.routing_iterations,
+                        layer_name=layer.name, stack_when=matcher)
+                    output = self._replay(
+                        batch, stages, resume + 1,
+                        state=spec.finish(state, routed, len(stacked)))
+                    correct[start:start + chunk] += self._count_correct(
+                        output, batch.labels, len(stacked))
+        return (correct / len(self.dataset)).tolist()
+
     # ------------------------------------------------------------ affine push
     def _can_push(self, trace: _CleanTrace, matching, resume: int,
                   first_site: InjectionSite) -> bool:
@@ -453,6 +618,13 @@ class SweepEngine:
         point, and the per-point replay restarts only after the affine
         stage (for a CapsNet activations target this skips the dominant
         convolution entirely).
+
+        When the affine stage feeds a dynamic-routing stage directly
+        (CapsNet's ``ClassCaps.votes`` → ``ClassCaps.route``), the basis
+        factorisation is handed to the shared-votes routing path as
+        :class:`~repro.nn.SharedVotes` deltas instead of being
+        materialised: the routing pass then also reads the vote tensor
+        once for the whole curve.
         """
         k = len(specs)
         injector = StackedNoiseInjector(specs, seed=specs[0].seed,
@@ -461,6 +633,10 @@ class SweepEngine:
         registry.add_transform(matcher, injector)
         stages = self._stages()
         stage_fn = stages[resume + 1][1]
+        route_spec = self._routing_plan(trace, matcher, resume + 2,
+                                        consume_votes=False)
+        if route_spec is not None and route_spec.votes_index is not None:
+            route_spec = None  # factored state must be the bare vote tensor
         chunk = self._stack_chunk(trace, resume + 1, k)
         nms = np.array([spec.nm for spec in specs], np.float32)
         nas = np.array([spec.na for spec in specs], np.float32)
@@ -489,10 +665,25 @@ class SweepEngine:
                     if len(bases) > 1:
                         scaled.append(
                             (bases[1][0], nas[start:stop] * value_range))
-                    state = _state_stack_affine(base_next, scaled)
                     injector.set_specs(specs[start:stop])
-                    output = self._replay(batch, stages, resume + 2,
-                                          state=state)
+                    if route_spec is not None:
+                        layer = route_spec.layer
+                        routed = dynamic_routing_shared(
+                            SharedVotes(
+                                layer.votes_to_u_hat(base_next.data),
+                                points=stop - start,
+                                deltas=[(coeffs, layer.votes_to_u_hat(delta))
+                                        for delta, coeffs in scaled]),
+                            iterations=layer.routing_iterations,
+                            layer_name=layer.name, stack_when=matcher)
+                        output = self._replay(
+                            batch, stages, resume + 3,
+                            state=route_spec.finish(base_next, routed,
+                                                    stop - start))
+                    else:
+                        state = _state_stack_affine(base_next, scaled)
+                        output = self._replay(batch, stages, resume + 2,
+                                              state=state)
                     correct[start:stop] += self._count_correct(
                         output, batch.labels, stop - start)
         return (correct / len(self.dataset)).tolist()
@@ -538,8 +729,9 @@ class SweepEngine:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_sweep_chunk, self.model, self.dataset,
-                            self.batch_size, strategy, chunk,
-                            tuple(nm_values), na, seed, baseline_accuracy)
+                            self.batch_size, strategy, self.shared_votes,
+                            chunk, tuple(nm_values), na, seed,
+                            baseline_accuracy)
                 for chunk in chunks]
             for future in futures:
                 merged.update(future.result())

@@ -23,6 +23,8 @@ class ExperimentScale:
     ``strategy`` selects the sweep execution path (see
     :mod:`repro.core.sweep`): ``auto`` routes Steps 2/4 through the
     vectorised engine, ``naive`` restores the per-point loop.
+    ``shared_votes`` toggles the engine's routing fast path for
+    routing-resumed targets.
     """
 
     eval_samples: int = 256
@@ -31,6 +33,7 @@ class ExperimentScale:
     batch_size: int = 64
     strategy: str = "auto"
     workers: int = 0
+    shared_votes: bool = True
 
     @classmethod
     def quick(cls) -> "ExperimentScale":

@@ -85,6 +85,6 @@ def run(*, benchmark: str = "DeepCaps/CIFAR-10",
         entry.model, test_set, groups=list(groups), layers=layers,
         nm_values=scale.nm_values, na=0.0, seed=seed,
         batch_size=scale.batch_size, strategy=scale.strategy,
-        workers=scale.workers)
+        workers=scale.workers, shared_votes=scale.shared_votes)
     baseline = next(iter(curves.values())).baseline_accuracy
     return Fig10Result(benchmark, baseline, curves, layers)

@@ -77,7 +77,8 @@ class CapsNet(Module):
             ("ClassCaps.votes",
              lambda caps: self.class_caps.compute_votes(flatten_caps(caps)),
              affine),
-            ("ClassCaps.route", self.class_caps.route),
+            ("ClassCaps.route", self.class_caps.route,
+             {"routing": self.class_caps.routing_spec()}),
         ]
 
     def forward(self, x: Tensor) -> Tensor:

@@ -13,6 +13,8 @@ Layer naming matches paper Fig. 10 exactly:
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..nn import (ClassCaps, Conv2D, ConvCaps2D, ConvCaps3D, Module,
@@ -51,12 +53,25 @@ class CapsCell(Module):
         def skip_stages():
             skip = self.skip
             if isinstance(skip, ConvCaps3D):
+                def shared_finish(state, routed, points):
+                    # Stacked routed capsules + the broadcast (clean,
+                    # hence shared) skip input — elementwise equal to
+                    # tiling both operands and adding.
+                    kept = state[0].data
+                    stacked = routed.data.reshape((points,) + kept.shape)
+                    return Tensor((kept[None] + stacked).reshape(
+                        (points * kept.shape[0],) + kept.shape[1:]))
+
+                spec = dataclasses.replace(skip.routing_spec(),
+                                           votes_index=1,
+                                           finish=shared_finish)
                 return [
                     (f"{skip.name}.votes",
                      lambda state: (state[1], skip.compute_votes(state[0])),
                      affine),
                     (f"{skip.name}.route",
-                     lambda state: state[0] + skip.route(state[1])),
+                     lambda state: state[0] + skip.route(state[1]),
+                     {"routing": spec}),
                 ]
             return [
                 (f"{skip.name}.conv",
@@ -185,7 +200,8 @@ class DeepCaps(Module):
             ("ClassCaps.votes",
              lambda caps: self.class_caps.compute_votes(flatten_caps(caps)),
              affine),
-            ("ClassCaps.route", self.class_caps.route),
+            ("ClassCaps.route", self.class_caps.route,
+             {"routing": self.class_caps.routing_spec()}),
         ])
         return stages
 

@@ -10,7 +10,8 @@ from .layers import BatchNorm2D, Conv2D, Dense, Flatten
 from .losses import cross_entropy_loss, margin_loss, spread_loss
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, Optimizer
-from .routing import dynamic_routing
+from .routing import (RoutingSpec, SharedVotes, dynamic_routing,
+                      dynamic_routing_shared)
 
 __all__ = [
     "hooks", "HookRegistry", "InjectionSite", "use_registry",
@@ -19,7 +20,7 @@ __all__ = [
     "Module", "ModuleList", "Parameter",
     "Conv2D", "Dense", "BatchNorm2D", "Flatten",
     "PrimaryCaps", "ConvCaps2D", "ConvCaps3D", "ClassCaps", "flatten_caps",
-    "dynamic_routing",
+    "dynamic_routing", "dynamic_routing_shared", "SharedVotes", "RoutingSpec",
     "margin_loss", "cross_entropy_loss", "spread_loss",
     "Optimizer", "SGD", "Adam",
 ]

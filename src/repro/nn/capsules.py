@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, conv2d, squash
+from ..tensor import Tensor, conv2d, squash, vote_transform
 from . import hooks
 from .module import Module, Parameter
-from .routing import dynamic_routing
+from .routing import RoutingSpec, dynamic_routing
 
 __all__ = ["PrimaryCaps", "ConvCaps2D", "ConvCaps3D", "ClassCaps",
            "flatten_caps"]
@@ -192,6 +192,25 @@ class ConvCaps3D(Module):
             u_hat, iterations=self.routing_iterations, layer_name=self.name)
         return routed.reshape(n, self.out_caps, self.out_dim, oh, ow)
 
+    def votes_to_u_hat(self, votes: np.ndarray) -> np.ndarray:
+        """Raw vote map ``(N*Cin, Cout*D, OH, OW) -> (N, Cin, Cout, D, P)``.
+
+        The ndarray twin of the reshape inside :meth:`route`, used by the
+        sweep engine to feed cached raw votes (and their noise deltas)
+        straight into the shared-votes routing fast path.
+        """
+        nc, _, oh, ow = votes.shape
+        return votes.reshape(nc // self.in_caps, self.in_caps, self.out_caps,
+                             self.out_dim, oh * ow)
+
+    def routing_spec(self) -> RoutingSpec:
+        """Shared-votes stage metadata (stage input = raw vote map)."""
+        def finish(state, routed, points):
+            _, _, oh, ow = state.shape  # the un-tiled raw vote map
+            return routed.reshape(routed.shape[0], self.out_caps,
+                                  self.out_dim, oh, ow)
+        return RoutingSpec(layer=self, finish=finish)
+
     def forward(self, x: Tensor) -> Tensor:
         return self.route(self.compute_votes(x))
 
@@ -235,9 +254,9 @@ class ClassCaps(Module):
                 f"{self.name}: expected input caps ({self.in_caps},{self.in_dim}),"
                 f" got ({num_in},{d})")
         x = hooks.emit(hooks.InjectionSite(self.name, hooks.GROUP_MAC_INPUTS), x)
-        u = x.reshape(n, num_in, d, 1)
-        # (in_caps, out*dim, in_dim) @ (N, in_caps, in_dim, 1)
-        return self.weight.matmul(u).reshape(
+        # (Cin, out*dim, in_dim) applied per input capsule, batched over
+        # the capsule axis so BLAS sees (N, in_dim) @ (in_dim, out*dim).
+        return vote_transform(x, self.weight).reshape(
             n, num_in, self.out_caps, self.out_dim)
 
     def route(self, votes: Tensor) -> Tensor:
@@ -249,6 +268,22 @@ class ClassCaps(Module):
         routed = dynamic_routing(
             u_hat, iterations=self.routing_iterations, layer_name=self.name)
         return routed.reshape(n, self.out_caps, self.out_dim)
+
+    def votes_to_u_hat(self, votes: np.ndarray) -> np.ndarray:
+        """Votes ``(N, Cin, Cout, Dout) -> (N, Cin, Cout, Dout, 1)``.
+
+        The ndarray twin of the ``expand_dims`` inside :meth:`route`, used
+        by the sweep engine to feed cached votes (and their noise deltas)
+        straight into the shared-votes routing fast path.
+        """
+        return votes[..., None]
+
+    def routing_spec(self) -> RoutingSpec:
+        """Shared-votes stage metadata (stage input = vote tensor)."""
+        def finish(state, routed, points):
+            return routed.reshape(routed.shape[0], self.out_caps,
+                                  self.out_dim)
+        return RoutingSpec(layer=self, finish=finish)
 
     def forward(self, x: Tensor) -> Tensor:
         return self.route(self.compute_votes(x))

@@ -148,9 +148,13 @@ class Module:
         outputs and stack sweep points along the batch dimension.  ``meta``
         may declare ``{"affine": True}`` for stages that are affine in
         their input (convolution/vote GEMMs), enabling the engine to
-        factor a whole NM curve through one stage application.  The
-        default ``None`` means "no staged form"; the engine then treats
-        the whole forward as a single stage.
+        factor a whole NM curve through one stage application, and
+        ``{"routing": RoutingSpec}`` on a dynamic-routing stage
+        (:class:`~repro.nn.RoutingSpec`), enabling the engine's
+        shared-votes fast path — the whole NM curve rides one batched
+        routing pass against a single un-tiled vote tensor.  The default
+        ``None`` means "no staged form"; the engine then treats the whole
+        forward as a single stage.
         """
         return None
 

@@ -5,7 +5,9 @@ capsule-specific composite functions (``squash``/``softmax``/…).
 """
 
 from .functional import (capsule_lengths, log_softmax, one_hot, relu, softmax,
-                         squash, vote_agreement, weighted_vote_sum)
+                         squash, vote_agreement, vote_agreement_shared,
+                         vote_transform, weighted_vote_sum,
+                         weighted_vote_sum_shared)
 from .ops import col2im, conv2d, conv_output_size, im2col
 from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack
 
@@ -14,4 +16,5 @@ __all__ = [
     "conv2d", "conv_output_size", "im2col", "col2im",
     "squash", "softmax", "log_softmax", "relu", "capsule_lengths", "one_hot",
     "weighted_vote_sum", "vote_agreement",
+    "weighted_vote_sum_shared", "vote_agreement_shared", "vote_transform",
 ]

@@ -12,7 +12,9 @@ import numpy as np
 from .tensor import Tensor, as_tensor
 
 __all__ = ["squash", "softmax", "relu", "capsule_lengths", "one_hot",
-           "log_softmax", "weighted_vote_sum", "vote_agreement"]
+           "log_softmax", "weighted_vote_sum", "vote_agreement",
+           "weighted_vote_sum_shared", "vote_agreement_shared",
+           "vote_transform"]
 
 
 def squash(s: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
@@ -125,6 +127,84 @@ def vote_agreement(votes: Tensor, v: Tensor) -> Tensor:
 
     out._backward = _backward
     return out
+
+
+def vote_transform(x: Tensor, weight: Tensor) -> Tensor:
+    """Fully-connected capsule vote GEMM for :class:`~repro.nn.ClassCaps`.
+
+    ``x`` holds input capsules ``(N, Cin, Din)`` and ``weight`` the
+    per-input-capsule transformation matrices ``(Cin, F, Din)`` (``F =
+    Cout*Dout``); the result is the vote tensor ``(N, Cin, F)``.  The
+    contraction batches over the *capsule* axis — ``Cin`` GEMMs of shape
+    ``(N, Din) @ (Din, F)`` — instead of ``N*Cin`` one-row products, the
+    BLAS-friendly orientation for the NM-stacked sweeps where ``N``
+    carries the whole curve.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    x_t = x.data.transpose(1, 0, 2)               # (Cin, N, Din)
+    w_t = weight.data.transpose(0, 2, 1)          # (Cin, Din, F)
+    out_data = np.ascontiguousarray(np.matmul(x_t, w_t).transpose(1, 0, 2))
+    out = Tensor._result(out_data, (x, weight), "vote_transform")
+    if not out.requires_grad:
+        return out
+
+    def _backward():
+        grad_t = out.grad.transpose(1, 0, 2)      # (Cin, N, F)
+        if x.requires_grad:
+            x._accumulate(
+                np.matmul(grad_t, weight.data).transpose(1, 0, 2))
+        if weight.requires_grad:
+            weight._accumulate(
+                np.matmul(grad_t.transpose(0, 2, 1), x_t))
+
+    out._backward = _backward
+    return out
+
+
+def weighted_vote_sum_shared(coupling: np.ndarray, votes: np.ndarray,
+                             points: int) -> np.ndarray:
+    """Shared-votes form of :func:`weighted_vote_sum` (inference only).
+
+    ``coupling`` has shape ``(points*N, Cin, Cout, 1, P)`` — one slice per
+    stacked sweep point — while ``votes`` is a *single* un-tiled vote
+    tensor ``(N, Cin, Cout, D, P)`` shared by every slice.  Contracting
+    against the shared operand reads the vote tensor once per batch
+    element instead of once per (point, batch element): bit-identical to
+    tiling ``votes`` ``points`` times and calling
+    :func:`weighted_vote_sum` (einsum accumulates each output element
+    over ``Cin`` in the same order either way), without materialising or
+    streaming the tiled copies.
+    """
+    n, c_in, c_out, d, p = votes.shape
+    stacked = coupling.reshape(points, n, c_in, c_out, p)
+    if p == 1:
+        out = np.einsum("jnio,niod->jnod", stacked[..., 0],
+                        votes[..., 0])[..., None]
+    else:
+        out = np.einsum("jniop,niodp->jnodp", stacked, votes)
+    return out.reshape(points * n, c_out, d, p)
+
+
+def vote_agreement_shared(votes: np.ndarray, v: np.ndarray,
+                          points: int) -> np.ndarray:
+    """Shared-votes form of :func:`vote_agreement` (inference only).
+
+    ``votes`` is the shared un-tiled vote tensor ``(N, Cin, Cout, D, P)``
+    and ``v`` the stacked squashed capsules ``(points*N, Cout, D, P)``;
+    the result is the stacked logits update ``(points*N, Cin, Cout, 1,
+    P)``, bit-identical to the tiled contraction (see
+    :func:`weighted_vote_sum_shared`).
+    """
+    n, c_in, c_out, d, p = votes.shape
+    stacked = v.reshape(points, n, c_out, d, p)
+    if p == 1:
+        out = np.einsum("niod,jnod->jnio", votes[..., 0],
+                        stacked[..., 0])[..., None, None]
+    else:
+        out = np.einsum("niodp,jnodp->jniop", votes, stacked)[:, :, :, :,
+                                                              None, :]
+    return out.reshape(points * n, c_in, c_out, 1, p)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

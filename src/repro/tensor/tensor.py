@@ -384,6 +384,14 @@ class Tensor:
     # ------------------------------------------------------------------ helpers
     def softmax(self, axis: int = -1) -> "Tensor":
         """Numerically-stable softmax along ``axis`` built from primitives."""
+        if not self.requires_grad:
+            # Inference fast path: the same max/sub/exp/sum/div sequence
+            # (bit-identical) without the intermediate Tensor graph —
+            # softmax runs once per routing iteration of every replay.
+            data = self.data
+            exps = np.exp(data - data.max(axis=axis, keepdims=True))
+            return Tensor(exps / exps.sum(axis=axis, keepdims=True),
+                          op="softmax")
         shifted = self - self.max(axis=axis, keepdims=True).detach()
         exps = shifted.exp()
         return exps / exps.sum(axis=axis, keepdims=True)

@@ -1,0 +1,139 @@
+"""Deterministic builders + regeneration entry point for golden fixtures.
+
+The golden-regression tier (see ``tests/README.md``) freezes small sweep
+outputs and bit-true logits produced by *exactly pinned* models: the
+builders below train fixed micro models from fixed seeds on the fixed
+synthetic splits, independently of the session fixtures in ``conftest.py``
+(so fixture tweaks cannot silently move the goldens).  The frozen values
+live in ``tests/golden/`` and are loaded by ``test_golden_regression.py``
+and ``test_x1_bittrue_validation.py``.
+
+Regenerate after an *intentional* numerics change with::
+
+    PYTHONPATH=src python tests/golden_common.py
+
+and commit the refreshed files together with the change that moved them.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+
+import numpy as np
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "golden")
+SWEEP_GOLDEN = os.path.join(GOLDEN_DIR, "sweep_curves.json")
+X1_GOLDEN = os.path.join(GOLDEN_DIR, "x1_deepcaps_logits.npz")
+
+#: Sweep configuration frozen into the golden curves.
+GOLDEN_NM_VALUES = (0.5, 0.05, 0.005, 0.0)
+GOLDEN_SEED = 7
+GOLDEN_BATCH = 32
+GOLDEN_EVAL = 64
+
+#: The approximate multiplier frozen into the X1 golden logits.
+X1_MULTIPLIER = ("ormask6", "ormask", {"k": 6})
+X1_IMAGES = 8
+
+
+@functools.lru_cache(maxsize=None)
+def golden_capsnet():
+    """A pinned capsnet-micro + synth-mnist test split (trained fresh)."""
+    from repro.data import make_split
+    from repro.models import build_model
+    from repro.train import TrainConfig, Trainer
+
+    train_set, test_set = make_split("synth-mnist", 256, GOLDEN_EVAL, seed=17)
+    model = build_model("capsnet-micro", in_channels=1, image_size=28, seed=9)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32,
+                               shuffle_seed=17)).fit(train_set)
+    return model, test_set
+
+
+@functools.lru_cache(maxsize=None)
+def golden_deepcaps():
+    """A pinned deepcaps-micro + synth-mnist test split (trained fresh)."""
+    from repro.data import make_split
+    from repro.models import build_model
+    from repro.train import TrainConfig, Trainer
+
+    train_set, test_set = make_split("synth-mnist", 256, GOLDEN_EVAL, seed=23)
+    model = build_model("deepcaps-micro", in_channels=1, image_size=28,
+                        seed=9)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32,
+                               shuffle_seed=23)).fit(train_set)
+    return model, test_set
+
+
+GOLDEN_MODELS = {"capsnet-micro": golden_capsnet,
+                 "deepcaps-micro": golden_deepcaps}
+
+
+def golden_targets(model):
+    """The frozen target set: every group plus two layer refinements."""
+    from repro.nn.hooks import GROUP_MAC, INJECTABLE_GROUPS
+
+    return ([(group, None) for group in INJECTABLE_GROUPS]
+            + [(GROUP_MAC, model.layer_names[0]),
+               (GROUP_MAC, model.layer_names[-1])])
+
+
+def measure_sweep(model, test_set, strategy: str) -> dict[str, list[float]]:
+    """One frozen-config sweep, keyed by ``str(SweepTarget)``."""
+    from repro.core import SweepEngine, SweepTarget
+
+    engine = SweepEngine(model, test_set, batch_size=GOLDEN_BATCH,
+                         strategy=strategy)
+    targets = [SweepTarget(*target) for target in golden_targets(model)]
+    curves = engine.sweep(targets, GOLDEN_NM_VALUES, seed=GOLDEN_SEED)
+    return {str(target): [point.accuracy
+                          for point in curves[target.key].points]
+            for target in targets}
+
+
+def x1_multiplier():
+    from repro.approx import MultiplierModel
+
+    name, family, params = X1_MULTIPLIER
+    return MultiplierModel(name, family, params)
+
+
+def x1_logits(model, test_set) -> np.ndarray:
+    """Class-capsule lengths of the bit-true approximate forward."""
+    from repro.approx import ApproximateConvExecutor
+    from repro.tensor import Tensor, capsule_lengths, no_grad
+
+    images = Tensor(test_set.images[:X1_IMAGES])
+    model.eval()
+    with no_grad(), ApproximateConvExecutor(model, x1_multiplier()):
+        return capsule_lengths(model(images)).data.copy()
+
+
+def regenerate() -> None:
+    """Rebuild both golden files in ``tests/golden/``."""
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    sweep: dict = {"_meta": {
+        "nm_values": list(GOLDEN_NM_VALUES), "seed": GOLDEN_SEED,
+        "batch_size": GOLDEN_BATCH, "eval_samples": GOLDEN_EVAL,
+        "note": "frozen by tests/golden_common.py; regenerate with "
+                "`PYTHONPATH=src python tests/golden_common.py`"}}
+    for name, builder in GOLDEN_MODELS.items():
+        model, test_set = builder()
+        sweep[name] = {"naive": measure_sweep(model, test_set, "naive"),
+                       "vectorized": measure_sweep(model, test_set,
+                                                   "vectorized")}
+        print(f"{name}: {len(sweep[name]['naive'])} golden curves")
+    with open(SWEEP_GOLDEN, "w") as handle:
+        json.dump(sweep, handle, indent=1, sort_keys=True)
+    print(f"wrote {SWEEP_GOLDEN}")
+
+    model, test_set = golden_deepcaps()
+    np.savez_compressed(X1_GOLDEN, logits=x1_logits(model, test_set))
+    print(f"wrote {X1_GOLDEN}")
+
+
+if __name__ == "__main__":
+    regenerate()

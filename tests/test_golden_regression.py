@@ -1,0 +1,55 @@
+"""Golden-reference regression tier (see ``tests/README.md``).
+
+``tests/golden/sweep_curves.json`` freezes small sweep outputs (accuracy
+per target per NM) for pinned capsnet-micro and deepcaps-micro models on
+the synthetic dataset.  Every strategy must reproduce its tier *exactly*:
+``naive`` and ``cached`` the frozen naive curves, ``vectorized`` and
+``auto`` the frozen vectorized curves — so a refactor that silently drifts
+any execution path fails here even when the cross-strategy equivalence
+tests still agree with each other.
+
+Regenerate intentionally-moved goldens with
+``PYTHONPATH=src python tests/golden_common.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from golden_common import GOLDEN_MODELS, SWEEP_GOLDEN, measure_sweep
+
+pytestmark = pytest.mark.slow
+
+#: Strategy -> the golden tier it must reproduce bit-for-bit.
+STRATEGY_TIER = {"naive": "naive", "cached": "naive",
+                 "vectorized": "vectorized", "auto": "vectorized"}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(SWEEP_GOLDEN) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module", params=sorted(GOLDEN_MODELS))
+def golden_setup(request):
+    model, test_set = GOLDEN_MODELS[request.param]()
+    return request.param, model, test_set
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGY_TIER))
+def test_strategy_reproduces_golden(golden_setup, golden, strategy):
+    name, model, test_set = golden_setup
+    expected = golden[name][STRATEGY_TIER[strategy]]
+    measured = measure_sweep(model, test_set, strategy)
+    assert measured == expected, (name, strategy)
+
+
+def test_golden_file_covers_both_models(golden):
+    assert set(GOLDEN_MODELS) <= set(golden)
+    for name in GOLDEN_MODELS:
+        assert set(golden[name]) == {"naive", "vectorized"}
+        for tier in golden[name].values():
+            assert tier  # non-empty curve sets

@@ -1,0 +1,308 @@
+"""Equivalence armor for the shared-votes routing fast path.
+
+Contract (ISSUE 2 / ``repro.nn.routing``):
+
+* :func:`dynamic_routing_shared` over a :class:`SharedVotes` stack is
+  **bit-identical** to running the reference :func:`dynamic_routing` on the
+  equivalent tiled vote tensor — with or without an active
+  :class:`StackedNoiseInjector`, for every injectable routing group, for
+  CapsNet-shaped (``P = 1``) and DeepCaps-shaped (``P > 1``) vote tensors,
+  including the ``points = 1`` and empty-delta edge cases;
+* vote-tensor noise expressed as common-random-number affine deltas
+  reproduces the per-point injection bit-identically while the
+  materialisation budget holds, and up to float reordering beyond it;
+* lazy stacking (the ``stack_when`` hint) never changes results;
+* the engine-level fast path (``shared_votes=True``) reproduces the
+  generic NM-stacked replay exactly on routing-resumed targets.
+
+The function-level checks are property-style: shapes, iteration counts and
+noise settings are drawn from a seeded RNG so each CI run exercises the
+same broad slice of the input space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SweepEngine, StackedNoiseInjector, NoiseSpec, \
+    site_matcher
+from repro.nn import (ClassCaps, ConvCaps3D, SharedVotes, dynamic_routing,
+                      dynamic_routing_shared)
+from repro.nn.hooks import (GROUP_ACTIVATIONS, GROUP_LOGITS, GROUP_MAC,
+                            GROUP_SOFTMAX, HookRegistry, INJECTABLE_GROUPS,
+                            use_registry)
+from repro.tensor import Tensor, no_grad
+
+LAYER = "RoutedLayer"
+
+
+def _random_votes(rng, *, p_one: bool):
+    """A random vote tensor in CapsNet (P=1) or DeepCaps (P>1) shape."""
+    n = int(rng.integers(1, 5))
+    c_in = int(rng.integers(2, 14))
+    c_out = int(rng.integers(2, 6))
+    d = int(rng.integers(2, 9))
+    p = 1 if p_one else int(rng.integers(2, 7))
+    return rng.normal(0.0, 1.0, (n, c_in, c_out, d, p)).astype(np.float32)
+
+
+def _tile(u: np.ndarray, points: int) -> np.ndarray:
+    return np.concatenate([u] * points, axis=0)
+
+
+def _routed_tiled(u, points, iterations, registry=None):
+    """Reference: per-point routing via the tiled vote tensor."""
+    with no_grad():
+        if registry is None:
+            return dynamic_routing(Tensor(_tile(u, points)),
+                                   iterations=iterations,
+                                   layer_name=LAYER).data
+        with use_registry(registry):
+            return dynamic_routing(Tensor(_tile(u, points)),
+                                   iterations=iterations,
+                                   layer_name=LAYER).data
+
+
+def _routed_shared(votes, iterations, registry=None, stack_when=None):
+    with no_grad():
+        if registry is None:
+            return dynamic_routing_shared(votes, iterations=iterations,
+                                          layer_name=LAYER,
+                                          stack_when=stack_when).data
+        with use_registry(registry):
+            return dynamic_routing_shared(votes, iterations=iterations,
+                                          layer_name=LAYER,
+                                          stack_when=stack_when).data
+
+
+def _injector_registry(specs, matcher):
+    injector = StackedNoiseInjector(specs, seed=specs[0].seed)
+    registry = HookRegistry()
+    registry.add_transform(matcher, injector)
+    return registry
+
+
+class TestCleanStackBitIdentity:
+    """Empty-delta stacks must reproduce per-point routing exactly."""
+
+    @pytest.mark.parametrize("p_one", [True, False],
+                             ids=["capsnet-P1", "deepcaps-P"])
+    def test_property_random_shapes(self, p_one):
+        rng = np.random.default_rng(101 if p_one else 202)
+        for trial in range(8):
+            u = _random_votes(rng, p_one=p_one)
+            points = int(rng.integers(1, 6))
+            iterations = int(rng.integers(1, 5))
+            with no_grad():
+                single = dynamic_routing(Tensor(u), iterations=iterations,
+                                         layer_name=LAYER).data
+            shared = _routed_shared(SharedVotes(u, points=points),
+                                    iterations=iterations)
+            stacked = shared.reshape((points,) + single.shape)
+            for j in range(points):
+                assert np.array_equal(stacked[j], single), (trial, j)
+
+    def test_single_point_edge_case(self):
+        rng = np.random.default_rng(3)
+        u = _random_votes(rng, p_one=False)
+        with no_grad():
+            single = dynamic_routing(Tensor(u), iterations=3,
+                                     layer_name=LAYER).data
+        shared = _routed_shared(SharedVotes(u, points=1), iterations=3)
+        assert np.array_equal(shared, single)
+
+
+class TestInjectedStackBitIdentity:
+    """With CRN noise on the routing loop, stacked == tiled, bitwise."""
+
+    @pytest.mark.parametrize("group", list(INJECTABLE_GROUPS))
+    @pytest.mark.parametrize("p_one", [True, False],
+                             ids=["capsnet-P1", "deepcaps-P"])
+    def test_property_random_noise(self, group, p_one):
+        rng = np.random.default_rng(
+            1000 + 2 * INJECTABLE_GROUPS.index(group) + int(p_one))
+        matcher = site_matcher(groups=[group])
+        for trial in range(4):
+            u = _random_votes(rng, p_one=p_one)
+            iterations = int(rng.integers(2, 5))
+            nms = [float(nm) for nm in rng.uniform(0.0, 1.0, 3)]
+            specs = [NoiseSpec(nm=nm, na=0.0, seed=5) for nm in nms]
+            tiled = _routed_tiled(u, len(specs), iterations,
+                                  _injector_registry(specs, matcher))
+            shared = _routed_shared(SharedVotes(u, points=len(specs)),
+                                    iterations, _injector_registry(specs,
+                                                                   matcher),
+                                    stack_when=matcher)
+            assert np.array_equal(shared, tiled), (trial, group)
+
+    def test_nm_one_edge_case(self):
+        """NM = 1 (noise std equal to the full value range)."""
+        rng = np.random.default_rng(11)
+        u = _random_votes(rng, p_one=True)
+        matcher = site_matcher(groups=[GROUP_SOFTMAX])
+        specs = [NoiseSpec(nm=1.0, seed=2), NoiseSpec(nm=0.0, seed=2)]
+        tiled = _routed_tiled(u, 2, 3, _injector_registry(specs, matcher))
+        shared = _routed_shared(SharedVotes(u, points=2), 3,
+                                _injector_registry(specs, matcher),
+                                stack_when=matcher)
+        assert np.array_equal(shared, tiled)
+
+    def test_lazy_stacking_hint_is_pure_optimisation(self):
+        """Results must not depend on the ``stack_when`` hint."""
+        rng = np.random.default_rng(12)
+        u = _random_votes(rng, p_one=False)
+        matcher = site_matcher(groups=[GROUP_LOGITS])
+        specs = [NoiseSpec(nm=0.3, seed=4), NoiseSpec(nm=0.01, seed=4)]
+        lazy = _routed_shared(SharedVotes(u, points=2), 4,
+                              _injector_registry(specs, matcher),
+                              stack_when=matcher)
+        eager = _routed_shared(SharedVotes(u, points=2), 4,
+                               _injector_registry(specs, matcher),
+                               stack_when=None)
+        assert np.array_equal(lazy, eager)
+
+
+class TestVoteDeltas:
+    """Vote-tensor noise as affine deltas vs per-point noisy votes."""
+
+    @staticmethod
+    def _delta_setup(rng, p_one, points=3):
+        u = _random_votes(rng, p_one=p_one)
+        z = rng.standard_normal(u.shape).astype(np.float32)
+        coeffs = rng.uniform(0.0, 0.5, points).astype(np.float32)
+        shared = SharedVotes(u, points=points, deltas=[(coeffs, z)])
+        noisy = np.concatenate(
+            [u + c * z for c in coeffs], axis=0)
+        return shared, noisy
+
+    @pytest.mark.parametrize("p_one", [True, False],
+                             ids=["capsnet-P1", "deepcaps-P"])
+    def test_materialized_bit_identical(self, p_one):
+        """Under the budget the delta stack is materialised: bitwise equal
+        to routing the per-point noisy votes."""
+        rng = np.random.default_rng(31 if p_one else 32)
+        shared, noisy = self._delta_setup(rng, p_one)
+        with no_grad():
+            reference = dynamic_routing(Tensor(noisy), iterations=3,
+                                        layer_name=LAYER).data
+        routed = _routed_shared(shared, 3)
+        assert np.array_equal(routed, reference)
+
+    def test_factored_matches_within_rounding(self, monkeypatch):
+        """Past the budget the factored contraction reorders float
+        accumulation — equal within tight tolerance, not bitwise."""
+        monkeypatch.setenv("REPRO_SWEEP_STACK_BYTES", "0")
+        rng = np.random.default_rng(33)
+        shared, noisy = self._delta_setup(rng, False)
+        with no_grad():
+            reference = dynamic_routing(Tensor(noisy), iterations=3,
+                                        layer_name=LAYER).data
+        routed = _routed_shared(shared, 3)
+        np.testing.assert_allclose(routed, reference, rtol=2e-5, atol=2e-6)
+
+    def test_empty_delta_list_is_clean(self):
+        """Explicit empty-delta edge case: equals the clean stack."""
+        rng = np.random.default_rng(34)
+        u = _random_votes(rng, p_one=True)
+        plain = _routed_shared(SharedVotes(u, points=2), 2)
+        explicit = _routed_shared(SharedVotes(u, points=2, deltas=[]), 2)
+        assert np.array_equal(plain, explicit)
+
+
+class TestLayerEntryPoints:
+    """The layers' votes_to_u_hat / routing_spec glue used by the engine."""
+
+    def test_classcaps_round_trip(self):
+        rng = np.random.default_rng(41)
+        layer = ClassCaps(6, 4, 3, 8, name=LAYER, rng=rng)
+        votes = rng.normal(size=(2, 6, 3, 8)).astype(np.float32)
+        with no_grad():
+            reference = layer.route(Tensor(votes)).data
+        spec = layer.routing_spec()
+        shared = SharedVotes(layer.votes_to_u_hat(votes), points=1)
+        with no_grad():
+            routed = dynamic_routing_shared(
+                shared, iterations=layer.routing_iterations,
+                layer_name=layer.name)
+            out = spec.finish(Tensor(votes), routed, 1)
+        assert np.array_equal(out.data, reference)
+
+    def test_convcaps3d_round_trip(self):
+        rng = np.random.default_rng(42)
+        layer = ConvCaps3D(3, 4, 2, 4, name=LAYER, rng=rng)
+        raw = rng.normal(size=(2 * 3, 2 * 4, 5, 5)).astype(np.float32)
+        with no_grad():
+            reference = layer.route(Tensor(raw)).data
+        spec = layer.routing_spec()
+        shared = SharedVotes(layer.votes_to_u_hat(raw), points=1)
+        with no_grad():
+            routed = dynamic_routing_shared(
+                shared, iterations=layer.routing_iterations,
+                layer_name=layer.name)
+            out = spec.finish(Tensor(raw), routed, 1)
+        assert np.array_equal(out.data, reference)
+
+    def test_models_expose_routing_stages(self):
+        from repro.models import build_model
+
+        for preset, expected in (("capsnet-micro", 1), ("deepcaps-micro", 2)):
+            model = build_model(preset, in_channels=1, image_size=28)
+            routed = [name for name, *entry in model.forward_stages()
+                      if len(entry) > 1 and entry[1].get("routing")]
+            assert len(routed) == expected, preset
+            assert all(name.endswith(".route") for name in routed)
+
+
+NM_VALUES = (0.5, 0.05, 0.005, 0.0)
+
+
+def _routing_targets(model):
+    """Every sweep target that resumes at a dynamic-routing stage."""
+    targets = [(GROUP_SOFTMAX, None), (GROUP_LOGITS, None)]
+    for layer in model.routing_layers:
+        targets += [(GROUP_MAC, layer), (GROUP_ACTIVATIONS, layer)]
+    return targets
+
+
+def _engine_accuracies(model, test_set, **kwargs):
+    engine = SweepEngine(model, test_set, batch_size=40,
+                         strategy="vectorized", **kwargs)
+    curves = engine.sweep(_routing_targets(model), NM_VALUES, seed=3)
+    return {key: [point.accuracy for point in curve.points]
+            for key, curve in curves.items()}
+
+
+class TestEngineFastPath:
+    """End-to-end: the engine's shared-votes path vs the generic replay."""
+
+    @pytest.mark.parametrize("setup", ["capsnet", "deepcaps"])
+    def test_bit_identical_to_generic_vectorized(self, setup,
+                                                 trained_capsnet,
+                                                 trained_deepcaps,
+                                                 mnist_splits):
+        if setup == "capsnet":
+            model, test_set = trained_capsnet, mnist_splits[1].subset(80)
+        else:
+            model, test_set = trained_deepcaps
+            test_set = test_set.subset(64)
+        fast = _engine_accuracies(model, test_set, shared_votes=True)
+        generic = _engine_accuracies(model, test_set, shared_votes=False)
+        assert fast == generic
+
+    def test_pushed_handoff_matches_generic(self, trained_capsnet,
+                                            mnist_splits):
+        """CapsNet activations@PrimaryCaps rides affine-push + shared
+        routing; the handoff must reproduce the materialised push."""
+        model, test_set = trained_capsnet, mnist_splits[1].subset(80)
+        target = [(GROUP_ACTIVATIONS, "PrimaryCaps")]
+        results = {}
+        for shared_votes in (True, False):
+            engine = SweepEngine(model, test_set, batch_size=40,
+                                 strategy="vectorized",
+                                 shared_votes=shared_votes)
+            curves = engine.sweep(target, NM_VALUES, seed=3)
+            results[shared_votes] = [
+                point.accuracy
+                for point in curves[(GROUP_ACTIVATIONS, "PrimaryCaps")].points]
+        assert results[True] == results[False]

@@ -204,6 +204,54 @@ class TestEngineBehaviour:
             ("mac_outputs", "Conv1")
 
 
+class TestStaleCacheProtection:
+    """The cached clean trace must track the model's parameters.
+
+    Regression for the classic stale-cache bug: mutating the model's
+    weights between sweeps without calling ``invalidate()`` used to keep
+    replaying activations of the *old* model.  The engine now fingerprints
+    parameters/buffers and rebuilds the trace transparently.
+    """
+
+    def test_parameter_mutation_rebuilds_trace(self, capsnet_setup):
+        model, test_set = capsnet_setup
+        targets = [(GROUP_MAC, None)]
+        engine = SweepEngine(model, test_set, batch_size=40,
+                             strategy="cached")
+        before = _accuracies(engine.sweep(targets, NM_VALUES, seed=3))
+        param = model.conv1.weight
+        original = param.data.copy()
+        try:
+            param.data[:] = 0.0  # in-place: invisible without fingerprinting
+            naive = _accuracies(_sweep(model, test_set, "naive", targets))
+            replayed = _accuracies(engine.sweep(targets, NM_VALUES, seed=3))
+            # Still bit-identical to naive on the *mutated* model — a stale
+            # trace would have reproduced `before` instead.
+            assert replayed == naive
+            assert replayed != before
+        finally:
+            param.data = original
+        assert _accuracies(engine.sweep(targets, NM_VALUES, seed=3)) == before
+
+    def test_unchanged_model_reuses_trace(self, capsnet_setup):
+        model, test_set = capsnet_setup
+        engine = SweepEngine(model, test_set, batch_size=40,
+                             strategy="vectorized")
+        engine.sweep([(GROUP_MAC, None)], NM_VALUES, seed=3)
+        trace = engine._trace
+        engine.sweep([(GROUP_SOFTMAX, None)], NM_VALUES, seed=3)
+        assert engine._trace is trace  # fingerprint match -> no rebuild
+
+    def test_manual_invalidate_still_drops_trace(self, capsnet_setup):
+        model, test_set = capsnet_setup
+        engine = SweepEngine(model, test_set, batch_size=40,
+                             strategy="vectorized")
+        engine.sweep([(GROUP_MAC, None)], NM_VALUES, seed=3)
+        assert engine._trace is not None
+        engine.invalidate()
+        assert engine._trace is None
+
+
 def test_evaluate_accuracy_empty_registry_regression(capsnet_setup):
     """An active-but-empty registry must not change the measurement."""
     model, test_set = capsnet_setup

@@ -1,0 +1,105 @@
+"""X1 bit-true validation at scale: the LUT executor over DeepCaps.
+
+Closes the ROADMAP gap "bit-true DeepCaps validation (X1 on
+deepcaps-micro) is now possible and untested at scale": runs
+:class:`~repro.approx.ApproximateConvExecutor` end-to-end over a pinned
+deepcaps-micro — which exercises the ConvCaps3D *stage* patching
+(``compute_votes``) that the old forward-level patching silently broke —
+and checks three contracts:
+
+* the executor's stage-level patching is **bit-identical** to patching the
+  ``conv2d`` primitive itself (an independent route to the same bit-true
+  network, sensitive to any capsule fold/reshape mistake in the wrapping);
+* with the accurate multiplier, only Eq.-1 quantisation separates the
+  bit-true path from the float path (prediction-level agreement);
+* with a lossy multiplier, the class-capsule lengths match the recorded
+  golden logits exactly (``tests/golden/x1_deepcaps_logits.npz``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import (ApproximateConvExecutor, MultiplierModel,
+                          approximate_conv2d)
+from repro.tensor import Tensor, capsule_lengths, no_grad
+
+from golden_common import X1_GOLDEN, golden_deepcaps, x1_logits, \
+    x1_multiplier
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def deepcaps_setup():
+    model, test_set = golden_deepcaps()
+    return model, Tensor(test_set.images[:8])
+
+
+def _executor_lengths(model, images, multiplier) -> np.ndarray:
+    model.eval()
+    with no_grad(), ApproximateConvExecutor(model, multiplier):
+        return capsule_lengths(model(images)).data
+
+
+def _primitive_patch_lengths(model, images, multiplier) -> np.ndarray:
+    """Independent bit-true reference: patch the conv2d primitive.
+
+    Every convolution in the substrate routes through
+    ``repro.tensor.conv2d`` as imported by the layer modules; swapping
+    that name for the LUT convolution yields the same bit-true network
+    through a different mechanism than the executor's stage wrapping —
+    so any fold/reshape slip in the executor (the historic ConvCaps3D
+    bug) diverges here.
+    """
+    import repro.nn.capsules as capsules_mod
+    import repro.nn.layers as layers_mod
+
+    def bit_true_conv2d(x, weight, bias, *, stride=1, padding=0):
+        return Tensor(approximate_conv2d(
+            x.data, weight.data, bias.data, multiplier,
+            stride=stride, padding=padding))
+
+    originals = (capsules_mod.conv2d, layers_mod.conv2d)
+    capsules_mod.conv2d = layers_mod.conv2d = bit_true_conv2d
+    try:
+        model.eval()
+        with no_grad():
+            return capsule_lengths(model(images)).data
+    finally:
+        capsules_mod.conv2d, layers_mod.conv2d = originals
+
+
+def test_stage_patching_bit_identical_to_primitive_patch(deepcaps_setup):
+    model, images = deepcaps_setup
+    multiplier = x1_multiplier()  # lossy, so wrapping mistakes can't hide
+    stage_patched = _executor_lengths(model, images, multiplier)
+    primitive_patched = _primitive_patch_lengths(model, images, multiplier)
+    assert np.array_equal(stage_patched, primitive_patched)
+
+
+def test_accurate_multiplier_matches_float_path(deepcaps_setup):
+    model, images = deepcaps_setup
+    exact = MultiplierModel("acc", "exact")
+    bit_true = _executor_lengths(model, images, exact)
+    # The independent primitive patch must agree bit-for-bit here too.
+    assert np.array_equal(
+        bit_true, _primitive_patch_lengths(model, images, exact))
+    model.eval()
+    with no_grad():
+        float_lengths = capsule_lengths(model(images)).data
+    # Only Eq.-1 8-bit quantisation separates the two paths: predictions
+    # survive it through all 18 layers.
+    assert (np.argmax(bit_true, axis=1)
+            == np.argmax(float_lengths, axis=1)).mean() >= 0.75
+    np.testing.assert_allclose(bit_true, float_lengths, atol=0.35)
+
+
+def test_lossy_multiplier_matches_recorded_golden(deepcaps_setup):
+    model, test_set = golden_deepcaps()
+    with np.load(X1_GOLDEN) as archive:
+        golden = archive["logits"]
+    measured = x1_logits(model, test_set)
+    assert measured.shape == golden.shape
+    assert np.array_equal(measured, golden)
