@@ -1,13 +1,13 @@
 """Fig. 10 — layer-wise resilience of the non-resilient groups."""
 
 from repro.experiments import fig10
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 
 def test_fig10_layerwise_resilience(benchmark):
     scale = ExperimentScale(eval_samples=64,
                             nm_values=(0.1, 0.05, 0.02, 0.0),
-                            batch_size=64)
+                            execution=ExecutionOptions(batch_size=64))
     result = benchmark.pedantic(lambda: fig10.run(scale=scale),
                                 rounds=1, iterations=1)
     print("\n" + result.format_text())

@@ -8,7 +8,7 @@ design is the same one the naive per-point execution produces.
 import time
 
 from repro.approx import default_library
-from repro.core import ReDCaNe, ReDCaNeConfig
+from repro.core import ExecutionOptions, ReDCaNe, ReDCaNeConfig
 from repro.zoo import get_trained
 
 
@@ -16,7 +16,7 @@ def test_methodology_end_to_end(benchmark):
     entry = get_trained("capsnet-micro", "synth-mnist")
     config = ReDCaNeConfig(
         nm_values=(0.5, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0),
-        batch_size=96, safety_factor=2.0)
+        execution=ExecutionOptions(batch_size=96), safety_factor=2.0)
     library = default_library()
     test_set = entry.test_set.subset(96)
 
@@ -38,8 +38,8 @@ def test_methodology_end_to_end(benchmark):
 
     # The engine must hand Step 6 the same design the naive path produces.
     naive_config = ReDCaNeConfig(
-        nm_values=config.nm_values, batch_size=96, safety_factor=2.0,
-        strategy="naive")
+        nm_values=config.nm_values, safety_factor=2.0,
+        execution=ExecutionOptions(batch_size=96, strategy="naive"))
     start = time.perf_counter()
     naive = ReDCaNe(entry.model, test_set, library, naive_config).run()
     naive_seconds = time.perf_counter() - start

@@ -9,9 +9,13 @@ resilience findings.
 
 from __future__ import annotations
 
+import tempfile
 import time
 
+from repro.api import ResilienceService
 from repro.core import PAPER_NM_SWEEP, SweepEngine, mark_resilient
+from repro.experiments import fig9
+from repro.experiments.common import ExperimentScale
 from repro.nn.hooks import (GROUP_ACTIVATIONS, GROUP_MAC, GROUP_LOGITS,
                             GROUP_SOFTMAX, INJECTABLE_GROUPS)
 from repro.zoo import get_trained
@@ -152,6 +156,48 @@ def test_routing_resumed_fast_path(benchmark):
     record_metric("routing_resumed_speedup_capsnet", capsnet_speedup)
     print(f"capsnet routing-resumed: {capsnet_speedup:.2f}x")
     assert capsnet_speedup >= 1.2
+
+
+def test_service_store_warm_vs_cold(benchmark):
+    """Fig. 9 at ``--quick`` scale through the analysis service (ISSUE 3).
+
+    Cold: a fresh service with an empty result store measures the sweep.
+    Warm: a *new* service instance over the same store directory — no
+    shared in-process state — serves the identical request from disk
+    with byte-identical ``format_text()`` output.  Both timings and the
+    ratio land in ``BENCH_sweep.json`` under ``custom_metrics``.
+    """
+    scale = ExperimentScale.quick()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_service = ResilienceService(cache_dir=cache_dir)
+        timings = {}
+
+        def cold_run():
+            start = time.perf_counter()
+            result = fig9.run(scale=scale, service=cold_service)
+            timings["cold"] = time.perf_counter() - start
+            return result
+
+        cold = run_once(benchmark, cold_run)
+        assert cold_service.stats.executed == 1
+
+        warm_service = ResilienceService(cache_dir=cache_dir)
+        start = time.perf_counter()
+        warm = fig9.run(scale=scale, service=warm_service)
+        timings["warm"] = time.perf_counter() - start
+        assert warm_service.stats.store_hits == 1
+        assert warm_service.stats.executed == 0
+
+    assert warm.format_text() == cold.format_text()
+    speedup = timings["cold"] / timings["warm"]
+    record_metric("fig9_quick_service_cold_seconds", timings["cold"])
+    record_metric("fig9_quick_service_warm_seconds", timings["warm"])
+    record_metric("fig9_quick_service_warm_speedup", speedup)
+    print(f"\nfig9 --quick via service: cold {timings['cold']:.2f}s, "
+          f"warm {timings['warm']*1000:.0f}ms -> {speedup:.0f}x")
+    # The warm run deserialises one JSON file; anything under 2x would
+    # mean the store is not actually being hit.
+    assert speedup >= 2.0
 
 
 def test_cached_strategy_bit_identical(benchmark):

@@ -1,13 +1,13 @@
 """X2 — routing-iteration ablation (tests the paper's resilience claim)."""
 
 from repro.experiments import ablation
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 
 def test_x2_routing_iteration_ablation(benchmark):
     scale = ExperimentScale(eval_samples=96,
                             nm_values=(0.5, 0.2, 0.1, 0.05, 0.0),
-                            batch_size=96)
+                            execution=ExecutionOptions(batch_size=96))
     result = benchmark.pedantic(
         lambda: ablation.run_routing_ablation(
             benchmark="DeepCaps/MNIST", iterations=(1, 2, 3, 5),

@@ -1,11 +1,12 @@
 """X3 — biased noise (NA != 0) sweep at fixed NM."""
 
 from repro.experiments import ablation
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 
 def test_x3_noise_average_sweep(benchmark):
-    scale = ExperimentScale(eval_samples=96, batch_size=96)
+    scale = ExperimentScale(eval_samples=96,
+                            execution=ExecutionOptions(batch_size=96))
     result = benchmark.pedantic(
         lambda: ablation.run_noise_average_sweep(
             benchmark="DeepCaps/MNIST", nm=0.005,

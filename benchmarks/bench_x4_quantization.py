@@ -1,11 +1,12 @@
 """X4 — Eq. 1 quantisation word-length sweep."""
 
 from repro.experiments import ablation
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 
 def test_x4_quantization_sweep(benchmark):
-    scale = ExperimentScale(eval_samples=96, batch_size=96)
+    scale = ExperimentScale(eval_samples=96,
+                            execution=ExecutionOptions(batch_size=96))
     result = benchmark.pedantic(
         lambda: ablation.run_quantization_sweep(
             benchmark="CapsNet/MNIST", bit_widths=(2, 4, 6, 8, 10),

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+
+# Hermetic result store: benches must time live sweeps, not cache hits
+# from a previous session (the warm-vs-cold bench manages its own store).
+os.environ.setdefault(
+    "REPRO_RESULT_DIR", tempfile.mkdtemp(prefix="repro-bench-results-"))
 
 import pytest
 
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 from repro.zoo import PAPER_BENCHMARKS, get_trained
 
 #: Default dump file for benchmark results (repo root), so the perf
@@ -118,7 +124,7 @@ def quick_scale():
     """Reduced sweep used by the accuracy-in-the-loop benches."""
     return ExperimentScale(eval_samples=96,
                            nm_values=(0.5, 0.1, 0.05, 0.01, 0.002, 0.0),
-                           batch_size=96)
+                           execution=ExecutionOptions(batch_size=96))
 
 
 def run_once(benchmark, fn):

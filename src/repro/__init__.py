@@ -9,6 +9,8 @@ Networks under approximation errors, rebuilt end-to-end in NumPy:
 * :mod:`repro.approx` -- approximate 8-bit arithmetic component library
 * :mod:`repro.hw` -- accelerator op-count / energy model
 * :mod:`repro.core` -- the six-step ReD-CaNe methodology itself
+* :mod:`repro.api` -- declarative analysis requests, the resilience
+  service and the persistent fingerprint-keyed result store
 * :mod:`repro.experiments` -- regeneration of every paper table/figure
 """
 

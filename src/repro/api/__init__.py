@@ -1,0 +1,40 @@
+"""Job-oriented analysis API: declarative requests, a resilience service,
+and a persistent fingerprint-keyed result store.
+
+This is the load-bearing seam between *what* a resilience question asks
+(:class:`AnalysisRequest`) and *how* the sweep machinery answers it
+(:class:`ResilienceService` → :class:`~repro.core.sweep.SweepEngine`),
+with answers persisted content-addressed (:class:`ResultStore`) so
+repeated artifact runs are cache hits and mutated models auto-invalidate.
+
+Typical use::
+
+    from repro.api import AnalysisRequest, ModelRef, default_service
+
+    request = AnalysisRequest(
+        model=ModelRef(benchmark="DeepCaps/CIFAR-10"),
+        targets=[("mac_outputs", None), ("softmax", None)],
+        nm_values=(0.5, 0.05, 0.005, 0.0), seed=0, eval_samples=96)
+    result = default_service().submit(request)
+    result.curve_for("mac_outputs").tolerable_nm()
+
+Every experiment module (fig9/fig10/fig12, the X2-X4 ablations) and the
+:class:`~repro.core.methodology.ReDCaNe` pipeline submits through this
+layer; see ``docs/api.md`` for the schema, cache layout and migration
+notes.
+"""
+
+from ..core.sweep import ExecutionOptions
+from .request import (NOISE_KINDS, SCHEMA_VERSION, AnalysisRequest,
+                      AnalysisResult, ModelRef, SchemaError)
+from .service import (ResilienceService, ResolvedModel, ServiceStats,
+                      dataset_fingerprint, default_service)
+from .store import ResultStore, StoreEntry, default_store_root, store_key
+
+__all__ = [
+    "SCHEMA_VERSION", "NOISE_KINDS", "SchemaError",
+    "ModelRef", "AnalysisRequest", "AnalysisResult", "ExecutionOptions",
+    "ResilienceService", "ResolvedModel", "ServiceStats", "default_service",
+    "dataset_fingerprint",
+    "ResultStore", "StoreEntry", "default_store_root", "store_key",
+]

@@ -1,0 +1,433 @@
+"""The job-oriented analysis service fronting the sweep machinery.
+
+:class:`ResilienceService` turns declarative
+:class:`~repro.api.request.AnalysisRequest` jobs into
+:class:`~repro.api.request.AnalysisResult` responses while owning every
+piece of lifecycle the one-shot scripts used to hand-thread:
+
+* **Model/zoo resolution** — benchmark and zoo refs resolve through
+  :mod:`repro.zoo` once and stay resident; in-memory models register as
+  named *sessions* (:meth:`register`).
+* **Engine reuse** — one :class:`~repro.core.sweep.SweepEngine` per
+  (model ref, eval subset, execution options), so the prefix-activation
+  cache built by one request (e.g. the Fig. 9 group sweep) is reused by
+  the next (the Fig. 10 layer refinement) exactly as the methodology's
+  Steps 2+4 always shared an engine.
+* **Result persistence** — results land in a content-addressed
+  :class:`~repro.api.store.ResultStore` keyed by request fingerprint ×
+  model CRC × dataset CRC, so repeated artifact runs are cache hits and
+  mutated models auto-invalidate.
+* **In-flight deduplication** — identical concurrent submissions share
+  one execution (the winner computes, the rest block on its future).
+* **Sweep batching** — :meth:`submit_many` merges compatible requests
+  (same model/grid/seed/options) into a single ``engine.sweep`` call.
+
+Executions are serialised internally (the engines and the ambient hook
+registry are not thread-safe); submission is thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.noise import site_matcher
+from ..core.resilience import ResilienceCurve, ResiliencePoint
+from ..core.sweep import SweepEngine, model_fingerprint
+from ..data import Dataset
+from ..nn import hooks
+from ..nn.hooks import HookRegistry, use_registry
+from ..train import evaluate_accuracy
+from .request import AnalysisRequest, AnalysisResult, ModelRef
+from .store import ResultStore, store_key
+
+__all__ = ["ResolvedModel", "ServiceStats", "ResilienceService",
+           "default_service", "dataset_fingerprint"]
+
+
+def dataset_fingerprint(dataset: Dataset) -> int:
+    """CRC over the evaluated images and labels."""
+    crc = zlib.crc32(np.ascontiguousarray(dataset.images))
+    return zlib.crc32(np.ascontiguousarray(dataset.labels), crc)
+
+
+@dataclass
+class ResolvedModel:
+    """A lazily-loaded (model, full test set) pair behind a :class:`ModelRef`.
+
+    Laziness is what makes warm store hits fast: serving a cached zoo
+    request needs the model weights (for the CRC half of the store key)
+    but *not* the synthetic test split, whose regeneration costs more
+    than the sweep bookkeeping itself.  Zoo splits therefore carry a
+    ``dataset_descriptor`` (a stable identity string) so the key can be
+    computed without materialising pixels; session datasets are already
+    in memory and fingerprint by content (descriptor ``None``).
+    """
+
+    ref: ModelRef
+    load_model: object            # () -> model
+    load_test_set: object         # () -> Dataset
+    dataset_descriptor: str | None = None
+    _model: object = None
+    _test_set: Dataset | None = None
+
+    @property
+    def model(self):
+        if self._model is None:
+            self._model = self.load_model()
+        return self._model
+
+    @property
+    def test_set(self) -> Dataset:
+        if self._test_set is None:
+            self._test_set = self.load_test_set()
+        return self._test_set
+
+    def eval_set(self, eval_samples: int | None) -> Dataset:
+        if eval_samples is None:
+            return self.test_set
+        return self.test_set.subset(eval_samples)
+
+
+@dataclass
+class ServiceStats:
+    """Observable counters (used by tests and ``--json`` consumers)."""
+
+    submitted: int = 0
+    store_hits: int = 0
+    deduplicated: int = 0
+    executed: int = 0      # requests actually measured
+    sweeps: int = 0        # engine.sweep calls issued (batching merges these)
+
+
+@dataclass
+class _Job:
+    """One accepted request on its way to execution."""
+
+    index: int
+    request: AnalysisRequest
+    resolved: ResolvedModel
+    model_crc: int
+    dataset_crc: int
+    key: str
+    future: Future = field(default_factory=Future)
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests sharing this key merge into one ``engine.sweep``."""
+        r = self.request
+        return (self.resolved.ref.key, self.dataset_crc, r.eval_samples,
+                r.noise, r.nm_values, r.na, r.seed, r.baseline_accuracy,
+                r.options)
+
+
+class ResilienceService:
+    """Submit :class:`AnalysisRequest` jobs; receive cached-or-measured
+    :class:`AnalysisResult` responses (see module docstring).
+
+    Parameters
+    ----------
+    store:
+        A prebuilt :class:`ResultStore`, or ``None`` to build one from
+        ``cache_dir`` (default root when that is also ``None``).
+    cache_dir:
+        Store root directory; ignored when ``store`` is given.
+    use_store:
+        ``False`` disables persistence entirely (in-memory service).
+    """
+
+    def __init__(self, *, store: ResultStore | None = None,
+                 cache_dir: str | None = None, use_store: bool = True):
+        if store is None and use_store:
+            store = ResultStore(cache_dir)
+        self.store = store
+        self.stats = ServiceStats()
+        self._sessions: dict[str, tuple[object, Dataset]] = {}
+        self._resolved: dict[str, ResolvedModel] = {}
+        self._engines: dict[tuple, SweepEngine] = {}
+        self._inflight: dict[str, Future] = {}
+        self._state_lock = threading.Lock()   # maps above
+        self._run_lock = threading.Lock()     # engines + hook registry
+
+    # ------------------------------------------------------------ resolution
+    def register(self, name: str, model, dataset: Dataset) -> ModelRef:
+        """Register an in-memory (model, test set) pair as a session ref.
+
+        Re-registering a name replaces the pair and drops any engines
+        built for it; results remain safe either way because the store
+        key carries the model and dataset CRCs, not the name.
+        """
+        ref = ModelRef(session=name)
+        with self._state_lock:
+            previous = self._sessions.get(name)
+            if previous is not None and (previous[0] is not model
+                                         or previous[1] is not dataset):
+                self._resolved.pop(ref.key, None)
+                self._engines = {key: engine
+                                 for key, engine in self._engines.items()
+                                 if key[0] != ref.key}
+            self._sessions[name] = (model, dataset)
+        return ref
+
+    def unregister(self, ref: ModelRef) -> None:
+        """Drop a session and every engine built for it (frees the
+        engine's cached activation traces).  Stored results survive —
+        they are keyed by content, not by the session name."""
+        if ref.session is None:
+            raise ValueError("only session refs can be unregistered")
+        with self._state_lock:
+            self._sessions.pop(ref.session, None)
+            self._resolved.pop(ref.key, None)
+            self._engines = {key: engine
+                             for key, engine in self._engines.items()
+                             if key[0] != ref.key}
+
+    def entry(self, ref: ModelRef) -> ResolvedModel:
+        """Resolve (and cache) the lazy model bundle behind a reference."""
+        with self._state_lock:
+            resolved = self._resolved.get(ref.key)
+        if resolved is not None:
+            return resolved
+        if ref.session is not None:
+            with self._state_lock:
+                pair = self._sessions.get(ref.session)
+            if pair is None:
+                raise KeyError(f"unknown session {ref.session!r}; "
+                               f"register it with ResilienceService.register")
+            model, dataset = pair
+            resolved = ResolvedModel(ref, lambda: model, lambda: dataset)
+        else:
+            from ..zoo import benchmark_coords, default_test_descriptor
+            if ref.benchmark is not None:
+                preset, dataset_name = benchmark_coords(ref.benchmark)
+            else:
+                preset, dataset_name = ref.preset, ref.dataset
+            resolved = ResolvedModel(
+                ref,
+                load_model=lambda: self._zoo_model(preset, dataset_name),
+                load_test_set=lambda: self._zoo_test_set(preset,
+                                                         dataset_name),
+                dataset_descriptor=default_test_descriptor(dataset_name))
+        with self._state_lock:
+            self._resolved.setdefault(ref.key, resolved)
+            return self._resolved[ref.key]
+
+    @staticmethod
+    def _zoo_model(preset: str, dataset_name: str):
+        """Weights-only when cached; full training run otherwise."""
+        from ..zoo import get_trained, load_trained_model
+        model = load_trained_model(preset, dataset_name)
+        if model is None:
+            model = get_trained(preset, dataset_name).model
+        return model
+
+    @staticmethod
+    def _zoo_test_set(preset: str, dataset_name: str) -> Dataset:
+        from ..zoo import default_test_split
+        return default_test_split(dataset_name)
+
+    def _engine_for(self, job: _Job, dataset: Dataset) -> SweepEngine:
+        options = job.request.options
+        key = (job.resolved.ref.key, job.dataset_crc,
+               job.request.eval_samples, options)
+        with self._state_lock:
+            engine = self._engines.get(key)
+            if engine is None or engine.model is not job.resolved.model:
+                engine = options.make_engine(job.resolved.model, dataset)
+                self._engines[key] = engine
+            return engine
+
+    # ------------------------------------------------------------ submission
+    def submit(self, request: AnalysisRequest) -> AnalysisResult:
+        """Serve one request from the store or by measuring it."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests) -> list[AnalysisResult]:
+        """Serve several requests, batching compatible sweeps.
+
+        Requests that share model, dataset, grid, seed, baseline and
+        execution options execute as a single ``engine.sweep`` over the
+        union of their targets; identical in-flight requests collapse to
+        one execution.  Results come back in submission order.
+        """
+        requests = list(requests)
+        results: list[AnalysisResult | None] = [None] * len(requests)
+        jobs: list[_Job] = []
+        waits: list[tuple[int, Future]] = []
+        for index, request in enumerate(requests):
+            with self._state_lock:
+                self.stats.submitted += 1
+            resolved = self.entry(request.model)
+            model_crc = model_fingerprint(resolved.model)
+            if resolved.dataset_descriptor is not None:
+                # Zoo splits are pure functions of their descriptor —
+                # no need to materialise pixels just to key the store.
+                dataset_crc = zlib.crc32(
+                    resolved.dataset_descriptor.encode())
+            else:
+                dataset_crc = dataset_fingerprint(
+                    resolved.eval_set(request.eval_samples))
+            key = store_key(request.fingerprint(), model_crc, dataset_crc)
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                with self._state_lock:
+                    self.stats.store_hits += 1
+                results[index] = cached
+                continue
+            with self._state_lock:
+                future = self._inflight.get(key)
+                if future is not None:
+                    self.stats.deduplicated += 1
+                    waits.append((index, future))
+                    continue
+                job = _Job(index, request, resolved, model_crc,
+                           dataset_crc, key)
+                self._inflight[key] = job.future
+            jobs.append(job)
+        if jobs:
+            self._execute(jobs)
+        for index, future in waits:
+            results[index] = future.result()
+        for job in jobs:
+            results[job.index] = job.future.result()
+        return results
+
+    # ------------------------------------------------------------- execution
+    def _execute(self, jobs: list[_Job]) -> None:
+        """Run accepted jobs grouped into batched sweeps.
+
+        A failing group fails every remaining job's future too (instead
+        of leaving them unset for concurrent waiters to block on); the
+        caller surfaces the error through ``future.result()``.
+        """
+        groups: dict[tuple, list[_Job]] = {}
+        for job in jobs:
+            groups.setdefault(job.batch_key, []).append(job)
+        error: BaseException | None = None
+        for group in groups.values():
+            if error is None:
+                try:
+                    self._run_group(group)
+                except BaseException as exc:  # noqa: BLE001 — re-raised via futures
+                    error = exc
+            if error is not None:
+                for job in group:
+                    if not job.future.done():
+                        job.future.set_exception(error)
+            with self._state_lock:
+                for job in group:
+                    self._inflight.pop(job.key, None)
+
+    def _run_group(self, group: list[_Job]) -> None:
+        head = group[0].request
+        targets = []
+        seen = set()
+        for job in group:
+            for target in job.request.targets:
+                if target.key not in seen:
+                    seen.add(target.key)
+                    targets.append(target)
+        start = time.perf_counter()
+        with self._run_lock:
+            if hooks.active_registries():
+                # Under the run lock no service sweep is live, so any
+                # active registry is a caller's use_registry(...) scope.
+                # The engine would silently fall back to the naive
+                # strategy with those transforms composed into the
+                # accuracies, and the store would file that under a
+                # clean fingerprint — poisoning every later lookup of
+                # the same key.  The service owns noise injection.
+                raise RuntimeError(
+                    "ResilienceService cannot execute inside an active "
+                    "hook-registry scope: ambient transforms would "
+                    "contaminate stored results; exit the "
+                    "use_registry(...) block or evaluate directly")
+            dataset = group[0].resolved.eval_set(head.eval_samples)
+            if head.noise == "quantization":
+                curves = self._run_quantization(group[0], dataset, targets)
+            else:
+                engine = self._engine_for(group[0], dataset)
+                self.stats.sweeps += 1
+                curves = engine.sweep(
+                    targets, head.nm_values, na=head.na, seed=head.seed,
+                    baseline_accuracy=head.baseline_accuracy)
+        elapsed = time.perf_counter() - start
+        baseline = next(iter(curves.values())).baseline_accuracy
+        created = time.time()
+        for job in group:
+            with self._state_lock:
+                self.stats.executed += 1
+            result = AnalysisResult(
+                request=job.request,
+                curves={target.key: curves[target.key]
+                        for target in job.request.targets},
+                baseline_accuracy=baseline,
+                model_fingerprint=f"{job.model_crc & 0xffffffff:08x}",
+                dataset_fingerprint=f"{job.dataset_crc & 0xffffffff:08x}",
+                created=created,
+                elapsed_seconds=elapsed / len(group))
+            if self.store is not None:
+                self.store.put(job.key, result)
+            job.future.set_result(result)
+
+    def _run_quantization(self, job: _Job, dataset: Dataset, targets) -> dict:
+        """Eq. 1 round-trip error swept over word lengths.
+
+        ``nm_values`` holds the bit widths; the error is deterministic
+        per value (no RNG), injected through the same hook sites as the
+        Gaussian model.  Curve points reuse the ``nm`` axis for the word
+        length.
+        """
+        from ..approx import quantization_noise
+        request = job.request
+        model = job.resolved.model
+        batch_size = request.options.batch_size
+        baseline = request.baseline_accuracy
+        if baseline is None:
+            baseline = evaluate_accuracy(model, dataset,
+                                         batch_size=batch_size)
+        curves = {}
+        for target in targets:
+            matcher = site_matcher(
+                groups=[target.group],
+                layers=None if target.layer is None else [target.layer])
+            curve = ResilienceCurve(group=target.group, layer=target.layer,
+                                    baseline_accuracy=baseline)
+            for bits in request.nm_values:
+                registry = HookRegistry()
+
+                def transform(site, value, _bits=int(bits)):
+                    return value + quantization_noise(value, _bits)
+
+                registry.add_transform(matcher, transform)
+                with use_registry(registry):
+                    accuracy = evaluate_accuracy(model, dataset,
+                                                 batch_size=batch_size)
+                curve.points.append(ResiliencePoint(
+                    float(bits), 0.0, accuracy, accuracy - baseline))
+            curves[target.key] = curve
+        return curves
+
+
+_default: ResilienceService | None = None
+_default_lock = threading.Lock()
+
+
+def default_service() -> ResilienceService:
+    """The process-wide shared service (persistent store, default root).
+
+    The experiment ``run()`` functions and :class:`~repro.core.
+    methodology.ReDCaNe` fall back to this instance so a CLI invocation
+    that regenerates several artifacts shares one zoo resolution, one
+    engine cache and one result store.
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ResilienceService()
+        return _default

@@ -1,0 +1,145 @@
+"""Persistent, fingerprint-keyed store for analysis results.
+
+Layout: one JSON document per result under the store root (default
+``.artifacts/results``, override with ``REPRO_RESULT_DIR`` or the CLI's
+``--cache-dir``), named
+
+    ``<request fingerprint>-m<model CRC>-d<dataset CRC>.json``
+
+The key is fully content-addressed:
+
+* the **request fingerprint** hashes everything the caller declared
+  (model ref, targets, NM/NA grid, seed, eval subset, pinned baseline,
+  noise kind) plus the result-affecting execution knobs — a changed grid
+  or seed is a different key;
+* the **model CRC** covers parameters, buffers and routing depth
+  (:func:`repro.core.sweep.model_fingerprint`) — retraining or mutating
+  a model in place auto-invalidates without any explicit bookkeeping;
+* the **dataset CRC** covers the evaluated images/labels — a different
+  eval subset or regenerated synthetic split cannot alias.
+
+Invalidation is therefore *keying*, not deletion: stale entries are
+simply never looked up again.  ``prune()`` exists for reclaiming disk.
+Writes are atomic (temp file + ``os.replace``) so concurrent runs never
+observe torn JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+from .request import AnalysisResult, SchemaError
+
+__all__ = ["ResultStore", "StoreEntry", "store_key", "default_store_root"]
+
+
+def default_store_root() -> str:
+    """``REPRO_RESULT_DIR`` or ``<repo>/.artifacts/results``.
+
+    Anchored next to the zoo's weight cache: ``<repo>/src/repro/api`` →
+    four levels up to the repo root.
+    """
+    root = os.environ.get("REPRO_RESULT_DIR")
+    if root is None:
+        package_root = os.path.abspath(__file__)
+        for _ in range(4):
+            package_root = os.path.dirname(package_root)
+        root = os.path.join(package_root, ".artifacts", "results")
+    return root
+
+
+def store_key(request_fingerprint: str, model_crc: int,
+              dataset_crc: int) -> str:
+    """The content-addressed key of one (request, model, dataset) triple."""
+    return (f"{request_fingerprint}-m{model_crc & 0xffffffff:08x}"
+            f"-d{dataset_crc & 0xffffffff:08x}")
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Summary of one stored result (what ``repro inspect`` lists)."""
+
+    key: str
+    path: str
+    model: str
+    noise: str
+    targets: int
+    nm_values: int
+    created: float
+    elapsed_seconds: float
+
+
+class ResultStore:
+    """Content-addressed result persistence (see module docstring)."""
+
+    def __init__(self, root: str | None = None):
+        self.root = root or default_store_root()
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> AnalysisResult | None:
+        """The stored result for ``key``, or ``None``.
+
+        Unreadable or schema-incompatible entries are treated as misses —
+        the caller recomputes and overwrites.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as stream:
+                result = AnalysisResult.from_payload(json.load(stream))
+        except (OSError, ValueError, KeyError, SchemaError):
+            return None
+        result.from_cache = True
+        return result
+
+    def put(self, key: str, result: AnalysisResult) -> str:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        handle, scratch = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(result.to_json())
+            os.replace(scratch, path)
+        except BaseException:
+            if os.path.exists(scratch):
+                os.remove(scratch)
+            raise
+        return path
+
+    # ------------------------------------------------------------ inspection
+    def keys(self) -> list[str]:
+        """Stored keys, newest first."""
+        names = [name[:-len(".json")] for name in os.listdir(self.root)
+                 if name.endswith(".json")]
+        return sorted(names, key=lambda key: os.path.getmtime(
+            self.path_for(key)), reverse=True)
+
+    def entries(self) -> list[StoreEntry]:
+        """Summaries of every readable stored result, newest first."""
+        entries = []
+        for key in self.keys():
+            result = self.get(key)
+            if result is None:
+                continue
+            entries.append(StoreEntry(
+                key=key, path=self.path_for(key),
+                model=result.request.model.key,
+                noise=result.request.noise,
+                targets=len(result.request.targets),
+                nm_values=len(result.request.nm_values),
+                created=result.created,
+                elapsed_seconds=result.elapsed_seconds))
+        return entries
+
+    def prune(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            os.remove(self.path_for(key))
+            removed += 1
+        return removed

@@ -5,75 +5,154 @@ Usage::
     python -m repro list
     python -m repro run table1 fig5
     python -m repro run fig9 --quick
+    python -m repro run fig9 --quick --json --cache-dir /tmp/results
     python -m repro run all --quick
+    python -m repro inspect
+    python -m repro inspect 6f1f... --cache-dir /tmp/results
 
 Each artifact prints the same rows/series the paper reports (measured next
 to published values where applicable).  ``--quick`` shrinks the evaluation
-scale of the accuracy-in-the-loop artifacts.
+scale of the accuracy-in-the-loop artifacts.  The sweep artifacts submit
+their measurements through the :mod:`repro.api` service, so a repeated run
+at the same scale is served from the persistent result store (inspect it
+with ``repro inspect``; relocate it with ``--cache-dir``).
+
+Every artifact routes through one request-building helper: flags that an
+artifact cannot honour (e.g. ``--strategy`` for the analytic tables) are a
+loud error, never silently ignored.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
+import json
 import sys
-from typing import Callable
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Callable
 
-from .core.sweep import STRATEGIES
+from .api import ResilienceService, ResultStore, default_service
+from .core.sweep import STRATEGIES, ExecutionOptions
 from .experiments import (ablation, bittrue_validation, fig4, fig5, fig6,
                           fig9, fig10, fig11, fig12, table1, table2, table3,
                           table4)
 from .experiments.common import ExperimentScale
 
-__all__ = ["main", "ARTIFACTS"]
+__all__ = ["main", "ARTIFACTS", "ArtifactSpec", "RunContext"]
 
 
-def _scaled(runner: Callable, **fixed):
-    def run(quick: bool, strategy: str = "auto", workers: int = 0,
-            shared_votes: bool = True):
-        scale = ExperimentScale.quick() if quick else ExperimentScale()
-        scale = dataclasses.replace(scale, strategy=strategy, workers=workers,
-                                    shared_votes=shared_votes)
-        return runner(scale=scale, **fixed)
-    return run
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a CLI artifact runner may consume, built in one place."""
+
+    quick: bool
+    scale: ExperimentScale
+    service: ResilienceService
 
 
-def _plain(runner: Callable, **fixed):
-    def run(_quick: bool, _strategy: str = "auto", _workers: int = 0,
-            _shared_votes: bool = True):
-        return runner(**fixed)
-    return run
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One artifact registry entry.
+
+    ``sweeps`` declares whether the artifact runs resilience sweeps (and
+    therefore honours ``--strategy``/``--workers``/``--no-shared-votes``
+    via its :class:`ExperimentScale`); naming a non-sweep artifact
+    together with those flags errors instead of silently dropping them.
+    """
+
+    description: str
+    runner: Callable[[RunContext], Any]
+    sweeps: bool = False
 
 
-#: artifact id -> (description, runner(quick) -> result with format_text()).
-ARTIFACTS: dict[str, tuple[str, Callable]] = {
-    "table1": ("DeepCaps op counts + unit energies", _plain(table1.run)),
-    "fig4": ("energy breakdown by op type", _plain(fig4.run)),
-    "fig5": ("Acc/XM/XA/XAM optimisation potential", _plain(fig5.run)),
-    "fig6": ("multiplier error profiles + Gaussian fits",
-             lambda quick, *_: fig6.run(samples=20_000 if quick else 100_000)),
-    "table2": ("clean benchmark accuracies", _plain(table2.run)),
-    "table3": ("operation grouping (group extraction)", _plain(table3.run)),
-    "fig9": ("group-wise resilience, DeepCaps/CIFAR-10", _scaled(fig9.run)),
-    "fig10": ("layer-wise resilience of non-resilient groups",
-              _scaled(fig10.run)),
-    "fig11": ("conv-input distributions",
-              lambda quick, *_: fig11.run(num_images=8 if quick else 32)),
-    "table4": ("component power/area/NA/NM",
-               lambda quick, *_: table4.run(
-                   num_images=8 if quick else 16,
-                   samples=20_000 if quick else 50_000)),
-    "fig12": ("group-wise resilience, other benchmarks", _scaled(fig12.run)),
-    "x1": ("bit-true validation of the noise model",
-           lambda quick, *_: bittrue_validation.run(
-               eval_samples=32 if quick else 64)),
-    "x2": ("routing-iteration ablation",
-           _scaled(ablation.run_routing_ablation)),
-    "x3": ("biased-noise (NA) sweep",
-           _scaled(ablation.run_noise_average_sweep)),
-    "x4": ("quantisation word-length sweep",
-           _scaled(ablation.run_quantization_sweep)),
+#: artifact id -> spec; every runner takes the shared RunContext.
+ARTIFACTS: dict[str, ArtifactSpec] = {
+    "table1": ArtifactSpec("DeepCaps op counts + unit energies",
+                           lambda ctx: table1.run()),
+    "fig4": ArtifactSpec("energy breakdown by op type",
+                         lambda ctx: fig4.run()),
+    "fig5": ArtifactSpec("Acc/XM/XA/XAM optimisation potential",
+                         lambda ctx: fig5.run()),
+    "fig6": ArtifactSpec("multiplier error profiles + Gaussian fits",
+                         lambda ctx: fig6.run(
+                             samples=20_000 if ctx.quick else 100_000)),
+    "table2": ArtifactSpec("clean benchmark accuracies",
+                           lambda ctx: table2.run()),
+    "table3": ArtifactSpec("operation grouping (group extraction)",
+                           lambda ctx: table3.run()),
+    "fig9": ArtifactSpec("group-wise resilience, DeepCaps/CIFAR-10",
+                         lambda ctx: fig9.run(scale=ctx.scale,
+                                              service=ctx.service),
+                         sweeps=True),
+    "fig10": ArtifactSpec("layer-wise resilience of non-resilient groups",
+                          lambda ctx: fig10.run(scale=ctx.scale,
+                                                service=ctx.service),
+                          sweeps=True),
+    "fig11": ArtifactSpec("conv-input distributions",
+                          lambda ctx: fig11.run(
+                              num_images=8 if ctx.quick else 32)),
+    "table4": ArtifactSpec("component power/area/NA/NM",
+                           lambda ctx: table4.run(
+                               num_images=8 if ctx.quick else 16,
+                               samples=20_000 if ctx.quick else 50_000)),
+    "fig12": ArtifactSpec("group-wise resilience, other benchmarks",
+                          lambda ctx: fig12.run(scale=ctx.scale,
+                                                service=ctx.service),
+                          sweeps=True),
+    "x1": ArtifactSpec("bit-true validation of the noise model",
+                       lambda ctx: bittrue_validation.run(
+                           eval_samples=32 if ctx.quick else 64)),
+    "x2": ArtifactSpec("routing-iteration ablation",
+                       lambda ctx: ablation.run_routing_ablation(
+                           scale=ctx.scale, service=ctx.service),
+                       sweeps=True),
+    "x3": ArtifactSpec("biased-noise (NA) sweep",
+                       lambda ctx: ablation.run_noise_average_sweep(
+                           scale=ctx.scale, service=ctx.service),
+                       sweeps=True),
+    "x4": ArtifactSpec("quantisation word-length sweep",
+                       lambda ctx: ablation.run_quantization_sweep(
+                           scale=ctx.scale, service=ctx.service),
+                       sweeps=True),
 }
+
+
+def _build_context(args) -> RunContext:
+    """The one request-building helper every artifact runs through."""
+    execution = ExecutionOptions(strategy=args.strategy,
+                                 workers=args.workers,
+                                 shared_votes=not args.no_shared_votes)
+    scale = ExperimentScale(execution=execution)
+    if args.quick:
+        scale = scale.quick()
+    if args.cache_dir is not None:
+        service = ResilienceService(cache_dir=args.cache_dir)
+    else:
+        service = default_service()
+    return RunContext(quick=args.quick, scale=scale, service=service)
+
+
+def _sweep_flags_given(args) -> list[str]:
+    flags = []
+    if args.strategy != "auto":
+        flags.append("--strategy")
+    if args.workers:
+        flags.append("--workers")
+    if args.no_shared_votes:
+        flags.append("--no-shared-votes")
+    return flags
+
+
+def _result_payload(name: str, result) -> dict:
+    """Machine-readable dump of one artifact result (``--json``)."""
+    payload: dict[str, Any] = {"artifact": name,
+                               "description": ARTIFACTS[name].description}
+    rows = getattr(result, "rows", None)
+    if callable(rows):
+        payload["rows"] = [list(row) for row in rows()]
+    else:
+        payload["text"] = result.format_text()
+    return payload
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -96,7 +175,80 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-shared-votes", action="store_true",
                      help="disable the shared-votes routing fast path for "
                           "routing-resumed sweep targets")
+    run.add_argument("--cache-dir", default=None,
+                     help="result-store directory (default: "
+                          ".artifacts/results, or $REPRO_RESULT_DIR)")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of tables")
+    inspect = sub.add_parser(
+        "inspect", help="list or dump stored analysis results")
+    inspect.add_argument("key", nargs="?", default=None,
+                         help="store-key prefix to dump in full (omit to "
+                              "list all entries)")
+    inspect.add_argument("--cache-dir", default=None,
+                         help="result-store directory to inspect")
     return parser
+
+
+def _run(args) -> int:
+    requested = list(ARTIFACTS) if "all" in args.artifacts else args.artifacts
+    unknown = [name for name in requested if name not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}; "
+              f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    # Loud-flag contract: sweep flags must apply to every *named*
+    # artifact ('all' applies them wherever they are meaningful).
+    sweep_flags = _sweep_flags_given(args)
+    if sweep_flags and "all" not in args.artifacts:
+        rejected = [name for name in requested if not ARTIFACTS[name].sweeps]
+        if rejected:
+            print(f"artifact(s) {', '.join(rejected)} run no resilience "
+                  f"sweeps; {', '.join(sweep_flags)} would be ignored "
+                  f"(drop the flag or the artifact)", file=sys.stderr)
+            return 2
+    context = _build_context(args)
+    payloads = []
+    for name in requested:
+        result = ARTIFACTS[name].runner(context)
+        if args.json:
+            payloads.append(_result_payload(name, result))
+        else:
+            print(result.format_text())
+            print()
+    if args.json:
+        print(json.dumps(payloads, indent=2))
+    return 0
+
+
+def _inspect(args) -> int:
+    store = ResultStore(args.cache_dir)
+    if args.key is not None:
+        matches = [key for key in store.keys() if key.startswith(args.key)]
+        if not matches:
+            print(f"no stored result matches key prefix {args.key!r} "
+                  f"in {store.root}", file=sys.stderr)
+            return 2
+        for key in matches:
+            with open(store.path_for(key)) as stream:
+                print(stream.read())
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"result store {store.root} is empty")
+        return 0
+    print(f"result store {store.root} — {len(entries)} entr"
+          f"{'y' if len(entries) == 1 else 'ies'}")
+    header = (f"{'key':44s}  {'model':28s}  {'noise':12s}  "
+              f"{'targets':>7s}  {'points':>6s}  {'created (UTC)':19s}")
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        created = datetime.fromtimestamp(
+            entry.created, tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%S")
+        print(f"{entry.key:44s}  {entry.model:28s}  {entry.noise:12s}  "
+              f"{entry.targets:7d}  {entry.nm_values:6d}  {created}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,23 +256,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in ARTIFACTS)
-        for name, (description, _) in ARTIFACTS.items():
-            print(f"{name.ljust(width)}  {description}")
+        for name, spec in ARTIFACTS.items():
+            print(f"{name.ljust(width)}  {spec.description}")
         return 0
-
-    requested = list(ARTIFACTS) if "all" in args.artifacts else args.artifacts
-    unknown = [name for name in requested if name not in ARTIFACTS]
-    if unknown:
-        print(f"unknown artifact(s): {', '.join(unknown)}; "
-              f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
-        return 2
-    for name in requested:
-        _, runner = ARTIFACTS[name]
-        result = runner(args.quick, args.strategy, args.workers,
-                        not args.no_shared_votes)
-        print(result.format_text())
-        print()
-    return 0
+    if args.command == "inspect":
+        return _inspect(args)
+    return _run(args)
 
 
 if __name__ == "__main__":

@@ -23,7 +23,8 @@ from .resilience import (PAPER_NM_SWEEP, ResilienceCurve, ResiliencePoint,
                          group_wise_analysis, layer_wise_analysis,
                          mark_resilient, noisy_accuracy)
 from .selection import OperationAssignment, SelectionReport, select_components
-from .sweep import STRATEGIES, SweepEngine, SweepTarget
+from .sweep import (STRATEGIES, ExecutionOptions, SweepEngine, SweepTarget,
+                    model_fingerprint)
 
 __all__ = [
     "NoiseSpec", "GaussianNoiseInjector", "StackedNoiseInjector",
@@ -32,7 +33,8 @@ __all__ = [
     "PAPER_NM_SWEEP", "ResiliencePoint", "ResilienceCurve",
     "group_wise_analysis", "layer_wise_analysis", "mark_resilient",
     "noisy_accuracy",
-    "STRATEGIES", "SweepEngine", "SweepTarget",
+    "STRATEGIES", "ExecutionOptions", "SweepEngine", "SweepTarget",
+    "model_fingerprint",
     "OperationAssignment", "SelectionReport", "select_components",
     "ReDCaNe", "ReDCaNeConfig", "ApproximateCapsNetDesign",
 ]

@@ -26,31 +26,49 @@ from ..nn.hooks import GROUP_MAC, HookRegistry, use_registry
 from ..train import evaluate_accuracy
 from .groups import GroupExtraction, extract_groups
 from .noise import GaussianNoiseInjector, NoiseSpec
-from .resilience import (PAPER_NM_SWEEP, ResilienceCurve,
-                         group_wise_analysis, layer_wise_analysis,
-                         mark_resilient)
+from .resilience import PAPER_NM_SWEEP, ResilienceCurve, mark_resilient
 from .selection import SelectionReport, select_components
-from .sweep import SweepEngine
+from .sweep import ExecutionOptions
 
 __all__ = ["ReDCaNeConfig", "ApproximateCapsNetDesign", "ReDCaNe"]
 
 
 @dataclass
 class ReDCaNeConfig:
-    """Tuning knobs of the methodology run."""
+    """Tuning knobs of the methodology run.
+
+    Sweep execution (batch size, strategy, workers, shared-votes fast
+    path) lives in one shared :class:`~repro.core.sweep.ExecutionOptions`
+    — the same dataclass the experiments' ``ExperimentScale`` and the
+    CLI use; the flat ``batch_size``/``strategy``/``workers``/
+    ``shared_votes`` properties read through to it.
+    """
 
     nm_values: tuple[float, ...] = PAPER_NM_SWEEP
     layer_nm_values: tuple[float, ...] | None = None  # default: nm_values
     na: float = 0.0
     nm_reference: float = 0.05   # Step 3/5 marking threshold
     max_drop: float = 0.01       # tolerable accuracy drop
-    batch_size: int = 64
     seed: int = 0
     safety_factor: float = 1.0   # Step 6 margin
-    strategy: str = "auto"       # sweep execution (see repro.core.sweep)
-    workers: int = 0             # >1 fans sweep targets across processes
-    shared_votes: bool = True    # routing fast path for routing-resumed targets
+    execution: ExecutionOptions = field(default_factory=ExecutionOptions)
     verbose: bool = False
+
+    @property
+    def batch_size(self) -> int:
+        return self.execution.batch_size
+
+    @property
+    def strategy(self) -> str:
+        return self.execution.strategy
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
+    @property
+    def shared_votes(self) -> bool:
+        return self.execution.shared_votes
 
 
 @dataclass
@@ -108,11 +126,12 @@ class ReDCaNe:
     """
 
     def __init__(self, model, dataset: Dataset, library: ComponentLibrary,
-                 config: ReDCaNeConfig | None = None):
+                 config: ReDCaNeConfig | None = None, service=None):
         self.model = model
         self.dataset = dataset
         self.library = library
         self.config = config or ReDCaNeConfig()
+        self.service = service  # None -> repro.api.default_service()
 
     def _log(self, message: str) -> None:
         if self.config.verbose:
@@ -121,6 +140,9 @@ class ReDCaNe:
     # ------------------------------------------------------------------ steps
     def run(self) -> ApproximateCapsNetDesign:
         """Execute Steps 1-6 and return the approximate design."""
+        # Local import: repro.api builds on repro.core, so the methodology
+        # resolves its service lazily rather than at module import time.
+        from ..api import AnalysisRequest, default_service
         config = self.config
         sample = self.dataset.images[:min(8, len(self.dataset))]
 
@@ -131,37 +153,48 @@ class ReDCaNe:
                                      batch_size=config.batch_size)
         self._log(f"baseline accuracy {baseline:.4f}")
 
-        # One engine for Steps 2+4 so the prefix-activation cache built by
-        # the first sweep is reused by the layer-wise refinement.
-        engine = SweepEngine(self.model, self.dataset,
-                             batch_size=config.batch_size,
-                             strategy=config.strategy, workers=config.workers,
-                             shared_votes=config.shared_votes)
+        # Steps 2+4 submit through the analysis service: one session ref,
+        # one engine behind it, so the prefix-activation cache built by
+        # the group sweep is reused by the layer-wise refinement — and a
+        # repeat run on unchanged weights/data is all store hits (session
+        # results are cached by model/dataset content, not by name, so
+        # the collision-free per-run name costs no warm starts).
+        service = self.service or default_service()
+        ref = service.register(
+            f"redcane/{type(self.model).__name__}-{id(self):x}",
+            self.model, self.dataset)
+        try:
+            self._log(f"step 2: group-wise resilience analysis "
+                      f"({config.strategy})")
+            groups = [g for g, sites in extraction.groups.items() if sites]
+            group_curves = service.submit(AnalysisRequest(
+                model=ref, targets=tuple((group, None) for group in groups),
+                nm_values=config.nm_values, na=config.na, seed=config.seed,
+                baseline_accuracy=baseline, options=config.execution)).curves
 
-        self._log(f"step 2: group-wise resilience analysis "
-                  f"({config.strategy})")
-        groups = [g for g, sites in extraction.groups.items() if sites]
-        group_curves = group_wise_analysis(
-            self.model, self.dataset, groups=groups,
-            nm_values=config.nm_values, na=config.na, seed=config.seed,
-            batch_size=config.batch_size, baseline_accuracy=baseline,
-            engine=engine)
+            self._log("step 3: mark resilient groups")
+            resilient_groups, non_resilient_groups = mark_resilient(
+                group_curves, nm_reference=config.nm_reference,
+                max_drop=config.max_drop)
 
-        self._log("step 3: mark resilient groups")
-        resilient_groups, non_resilient_groups = mark_resilient(
-            group_curves, nm_reference=config.nm_reference,
-            max_drop=config.max_drop)
-
-        self._log(f"step 4: layer-wise analysis of {non_resilient_groups}")
-        layer_nm = config.layer_nm_values or config.nm_values
-        layer_curves: dict[tuple[str, str], ResilienceCurve] = {}
-        for group in non_resilient_groups:
-            layers = extraction.layers_in_group(group)
-            layer_curves.update(layer_wise_analysis(
-                self.model, self.dataset, groups=[group], layers=layers,
+            self._log(f"step 4: layer-wise analysis of "
+                      f"{non_resilient_groups}")
+            layer_nm = tuple(config.layer_nm_values or config.nm_values)
+            requests = [AnalysisRequest(
+                model=ref,
+                targets=tuple((group, layer)
+                              for layer in extraction.layers_in_group(group)),
                 nm_values=layer_nm, na=config.na, seed=config.seed,
-                batch_size=config.batch_size, baseline_accuracy=baseline,
-                engine=engine))
+                baseline_accuracy=baseline, options=config.execution)
+                for group in non_resilient_groups
+                if extraction.layers_in_group(group)]
+            layer_curves: dict[tuple[str, str], ResilienceCurve] = {}
+            for result in service.submit_many(requests):
+                layer_curves.update(result.curves)
+        finally:
+            # Free the engine's cached activation traces on the shared
+            # service; the store keeps the measured curves.
+            service.unregister(ref)
 
         self._log("step 5: mark resilient layers")
         resilient_layers, non_resilient_layers = mark_resilient(

@@ -84,10 +84,104 @@ from .noise import (GaussianNoiseInjector, NoiseSpec, StackedNoiseInjector,
                     site_matcher)
 from .resilience import ResilienceCurve, ResiliencePoint
 
-__all__ = ["STRATEGIES", "SweepTarget", "SweepEngine"]
+__all__ = ["STRATEGIES", "ExecutionOptions", "SweepTarget", "SweepEngine",
+           "model_fingerprint"]
 
 #: Valid values of the ``strategy`` knob, in "how much machinery" order.
 STRATEGIES: tuple[str, ...] = ("auto", "naive", "cached", "vectorized")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """*How* a resilience sweep executes — the one shared knob set.
+
+    Every sweep consumer (the experiment ``run()`` functions via
+    :class:`~repro.experiments.common.ExperimentScale`, the methodology
+    via :class:`~repro.core.methodology.ReDCaNeConfig`, the CLI flags and
+    :class:`~repro.api.AnalysisRequest`) carries one instance of this
+    dataclass instead of re-declaring the four knobs.
+
+    ``batch_size`` and ``strategy`` affect the measured accuracies (they
+    change the noise draws); ``workers`` never does (per-target RNG
+    streams are stateless) and ``shared_votes`` only reorders float
+    accumulation on routing-resumed targets.  :meth:`cache_key` encodes
+    exactly the result-affecting subset, so the result store hits across
+    equivalent configurations.
+    """
+
+    batch_size: int = 64
+    strategy: str = "auto"
+    workers: int = 0
+    shared_votes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}; "
+                             f"valid: {list(STRATEGIES)}")
+
+    @property
+    def noise_tier(self) -> str:
+        """Which noise-stream family the strategy draws from.
+
+        ``naive`` and ``cached`` share bit-identical per-point streams
+        (``exact``); ``vectorized`` and ``auto`` share the NM-stacked
+        common-random-number streams (``stacked``).
+        """
+        return "exact" if self.strategy in ("naive", "cached") else "stacked"
+
+    def cache_key(self) -> dict:
+        """The result-affecting subset, canonicalised for request hashing.
+
+        ``workers`` is excluded (partitioning never changes results);
+        strategies collapse to their :attr:`noise_tier`; ``shared_votes``
+        is normalised away under the ``exact`` tier where it cannot
+        apply.
+        """
+        return {"batch_size": self.batch_size,
+                "noise_tier": self.noise_tier,
+                "shared_votes": (self.shared_votes
+                                 if self.noise_tier == "stacked" else True)}
+
+    def to_payload(self) -> dict:
+        return {"batch_size": self.batch_size, "strategy": self.strategy,
+                "workers": self.workers, "shared_votes": self.shared_votes}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExecutionOptions":
+        return cls(**payload)
+
+    def make_engine(self, model, dataset) -> "SweepEngine":
+        """A :class:`SweepEngine` configured with these knobs."""
+        return SweepEngine(model, dataset, batch_size=self.batch_size,
+                           strategy=self.strategy, workers=self.workers,
+                           shared_votes=self.shared_votes)
+
+
+def model_fingerprint(model) -> int:
+    """CRC over everything a sweep result depends on in the model.
+
+    Covers parameters, buffers, and the inference-time routing depth
+    (``routing_iterations`` is a plain attribute the parameter CRC cannot
+    see, yet it changes every routing stage's output).  Cheap relative to
+    a single forward pass; used both for the engine's stale-trace
+    protection and as the model half of the result-store key.
+    """
+    crc = 0
+    named_parameters = getattr(model, "named_parameters", None)
+    if named_parameters is not None:
+        for _, param in named_parameters():
+            crc = zlib.crc32(np.ascontiguousarray(param.data), crc)
+    named_buffers = getattr(model, "named_buffers", None)
+    if named_buffers is not None:
+        for _, buffer in named_buffers():
+            crc = zlib.crc32(np.ascontiguousarray(buffer), crc)
+    modules = getattr(model, "modules", None)
+    if modules is not None:
+        for module in modules():
+            iterations = getattr(module, "routing_iterations", None)
+            if iterations is not None:
+                crc = zlib.crc32(repr(int(iterations)).encode(), crc)
+    return crc
 
 
 @dataclass(frozen=True)
@@ -257,23 +351,12 @@ class SweepEngine:
 
     # ------------------------------------------------------------ staleness
     def _model_fingerprint(self) -> int:
-        """CRC over the model's parameters and buffers.
+        """CRC over the model state a cached clean trace depends on.
 
-        Cheap relative to a single forward pass, and exactly the state a
-        cached clean trace depends on — a changed fingerprint means the
-        cached activations no longer describe this model.
+        A changed fingerprint means the cached activations no longer
+        describe this model; see :func:`model_fingerprint`.
         """
-        crc = 0
-        named_parameters = getattr(self.model, "named_parameters", None)
-        if named_parameters is None:
-            return crc
-        for _, param in named_parameters():
-            crc = zlib.crc32(np.ascontiguousarray(param.data), crc)
-        named_buffers = getattr(self.model, "named_buffers", None)
-        if named_buffers is not None:
-            for _, buffer in named_buffers():
-                crc = zlib.crc32(np.ascontiguousarray(buffer), crc)
-        return crc
+        return model_fingerprint(self.model)
 
     # ------------------------------------------------------------------ plans
     def _resolve_strategy(self) -> str:

@@ -21,10 +21,11 @@ X2-X4     routing/NA/quantisation ablations              ``ablation``
 
 from . import (ablation, bittrue_validation, fig4, fig5, fig6, fig9, fig10,
                fig11, fig12, table1, table2, table3, table4)
-from .common import ExperimentScale, benchmark_entry, format_table
+from .common import (ExecutionOptions, ExperimentScale, benchmark_entry,
+                     format_table)
 
 __all__ = [
     "table1", "fig4", "fig5", "fig6", "table2", "table3", "fig9", "fig10",
     "fig11", "table4", "fig12", "ablation", "bittrue_validation",
-    "ExperimentScale", "benchmark_entry", "format_table",
+    "ExecutionOptions", "ExperimentScale", "benchmark_entry", "format_table",
 ]

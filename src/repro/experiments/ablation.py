@@ -21,14 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..approx import quantization_noise
-from ..core import NoiseSpec, group_wise_analysis, noisy_accuracy
-from ..nn.hooks import (GROUP_LOGITS, GROUP_MAC, GROUP_SOFTMAX, HookRegistry,
-                        use_registry)
-from ..train import evaluate_accuracy
-from .common import ExperimentScale, benchmark_entry, format_table
+from ..api import AnalysisRequest, ModelRef, ResilienceService, default_service
+from ..nn.hooks import GROUP_LOGITS, GROUP_MAC, GROUP_SOFTMAX
+from .common import ExperimentScale, format_table
 
 __all__ = ["RoutingAblationResult", "run_routing_ablation",
            "NoiseAverageResult", "run_noise_average_sweep",
@@ -75,21 +70,28 @@ def run_routing_ablation(*, benchmark: str = "DeepCaps/MNIST",
                          iterations: tuple[int, ...] = (1, 2, 3, 5),
                          scale: ExperimentScale | None = None,
                          max_drop: float = 0.02,
-                         seed: int = 0) -> RoutingAblationResult:
-    """X2: sweep routing depth, measuring routing-group resilience."""
+                         seed: int = 0,
+                         service: ResilienceService | None = None
+                         ) -> RoutingAblationResult:
+    """X2: sweep routing depth, measuring routing-group resilience.
+
+    Each depth submits the *same* request — the service distinguishes
+    them because the model fingerprint covers the routing depth, so every
+    depth is its own store entry (and a repeat run is all cache hits).
+    """
     scale = scale or ExperimentScale.quick()
-    entry = benchmark_entry(benchmark)
-    test_set = entry.test_set.subset(scale.eval_samples)
+    service = service or default_service()
+    ref = ModelRef(benchmark=benchmark)
+    model = service.entry(ref).model
+    request = AnalysisRequest(
+        model=ref, targets=((group, None),), nm_values=scale.nm_values,
+        seed=seed, eval_samples=scale.eval_samples, options=scale.execution)
     tolerable, baselines = {}, {}
-    saved = _set_routing_iterations(entry.model, 3)
+    saved = _set_routing_iterations(model, 3)
     try:
         for iters in iterations:
-            _set_routing_iterations(entry.model, iters)
-            curves = group_wise_analysis(
-                entry.model, test_set, groups=[group],
-                nm_values=scale.nm_values, seed=seed,
-                batch_size=scale.batch_size)
-            curve = curves[group]
+            _set_routing_iterations(model, iters)
+            curve = service.submit(request).curves[group]
             baselines[iters] = curve.baseline_accuracy
             tolerable[iters] = curve.tolerable_nm(max_drop)
     finally:
@@ -126,22 +128,29 @@ def run_noise_average_sweep(*, benchmark: str = "DeepCaps/MNIST",
                             groups: tuple[str, ...] = (
                                 GROUP_MAC, GROUP_SOFTMAX, GROUP_LOGITS),
                             scale: ExperimentScale | None = None,
-                            seed: int = 0) -> NoiseAverageResult:
-    """X3: NA sweep at a fixed, otherwise-tolerable NM."""
+                            seed: int = 0,
+                            service: ResilienceService | None = None
+                            ) -> NoiseAverageResult:
+    """X3: NA sweep at a fixed, otherwise-tolerable NM.
+
+    One request per NA value (each covering every group), submitted as a
+    batch so the service shares a single engine and its clean trace
+    across the whole sweep.
+    """
     scale = scale or ExperimentScale.quick()
-    entry = benchmark_entry(benchmark)
-    test_set = entry.test_set.subset(scale.eval_samples)
-    baseline = evaluate_accuracy(entry.model, test_set,
-                                 batch_size=scale.batch_size)
+    service = service or default_service()
+    requests = [AnalysisRequest(
+        model=ModelRef(benchmark=benchmark),
+        targets=tuple((group, None) for group in groups),
+        nm_values=(nm,), na=na, seed=seed,
+        eval_samples=scale.eval_samples, options=scale.execution)
+        for na in na_values]
+    results = service.submit_many(requests)
     drops: dict[str, list[tuple[float, float]]] = {}
     for group in groups:
-        pairs = []
-        for na in na_values:
-            accuracy = noisy_accuracy(
-                entry.model, test_set, NoiseSpec(nm=nm, na=na, seed=seed),
-                groups=[group], batch_size=scale.batch_size)
-            pairs.append((na, accuracy - baseline))
-        drops[group] = pairs
+        drops[group] = [
+            (na, result.curves[group].drop_at(nm))
+            for na, result in zip(na_values, results)]
     return NoiseAverageResult(benchmark, nm, drops)
 
 
@@ -169,23 +178,26 @@ class QuantizationResult:
 
 def run_quantization_sweep(*, benchmark: str = "CapsNet/MNIST",
                            bit_widths: tuple[int, ...] = (2, 4, 6, 8, 10),
-                           scale: ExperimentScale | None = None
+                           scale: ExperimentScale | None = None,
+                           service: ResilienceService | None = None
                            ) -> QuantizationResult:
-    """X4: inject Eq. 1 round-trip error at MAC outputs for each width."""
+    """X4: inject Eq. 1 round-trip error at MAC outputs for each width.
+
+    Submitted as a ``noise="quantization"`` request — the word lengths
+    ride the request's ``nm_values`` axis (see :data:`repro.api.
+    NOISE_KINDS`); the injected error is deterministic, so the stored
+    result is exact on every cache hit.
+    """
     scale = scale or ExperimentScale.quick()
-    entry = benchmark_entry(benchmark)
-    test_set = entry.test_set.subset(scale.eval_samples)
-    baseline = evaluate_accuracy(entry.model, test_set,
-                                 batch_size=scale.batch_size)
-    accuracy_by_bits = {}
-    for bits in bit_widths:
-        registry = HookRegistry()
-
-        def transform(site, value, _bits=bits):
-            return value + quantization_noise(value, _bits)
-
-        registry.add_transform(HookRegistry.match(group=GROUP_MAC), transform)
-        with use_registry(registry):
-            accuracy_by_bits[bits] = evaluate_accuracy(
-                entry.model, test_set, batch_size=scale.batch_size)
-    return QuantizationResult(benchmark, accuracy_by_bits, baseline)
+    service = service or default_service()
+    result = service.submit(AnalysisRequest(
+        model=ModelRef(benchmark=benchmark),
+        targets=((GROUP_MAC, None),),
+        nm_values=tuple(float(bits) for bits in bit_widths),
+        noise="quantization",
+        eval_samples=scale.eval_samples, options=scale.execution))
+    curve = result.curves[GROUP_MAC]
+    accuracy_by_bits = {int(point.nm): point.accuracy
+                        for point in curve.points}
+    return QuantizationResult(benchmark, accuracy_by_bits,
+                              result.baseline_accuracy)

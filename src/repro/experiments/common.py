@@ -3,53 +3,104 @@
 Every experiment module exposes a ``run(...)`` returning a small result
 dataclass with a ``rows()`` (tables) or ``series()`` (figures) method plus
 ``format_text()`` so benches and examples can print the same artifact the
-paper shows.  ``quick=True`` shrinks sweeps/eval sets for CI-speed runs;
-defaults regenerate the full artifact.
+paper shows.  The accuracy-in-the-loop artifacts submit their sweeps as
+:class:`~repro.api.AnalysisRequest` jobs through a
+:class:`~repro.api.ResilienceService`; :class:`ExperimentScale` holds the
+*what* (eval set size, NM grid) and delegates the *how* to one shared
+:class:`~repro.core.sweep.ExecutionOptions`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+import functools
+from dataclasses import dataclass, field
 
-from ..zoo import ZooEntry, get_trained
+from ..core.sweep import ExecutionOptions
+from ..zoo import ZooEntry
+from ..zoo import benchmark_entry as _zoo_benchmark_entry
 
-__all__ = ["benchmark_entry", "format_table", "ExperimentScale"]
+__all__ = ["benchmark_entry", "format_table", "ExperimentScale",
+           "ExecutionOptions"]
+
+
+class _instance_or_default_method:
+    """Descriptor: bind to the instance, or to a default-constructed one.
+
+    Lets ``ExperimentScale.quick()`` keep working (defaults) while
+    ``ExperimentScale(nm_values=...).quick()`` derives from the instance.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+        functools.update_wrapper(self, fn)
+
+    def __get__(self, instance, owner):
+        return functools.partial(self.fn, instance if instance is not None
+                                 else owner())
 
 
 @dataclass(frozen=True)
 class ExperimentScale:
     """Evaluation-scale knobs shared by the accuracy-in-the-loop artifacts.
 
-    ``strategy`` selects the sweep execution path (see
-    :mod:`repro.core.sweep`): ``auto`` routes Steps 2/4 through the
-    vectorised engine, ``naive`` restores the per-point loop.
-    ``shared_votes`` toggles the engine's routing fast path for
-    routing-resumed targets.
+    ``execution`` carries the sweep execution knobs (batch size,
+    strategy, workers, shared-votes fast path) — the single
+    :class:`~repro.core.sweep.ExecutionOptions` every consumer shares.
+    The flat ``batch_size``/``strategy``/``workers``/``shared_votes``
+    properties read through to it for convenience.
     """
 
     eval_samples: int = 256
     nm_values: tuple[float, ...] = (
         0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0)
-    batch_size: int = 64
-    strategy: str = "auto"
-    workers: int = 0
-    shared_votes: bool = True
+    execution: ExecutionOptions = field(default_factory=ExecutionOptions)
 
-    @classmethod
-    def quick(cls) -> "ExperimentScale":
-        """Reduced scale for benchmark harness runs."""
-        return cls(eval_samples=96, nm_values=(0.5, 0.05, 0.005, 0.0),
-                   batch_size=96)
+    @property
+    def batch_size(self) -> int:
+        return self.execution.batch_size
+
+    @property
+    def strategy(self) -> str:
+        return self.execution.strategy
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
+    @property
+    def shared_votes(self) -> bool:
+        return self.execution.shared_votes
+
+    @_instance_or_default_method
+    def quick(self) -> "ExperimentScale":
+        """Reduced scale for CI-speed runs, derived from this instance.
+
+        Subsamples the NM grid (every third value, keeping the final —
+        clean — point), caps the eval set at 96 samples and evaluates it
+        as a single batch; every other knob (custom grids, strategy,
+        workers) carries over via :func:`dataclasses.replace`.  Callable
+        on the class (``ExperimentScale.quick()``) for the default quick
+        scale.
+        """
+        nm_values = self.nm_values[::3]
+        if nm_values[-1] != self.nm_values[-1]:
+            nm_values += (self.nm_values[-1],)
+        eval_samples = min(self.eval_samples, 96)
+        return dataclasses.replace(
+            self, eval_samples=eval_samples, nm_values=nm_values,
+            execution=dataclasses.replace(self.execution,
+                                          batch_size=eval_samples))
 
 
 def benchmark_entry(label: str) -> ZooEntry:
-    """Trained zoo model for a paper benchmark label (e.g. 'DeepCaps/MNIST')."""
-    from ..zoo import PAPER_BENCHMARKS
-    for bench_label, preset, dataset in PAPER_BENCHMARKS:
-        if bench_label == label:
-            return get_trained(preset, dataset)
-    known = [b[0] for b in PAPER_BENCHMARKS]
-    raise KeyError(f"unknown benchmark {label!r}; known: {known}")
+    """Trained zoo model for a paper benchmark label (e.g. 'DeepCaps/MNIST').
+
+    Thin re-export of :func:`repro.zoo.benchmark_entry` (the resolver now
+    lives next to the zoo so :mod:`repro.api` can use it without import
+    cycles).
+    """
+    return _zoo_benchmark_entry(label)
 
 
 def format_table(headers: list[str], rows: list[tuple], *,

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import ResilienceCurve, layer_wise_analysis
+from ..api import AnalysisRequest, ModelRef, ResilienceService, default_service
+from ..core import ResilienceCurve
 from ..nn.hooks import GROUP_ACTIVATIONS, GROUP_MAC
-from .common import ExperimentScale, benchmark_entry, format_table
+from .common import ExperimentScale, format_table
 
 __all__ = ["Fig10Result", "run", "NON_RESILIENT_GROUPS"]
 
@@ -75,16 +76,24 @@ class Fig10Result:
 def run(*, benchmark: str = "DeepCaps/CIFAR-10",
         groups: tuple[str, ...] = NON_RESILIENT_GROUPS,
         scale: ExperimentScale | None = None, seed: int = 0,
-        layers: list[str] | None = None) -> Fig10Result:
-    """Step-4 sweep over every layer of the non-resilient groups."""
+        layers: list[str] | None = None,
+        service: ResilienceService | None = None) -> Fig10Result:
+    """Step-4 sweep over every layer of the non-resilient groups.
+
+    Submitted through the analysis service like :func:`repro.experiments.
+    fig9.run`; when Fig. 9 ran first on the same service, this request
+    reuses its engine's prefix-activation cache.
+    """
     scale = scale or ExperimentScale()
-    entry = benchmark_entry(benchmark)
-    test_set = entry.test_set.subset(scale.eval_samples)
-    layers = layers if layers is not None else entry.model.layer_names
-    curves = layer_wise_analysis(
-        entry.model, test_set, groups=list(groups), layers=layers,
+    service = service or default_service()
+    ref = ModelRef(benchmark=benchmark)
+    if layers is None:
+        layers = service.entry(ref).model.layer_names
+    result = service.submit(AnalysisRequest(
+        model=ref,
+        targets=tuple((group, layer) for group in groups
+                      for layer in layers),
         nm_values=scale.nm_values, na=0.0, seed=seed,
-        batch_size=scale.batch_size, strategy=scale.strategy,
-        workers=scale.workers, shared_votes=scale.shared_votes)
-    baseline = next(iter(curves.values())).baseline_accuracy
-    return Fig10Result(benchmark, baseline, curves, layers)
+        eval_samples=scale.eval_samples, options=scale.execution))
+    return Fig10Result(benchmark, result.baseline_accuracy, result.curves,
+                       layers)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..nn.hooks import INJECTABLE_GROUPS
+from ..api import ResilienceService
 from .common import ExperimentScale
 from .fig9 import Fig9Result, run as run_fig9
 
@@ -52,9 +52,12 @@ class Fig12Result:
 
 
 def run(*, benchmarks: tuple[str, ...] = FIG12_BENCHMARKS,
-        scale: ExperimentScale | None = None, seed: int = 0) -> Fig12Result:
-    """Step-2 sweeps over the four additional benchmarks."""
+        scale: ExperimentScale | None = None, seed: int = 0,
+        service: ResilienceService | None = None) -> Fig12Result:
+    """Step-2 sweeps over the four additional benchmarks (one request
+    per panel, all through the same service)."""
     scale = scale or ExperimentScale()
-    panels = {name: run_fig9(benchmark=name, scale=scale, seed=seed)
+    panels = {name: run_fig9(benchmark=name, scale=scale, seed=seed,
+                             service=service)
               for name in benchmarks}
     return Fig12Result(panels)

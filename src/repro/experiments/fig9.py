@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import ResilienceCurve, group_wise_analysis
+from ..api import AnalysisRequest, ModelRef, ResilienceService, default_service
+from ..core import ResilienceCurve
 from ..nn.hooks import INJECTABLE_GROUPS
-from .common import ExperimentScale, benchmark_entry, format_table
+from .common import ExperimentScale, format_table
 
 __all__ = ["Fig9Result", "run"]
 
@@ -64,15 +65,20 @@ class Fig9Result:
 
 
 def run(*, benchmark: str = "DeepCaps/CIFAR-10",
-        scale: ExperimentScale | None = None, seed: int = 0) -> Fig9Result:
-    """Step-2 sweep on a trained benchmark model."""
+        scale: ExperimentScale | None = None, seed: int = 0,
+        service: ResilienceService | None = None) -> Fig9Result:
+    """Step-2 sweep on a trained benchmark model.
+
+    The sweep is submitted as an :class:`~repro.api.AnalysisRequest`
+    through ``service`` (the shared :func:`~repro.api.default_service`
+    when ``None``), so repeated runs at the same scale are served from
+    the persistent result store.
+    """
     scale = scale or ExperimentScale()
-    entry = benchmark_entry(benchmark)
-    test_set = entry.test_set.subset(scale.eval_samples)
-    curves = group_wise_analysis(
-        entry.model, test_set, groups=list(INJECTABLE_GROUPS),
+    service = service or default_service()
+    result = service.submit(AnalysisRequest(
+        model=ModelRef(benchmark=benchmark),
+        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
         nm_values=scale.nm_values, na=0.0, seed=seed,
-        batch_size=scale.batch_size, strategy=scale.strategy,
-        workers=scale.workers, shared_votes=scale.shared_votes)
-    baseline = next(iter(curves.values())).baseline_accuracy
-    return Fig9Result(benchmark, baseline, curves)
+        eval_samples=scale.eval_samples, options=scale.execution))
+    return Fig9Result(benchmark, result.baseline_accuracy, result.curves)

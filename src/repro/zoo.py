@@ -26,11 +26,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .data import Dataset, dataset_image_shape, make_split
+from .data import Dataset, dataset_image_shape, make_dataset, make_split
 from .models import build_model
 from .train import TrainConfig, Trainer, evaluate_accuracy
 
-__all__ = ["ZooEntry", "PAPER_BENCHMARKS", "get_trained", "zoo_cache_dir"]
+__all__ = ["ZooEntry", "PAPER_BENCHMARKS", "get_trained", "benchmark_entry",
+           "benchmark_coords", "load_trained_model", "default_test_split",
+           "default_test_descriptor", "zoo_cache_dir"]
+
+#: Default training/evaluation knobs shared by :func:`get_trained` and the
+#: weights-only fast path (:func:`load_trained_model`).
+DEFAULT_NUM_TRAIN = 1000
+DEFAULT_NUM_TEST = 256
+DEFAULT_EPOCHS = 6
+DEFAULT_SEED = 3
 
 
 #: (benchmark label, model preset, dataset name) for each Table II row.
@@ -72,8 +81,10 @@ def _cache_path(preset: str, dataset_name: str, num_train: int,
     return os.path.join(zoo_cache_dir(), key + ".npz")
 
 
-def get_trained(preset: str, dataset_name: str, *, num_train: int = 1000,
-                num_test: int = 256, epochs: int = 6, seed: int = 3,
+def get_trained(preset: str, dataset_name: str, *,
+                num_train: int = DEFAULT_NUM_TRAIN,
+                num_test: int = DEFAULT_NUM_TEST,
+                epochs: int = DEFAULT_EPOCHS, seed: int = DEFAULT_SEED,
                 batch_size: int = 32, learning_rate: float = 2e-3,
                 use_cache: bool = True) -> ZooEntry:
     """Return a trained model for (preset, dataset), training if uncached.
@@ -102,3 +113,65 @@ def get_trained(preset: str, dataset_name: str, *, num_train: int = 1000,
         np.savez_compressed(path, **model.state_dict())
     return ZooEntry(preset, dataset_name, model, train_set, test_set,
                     accuracy, from_cache=False)
+
+
+def benchmark_entry(label: str) -> ZooEntry:
+    """Trained zoo model for a paper benchmark label (e.g. 'DeepCaps/MNIST').
+
+    This is the resolver behind ``ModelRef(benchmark=...)`` in
+    :mod:`repro.api` (and the experiments' ``benchmark_entry`` re-export).
+    """
+    preset, dataset = benchmark_coords(label)
+    return get_trained(preset, dataset)
+
+
+def benchmark_coords(label: str) -> tuple[str, str]:
+    """``(preset, dataset)`` zoo coordinates of a paper benchmark label."""
+    for bench_label, preset, dataset in PAPER_BENCHMARKS:
+        if bench_label == label:
+            return preset, dataset
+    known = [bench[0] for bench in PAPER_BENCHMARKS]
+    raise KeyError(f"unknown benchmark {label!r}; known: {known}")
+
+
+def load_trained_model(preset: str, dataset_name: str, *,
+                       num_train: int = DEFAULT_NUM_TRAIN,
+                       epochs: int = DEFAULT_EPOCHS,
+                       seed: int = DEFAULT_SEED):
+    """Weights-only fast path: the cached trained model, or ``None``.
+
+    Skips dataset generation and the accuracy evaluation
+    :func:`get_trained` performs — the :mod:`repro.api` service uses this
+    to compute a model fingerprint in milliseconds when serving a request
+    from the result store.  ``None`` means the weights are uncached and a
+    full :func:`get_trained` (which trains) is required.
+    """
+    path = _cache_path(preset, dataset_name, num_train, epochs, seed)
+    if not os.path.exists(path):
+        return None
+    channels, size, _ = dataset_image_shape(dataset_name)
+    model = build_model(preset, in_channels=channels, image_size=size,
+                        seed=seed)
+    with np.load(path) as archive:
+        model.load_state_dict({k: archive[k] for k in archive.files})
+    return model
+
+
+def default_test_split(dataset_name: str, *,
+                       num_test: int = DEFAULT_NUM_TEST,
+                       seed: int = DEFAULT_SEED) -> Dataset:
+    """The zoo's deterministic test split, without generating the train
+    half (matches the ``make_split`` test stream exactly)."""
+    return make_dataset(dataset_name, num_test, seed=seed + 10_000)
+
+
+def default_test_descriptor(dataset_name: str, *,
+                            num_test: int = DEFAULT_NUM_TEST,
+                            seed: int = DEFAULT_SEED) -> str:
+    """Stable identity string of :func:`default_test_split`'s output.
+
+    The synthetic splits are pure functions of these knobs, so the
+    result store can key zoo-resolved datasets by descriptor instead of
+    hashing regenerated pixels on every lookup.
+    """
+    return f"zoo-test:{dataset_name}:n{num_test}:s{seed}"

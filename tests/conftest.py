@@ -7,6 +7,17 @@ synthetic samples.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
+# Hermetic result store: the analysis service must measure *live* code in
+# every test session, never serve curves persisted by a previous run (a
+# numerics regression would otherwise hide behind the cache).  Set before
+# any repro import can build the default service; explicit REPRO_RESULT_DIR
+# still wins.
+os.environ.setdefault(
+    "REPRO_RESULT_DIR", tempfile.mkdtemp(prefix="repro-test-results-"))
+
 import numpy as np
 import pytest
 

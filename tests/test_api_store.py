@@ -1,0 +1,207 @@
+"""Result-store semantics of the analysis API (ISSUE 3).
+
+Cache *hits* must be exact replays (the JSON round trip is lossless) and
+cache *misses* must happen for every result-affecting change: the NM
+grid, the seed, the eval subset, the model weights (in-place mutations
+included — the PR 2 CRC fingerprint), and the routing depth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (AnalysisRequest, AnalysisResult, ExecutionOptions,
+                       ModelRef, ResilienceService, SchemaError)
+from repro.core import model_fingerprint
+
+NM_VALUES = (0.5, 0.05, 0.0)
+
+
+@pytest.fixture()
+def service(tmp_path, trained_capsnet, mnist_splits):
+    service = ResilienceService(cache_dir=str(tmp_path))
+    service.register("store-test", trained_capsnet, mnist_splits[1])
+    return service
+
+
+@pytest.fixture()
+def request_(service):
+    return AnalysisRequest(
+        model=ModelRef(session="store-test"),
+        targets=(("mac_outputs", None), ("softmax", None)),
+        nm_values=NM_VALUES, seed=3, eval_samples=48,
+        options=ExecutionOptions(batch_size=48))
+
+
+def _accuracies(result):
+    return {key: [point.accuracy for point in curve.points]
+            for key, curve in result.curves.items()}
+
+
+class TestCacheSemantics:
+    def test_hit_on_identical_request(self, service, request_):
+        cold = service.submit(request_)
+        warm = service.submit(request_)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert _accuracies(warm) == _accuracies(cold)
+        assert service.stats.store_hits == 1
+        assert service.stats.executed == 1
+
+    def test_hit_survives_service_restart(self, service, request_,
+                                          trained_capsnet, mnist_splits):
+        cold = service.submit(request_)
+        fresh = ResilienceService(cache_dir=service.store.root)
+        fresh.register("store-test", trained_capsnet, mnist_splits[1])
+        warm = fresh.submit(request_)
+        assert warm.from_cache
+        assert _accuracies(warm) == _accuracies(cold)
+
+    def test_miss_on_changed_nm_grid(self, service, request_):
+        service.submit(request_)
+        other = service.submit(
+            dataclasses.replace(request_, nm_values=(0.2, 0.0)))
+        assert not other.from_cache
+
+    def test_miss_on_changed_seed(self, service, request_):
+        service.submit(request_)
+        other = service.submit(dataclasses.replace(request_, seed=4))
+        assert not other.from_cache
+
+    def test_miss_on_changed_eval_subset(self, service, request_):
+        service.submit(request_)
+        other = service.submit(
+            dataclasses.replace(request_, eval_samples=32))
+        assert not other.from_cache
+
+    def test_session_name_does_not_key_the_store(self, service, request_,
+                                                 trained_capsnet,
+                                                 mnist_splits):
+        """Session names are handles, not content: the same weights and
+        data registered under a different name (e.g. ReDCaNe's
+        collision-free per-run names) must still hit the stored entry."""
+        cold = service.submit(request_)
+        other = ResilienceService(cache_dir=service.store.root)
+        renamed = other.register("another-name", trained_capsnet,
+                                 mnist_splits[1])
+        warm = other.submit(dataclasses.replace(request_, model=renamed))
+        assert warm.from_cache
+        assert _accuracies(warm) == _accuracies(cold)
+
+    def test_ambient_hook_registry_rejected(self, service, request_):
+        """Submitting inside a use_registry scope would bake the ambient
+        transforms into stored curves under a clean fingerprint; the
+        service must refuse instead of poisoning the store."""
+        from repro.nn.hooks import HookRegistry, use_registry
+        with use_registry(HookRegistry()):
+            with pytest.raises(RuntimeError, match="hook"):
+                service.submit(request_)
+        assert service.submit(request_) is not None  # clean scope works
+
+    def test_result_invariant_knobs_share_one_entry(self, service, request_):
+        """naive↔cached are bit-identical streams and workers never change
+        results, so they must map to the same store key (and the entry
+        written by one must serve the other)."""
+        naive = dataclasses.replace(
+            request_,
+            options=dataclasses.replace(request_.options, strategy="naive"))
+        cached = dataclasses.replace(
+            request_,
+            options=dataclasses.replace(request_.options, strategy="cached",
+                                        workers=2))
+        cold = service.submit(naive)
+        warm = service.submit(cached)
+        assert warm.from_cache
+        assert _accuracies(warm) == _accuracies(cold)
+
+
+class TestFingerprintInvalidation:
+    """Reuses the PR 2 stale-cache scenario: in-place weight mutations are
+    invisible to object identity but must invalidate stored results."""
+
+    def test_weight_mutation_invalidates(self, service, request_,
+                                         trained_capsnet):
+        before = service.submit(request_)
+        param = trained_capsnet.conv1.weight
+        original = param.data.copy()
+        try:
+            param.data[:] = 0.0  # in-place: invisible without fingerprinting
+            mutated = service.submit(request_)
+            assert not mutated.from_cache
+            assert _accuracies(mutated) != _accuracies(before)
+        finally:
+            param.data = original
+        # Restoring the weights restores the original fingerprint — the
+        # first entry serves again, untouched by the interlude.
+        restored = service.submit(request_)
+        assert restored.from_cache
+        assert _accuracies(restored) == _accuracies(before)
+
+    def test_routing_depth_invalidates(self, service, request_,
+                                       trained_capsnet):
+        """Routing depth is a plain attribute (not a parameter), yet it
+        changes every routing-stage output — the fingerprint must see it
+        (this is what makes the X2 ablation safe to cache)."""
+        layer = trained_capsnet.class_caps
+        baseline_crc = model_fingerprint(trained_capsnet)
+        before = service.submit(request_)
+        saved = layer.routing_iterations
+        try:
+            layer.routing_iterations = saved + 2
+            assert model_fingerprint(trained_capsnet) != baseline_crc
+            deeper = service.submit(request_)
+            assert not deeper.from_cache
+        finally:
+            layer.routing_iterations = saved
+        assert service.submit(request_).from_cache
+        assert _accuracies(service.submit(request_)) == _accuracies(before)
+
+
+class TestSchemaRoundTrip:
+    def test_result_round_trips_exactly(self, service, request_):
+        result = service.submit(request_)
+        clone = AnalysisResult.from_json(result.to_json())
+        assert clone == result
+        assert _accuracies(clone) == _accuracies(result)
+        assert clone.request.fingerprint() == request_.fingerprint()
+
+    def test_request_round_trips_exactly(self, request_):
+        clone = AnalysisRequest.from_json(request_.to_json())
+        assert clone == request_
+        assert clone.fingerprint() == request_.fingerprint()
+
+    def test_unsupported_schema_rejected(self, request_):
+        payload = request_.to_payload()
+        payload["schema"] = 999
+        with pytest.raises(SchemaError):
+            AnalysisRequest.from_payload(payload)
+
+    def test_store_treats_foreign_schema_as_miss(self, service, request_):
+        result = service.submit(request_)
+        assert not result.from_cache
+        # Tamper the stored entry's schema marker: the store must fall
+        # back to recomputing rather than deserialising blind.
+        [key] = service.store.keys()
+        path = service.store.path_for(key)
+        with open(path) as stream:
+            payload = json.load(stream)
+        payload["schema"] = 999
+        with open(path, "w") as stream:
+            json.dump(payload, stream)
+        assert service.store.get(key) is None
+        again = service.submit(request_)
+        assert not again.from_cache
+        assert _accuracies(again) == _accuracies(result)
+
+    def test_inspect_entries(self, service, request_):
+        service.submit(request_)
+        entries = service.store.entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.model == "session:store-test"
+        assert entry.targets == 2
+        assert entry.nm_values == len(NM_VALUES)
+        assert entry.noise == "gaussian"

@@ -1,5 +1,7 @@
 """Artifact-regeneration CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import ARTIFACTS, main
@@ -40,3 +42,80 @@ def test_unknown_artifact(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestSweepFlagRouting:
+    """ISSUE 3 satellite: sweep flags either apply or error loudly —
+    never silently swallowed by a ``*_``-style runner."""
+
+    def test_strategy_rejected_for_analytic_artifact(self, capsys):
+        assert main(["run", "table1", "--strategy", "naive"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "--strategy" in err
+
+    def test_workers_rejected_for_fig6(self, capsys):
+        """fig6 accepts a scale-like knob (--quick) but runs no sweeps;
+        its old lambda swallowed --workers via ``*_``."""
+        assert main(["run", "fig6", "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "fig6" in err and "--workers" in err
+
+    def test_shared_votes_rejected_for_table4(self, capsys):
+        assert main(["run", "table4", "--no-shared-votes"]) == 2
+        err = capsys.readouterr().err
+        assert "table4" in err and "--no-shared-votes" in err
+
+    def test_mixed_request_rejected(self, capsys):
+        """One sweep + one non-sweep artifact: still a loud error (the
+        flag would be ignored for part of the request)."""
+        assert main(["run", "fig9", "table1", "--strategy", "cached"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "fig9" not in err
+
+    def test_every_sweep_artifact_accepts_the_flags(self):
+        for name in ("fig9", "fig10", "fig12", "x2", "x3", "x4"):
+            assert ARTIFACTS[name].sweeps, name
+        for name in ("table1", "fig4", "fig5", "fig6", "table2", "table3",
+                     "fig11", "table4", "x1"):
+            assert not ARTIFACTS[name].sweeps, name
+
+
+def test_json_output(capsys):
+    assert main(["run", "fig5", "--json"]) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    assert len(payloads) == 1
+    assert payloads[0]["artifact"] == "fig5"
+    assert payloads[0]["rows"]
+
+
+class TestInspect:
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["inspect", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_lists_and_dumps_entries(self, tmp_path, capsys,
+                                     trained_capsnet, mnist_splits):
+        from repro.api import (AnalysisRequest, ExecutionOptions, ModelRef,
+                               ResilienceService)
+        service = ResilienceService(cache_dir=str(tmp_path))
+        service.register("cli-test", trained_capsnet, mnist_splits[1])
+        service.submit(AnalysisRequest(
+            model=ModelRef(session="cli-test"),
+            targets=(("softmax", None),), nm_values=(0.5, 0.0),
+            eval_samples=48, options=ExecutionOptions(batch_size=48)))
+
+        assert main(["inspect", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "session:cli-test" in out and "1 entry" in out
+
+        [key] = ResilienceService(
+            cache_dir=str(tmp_path)).store.keys()
+        assert main(["inspect", key[:10],
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request"]["model"] == {"session": "cli-test"}
+
+    def test_unknown_key_prefix(self, tmp_path, capsys):
+        assert main(["inspect", "deadbeef",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "no stored result" in capsys.readouterr().err

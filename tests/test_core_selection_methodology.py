@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import (ReDCaNe, ReDCaNeConfig, select_components)
+from repro.core import (ExecutionOptions, ReDCaNe, ReDCaNeConfig,
+                        select_components)
 from repro.nn.hooks import GROUP_MAC, GROUP_SOFTMAX
 
 
@@ -70,7 +71,7 @@ class TestMethodologyEndToEnd:
         _, test_set = mnist_splits
         config = ReDCaNeConfig(
             nm_values=(0.5, 0.1, 0.05, 0.01, 0.001, 0.0),
-            batch_size=64, safety_factor=2.0)
+            execution=ExecutionOptions(batch_size=64), safety_factor=2.0)
         return ReDCaNe(trained_capsnet, test_set.subset(64), library,
                        config).run()
 

@@ -8,11 +8,11 @@ import numpy as np
 import pytest
 
 from repro.experiments import fig9, fig10, fig11, fig12, table2, table4
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 QUICK = ExperimentScale(eval_samples=64,
                         nm_values=(0.5, 0.1, 0.02, 0.005, 0.0),
-                        batch_size=64)
+                        execution=ExecutionOptions(batch_size=64))
 
 
 class TestTable2:
@@ -69,7 +69,8 @@ class TestFig10:
     @pytest.fixture(scope="class")
     def result(self):
         return fig10.run(scale=ExperimentScale(
-            eval_samples=64, nm_values=(0.1, 0.02, 0.0), batch_size=64))
+            eval_samples=64, nm_values=(0.1, 0.02, 0.0),
+            execution=ExecutionOptions(batch_size=64)))
 
     def test_covers_all_18_layers_twice(self, result):
         assert len(result.curves) == 36

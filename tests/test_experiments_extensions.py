@@ -3,10 +3,10 @@
 import pytest
 
 from repro.experiments import ablation, bittrue_validation
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExecutionOptions, ExperimentScale
 
 TINY = ExperimentScale(eval_samples=48, nm_values=(0.2, 0.02, 0.0),
-                       batch_size=48)
+                       execution=ExecutionOptions(batch_size=48))
 
 
 class TestBitTrue:

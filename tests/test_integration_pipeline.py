@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.approx import default_library
-from repro.core import (NoiseSpec, ReDCaNe, ReDCaNeConfig, extract_groups,
+from repro.core import (ExecutionOptions, NoiseSpec, ReDCaNe,
+                        ReDCaNeConfig, extract_groups,
                         noisy_accuracy)
 from repro.data import make_split
 from repro.models import build_model
@@ -39,8 +40,8 @@ def test_train_inject_design_pipeline(preset, dataset, channels, size):
     assert len(extraction.layers_in_group(GROUP_MAC)) == expected_layers
 
     # The methodology produces a validated design.
-    config = ReDCaNeConfig(nm_values=(0.1, 0.01, 0.0), batch_size=64,
-                           safety_factor=2.0)
+    config = ReDCaNeConfig(nm_values=(0.1, 0.01, 0.0), safety_factor=2.0,
+                           execution=ExecutionOptions(batch_size=64))
     design = ReDCaNe(model, test_set, default_library(), config).run()
     assert design.selection.assignments
     assert design.validated_accuracy >= design.baseline_accuracy - 0.15
