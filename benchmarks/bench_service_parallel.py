@@ -1,0 +1,97 @@
+"""Cross-request parallelism of the futures-first service (ISSUE 4).
+
+Two *distinct-model* Fig. 9-style requests (DeepCaps/MNIST and
+CapsNet/MNIST) are measured twice: serialized through the ``inline``
+backend, then concurrently through the ``threads`` backend (per-engine
+locks let independent models overlap; NumPy's BLAS kernels release the
+GIL).  The wall-clock ratio lands in ``BENCH_sweep.json`` →
+``custom_metrics.service_parallel_speedup_2models`` via the autosave
+conftest, alongside the absolute timings.
+
+On a single-core runner the two requests time-slice one CPU, so the
+honest ratio hovers around 1.0 (the win there is latency *fairness*, not
+throughput); the >1 throughput assertion therefore only arms on
+multi-core hosts.  Both paths must agree byte-for-byte regardless — that
+part is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import AnalysisRequest, ModelRef, ResilienceService
+from repro.nn.hooks import INJECTABLE_GROUPS
+
+from conftest import record_metric, run_once
+
+#: The two distinct-model panels raced against each other.
+BENCHMARKS = ("DeepCaps/MNIST", "CapsNet/MNIST")
+
+
+def _requests(quick_scale) -> list[AnalysisRequest]:
+    return [AnalysisRequest(
+        model=ModelRef(benchmark=name),
+        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
+        nm_values=quick_scale.nm_values,
+        eval_samples=quick_scale.eval_samples,
+        options=quick_scale.execution) for name in BENCHMARKS]
+
+
+def _measure(backend: str, requests, **service_kwargs) -> tuple[float, list]:
+    """Wall-clock of submitting both requests and collecting both results.
+
+    Store-less: both paths must measure live sweeps.  A throwaway warm-up
+    submission per service would hide one-time costs, but model/zoo
+    resolution is deliberately *included* symmetrically (both backends
+    resolve lazily at first touch) after pre-warming the heavyweight
+    part — the zoo weights — at module fixture time.
+    """
+    service = ResilienceService(use_store=False, backend=backend,
+                                **service_kwargs)
+    try:
+        start = time.perf_counter()
+        results = service.run_many(requests)
+        return time.perf_counter() - start, results
+    finally:
+        service.close()
+
+
+def _curve_accuracies(results) -> list:
+    return [[point.accuracy for result in results
+             for curve in result.curves.values() for point in curve.points]]
+
+
+def test_service_parallel_distinct_models(benchmark, quick_scale):
+    """ISSUE 4 acceptance: two concurrent distinct-model requests on the
+    ``threads`` backend vs serialized ``inline`` execution."""
+    requests = _requests(quick_scale)
+    # Prime the zoo cache and datasets outside the timed region (the
+    # inline run would otherwise pay one-time training costs).
+    warmup_seconds, _ = _measure("inline", requests)
+    inline_seconds, inline_results = _measure("inline", requests)
+    timings: dict[str, float] = {}
+
+    def threads_run():
+        timings["threads"], timings["results"] = _measure(
+            "threads", requests, max_parallel=2)
+
+    run_once(benchmark, threads_run)
+    threads_seconds = timings["threads"]
+    threads_results = timings.pop("results")
+
+    assert _curve_accuracies(threads_results) == \
+        _curve_accuracies(inline_results)
+
+    speedup = inline_seconds / threads_seconds
+    record_metric("service_parallel_inline_seconds", inline_seconds)
+    record_metric("service_parallel_threads_seconds", threads_seconds)
+    record_metric("service_parallel_speedup_2models", speedup)
+    cores = os.cpu_count() or 1
+    print(f"\n2 distinct-model requests: inline {inline_seconds:.2f}s "
+          f"(warm-up {warmup_seconds:.2f}s), threads {threads_seconds:.2f}s "
+          f"-> {speedup:.2f}x on {cores} core(s)")
+    # Sanity floor everywhere; genuine throughput gain needs >1 core.
+    assert speedup > 0.6
+    if cores >= 2:
+        assert speedup > 1.05

@@ -4,11 +4,14 @@ Walks the full paper pipeline on the smallest benchmark in ~1 minute:
 
 1. train a scaled CapsNet [25] on the synthetic MNIST stand-in;
 2. show the Eq. 3-4 noise model degrading accuracy as NM grows;
-3. run the six-step ReD-CaNe methodology to design an approximate CapsNet.
+3. submit a declarative resilience query through the analysis service
+   (futures-first: a handle now, the curves when you ask);
+4. run the six-step ReD-CaNe methodology to design an approximate CapsNet.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import (AnalysisRequest, ExecutionOptions, ResilienceService)
 from repro.approx import default_library
 from repro.core import (NoiseSpec, ReDCaNe, ReDCaNeConfig, noisy_accuracy)
 from repro.data import make_split
@@ -39,7 +42,25 @@ def main() -> None:
     print("-> the softmax of dynamic routing tolerates far more noise "
           "(the paper's headline finding)\n")
 
-    # 3. The six-step methodology -----------------------------------------
+    # 3. The same question as a declarative, handle-based submission ------
+    # (swap backend="threads" to sweep several submissions concurrently,
+    # or point a RemoteService at `repro serve` for out-of-process work)
+    service = ResilienceService(use_store=False)
+    ref = service.register("quickstart", model, test_set)
+    handle = service.submit(AnalysisRequest(
+        model=ref, targets=((GROUP_MAC, None), (GROUP_SOFTMAX, None)),
+        nm_values=(0.5, 0.05, 0.005, 0.0),
+        options=ExecutionOptions(batch_size=64)))
+    print(f"submitted analysis job {handle.key[:16]}… "
+          f"[{handle.status()}, {handle.progress['shards_done']}/"
+          f"{handle.progress['shards_total']} shards]")
+    result = handle.result()          # blocks until measured
+    for group in (GROUP_MAC, GROUP_SOFTMAX):
+        tolerable = result.curve_for(group).tolerable_nm()
+        print(f"  tolerable NM for {group}: {tolerable:g}")
+    print()
+
+    # 4. The six-step methodology -----------------------------------------
     config = ReDCaNeConfig(
         nm_values=(0.5, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0),
         safety_factor=2.0, verbose=True)

@@ -1,11 +1,18 @@
-"""Job-oriented analysis API: declarative requests, a resilience service,
-and a persistent fingerprint-keyed result store.
+"""Job-oriented analysis API: declarative requests, a futures-first
+resilience service with pluggable execution backends, and a persistent
+fingerprint-keyed result store.
 
 This is the load-bearing seam between *what* a resilience question asks
 (:class:`AnalysisRequest`) and *how* the sweep machinery answers it
 (:class:`ResilienceService` → :class:`~repro.core.sweep.SweepEngine`),
 with answers persisted content-addressed (:class:`ResultStore`) so
 repeated artifact runs are cache hits and mutated models auto-invalidate.
+*Where* a measurement executes is a pluggable backend
+(:mod:`repro.api.backends`): ``inline`` (blocking reference), ``threads``
+(cross-request parallelism), or ``subprocess`` (schema-JSON workers);
+large requests shard per target (:mod:`repro.api.scheduler`) and merge
+byte-identically.  :mod:`repro.api.server` serves the same schema over
+HTTP (``repro serve``) with :class:`RemoteService` as the thin client.
 
 Typical use::
 
@@ -15,26 +22,40 @@ Typical use::
         model=ModelRef(benchmark="DeepCaps/CIFAR-10"),
         targets=[("mac_outputs", None), ("softmax", None)],
         nm_values=(0.5, 0.05, 0.005, 0.0), seed=0, eval_samples=96)
-    result = default_service().submit(request)
+    handle = default_service().submit(request)   # AnalysisHandle
+    result = handle.result()                     # or service.run(request)
     result.curve_for("mac_outputs").tolerable_nm()
 
 Every experiment module (fig9/fig10/fig12, the X2-X4 ablations) and the
 :class:`~repro.core.methodology.ReDCaNe` pipeline submits through this
-layer; see ``docs/api.md`` for the schema, cache layout and migration
-notes.
+layer; see ``docs/api.md`` for the schema, backends, cache layout and
+migration notes.
 """
 
 from ..core.sweep import ExecutionOptions
+from .backends import (BACKEND_NAMES, BackendError, ExecutionBackend,
+                       InlineBackend, SubprocessBackend, ThreadBackend,
+                       make_backend)
 from .request import (NOISE_KINDS, SCHEMA_VERSION, AnalysisRequest,
                       AnalysisResult, ModelRef, SchemaError)
-from .service import (ResilienceService, ResolvedModel, ServiceStats,
-                      dataset_fingerprint, default_service)
-from .store import ResultStore, StoreEntry, default_store_root, store_key
+from .scheduler import ShardMismatch, merge_shards, plan_shards
+from .server import AnalysisServer, RemoteError, RemoteHandle, RemoteService
+from .service import (AnalysisHandle, ResilienceService, ResolvedModel,
+                      ServiceStats, ShardProgress, dataset_fingerprint,
+                      default_service)
+from .store import (GcReport, ResultStore, StoreEntry, default_store_root,
+                    store_key)
 
 __all__ = [
     "SCHEMA_VERSION", "NOISE_KINDS", "SchemaError",
     "ModelRef", "AnalysisRequest", "AnalysisResult", "ExecutionOptions",
+    "BACKEND_NAMES", "BackendError", "ExecutionBackend", "InlineBackend",
+    "ThreadBackend", "SubprocessBackend", "make_backend",
+    "ShardMismatch", "plan_shards", "merge_shards",
+    "AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError",
+    "AnalysisHandle", "ShardProgress",
     "ResilienceService", "ResolvedModel", "ServiceStats", "default_service",
     "dataset_fingerprint",
-    "ResultStore", "StoreEntry", "default_store_root", "store_key",
+    "ResultStore", "StoreEntry", "GcReport", "default_store_root",
+    "store_key",
 ]

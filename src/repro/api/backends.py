@@ -1,0 +1,265 @@
+"""Pluggable execution backends for the analysis service.
+
+The :class:`~repro.api.service.ResilienceService` accepts jobs and plans
+shards; a backend decides *where the measurement runs*.  Every backend
+exposes the same contract — :meth:`ExecutionBackend.submit` takes an
+:class:`~repro.api.request.AnalysisRequest` plus the service's in-process
+runner and returns a :class:`concurrent.futures.Future` resolving to an
+:class:`~repro.api.request.AnalysisResult` — so the scheduler and the
+handle layer are backend-agnostic.
+
+Three implementations:
+
+``inline``
+    Runs the measurement synchronously on the submitting thread.  This is
+    the equivalence reference and the default: ``service.submit(...)``
+    behaves exactly like the pre-redesign blocking service.
+``threads``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  Requests
+    for *distinct* engines (independent models, eval subsets or options)
+    sweep concurrently — the engines serialise themselves (per-engine
+    locks in :class:`~repro.core.sweep.SweepEngine`), and the hook stack
+    and autograd mode are thread-local, so worker threads cannot
+    contaminate each other.  Results are bit-identical to ``inline``
+    because every noise stream is derived statelessly per
+    (seed, site, batch).
+``subprocess``
+    Each measurement runs in a fresh worker process
+    (``python -m repro.api.backends <result-path>``) that receives the
+    serialised :class:`AnalysisRequest` JSON on stdin and writes
+    :class:`AnalysisResult` JSON — the versioned schema exercised as a
+    real wire format.  Workers resolve benchmark/zoo refs themselves
+    (session refs cannot cross a process boundary and error loudly) and
+    run store-less; the parent owns persistence.
+
+``make_backend`` is the one validation/construction choke point — the
+CLI's ``--backend``/``--max-parallel`` flags and the service constructor
+both go through it, so invalid combinations fail loudly and identically
+everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+from .request import AnalysisRequest, AnalysisResult
+
+__all__ = ["BACKEND_NAMES", "BackendError", "ExecutionBackend",
+           "InlineBackend", "ThreadBackend", "SubprocessBackend",
+           "make_backend"]
+
+#: Valid values of the service/CLI ``backend`` knob.
+BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess")
+
+#: Default shard concurrency for the parallel backends when the caller
+#: does not pass ``max_parallel`` (bounded: sweeps are memory-hungry).
+DEFAULT_MAX_PARALLEL = max(2, min(4, os.cpu_count() or 1))
+
+Runner = Callable[[AnalysisRequest], AnalysisResult]
+
+
+class BackendError(RuntimeError):
+    """A backend could not execute a request (bad combo or worker failure)."""
+
+
+class ExecutionBackend:
+    """Protocol base: where one measurement executes.
+
+    ``parallel`` is the backend's shard-concurrency capacity; the
+    scheduler only splits a request into shards when it exceeds 1.
+    """
+
+    name: str = "abstract"
+    parallel: int = 1
+
+    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+        """Execute ``runner(request)`` (or an equivalent out-of-process
+        measurement of ``request``) and return a Future of the result."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker pools; the backend is unusable afterwards."""
+
+
+class InlineBackend(ExecutionBackend):
+    """Current (pre-redesign) semantics: measure on the submitting thread.
+
+    ``submit`` only returns once the measurement finished, so handles
+    from an inline service are always already resolved — the blocking
+    wrappers behave exactly like the old blocking ``submit``.
+    """
+
+    name = "inline"
+    parallel = 1
+
+    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(runner(request))
+        except BaseException as exc:  # noqa: BLE001 — delivered via the future
+            future.set_exception(exc)
+        return future
+
+
+class ThreadBackend(ExecutionBackend):
+    """Cross-request parallelism on a shared thread pool."""
+
+    name = "threads"
+
+    def __init__(self, max_parallel: int = 0):
+        self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.parallel,
+                    thread_name_prefix="repro-sweep")
+            return self._pool
+
+    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+        return self._ensure_pool().submit(runner, request)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class SubprocessBackend(ExecutionBackend):
+    """One worker process per measurement, speaking schema-v1 JSON.
+
+    The dispatch threads only block on ``subprocess.run`` (no GIL
+    contention), so ``parallel`` workers genuinely overlap.  Workers are
+    hermetic: store-less, resolving the model from the shared zoo weight
+    cache (``REPRO_ZOO_DIR`` propagates through the environment).
+    """
+
+    name = "subprocess"
+
+    def __init__(self, max_parallel: int = 0):
+        self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
+        self._dispatch = ThreadBackend(self.parallel)
+
+    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+        if request.model.session is not None:
+            raise BackendError(
+                f"the subprocess backend cannot serve session ref "
+                f"{request.model.key!r}: in-memory models do not cross a "
+                f"process boundary (use benchmark=/preset= refs, or the "
+                f"inline/threads backends)")
+        return self._dispatch.submit(request, _run_in_worker)
+
+    def close(self) -> None:
+        self._dispatch.close()
+
+
+def _worker_env() -> dict:
+    """The worker's environment: inherit, but guarantee ``repro`` imports.
+
+    The parent may run from a source checkout that is only importable via
+    ``PYTHONPATH=src``; prepend the package root we were imported from so
+    the child resolves the same code.
+    """
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    previous = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not previous
+                         else os.pathsep.join([package_root, previous]))
+    return env
+
+
+def _run_in_worker(request: AnalysisRequest) -> AnalysisResult:
+    """Measure ``request`` in a fresh worker process (wire-format round trip).
+
+    The result travels through a temp file rather than stdout so that
+    incidental prints inside the worker (e.g. a zoo training run on a
+    cold weight cache) cannot corrupt the payload.
+    """
+    handle, result_path = tempfile.mkstemp(prefix="repro-worker-",
+                                           suffix=".json")
+    os.close(handle)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.api.backends", result_path],
+            input=request.to_json(), capture_output=True, text=True,
+            env=_worker_env())
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout or "").strip()
+            raise BackendError(
+                f"analysis worker exited with status {proc.returncode}"
+                + (f":\n{detail[-2000:]}" if detail else ""))
+        with open(result_path) as stream:
+            return AnalysisResult.from_json(stream.read())
+    finally:
+        if os.path.exists(result_path):
+            os.remove(result_path)
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.api.backends <result-path>`` — the worker body.
+
+    Reads one :class:`AnalysisRequest` JSON document on stdin, measures
+    it with a store-less inline service, writes the
+    :class:`AnalysisResult` JSON to ``<result-path>``.
+    """
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.api.backends <result-path> "
+              "(request JSON on stdin)", file=sys.stderr)
+        return 2
+    from .service import ResilienceService
+    request = AnalysisRequest.from_json(sys.stdin.read())
+    service = ResilienceService(use_store=False)
+    result = service.run(request)
+    with open(argv[0], "w") as stream:
+        stream.write(result.to_json())
+    return 0
+
+
+def make_backend(backend: str | ExecutionBackend | None,
+                 max_parallel: int | None = None) -> ExecutionBackend:
+    """Build (and validate) an execution backend.
+
+    Loud-error contract (mirrors the CLI's inapplicable-flag rule):
+    an unknown name, a non-positive ``max_parallel``, and
+    ``max_parallel`` combined with the single-threaded ``inline``
+    backend are all rejected here rather than silently ignored.
+    """
+    if max_parallel is not None and max_parallel < 1:
+        raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+    if isinstance(backend, ExecutionBackend):
+        if max_parallel is not None and max_parallel != backend.parallel:
+            raise ValueError(
+                f"max_parallel={max_parallel} conflicts with the prebuilt "
+                f"{backend.name!r} backend (parallel={backend.parallel})")
+        return backend
+    name = backend or "inline"
+    if name not in BACKEND_NAMES:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"valid: {list(BACKEND_NAMES)}")
+    if name == "inline":
+        if max_parallel is not None and max_parallel != 1:
+            raise ValueError(
+                "the inline backend executes on the submitting thread; "
+                "max_parallel does not apply (use --backend threads or "
+                "subprocess for parallel execution)")
+        return InlineBackend()
+    if name == "threads":
+        return ThreadBackend(max_parallel or 0)
+    return SubprocessBackend(max_parallel or 0)
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

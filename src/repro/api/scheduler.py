@@ -1,0 +1,116 @@
+"""Shard planning and deterministic merging for large analysis requests.
+
+A request with many targets (a Fig. 9 group sweep, a Fig. 10 layer
+refinement) decomposes naturally: every noise stream the sweep engine
+draws is derived statelessly per (seed, site, batch), and the clean
+baseline is a deterministic function of (model, dataset, batch size) —
+so measuring each target in its own sub-request produces *byte-identical*
+curves to one union sweep.  The NM axis factors the same way: the
+stacked injector's base draw is shared per (site, batch) across chunk
+boundaries, and the exact tier derives one stream per (seed, site) point
+independently, so splitting ``nm_values`` into chunks never changes the
+noise any point receives.
+
+:func:`plan_shards` turns one request into per-target (and optionally
+NM-chunked) shard requests; :func:`merge_shards` reassembles their
+results in the parent's target and NM order.  Shards are full
+:class:`~repro.api.request.AnalysisRequest` objects, so they flow through
+the service's normal pipeline — content-addressed store lookups and
+in-flight deduplication work per shard, making the store the shared
+dedup layer between overlapping requests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.resilience import ResilienceCurve
+from ..core.sweep import SweepTarget
+from .request import AnalysisRequest
+
+__all__ = ["plan_shards", "merge_shards", "merge_curves", "ShardMismatch"]
+
+
+class ShardMismatch(RuntimeError):
+    """Shard results disagree where determinism guarantees they cannot.
+
+    Raised when merged shards report different baselines or an
+    unexpected point count — a symptom of a non-deterministic engine or
+    a poisoned store entry, never of a valid execution.
+    """
+
+
+def plan_shards(request: AnalysisRequest, targets: tuple[SweepTarget, ...],
+                *, parallel: int, nm_chunk: int | None = None
+                ) -> list[AnalysisRequest] | None:
+    """Split ``request`` (already widened to ``targets``) into shards.
+
+    Returns ``None`` when sharding buys nothing: a serial backend
+    (``parallel <= 1``) with no NM chunking requested, or a request that
+    would produce a single shard anyway.  Otherwise returns one
+    sub-request per (target, NM chunk), in deterministic
+    target-major/NM-minor order.
+    """
+    shard_targets: list[tuple[SweepTarget, ...]]
+    if parallel > 1 and len(targets) > 1:
+        shard_targets = [(target,) for target in targets]
+    else:
+        shard_targets = [tuple(targets)]
+    nm_chunks: list[tuple[float, ...]]
+    if nm_chunk is not None and nm_chunk >= 1 \
+            and len(request.nm_values) > nm_chunk:
+        nm_chunks = [request.nm_values[start:start + nm_chunk]
+                     for start in range(0, len(request.nm_values), nm_chunk)]
+    else:
+        nm_chunks = [request.nm_values]
+    if len(shard_targets) * len(nm_chunks) <= 1:
+        return None
+    return [dataclasses.replace(request, targets=shard, nm_values=chunk)
+            for shard in shard_targets for chunk in nm_chunks]
+
+
+def merge_curves(target: SweepTarget, chunks: list[ResilienceCurve]
+                 ) -> ResilienceCurve:
+    """Concatenate one target's NM-chunk curves in chunk order."""
+    baselines = {curve.baseline_accuracy for curve in chunks}
+    if len(baselines) != 1:
+        raise ShardMismatch(
+            f"shards of target {target} report different baselines "
+            f"{sorted(baselines)}; the clean evaluation is deterministic, "
+            f"so this indicates a stale store entry or mutated model")
+    merged = ResilienceCurve(group=target.group, layer=target.layer,
+                             baseline_accuracy=chunks[0].baseline_accuracy)
+    for curve in chunks:
+        merged.points.extend(curve.points)
+    return merged
+
+
+def merge_shards(request: AnalysisRequest,
+                 targets: tuple[SweepTarget, ...],
+                 shards: list[AnalysisRequest],
+                 results: list) -> dict:
+    """Reassemble shard results into the union request's curve dict.
+
+    ``shards``/``results`` are parallel lists in :func:`plan_shards`
+    order.  Returns curves keyed exactly like
+    :meth:`~repro.core.sweep.SweepEngine.sweep` output (group name or
+    ``(group, layer)``), with each curve's points in ``request.
+    nm_values`` order — byte-identical to the unsharded execution.
+    """
+    per_target: dict = {target.key: [] for target in targets}
+    for shard, result in zip(shards, results):
+        for target in shard.targets:
+            per_target[target.key].append(result.curves[target.key])
+    expected_chunks = max(1, len(shards) // max(1, len(
+        {t.key for shard in shards for t in shard.targets})))
+    curves = {}
+    for target in targets:
+        chunks = per_target[target.key]
+        merged = merge_curves(target, chunks)
+        if len(merged.points) != len(request.nm_values):
+            raise ShardMismatch(
+                f"target {target} merged to {len(merged.points)} points, "
+                f"expected {len(request.nm_values)} "
+                f"({len(chunks)}/{expected_chunks} chunks present)")
+        curves[target.key] = merged
+    return curves

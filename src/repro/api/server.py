@@ -1,0 +1,409 @@
+"""Remote serving: the analysis API over HTTP, schema v1 as the wire.
+
+``repro serve`` starts :class:`AnalysisServer` — a local daemon wrapping
+one :class:`~repro.api.service.ResilienceService` — and ``repro run
+--remote URL`` (or any program holding a :class:`RemoteService`) submits
+:class:`~repro.api.request.AnalysisRequest` documents to it.  The wire
+format is exactly the versioned JSON schema of :mod:`repro.api.request`;
+nothing bespoke crosses the socket, so any HTTP client can drive the
+service.
+
+Endpoints (all JSON)::
+
+    GET  /v1/health           {"ok", "schema", "backend", "stats"}
+    POST /v1/submit           body: AnalysisRequest  ->  {"job", "status"}
+    GET  /v1/status/<job>     {"job", "status", "shards_*", ...}
+    GET  /v1/result/<job>     AnalysisResult (202 + status while pending;
+                              ?wait=SECONDS long-polls up to
+                              min(SECONDS, WAIT_SLICE_SECONDS))
+    GET  /v1/inspect          {"root", "entries": [...]}
+
+Job ids are the service's content-addressed store keys, so re-submitting
+an identical request returns the same id (idempotent) and a finished
+job's result stays retrievable across server restarts via the store.
+Session refs are rejected with 400: in-memory models cannot cross the
+wire — register them on an in-process service instead.
+
+The server is a :class:`ThreadingHTTPServer`: each request runs on its
+own thread, which composes with the service's thread-safe submission and
+(optionally) a parallel execution backend for genuine cross-request
+concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .request import SCHEMA_VERSION, AnalysisRequest, AnalysisResult
+from .service import (AnalysisHandle, ResilienceService, ShardProgress,
+                      _resolved_future)
+
+__all__ = ["AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError"]
+
+#: Seconds one ?wait=1 long-poll blocks before reporting "still pending"
+#: (clients re-poll; bounded so a dead client cannot pin a handler thread).
+WAIT_SLICE_SECONDS = 30.0
+
+
+class RemoteError(RuntimeError):
+    """The server rejected a request or returned a malformed response."""
+
+
+class AnalysisServer:
+    """Serve one :class:`ResilienceService` over HTTP (see module doc).
+
+    Parameters
+    ----------
+    service:
+        The service to expose; its backend decides execution parallelism.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    """
+
+    def __init__(self, service: ResilienceService, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._jobs: dict[str, AnalysisHandle] = {}
+        self._jobs_lock = threading.Lock()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # ---------------------------------------------------------------- control
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AnalysisServer":
+        """Serve on a background thread; returns self (for tests/embedding)."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    # ---------------------------------------------------------------- actions
+    def submit_payload(self, payload: dict) -> dict:
+        request = AnalysisRequest.from_payload(payload)
+        if request.model.session is not None:
+            raise ValueError(
+                f"session ref {request.model.key!r} cannot be served "
+                f"remotely: in-memory models do not cross the wire (use "
+                f"benchmark=/preset= refs)")
+        handle = self.service.submit(request)
+        with self._jobs_lock:
+            self._jobs[handle.key] = handle
+        return {"job": handle.key, "status": handle.status()}
+
+    def handle_for(self, job: str) -> AnalysisHandle | None:
+        with self._jobs_lock:
+            handle = self._jobs.get(job)
+        if handle is not None:
+            return handle
+        # A finished job from a previous server life: the store still
+        # holds it (job ids ARE store keys), so answer straight from the
+        # stored document — resubmitting would force model resolution
+        # (weights load, or a full training run on a cold zoo cache)
+        # just to rebuild a handle for a result we already have.
+        if self.service.store is not None:
+            cached = self.service.store.get(job)
+            if cached is not None:
+                handle = AnalysisHandle(cached.request, job,
+                                        _resolved_future(cached),
+                                        ShardProgress())
+                with self._jobs_lock:
+                    self._jobs.setdefault(job, handle)
+                return self._jobs[job]
+        return None
+
+    def status_payload(self, handle: AnalysisHandle) -> dict:
+        payload = {"job": handle.key, "status": handle.status()}
+        payload.update(handle.progress)
+        if handle.status() == "error":
+            payload["error"] = str(handle.exception())
+        return payload
+
+    def inspect_payload(self) -> dict:
+        store = self.service.store
+        if store is None:
+            return {"root": None, "entries": []}
+        return {"root": store.root,
+                "entries": [asdict(entry) for entry in store.entries()]}
+
+    def health_payload(self) -> dict:
+        return {"ok": True, "schema": SCHEMA_VERSION,
+                "backend": self.service.backend.name,
+                "stats": asdict(self.service.stats)}
+
+
+def _make_handler(server: AnalysisServer):
+    class Handler(BaseHTTPRequestHandler):
+        # Silence per-request stderr logging (the CLI prints the address).
+        def log_message(self, *args) -> None:  # noqa: D102
+            pass
+
+        def _reply(self, code: int, payload: dict | str,
+                   headers: dict | None = None) -> None:
+            body = (payload if isinstance(payload, str)
+                    else json.dumps(payload, sort_keys=True))
+            data = body.encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _error(self, code: int, message: str) -> None:
+            self._reply(code, {"error": message})
+
+        # ------------------------------------------------------------- routes
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            try:
+                path, _, query = self.path.partition("?")
+                if path == "/v1/health":
+                    self._reply(200, server.health_payload())
+                elif path == "/v1/inspect":
+                    self._reply(200, server.inspect_payload())
+                elif path.startswith("/v1/status/"):
+                    self._job_route(path[len("/v1/status/"):], query,
+                                    want_result=False)
+                elif path.startswith("/v1/result/"):
+                    self._job_route(path[len("/v1/result/"):], query,
+                                    want_result=True)
+                else:
+                    self._error(404, f"unknown endpoint {path!r}")
+            except Exception as exc:  # noqa: BLE001 — must answer the socket
+                self._error(500, str(exc))
+
+        @staticmethod
+        def _wait_budget(query: str) -> float:
+            """Seconds the ``wait=`` query grants, capped per slice."""
+            try:
+                values = urllib.parse.parse_qs(query).get("wait")
+                wait = float(values[-1]) if values else 0.0
+            except ValueError:
+                wait = 0.0
+            return max(0.0, min(wait, WAIT_SLICE_SECONDS))
+
+        def _job_route(self, job: str, query: str, *,
+                       want_result: bool) -> None:
+            handle = server.handle_for(job)
+            if handle is None:
+                self._error(404, f"unknown job {job!r}")
+                return
+            wait = self._wait_budget(query) if want_result else 0.0
+            if wait > 0 and not handle.done():
+                try:
+                    handle.result(timeout=wait)
+                except TimeoutError:
+                    pass  # report current status; the client re-polls
+                except Exception:  # noqa: BLE001 — surfaced as status=error
+                    pass
+            if not want_result or not handle.done():
+                code = 200 if not want_result else 202
+                self._reply(code, server.status_payload(handle))
+                return
+            if handle.status() == "error":
+                self._reply(500, server.status_payload(handle))
+                return
+            result = handle.result()
+            # from_cache is a runtime flag outside the schema; carry it
+            # out-of-band so remote handles report cache hits faithfully.
+            self._reply(200, result.to_json(),
+                        headers={"X-Repro-From-Cache":
+                                 "1" if result.from_cache else "0"})
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server API
+            try:
+                if self.path.partition("?")[0] != "/v1/submit":
+                    self._error(404, f"unknown endpoint {self.path!r}")
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                try:
+                    payload = json.loads(self.rfile.read(length) or b"{}")
+                    response = server.submit_payload(payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    self._error(400, str(exc))
+                    return
+                self._reply(200, response)
+            except Exception as exc:  # noqa: BLE001 — must answer the socket
+                self._error(500, str(exc))
+
+    return Handler
+
+
+# --------------------------------------------------------------------- client
+class RemoteHandle:
+    """Client-side :class:`~repro.api.service.AnalysisHandle` twin.
+
+    Mirrors the handle API (``result``/``done``/``status``/``progress``)
+    by polling the server's status endpoint and long-polling the result
+    endpoint, so code written against in-process handles works over the
+    wire unchanged.
+    """
+
+    def __init__(self, remote: "RemoteService", request: AnalysisRequest,
+                 job: str):
+        self.remote = remote
+        self.request = request
+        self.key = job
+        self._result: AnalysisResult | None = None
+
+    def _status_payload(self) -> dict:
+        return self.remote._get_json(f"/v1/status/{self.key}")
+
+    def status(self) -> str:
+        if self._result is not None:
+            return "cached" if self._result.from_cache else "done"
+        return self._status_payload()["status"]
+
+    def done(self) -> bool:
+        return (self._result is not None
+                or self.status() in ("done", "cached", "error"))
+
+    @property
+    def progress(self) -> dict:
+        payload = self._status_payload()
+        return {name: payload[name] for name in
+                ("shards_total", "shards_started", "shards_done")
+                if name in payload}
+
+    def result(self, timeout: float | None = None) -> AnalysisResult:
+        if self._result is None:
+            self._result = self.remote._fetch_result(self.key,
+                                                     timeout=timeout)
+        return self._result
+
+
+class RemoteService:
+    """Thin client for a running :class:`AnalysisServer`.
+
+    Exposes the service verbs the experiment runners use —
+    ``submit``/``submit_many``/``run``/``run_many`` and a read-only
+    ``entry``-free surface — so ``fig9.run(service=RemoteService(url))``
+    measures on the server and returns byte-identical results.  Verbs
+    that require in-process state (:meth:`register`) error loudly.
+    """
+
+    #: Socket-timeout headroom over the requested server-side hold; a
+    #: socket timeout past it means the server is really gone.
+    poll_grace = 15.0
+
+    def __init__(self, url: str, *, timeout: float = 600.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def _request(self, path: str, data: bytes | None = None,
+                 timeout: float | None = None):
+        request = urllib.request.Request(
+            self.url + path, data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            return urllib.request.urlopen(
+                request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                detail = ""
+            raise RemoteError(
+                f"{path}: HTTP {exc.code}" + (f" — {detail}" if detail
+                                              else "")) from None
+        except urllib.error.URLError as exc:
+            raise RemoteError(f"cannot reach analysis server at "
+                              f"{self.url}: {exc.reason}") from None
+
+    def _get_json(self, path: str) -> dict:
+        with self._request(path) as response:
+            return json.loads(response.read())
+
+    # -------------------------------------------------------------- service
+    def health(self) -> dict:
+        return self._get_json("/v1/health")
+
+    def inspect(self) -> dict:
+        return self._get_json("/v1/inspect")
+
+    def submit(self, request: AnalysisRequest) -> RemoteHandle:
+        payload = request.to_json().encode()
+        with self._request("/v1/submit", data=payload) as response:
+            job = json.loads(response.read())["job"]
+        return RemoteHandle(self, request, job)
+
+    def submit_many(self, requests) -> list[RemoteHandle]:
+        return [self.submit(request) for request in requests]
+
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        return self.submit(request).result()
+
+    def run_many(self, requests) -> list[AnalysisResult]:
+        return [handle.result() for handle in self.submit_many(requests)]
+
+    def register(self, name: str, model, dataset) -> None:
+        raise RemoteError(
+            "RemoteService cannot register in-memory sessions: the model "
+            "lives in this process and does not cross the wire; run a "
+            "local ResilienceService for session-based analyses")
+
+    def entry(self, ref) -> None:
+        raise RemoteError(
+            f"RemoteService cannot resolve {ref.key!r} to an in-process "
+            f"model: analyses that touch the model object directly (e.g. "
+            f"the X2 routing ablation) need a local ResilienceService")
+
+    def _fetch_result(self, job: str,
+                      timeout: float | None = None) -> AnalysisResult:
+        """Long-poll the result endpoint until done/error/deadline.
+
+        Each poll asks the server to hold the request for the *remaining*
+        wait budget (capped server-side at :data:`WAIT_SLICE_SECONDS`),
+        and the socket timeout always exceeds the requested hold — a
+        socket-level timeout therefore means the server is genuinely
+        unreachable (:class:`RemoteError`), while an exhausted caller
+        deadline raises :class:`TimeoutError`, matching the in-process
+        :class:`~repro.api.service.AnalysisHandle` contract.
+        """
+        import time as _time
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                wait = WAIT_SLICE_SECONDS
+            else:
+                wait = max(0.0, min(WAIT_SLICE_SECONDS,
+                                    deadline - _time.monotonic()))
+            with self._request(f"/v1/result/{job}?wait={wait:.3f}",
+                               timeout=wait + self.poll_grace) as response:
+                body = response.read()
+                if response.status == 200:
+                    result = AnalysisResult.from_json(body.decode())
+                    result.from_cache = (response.headers.get(
+                        "X-Repro-From-Cache") == "1")
+                    return result
+            payload = json.loads(body)
+            if payload.get("status") == "error":
+                raise RemoteError(f"job {job} failed remotely: "
+                                  f"{payload.get('error', 'unknown error')}")
+            if deadline is not None and _time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job} still "
+                                   f"{payload.get('status')} after "
+                                   f"{timeout}s")

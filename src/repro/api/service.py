@@ -18,16 +18,29 @@ piece of lifecycle the one-shot scripts used to hand-thread:
   model CRC × dataset CRC, so repeated artifact runs are cache hits and
   mutated models auto-invalidate.
 * **In-flight deduplication** — identical concurrent submissions share
-  one execution (the winner computes, the rest block on its future).
-* **Sweep batching** — :meth:`submit_many` merges compatible requests
-  (same model/grid/seed/options) into a single ``engine.sweep`` call.
+  one execution (the winner computes, the rest share its future).
+* **Futures-first execution** — :meth:`submit`/:meth:`submit_many`
+  return :class:`AnalysisHandle` objects immediately; *where* the
+  measurement runs is a pluggable :mod:`~repro.api.backends` backend
+  (``inline`` — the blocking equivalence reference, ``threads`` —
+  cross-request parallelism, ``subprocess`` — schema-JSON worker
+  processes).  :meth:`run`/:meth:`run_many` are the thin blocking
+  wrappers with the pre-redesign call semantics.
+* **Sharding** — the scheduler (:mod:`~repro.api.scheduler`) splits
+  multi-target requests into per-target (optionally NM-chunked) shards
+  on parallel backends and merges them byte-identically, with the store
+  deduplicating shards shared between overlapping requests.
 
-Executions are serialised internally (the engines and the ambient hook
-registry are not thread-safe); submission is thread-safe.
+Concurrency model: submission is thread-safe; engines serialise
+themselves (per-engine locks in :class:`~repro.core.sweep.SweepEngine`),
+so independent models sweep concurrently while a warm store hit never
+touches any engine lock at all.  The hook stack and autograd mode are
+thread-local, so worker threads cannot contaminate each other.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 import zlib
@@ -38,16 +51,19 @@ import numpy as np
 
 from ..core.noise import site_matcher
 from ..core.resilience import ResilienceCurve, ResiliencePoint
-from ..core.sweep import SweepEngine, model_fingerprint
+from ..core.sweep import SweepEngine, SweepTarget, model_fingerprint
 from ..data import Dataset
 from ..nn import hooks
 from ..nn.hooks import HookRegistry, use_registry
 from ..train import evaluate_accuracy
+from .backends import ExecutionBackend, make_backend
 from .request import AnalysisRequest, AnalysisResult, ModelRef
+from .scheduler import merge_shards, plan_shards
 from .store import ResultStore, store_key
 
-__all__ = ["ResolvedModel", "ServiceStats", "ResilienceService",
-           "default_service", "dataset_fingerprint"]
+__all__ = ["ResolvedModel", "ServiceStats", "ShardProgress",
+           "AnalysisHandle", "ResilienceService", "default_service",
+           "dataset_fingerprint"]
 
 
 def dataset_fingerprint(dataset: Dataset) -> int:
@@ -99,15 +115,100 @@ class ServiceStats:
     """Observable counters (used by tests and ``--json`` consumers)."""
 
     submitted: int = 0
-    store_hits: int = 0
-    deduplicated: int = 0
-    executed: int = 0      # requests actually measured
-    sweeps: int = 0        # engine.sweep calls issued (batching merges these)
+    store_hits: int = 0        # whole requests served from the store
+    deduplicated: int = 0      # requests that joined an in-flight future
+    executed: int = 0          # requests actually measured
+    sweeps: int = 0            # in-process engine.sweep calls issued
+    shards: int = 0            # shard executions dispatched to the backend
+    shard_store_hits: int = 0  # shards served from the store (dedup layer)
+
+
+class ShardProgress:
+    """Shard counters shared by every handle of one execution."""
+
+    def __init__(self, total: int = 1):
+        self._lock = threading.Lock()
+        self.total = total
+        self.started = 0
+        self.done = 0
+
+    def set_total(self, total: int) -> None:
+        with self._lock:
+            self.total = total
+
+    def mark_started(self, n: int = 1) -> None:
+        with self._lock:
+            self.started += n
+
+    def mark_done(self, n: int = 1) -> None:
+        with self._lock:
+            self.done += n
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"shards_total": self.total,
+                    "shards_started": self.started,
+                    "shards_done": self.done}
+
+
+class AnalysisHandle:
+    """One submitted request on its way to (or already holding) a result.
+
+    The futures-first face of the service: ``submit`` returns
+    immediately with one of these; :meth:`result` blocks, :meth:`done`
+    and :meth:`status` poll, :attr:`progress` exposes shard counters.
+    Handles of deduplicated submissions share the winner's future and
+    progress.
+    """
+
+    #: Status vocabulary, also used verbatim by the HTTP server.
+    STATUSES = ("pending", "running", "done", "cached", "error")
+
+    def __init__(self, request: AnalysisRequest, key: str, future: Future,
+                 progress: ShardProgress):
+        self.request = request
+        self.key = key
+        self._future = future
+        self._progress = progress
+
+    def done(self) -> bool:
+        """Whether a result (or an error) is available without blocking."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> AnalysisResult:
+        """Block until the result is available (re-raising any error)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        """The execution's exception, or ``None`` (blocks like
+        :meth:`result`)."""
+        return self._future.exception(timeout)
+
+    def status(self) -> str:
+        """One of :data:`STATUSES`; ``cached`` means a store hit."""
+        if self._future.done():
+            if self._future.exception() is not None:
+                return "error"
+            return "cached" if self._future.result().from_cache else "done"
+        if self._progress.snapshot()["shards_started"] > 0:
+            return "running"
+        return "pending"
+
+    @property
+    def progress(self) -> dict:
+        """Shard counters: ``shards_total``/``started``/``done``."""
+        return self._progress.snapshot()
+
+
+def _resolved_future(result: AnalysisResult) -> Future:
+    future: Future = Future()
+    future.set_result(result)
+    return future
 
 
 @dataclass
 class _Job:
-    """One accepted request on its way to execution."""
+    """One accepted (store-missed, non-duplicate) request."""
 
     index: int
     request: AnalysisRequest
@@ -116,10 +217,11 @@ class _Job:
     dataset_crc: int
     key: str
     future: Future = field(default_factory=Future)
+    progress: ShardProgress = field(default_factory=ShardProgress)
 
     @property
     def batch_key(self) -> tuple:
-        """Requests sharing this key merge into one ``engine.sweep``."""
+        """Requests sharing this key merge into one execution group."""
         r = self.request
         return (self.resolved.ref.key, self.dataset_crc, r.eval_samples,
                 r.noise, r.nm_values, r.na, r.seed, r.baseline_accuracy,
@@ -139,20 +241,39 @@ class ResilienceService:
         Store root directory; ignored when ``store`` is given.
     use_store:
         ``False`` disables persistence entirely (in-memory service).
+    backend:
+        Execution backend name (``inline``/``threads``/``subprocess``)
+        or a prebuilt :class:`~repro.api.backends.ExecutionBackend`.
+        Validated through :func:`~repro.api.backends.make_backend` —
+        invalid combinations with ``max_parallel`` error loudly.
+    max_parallel:
+        Shard/request concurrency for the parallel backends; rejected
+        for ``inline``.
+    nm_chunk:
+        Optionally also shard the NM axis into chunks of this many
+        values (parallel backends only; merged byte-identically).
     """
 
     def __init__(self, *, store: ResultStore | None = None,
-                 cache_dir: str | None = None, use_store: bool = True):
+                 cache_dir: str | None = None, use_store: bool = True,
+                 backend: str | ExecutionBackend = "inline",
+                 max_parallel: int | None = None,
+                 nm_chunk: int | None = None):
         if store is None and use_store:
             store = ResultStore(cache_dir)
         self.store = store
+        self.backend = make_backend(backend, max_parallel)
+        self.nm_chunk = nm_chunk
         self.stats = ServiceStats()
         self._sessions: dict[str, tuple[object, Dataset]] = {}
         self._resolved: dict[str, ResolvedModel] = {}
         self._engines: dict[tuple, SweepEngine] = {}
-        self._inflight: dict[str, Future] = {}
-        self._state_lock = threading.Lock()   # maps above
-        self._run_lock = threading.Lock()     # engines + hook registry
+        self._inflight: dict[str, tuple[Future, ShardProgress]] = {}
+        self._state_lock = threading.Lock()   # maps + stats above
+
+    def close(self) -> None:
+        """Shut down the backend's worker pools (if any)."""
+        self.backend.close()
 
     # ------------------------------------------------------------ resolution
     def register(self, name: str, model, dataset: Dataset) -> ModelRef:
@@ -231,151 +352,345 @@ class ResilienceService:
         from ..zoo import default_test_split
         return default_test_split(dataset_name)
 
-    def _engine_for(self, job: _Job, dataset: Dataset) -> SweepEngine:
-        options = job.request.options
-        key = (job.resolved.ref.key, job.dataset_crc,
-               job.request.eval_samples, options)
+    def _dataset_crc(self, resolved: ResolvedModel,
+                     eval_samples: int | None) -> int:
+        if resolved.dataset_descriptor is not None:
+            # Zoo splits are pure functions of their descriptor — no
+            # need to materialise pixels just to key the store.
+            return zlib.crc32(resolved.dataset_descriptor.encode())
+        return dataset_fingerprint(resolved.eval_set(eval_samples))
+
+    def _engine_for(self, resolved: ResolvedModel, dataset_crc: int,
+                    request: AnalysisRequest, dataset: Dataset) -> SweepEngine:
+        options = request.options
+        key = (resolved.ref.key, dataset_crc, request.eval_samples, options)
         with self._state_lock:
             engine = self._engines.get(key)
-            if engine is None or engine.model is not job.resolved.model:
-                engine = options.make_engine(job.resolved.model, dataset)
+            if engine is None or engine.model is not resolved.model:
+                engine = options.make_engine(resolved.model, dataset)
                 self._engines[key] = engine
             return engine
 
     # ------------------------------------------------------------ submission
-    def submit(self, request: AnalysisRequest) -> AnalysisResult:
-        """Serve one request from the store or by measuring it."""
+    def submit(self, request: AnalysisRequest) -> AnalysisHandle:
+        """Accept one request; return its handle immediately.
+
+        With the default ``inline`` backend the measurement completes
+        before this returns (the handle is already resolved) — exactly
+        the pre-redesign blocking semantics.  On the ``threads`` and
+        ``subprocess`` backends the handle resolves asynchronously.
+        """
         return self.submit_many([request])[0]
 
-    def submit_many(self, requests) -> list[AnalysisResult]:
-        """Serve several requests, batching compatible sweeps.
+    def submit_many(self, requests) -> list[AnalysisHandle]:
+        """Accept several requests, batching compatible executions.
 
         Requests that share model, dataset, grid, seed, baseline and
-        execution options execute as a single ``engine.sweep`` over the
-        union of their targets; identical in-flight requests collapse to
-        one execution.  Results come back in submission order.
+        execution options execute as one group over the union of their
+        targets (sharded across the backend when it is parallel);
+        identical in-flight requests collapse onto one future.  Handles
+        come back in submission order.
         """
+        if hooks.active_registries():
+            # An ambient use_registry(...) scope would compose the
+            # caller's transforms into inline measurements — and the
+            # store would file them under a clean fingerprint, poisoning
+            # every later lookup of the same key.  Worker threads are
+            # isolated (the hook stack is thread-local), but the guard
+            # holds for every backend so behaviour never depends on
+            # where the measurement happens to run.
+            raise RuntimeError(
+                "ResilienceService cannot accept submissions inside an "
+                "active hook-registry scope: ambient transforms would "
+                "contaminate stored results; exit the use_registry(...) "
+                "block or evaluate directly")
         requests = list(requests)
-        results: list[AnalysisResult | None] = [None] * len(requests)
+        handles: list[AnalysisHandle | None] = [None] * len(requests)
         jobs: list[_Job] = []
-        waits: list[tuple[int, Future]] = []
         for index, request in enumerate(requests):
             with self._state_lock:
                 self.stats.submitted += 1
             resolved = self.entry(request.model)
             model_crc = model_fingerprint(resolved.model)
-            if resolved.dataset_descriptor is not None:
-                # Zoo splits are pure functions of their descriptor —
-                # no need to materialise pixels just to key the store.
-                dataset_crc = zlib.crc32(
-                    resolved.dataset_descriptor.encode())
-            else:
-                dataset_crc = dataset_fingerprint(
-                    resolved.eval_set(request.eval_samples))
+            dataset_crc = self._dataset_crc(resolved, request.eval_samples)
             key = store_key(request.fingerprint(), model_crc, dataset_crc)
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
                 with self._state_lock:
                     self.stats.store_hits += 1
-                results[index] = cached
+                handles[index] = AnalysisHandle(
+                    request, key, _resolved_future(cached), ShardProgress())
                 continue
             with self._state_lock:
-                future = self._inflight.get(key)
-                if future is not None:
+                inflight = self._inflight.get(key)
+                if inflight is not None:
                     self.stats.deduplicated += 1
-                    waits.append((index, future))
+                    handles[index] = AnalysisHandle(request, key, *inflight)
                     continue
                 job = _Job(index, request, resolved, model_crc,
                            dataset_crc, key)
-                self._inflight[key] = job.future
+                self._inflight[key] = (job.future, job.progress)
             jobs.append(job)
-        if jobs:
-            self._execute(jobs)
-        for index, future in waits:
-            results[index] = future.result()
-        for job in jobs:
-            results[job.index] = job.future.result()
-        return results
-
-    # ------------------------------------------------------------- execution
-    def _execute(self, jobs: list[_Job]) -> None:
-        """Run accepted jobs grouped into batched sweeps.
-
-        A failing group fails every remaining job's future too (instead
-        of leaving them unset for concurrent waiters to block on); the
-        caller surfaces the error through ``future.result()``.
-        """
+            handles[index] = AnalysisHandle(request, key, job.future,
+                                            job.progress)
         groups: dict[tuple, list[_Job]] = {}
         for job in jobs:
             groups.setdefault(job.batch_key, []).append(job)
-        error: BaseException | None = None
         for group in groups.values():
-            if error is None:
-                try:
-                    self._run_group(group)
-                except BaseException as exc:  # noqa: BLE001 — re-raised via futures
-                    error = exc
-            if error is not None:
-                for job in group:
-                    if not job.future.done():
-                        job.future.set_exception(error)
-            with self._state_lock:
-                for job in group:
-                    self._inflight.pop(job.key, None)
+            self._launch_group(group)
+        return handles
 
-    def _run_group(self, group: list[_Job]) -> None:
+    # --------------------------------------------------- blocking wrappers
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        """Blocking wrapper: submit one request and wait for its result."""
+        return self.submit(request).result()
+
+    def run_many(self, requests) -> list[AnalysisResult]:
+        """Blocking wrapper around :meth:`submit_many` (submission order)."""
+        return [handle.result() for handle in self.submit_many(requests)]
+
+    # ------------------------------------------------------------- execution
+    def _launch_group(self, group: list[_Job]) -> None:
+        """Dispatch one batched group to the backend, sharded if parallel.
+
+        Never blocks on the measurement itself: completion flows through
+        future callbacks, so a ``threads``/``subprocess`` submission
+        returns while the sweep is still running.
+        """
         head = group[0].request
-        targets = []
+        targets: list[SweepTarget] = []
         seen = set()
         for job in group:
             for target in job.request.targets:
                 if target.key not in seen:
                     seen.add(target.key)
                     targets.append(target)
-        start = time.perf_counter()
-        with self._run_lock:
-            if hooks.active_registries():
-                # Under the run lock no service sweep is live, so any
-                # active registry is a caller's use_registry(...) scope.
-                # The engine would silently fall back to the naive
-                # strategy with those transforms composed into the
-                # accuracies, and the store would file that under a
-                # clean fingerprint — poisoning every later lookup of
-                # the same key.  The service owns noise injection.
-                raise RuntimeError(
-                    "ResilienceService cannot execute inside an active "
-                    "hook-registry scope: ambient transforms would "
-                    "contaminate stored results; exit the "
-                    "use_registry(...) block or evaluate directly")
-            dataset = group[0].resolved.eval_set(head.eval_samples)
-            if head.noise == "quantization":
-                curves = self._run_quantization(group[0], dataset, targets)
+        targets = tuple(targets)
+        union = (head if head.targets == targets
+                 else dataclasses.replace(head, targets=targets))
+        shards = plan_shards(union, targets, parallel=self.backend.parallel,
+                             nm_chunk=self.nm_chunk) or [union]
+        for job in group:
+            job.progress.set_total(len(shards))
+        try:
+            futures = [self._submit_shard(shard, group,
+                                          sharded=len(shards) > 1)
+                       for shard in shards]
+        except BaseException as exc:  # noqa: BLE001 — delivered via futures
+            self._fail_group(group, exc)
+            return
+        pending = [len(futures)]
+        pending_lock = threading.Lock()
+
+        def _on_shard_done(_future: Future) -> None:
+            for job in group:
+                job.progress.mark_done()
+            with pending_lock:
+                pending[0] -= 1
+                last = pending[0] == 0
+            if last:
+                self._finish_group(group, union, targets, shards, futures)
+
+        for future in futures:
+            future.add_done_callback(_on_shard_done)
+
+    def _submit_shard(self, shard: AnalysisRequest, group: list[_Job],
+                      *, sharded: bool) -> Future:
+        """One shard: store-dedup, in-flight-dedup, or backend dispatch.
+
+        Sharded sub-requests register a *proxy* future in the in-flight
+        map before dispatching, so an identical top-level request (or a
+        shard of an overlapping one) joins the live execution, and the
+        shard's result is persisted under its own content-addressed key
+        before any joiner observes completion.
+        """
+        if not sharded:
+            return self._dispatch(shard, group)
+        job = group[0]
+        key = store_key(shard.fingerprint(), job.model_crc, job.dataset_crc)
+        if any(key == member.key for member in group):
+            # The shard is field-identical to one of this group's own
+            # requests (e.g. a single-target request batched with a
+            # sibling widened the union).  Its key is already in-flight
+            # as that *job's* future — which only resolves after every
+            # shard completes, so joining it here would deadlock the
+            # group on itself.  Dispatch directly; the job-level store
+            # put covers this key at finish time.
+            return self._dispatch(shard, group)
+        cached = self.store.get(key) if self.store is not None else None
+        if cached is not None:
+            with self._state_lock:
+                self.stats.shard_store_hits += 1
+            for j in group:
+                j.progress.mark_started()
+            return _resolved_future(cached)
+        proxy: Future = Future()
+        progress = ShardProgress()
+        with self._state_lock:
+            inflight = self._inflight.get(key)
+            if inflight is None:
+                self._inflight[key] = (proxy, progress)
+        if inflight is not None:
+            for j in group:
+                j.progress.mark_started()
+            return inflight[0]
+        progress.mark_started()
+
+        def _resolve_proxy(done: Future) -> None:
+            progress.mark_done()
+            error = done.exception()
+            if error is None:
+                try:
+                    self._check_provenance(done.result(), job)
+                except RuntimeError as mismatch:
+                    error = mismatch
+            if error is None and self.store is not None:
+                self.store.put(key, done.result())
+            with self._state_lock:
+                self._inflight.pop(key, None)
+            if error is None:
+                proxy.set_result(done.result())
             else:
-                engine = self._engine_for(group[0], dataset)
+                proxy.set_exception(error)
+
+        try:
+            self._dispatch(shard, group).add_done_callback(_resolve_proxy)
+        except BaseException as exc:  # noqa: BLE001 — delivered via the proxy
+            with self._state_lock:
+                self._inflight.pop(key, None)
+            proxy.set_exception(exc)
+        return proxy
+
+    def _dispatch(self, shard: AnalysisRequest, group: list[_Job]) -> Future:
+        with self._state_lock:
+            self.stats.shards += 1
+        for job in group:
+            job.progress.mark_started()
+        return self.backend.submit(shard, self._measure)
+
+    @staticmethod
+    def _check_provenance(result: AnalysisResult, job: _Job) -> None:
+        """Reject measurements of a model/dataset other than the keyed one.
+
+        In-process backends measure the very objects the key was
+        computed from, so this never fires there.  A ``subprocess``
+        worker re-resolves the ref in a fresh process — if the parent's
+        in-process model has been mutated (e.g. the X2 ablation's
+        ``routing_iterations`` edits), the worker measures the pristine
+        zoo state and its curves must NOT be filed under the mutated
+        fingerprint: that would silently report unmutated results for
+        every mutation.
+        """
+        expected_model = f"{job.model_crc & 0xffffffff:08x}"
+        expected_dataset = f"{job.dataset_crc & 0xffffffff:08x}"
+        if result.model_fingerprint != expected_model:
+            raise RuntimeError(
+                f"backend measured model fingerprint "
+                f"{result.model_fingerprint}, but the request was keyed on "
+                f"{expected_model}: the in-process model differs from what "
+                f"the worker resolved (mutated after loading?); use the "
+                f"inline or threads backend for in-process model mutations")
+        if result.dataset_fingerprint != expected_dataset:
+            raise RuntimeError(
+                f"backend measured dataset fingerprint "
+                f"{result.dataset_fingerprint}, expected {expected_dataset}: "
+                f"the worker resolved a different evaluation split")
+
+    def _fail_group(self, group: list[_Job], exc: BaseException) -> None:
+        for job in group:
+            if not job.future.done():
+                job.future.set_exception(exc)
+        with self._state_lock:
+            for job in group:
+                self._inflight.pop(job.key, None)
+
+    def _finish_group(self, group: list[_Job], union: AnalysisRequest,
+                      targets: tuple[SweepTarget, ...],
+                      shards: list[AnalysisRequest],
+                      futures: list[Future]) -> None:
+        """Merge completed shards and resolve every job in the group.
+
+        Runs on whichever thread completed the last shard; never raises —
+        failures propagate through the job futures.
+        """
+        try:
+            error = next((future.exception() for future in futures
+                          if future.exception() is not None), None)
+            if error is not None:
+                raise error
+            results = [future.result() for future in futures]
+            for result in results:
+                self._check_provenance(result, group[0])
+            if len(results) == 1:
+                curves = results[0].curves
+                elapsed = results[0].elapsed_seconds
+            else:
+                curves = merge_shards(union, targets, shards, results)
+                elapsed = sum(result.elapsed_seconds for result in results)
+            baseline = next(iter(curves.values())).baseline_accuracy
+            created = time.time()
+            for job in group:
+                with self._state_lock:
+                    self.stats.executed += 1
+                result = AnalysisResult(
+                    request=job.request,
+                    curves={target.key: curves[target.key]
+                            for target in job.request.targets},
+                    baseline_accuracy=baseline,
+                    model_fingerprint=f"{job.model_crc & 0xffffffff:08x}",
+                    dataset_fingerprint=f"{job.dataset_crc & 0xffffffff:08x}",
+                    created=created,
+                    elapsed_seconds=elapsed / len(group))
+                if self.store is not None:
+                    self.store.put(job.key, result)
+                job.future.set_result(result)
+            with self._state_lock:
+                for job in group:
+                    self._inflight.pop(job.key, None)
+        except BaseException as exc:  # noqa: BLE001 — re-raised via futures
+            self._fail_group(group, exc)
+
+    # ----------------------------------------------------------- measurement
+    def _measure(self, request: AnalysisRequest) -> AnalysisResult:
+        """Measure exactly ``request`` in this process.
+
+        This is the runner handed to the backend: it may execute on the
+        submitting thread (``inline``) or on a pool thread
+        (``threads``); the ``subprocess`` backend runs the same logic in
+        a worker via :func:`repro.api.backends.worker_main`.  Engine
+        access serialises on the engine's own lock, so concurrent
+        measurements of *different* engines overlap.
+        """
+        resolved = self.entry(request.model)
+        model_crc = model_fingerprint(resolved.model)
+        dataset_crc = self._dataset_crc(resolved, request.eval_samples)
+        dataset = resolved.eval_set(request.eval_samples)
+        targets = list(request.targets)
+        start = time.perf_counter()
+        if request.noise == "quantization":
+            curves = self._run_quantization(request, resolved, dataset,
+                                            targets)
+        else:
+            engine = self._engine_for(resolved, dataset_crc, request, dataset)
+            with self._state_lock:
                 self.stats.sweeps += 1
-                curves = engine.sweep(
-                    targets, head.nm_values, na=head.na, seed=head.seed,
-                    baseline_accuracy=head.baseline_accuracy)
+            curves = engine.sweep(
+                targets, request.nm_values, na=request.na, seed=request.seed,
+                baseline_accuracy=request.baseline_accuracy)
         elapsed = time.perf_counter() - start
         baseline = next(iter(curves.values())).baseline_accuracy
-        created = time.time()
-        for job in group:
-            with self._state_lock:
-                self.stats.executed += 1
-            result = AnalysisResult(
-                request=job.request,
-                curves={target.key: curves[target.key]
-                        for target in job.request.targets},
-                baseline_accuracy=baseline,
-                model_fingerprint=f"{job.model_crc & 0xffffffff:08x}",
-                dataset_fingerprint=f"{job.dataset_crc & 0xffffffff:08x}",
-                created=created,
-                elapsed_seconds=elapsed / len(group))
-            if self.store is not None:
-                self.store.put(job.key, result)
-            job.future.set_result(result)
+        return AnalysisResult(
+            request=request,
+            curves={target.key: curves[target.key] for target in targets},
+            baseline_accuracy=baseline,
+            model_fingerprint=f"{model_crc & 0xffffffff:08x}",
+            dataset_fingerprint=f"{dataset_crc & 0xffffffff:08x}",
+            created=time.time(),
+            elapsed_seconds=elapsed)
 
-    def _run_quantization(self, job: _Job, dataset: Dataset, targets) -> dict:
+    def _run_quantization(self, request: AnalysisRequest,
+                          resolved: ResolvedModel, dataset: Dataset,
+                          targets) -> dict:
         """Eq. 1 round-trip error swept over word lengths.
 
         ``nm_values`` holds the bit widths; the error is deterministic
@@ -384,8 +699,7 @@ class ResilienceService:
         length.
         """
         from ..approx import quantization_noise
-        request = job.request
-        model = job.resolved.model
+        model = resolved.model
         batch_size = request.options.batch_size
         baseline = request.baseline_accuracy
         if baseline is None:

@@ -19,9 +19,13 @@ The key is fully content-addressed:
   eval subset or regenerated synthetic split cannot alias.
 
 Invalidation is therefore *keying*, not deletion: stale entries are
-simply never looked up again.  ``prune()`` exists for reclaiming disk.
-Writes are atomic (temp file + ``os.replace``) so concurrent runs never
-observe torn JSON.
+simply never looked up again.  ``gc()`` (CLI: ``repro gc``) exists for
+reclaiming the disk they hold — unreadable/schema-stale documents and
+orphaned write temporaries always go; age-based and wholesale pruning
+are opt-in (``older_than``/``everything``), which is how the "prune
+after intentional numerics changes" workflow clears entries that key on
+inputs the change did not touch.  Writes are atomic (temp file +
+``os.replace``) so concurrent runs never observe torn JSON.
 """
 
 from __future__ import annotations
@@ -29,11 +33,13 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from .request import AnalysisResult, SchemaError
 
-__all__ = ["ResultStore", "StoreEntry", "store_key", "default_store_root"]
+__all__ = ["ResultStore", "StoreEntry", "GcReport", "store_key",
+           "default_store_root"]
 
 
 def default_store_root() -> str:
@@ -56,6 +62,37 @@ def store_key(request_fingerprint: str, model_crc: int,
     """The content-addressed key of one (request, model, dataset) triple."""
     return (f"{request_fingerprint}-m{model_crc & 0xffffffff:08x}"
             f"-d{dataset_crc & 0xffffffff:08x}")
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass removed (and why)."""
+
+    root: str = ""
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    kept: int = 0
+    by_reason: dict = field(default_factory=dict)
+
+    def remove(self, path: str, reason: str) -> None:
+        """Delete ``path`` and account for it under ``reason``."""
+        try:
+            size = os.path.getsize(path)
+            os.remove(path)
+        except OSError:
+            return  # raced with a concurrent writer/gc; nothing to count
+        self.removed += 1
+        self.reclaimed_bytes += size
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+    def summary(self) -> str:
+        reasons = ", ".join(f"{count} {reason}" for reason, count
+                            in sorted(self.by_reason.items()))
+        return (f"removed {self.removed} entr"
+                f"{'y' if self.removed == 1 else 'ies'}"
+                + (f" ({reasons})" if reasons else "")
+                + f", reclaimed {self.reclaimed_bytes} bytes, "
+                  f"kept {self.kept}")
 
 
 @dataclass(frozen=True)
@@ -92,7 +129,11 @@ class ResultStore:
         try:
             with open(path) as stream:
                 result = AnalysisResult.from_payload(json.load(stream))
-        except (OSError, ValueError, KeyError, SchemaError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError,
+                SchemaError):
+            # TypeError/AttributeError: documents that parse as JSON but
+            # are not result dicts (e.g. a bare `null`) — as unreadable
+            # as torn JSON, and gc() must be able to collect them.
             return None
         result.from_cache = True
         return result
@@ -138,8 +179,52 @@ class ResultStore:
 
     def prune(self) -> int:
         """Delete every stored entry; returns how many were removed."""
-        removed = 0
-        for key in self.keys():
-            os.remove(self.path_for(key))
-            removed += 1
-        return removed
+        return self.gc(everything=True).removed
+
+    # --------------------------------------------------------------- garbage
+    def gc(self, *, older_than: float | None = None,
+           everything: bool = False) -> "GcReport":
+        """Reclaim disk from stale, orphaned, aged or (optionally) all
+        entries; returns what was removed and how many bytes came back.
+
+        Always removed:
+
+        * **orphans** — ``*.tmp`` write temporaries left by a crashed
+          :meth:`put` (the atomic-replace never promoted them);
+        * **stale** entries — documents that no longer parse or carry an
+          unsupported schema version (they can only ever be misses).
+
+        Opt-in:
+
+        * ``older_than`` (seconds) — live entries whose file mtime is
+          older than ``now - older_than`` (the store touches mtime on
+          every ``put``, so this is "not re-measured recently");
+        * ``everything`` — the full store, e.g. after an intentional
+          numerics change that old entries' input-addressed keys cannot
+          see.
+        """
+        report = GcReport(root=self.root)
+        cutoff = None if older_than is None else time.time() - older_than
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return report
+        for name in names:
+            path = os.path.join(self.root, name)
+            if name.endswith(".tmp"):
+                report.remove(path, "orphaned")
+                continue
+            if not name.endswith(".json"):
+                continue
+            key = name[:-len(".json")]
+            if everything:
+                report.remove(path, "pruned")
+                continue
+            if self.get(key) is None:
+                report.remove(path, "stale")
+                continue
+            if cutoff is not None and os.path.getmtime(path) < cutoff:
+                report.remove(path, "expired")
+                continue
+            report.kept += 1
+        return report

@@ -6,20 +6,29 @@ Usage::
     python -m repro run table1 fig5
     python -m repro run fig9 --quick
     python -m repro run fig9 --quick --json --cache-dir /tmp/results
+    python -m repro run fig12 --quick --backend threads --max-parallel 4
     python -m repro run all --quick
+    python -m repro serve --port 8035
+    python -m repro run fig9 --quick --remote http://127.0.0.1:8035
     python -m repro inspect
     python -m repro inspect 6f1f... --cache-dir /tmp/results
+    python -m repro gc --older-than 30d
 
 Each artifact prints the same rows/series the paper reports (measured next
 to published values where applicable).  ``--quick`` shrinks the evaluation
 scale of the accuracy-in-the-loop artifacts.  The sweep artifacts submit
 their measurements through the :mod:`repro.api` service, so a repeated run
 at the same scale is served from the persistent result store (inspect it
-with ``repro inspect``; relocate it with ``--cache-dir``).
+with ``repro inspect``; reclaim it with ``repro gc``; relocate it with
+``--cache-dir``).  ``--backend``/``--max-parallel`` choose where the
+measurements execute (see ``repro.api.backends``); ``repro serve`` exposes
+the same service over HTTP and ``--remote URL`` turns ``run`` into a thin
+client of such a daemon.
 
 Every artifact routes through one request-building helper: flags that an
-artifact cannot honour (e.g. ``--strategy`` for the analytic tables) are a
-loud error, never silently ignored.
+artifact cannot honour (e.g. ``--strategy`` for the analytic tables, or
+``--cache-dir`` together with ``--remote``) are a loud error, never
+silently ignored.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from datetime import datetime, timezone
 from typing import Any, Callable
 
 from .api import ResilienceService, ResultStore, default_service
+from .api.backends import BACKEND_NAMES
 from .core.sweep import STRATEGIES, ExecutionOptions
 from .experiments import (ablation, bittrue_validation, fig4, fig5, fig6,
                           fig9, fig10, fig11, fig12, table1, table2, table3,
@@ -43,11 +53,17 @@ __all__ = ["main", "ARTIFACTS", "ArtifactSpec", "RunContext"]
 
 @dataclass(frozen=True)
 class RunContext:
-    """Everything a CLI artifact runner may consume, built in one place."""
+    """Everything a CLI artifact runner may consume, built in one place.
+
+    ``service`` is a local :class:`~repro.api.ResilienceService` or (with
+    ``--remote``) a :class:`~repro.api.RemoteService`; the sweep
+    artifacts only use the shared submit/run verbs, so they cannot tell
+    the difference.
+    """
 
     quick: bool
     scale: ExperimentScale
-    service: ResilienceService
+    service: object
 
 
 @dataclass(frozen=True)
@@ -55,14 +71,19 @@ class ArtifactSpec:
     """One artifact registry entry.
 
     ``sweeps`` declares whether the artifact runs resilience sweeps (and
-    therefore honours ``--strategy``/``--workers``/``--no-shared-votes``
-    via its :class:`ExperimentScale`); naming a non-sweep artifact
+    therefore honours ``--strategy``/``--workers``/``--no-shared-votes``/
+    ``--backend``/``--max-parallel``/``--remote`` via its
+    :class:`ExperimentScale` and service); naming a non-sweep artifact
     together with those flags errors instead of silently dropping them.
+    ``remote_ok=False`` marks sweep artifacts that must touch the model
+    object in-process (the X2 ablation mutates routing depth) and
+    therefore reject ``--remote`` up front rather than crashing mid-run.
     """
 
     description: str
     runner: Callable[[RunContext], Any]
     sweeps: bool = False
+    remote_ok: bool = True
 
 
 #: artifact id -> spec; every runner takes the shared RunContext.
@@ -105,7 +126,7 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
     "x2": ArtifactSpec("routing-iteration ablation",
                        lambda ctx: ablation.run_routing_ablation(
                            scale=ctx.scale, service=ctx.service),
-                       sweeps=True),
+                       sweeps=True, remote_ok=False),
     "x3": ArtifactSpec("biased-noise (NA) sweep",
                        lambda ctx: ablation.run_noise_average_sweep(
                            scale=ctx.scale, service=ctx.service),
@@ -117,6 +138,19 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
 }
 
 
+def _build_service(args):
+    """The service behind this invocation: local, custom-store, or remote."""
+    if getattr(args, "remote", None) is not None:
+        from .api.server import RemoteService
+        return RemoteService(args.remote)
+    if args.cache_dir is not None or args.backend != "inline" \
+            or args.max_parallel is not None:
+        return ResilienceService(cache_dir=args.cache_dir,
+                                 backend=args.backend,
+                                 max_parallel=args.max_parallel)
+    return default_service()
+
+
 def _build_context(args) -> RunContext:
     """The one request-building helper every artifact runs through."""
     execution = ExecutionOptions(strategy=args.strategy,
@@ -125,11 +159,8 @@ def _build_context(args) -> RunContext:
     scale = ExperimentScale(execution=execution)
     if args.quick:
         scale = scale.quick()
-    if args.cache_dir is not None:
-        service = ResilienceService(cache_dir=args.cache_dir)
-    else:
-        service = default_service()
-    return RunContext(quick=args.quick, scale=scale, service=service)
+    return RunContext(quick=args.quick, scale=scale,
+                      service=_build_service(args))
 
 
 def _sweep_flags_given(args) -> list[str]:
@@ -140,7 +171,43 @@ def _sweep_flags_given(args) -> list[str]:
         flags.append("--workers")
     if args.no_shared_votes:
         flags.append("--no-shared-votes")
+    if args.backend != "inline":
+        flags.append("--backend")
+    if args.max_parallel is not None:
+        flags.append("--max-parallel")
+    if args.remote is not None:
+        flags.append("--remote")
     return flags
+
+
+def _flag_conflicts(args) -> str | None:
+    """Invalid flag combinations (loud, mirroring the sweep-flag rule)."""
+    if args.remote is not None:
+        local_only = [flag for flag, given in (
+            ("--cache-dir", args.cache_dir is not None),
+            ("--backend", args.backend != "inline"),
+            ("--max-parallel", args.max_parallel is not None)) if given]
+        if local_only:
+            return (f"{', '.join(local_only)} configure the local service; "
+                    f"with --remote the server owns its store and backend "
+                    f"(drop the flag or configure the server)")
+    if args.max_parallel is not None and args.backend == "inline":
+        return ("--max-parallel needs a parallel backend; add "
+                "--backend threads or --backend subprocess")
+    return None
+
+
+def _remote_incapable(args, requested: list[str]) -> str | None:
+    """Requested artifacts that cannot run against a remote service."""
+    if args.remote is None:
+        return None
+    rejected = [name for name in requested
+                if not ARTIFACTS[name].remote_ok]
+    if not rejected:
+        return None
+    return (f"artifact(s) {', '.join(rejected)} need in-process model "
+            f"access (routing-depth mutation) and cannot run against "
+            f"--remote; drop the flag or the artifact")
 
 
 def _result_payload(name: str, result) -> dict:
@@ -153,6 +220,23 @@ def _result_payload(name: str, result) -> dict:
     else:
         payload["text"] = result.format_text()
     return payload
+
+
+def _add_store_flag(parser, help_suffix: str = "") -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-store directory (default: "
+                             ".artifacts/results, or $REPRO_RESULT_DIR)"
+                             + help_suffix)
+
+
+def _add_backend_flags(parser) -> None:
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES),
+                        default="inline",
+                        help="execution backend for analysis requests "
+                             "(see repro.api.backends)")
+    parser.add_argument("--max-parallel", type=int, default=None,
+                        help="max concurrent shard executions "
+                             "(threads/subprocess backends only)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -175,18 +259,37 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-shared-votes", action="store_true",
                      help="disable the shared-votes routing fast path for "
                           "routing-resumed sweep targets")
-    run.add_argument("--cache-dir", default=None,
-                     help="result-store directory (default: "
-                          ".artifacts/results, or $REPRO_RESULT_DIR)")
+    _add_backend_flags(run)
+    run.add_argument("--remote", default=None, metavar="URL",
+                     help="submit sweep requests to a running "
+                          "'repro serve' daemon instead of measuring "
+                          "in-process")
+    _add_store_flag(run)
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of tables")
+    serve = sub.add_parser(
+        "serve", help="serve the analysis API over HTTP (see docs/api.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8035,
+                       help="bind port (0 picks a free one)")
+    _add_backend_flags(serve)
+    _add_store_flag(serve)
     inspect = sub.add_parser(
         "inspect", help="list or dump stored analysis results")
     inspect.add_argument("key", nargs="?", default=None,
                          help="store-key prefix to dump in full (omit to "
                               "list all entries)")
-    inspect.add_argument("--cache-dir", default=None,
-                         help="result-store directory to inspect")
+    _add_store_flag(inspect)
+    gc = sub.add_parser(
+        "gc", help="reclaim result-store disk (stale/orphaned entries; "
+                   "--older-than/--all widen the sweep)")
+    gc.add_argument("--older-than", default=None, metavar="AGE",
+                    help="also remove entries older than AGE "
+                         "(e.g. 45m, 12h, 30d, or plain seconds)")
+    gc.add_argument("--all", action="store_true",
+                    help="remove every entry (after intentional numerics "
+                         "changes — old entries key on inputs, not code)")
+    _add_store_flag(gc)
     return parser
 
 
@@ -197,6 +300,11 @@ def _run(args) -> int:
         print(f"unknown artifact(s): {', '.join(unknown)}; "
               f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
         return 2
+    for conflict in (_flag_conflicts(args),
+                     _remote_incapable(args, requested)):
+        if conflict is not None:
+            print(conflict, file=sys.stderr)
+            return 2
     # Loud-flag contract: sweep flags must apply to every *named*
     # artifact ('all' applies them wherever they are meaningful).
     sweep_flags = _sweep_flags_given(args)
@@ -218,6 +326,26 @@ def _run(args) -> int:
             print()
     if args.json:
         print(json.dumps(payloads, indent=2))
+    return 0
+
+
+def _serve(args) -> int:
+    from .api.server import AnalysisServer
+    service = ResilienceService(cache_dir=args.cache_dir,
+                                backend=args.backend,
+                                max_parallel=args.max_parallel)
+    server = AnalysisServer(service, host=args.host, port=args.port)
+    store_root = service.store.root if service.store is not None else "-"
+    print(f"serving analysis API on {server.address} "
+          f"(backend {service.backend.name}, store {store_root}); "
+          f"Ctrl-C stops")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        service.close()
     return 0
 
 
@@ -251,6 +379,41 @@ def _inspect(args) -> int:
     return 0
 
 
+#: ``--older-than`` suffixes, in seconds.
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 7 * 86400}
+
+
+def _parse_age(text: str) -> float:
+    """``"45m"``/``"12h"``/``"30d"``/``"3600"`` -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise ValueError(
+            f"invalid age {text!r}; use e.g. 45m, 12h, 30d, or seconds"
+        ) from None
+    if seconds < 0:
+        raise ValueError("age must be non-negative")
+    return seconds
+
+
+def _gc(args) -> int:
+    store = ResultStore(args.cache_dir)
+    try:
+        older_than = (None if args.older_than is None
+                      else _parse_age(args.older_than))
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    report = store.gc(older_than=older_than, everything=args.all)
+    print(f"result store {store.root}: {report.summary()}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -259,8 +422,12 @@ def main(argv: list[str] | None = None) -> int:
         for name, spec in ARTIFACTS.items():
             print(f"{name.ljust(width)}  {spec.description}")
         return 0
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "inspect":
         return _inspect(args)
+    if args.command == "gc":
+        return _gc(args)
     return _run(args)
 
 

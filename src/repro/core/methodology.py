@@ -167,7 +167,7 @@ class ReDCaNe:
             self._log(f"step 2: group-wise resilience analysis "
                       f"({config.strategy})")
             groups = [g for g, sites in extraction.groups.items() if sites]
-            group_curves = service.submit(AnalysisRequest(
+            group_curves = service.run(AnalysisRequest(
                 model=ref, targets=tuple((group, None) for group in groups),
                 nm_values=config.nm_values, na=config.na, seed=config.seed,
                 baseline_accuracy=baseline, options=config.execution)).curves
@@ -189,7 +189,7 @@ class ReDCaNe:
                 for group in non_resilient_groups
                 if extraction.layers_in_group(group)]
             layer_curves: dict[tuple[str, str], ResilienceCurve] = {}
-            for result in service.submit_many(requests):
+            for result in service.run_many(requests):
                 layer_curves.update(result.curves)
         finally:
             # Free the engine's cached activation traces on the shared

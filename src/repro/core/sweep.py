@@ -68,6 +68,7 @@ assumes no other hook registry is active while it replays.
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -305,6 +306,16 @@ class SweepEngine:
         self.workers = int(workers)
         self.shared_votes = bool(shared_votes)
         self._trace: _CleanTrace | None = None
+        # Sweeps mutate engine state (the cached trace, the per-sweep base
+        # draws) and install the engine's hook registry on the calling
+        # thread, so one engine can only run one sweep at a time.  The
+        # lock makes that invariant self-enforcing: concurrent sweep()
+        # calls — e.g. shards of one request fanned across the analysis
+        # service's ``threads`` backend — serialise here, while *distinct*
+        # engines (independent models) proceed in parallel.  This is the
+        # per-engine granularity that replaced the service's global run
+        # lock; never hold it while waiting on another engine.
+        self._sweep_lock = threading.Lock()
 
     # ----------------------------------------------------------------- public
     def sweep(self, targets, nm_values, *, na: float = 0.0, seed: int = 0,
@@ -313,7 +324,16 @@ class SweepEngine:
 
         Returns a dict keyed like the Step 2/4 analysis results: by group
         name for group-wise targets, by ``(group, layer)`` otherwise.
+        Thread-safe: concurrent calls on one engine serialise (see
+        ``_sweep_lock``); results are independent of the interleaving
+        because every noise stream is derived statelessly per
+        (seed, site, batch).
         """
+        with self._sweep_lock:
+            return self._sweep_locked(targets, nm_values, na, seed,
+                                      baseline_accuracy)
+
+    def _sweep_locked(self, targets, nm_values, na, seed, baseline_accuracy):
         targets = [target if isinstance(target, SweepTarget)
                    else SweepTarget(*target) for target in targets]
         strategy = self._resolve_strategy()

@@ -91,7 +91,7 @@ def run_routing_ablation(*, benchmark: str = "DeepCaps/MNIST",
     try:
         for iters in iterations:
             _set_routing_iterations(model, iters)
-            curve = service.submit(request).curves[group]
+            curve = service.run(request).curves[group]
             baselines[iters] = curve.baseline_accuracy
             tolerable[iters] = curve.tolerable_nm(max_drop)
     finally:
@@ -145,7 +145,7 @@ def run_noise_average_sweep(*, benchmark: str = "DeepCaps/MNIST",
         nm_values=(nm,), na=na, seed=seed,
         eval_samples=scale.eval_samples, options=scale.execution)
         for na in na_values]
-    results = service.submit_many(requests)
+    results = service.run_many(requests)
     drops: dict[str, list[tuple[float, float]]] = {}
     for group in groups:
         drops[group] = [
@@ -190,7 +190,7 @@ def run_quantization_sweep(*, benchmark: str = "CapsNet/MNIST",
     """
     scale = scale or ExperimentScale.quick()
     service = service or default_service()
-    result = service.submit(AnalysisRequest(
+    result = service.run(AnalysisRequest(
         model=ModelRef(benchmark=benchmark),
         targets=((GROUP_MAC, None),),
         nm_values=tuple(float(bits) for bits in bit_widths),

@@ -5,9 +5,16 @@ dataclass with a ``rows()`` (tables) or ``series()`` (figures) method plus
 ``format_text()`` so benches and examples can print the same artifact the
 paper shows.  The accuracy-in-the-loop artifacts submit their sweeps as
 :class:`~repro.api.AnalysisRequest` jobs through a
-:class:`~repro.api.ResilienceService`; :class:`ExperimentScale` holds the
-*what* (eval set size, NM grid) and delegates the *how* to one shared
-:class:`~repro.core.sweep.ExecutionOptions`.
+:class:`~repro.api.ResilienceService` — blocking via its ``run``/
+``run_many`` wrappers, or handle-based where panels can overlap
+(``fig12`` submits every benchmark before waiting on any, so a parallel
+execution backend sweeps them concurrently; a
+:class:`~repro.api.RemoteService` duck-types as the ``service=``
+argument for out-of-process serving).  :class:`ExperimentScale` holds
+the *what* (eval set size, NM grid) and delegates the *how* to one
+shared :class:`~repro.core.sweep.ExecutionOptions`; *where* requests
+execute is the service's backend (``repro.api.backends``), configured at
+service construction, never per experiment.
 """
 
 from __future__ import annotations

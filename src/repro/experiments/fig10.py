@@ -82,14 +82,17 @@ def run(*, benchmark: str = "DeepCaps/CIFAR-10",
 
     Submitted through the analysis service like :func:`repro.experiments.
     fig9.run`; when Fig. 9 ran first on the same service, this request
-    reuses its engine's prefix-activation cache.
+    reuses its engine's prefix-activation cache.  The layer axis comes
+    from the model *topology* (an untrained build), so the request can
+    be issued by a remote thin client that holds no model.
     """
     scale = scale or ExperimentScale()
     service = service or default_service()
     ref = ModelRef(benchmark=benchmark)
     if layers is None:
-        layers = service.entry(ref).model.layer_names
-    result = service.submit(AnalysisRequest(
+        from ..zoo import benchmark_coords, model_layer_names
+        layers = model_layer_names(*benchmark_coords(benchmark))
+    result = service.run(AnalysisRequest(
         model=ref,
         targets=tuple((group, layer) for group in groups
                       for layer in layers),

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..api import ResilienceService
+from ..api import ResilienceService, default_service
 from .common import ExperimentScale
-from .fig9 import Fig9Result, run as run_fig9
+from .fig9 import Fig9Result, request_for
 
 __all__ = ["Fig12Result", "run", "FIG12_BENCHMARKS"]
 
@@ -54,10 +54,22 @@ class Fig12Result:
 def run(*, benchmarks: tuple[str, ...] = FIG12_BENCHMARKS,
         scale: ExperimentScale | None = None, seed: int = 0,
         service: ResilienceService | None = None) -> Fig12Result:
-    """Step-2 sweeps over the four additional benchmarks (one request
-    per panel, all through the same service)."""
+    """Step-2 sweeps over the additional benchmarks.
+
+    All panels are submitted *before* any is waited on: on the
+    ``threads``/``subprocess`` backends the distinct-model panels sweep
+    concurrently (each model owns its engine and its engine lock), while
+    the default ``inline`` backend degrades to the sequential order.
+    The collected results are identical either way — the panels are
+    independent requests with stateless noise streams.
+    """
     scale = scale or ExperimentScale()
-    panels = {name: run_fig9(benchmark=name, scale=scale, seed=seed,
-                             service=service)
-              for name in benchmarks}
+    service = service or default_service()
+    handles = service.submit_many(
+        [request_for(name, scale, seed) for name in benchmarks])
+    panels = {}
+    for name, handle in zip(benchmarks, handles):
+        result = handle.result()
+        panels[name] = Fig9Result(name, result.baseline_accuracy,
+                                  result.curves)
     return Fig12Result(panels)

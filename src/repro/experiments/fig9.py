@@ -21,7 +21,7 @@ from ..core import ResilienceCurve
 from ..nn.hooks import INJECTABLE_GROUPS
 from .common import ExperimentScale, format_table
 
-__all__ = ["Fig9Result", "run"]
+__all__ = ["Fig9Result", "request_for", "run"]
 
 
 @dataclass
@@ -64,6 +64,16 @@ class Fig9Result:
                   f"(baseline {self.baseline_accuracy:.2%})")
 
 
+def request_for(benchmark: str, scale: ExperimentScale,
+                seed: int = 0) -> AnalysisRequest:
+    """The declarative Step-2 request of one Fig. 9/12 panel."""
+    return AnalysisRequest(
+        model=ModelRef(benchmark=benchmark),
+        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
+        nm_values=scale.nm_values, na=0.0, seed=seed,
+        eval_samples=scale.eval_samples, options=scale.execution)
+
+
 def run(*, benchmark: str = "DeepCaps/CIFAR-10",
         scale: ExperimentScale | None = None, seed: int = 0,
         service: ResilienceService | None = None) -> Fig9Result:
@@ -71,14 +81,11 @@ def run(*, benchmark: str = "DeepCaps/CIFAR-10",
 
     The sweep is submitted as an :class:`~repro.api.AnalysisRequest`
     through ``service`` (the shared :func:`~repro.api.default_service`
-    when ``None``), so repeated runs at the same scale are served from
-    the persistent result store.
+    when ``None``) and waited on via the blocking ``run`` wrapper, so
+    repeated runs at the same scale are served from the persistent
+    result store.
     """
     scale = scale or ExperimentScale()
     service = service or default_service()
-    result = service.submit(AnalysisRequest(
-        model=ModelRef(benchmark=benchmark),
-        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
-        nm_values=scale.nm_values, na=0.0, seed=seed,
-        eval_samples=scale.eval_samples, options=scale.execution))
+    result = service.run(request_for(benchmark, scale, seed))
     return Fig9Result(benchmark, result.baseline_accuracy, result.curves)

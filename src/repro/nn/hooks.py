@@ -26,6 +26,7 @@ input-distribution studies of Fig. 11 / Table IV (never perturbed).
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -185,22 +186,38 @@ class SiteRecorder:
         return registry
 
 
-_ACTIVE: list[HookRegistry] = []
+class _ActiveStack(threading.local):
+    """Per-thread activation stack.
+
+    Hook activation is *thread-local*: a registry entered with
+    :func:`use_registry` affects only forward passes on the entering
+    thread.  This is what lets the analysis service's ``threads``
+    execution backend sweep independent models concurrently — each worker
+    thread installs its own noise registry without contaminating (or
+    being contaminated by) its neighbours, and a caller's ambient scope
+    never leaks into service worker threads.
+    """
+
+    def __init__(self) -> None:
+        self.registries: list[HookRegistry] = []
+
+
+_ACTIVE = _ActiveStack()
 
 
 @contextlib.contextmanager
 def use_registry(registry: HookRegistry) -> Iterator[HookRegistry]:
-    """Activate ``registry`` for the enclosed forward passes."""
-    _ACTIVE.append(registry)
+    """Activate ``registry`` for the enclosed forward passes (this thread)."""
+    _ACTIVE.registries.append(registry)
     try:
         yield registry
     finally:
-        _ACTIVE.remove(registry)
+        _ACTIVE.registries.remove(registry)
 
 
 def active_registries() -> tuple[HookRegistry, ...]:
-    """Currently active registries, in activation order."""
-    return tuple(_ACTIVE)
+    """This thread's active registries, in activation order."""
+    return tuple(_ACTIVE.registries)
 
 
 def emit(site: InjectionSite, value: Tensor) -> Tensor:
@@ -210,11 +227,12 @@ def emit(site: InjectionSite, value: Tensor) -> Tensor:
     graph is preserved unchanged (noise has zero gradient, mirroring the
     paper where injection happens only at inference).
     """
-    if not _ACTIVE:
+    stack = _ACTIVE.registries
+    if not stack:
         return value
     data = value.data
     new_data = data
-    for registry in _ACTIVE:
+    for registry in stack:
         new_data = registry.apply(site, new_data)
     if new_data is data:
         return value

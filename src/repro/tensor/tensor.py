@@ -14,30 +14,45 @@ indexing, concatenation and a handful of nonlinearities); convolution lives in
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread autograd switch.
+
+    Grad mode is thread-local (like the hook-activation stack in
+    :mod:`repro.nn.hooks`): a ``no_grad()`` scope on one thread never
+    turns graph recording back on — or off — under another thread's
+    feet, which is what makes concurrent inference sweeps on the
+    analysis service's ``threads`` backend safe.  New threads start with
+    gradients enabled (the class attribute is the per-thread default).
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    """Whether operations record the autograd graph (on this thread)."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -76,7 +91,7 @@ class Tensor:
         if isinstance(data, Tensor):  # defensive: unwrap accidental nesting
             data = data.data
         self.data = np.asarray(data, dtype=np.float32)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = tuple(_prev) if self.requires_grad else ()
@@ -124,7 +139,7 @@ class Tensor:
     @staticmethod
     def _result(data: np.ndarray, parents: Iterable["Tensor"], op: str) -> "Tensor":
         parents = tuple(parents)
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs, _prev=parents if needs else (), op=op)
         return out
 

@@ -32,7 +32,7 @@ from .train import TrainConfig, Trainer, evaluate_accuracy
 
 __all__ = ["ZooEntry", "PAPER_BENCHMARKS", "get_trained", "benchmark_entry",
            "benchmark_coords", "load_trained_model", "default_test_split",
-           "default_test_descriptor", "zoo_cache_dir"]
+           "default_test_descriptor", "model_layer_names", "zoo_cache_dir"]
 
 #: Default training/evaluation knobs shared by :func:`get_trained` and the
 #: weights-only fast path (:func:`load_trained_model`).
@@ -155,6 +155,21 @@ def load_trained_model(preset: str, dataset_name: str, *,
     with np.load(path) as archive:
         model.load_state_dict({k: archive[k] for k in archive.files})
     return model
+
+
+def model_layer_names(preset: str, dataset_name: str,
+                      seed: int = DEFAULT_SEED) -> list[str]:
+    """Layer names of a zoo model *without* training or loading weights.
+
+    The layer topology is a pure function of (preset, input shape), so a
+    fresh untrained build answers structural questions — e.g. the layer
+    axis of a Fig. 10 request issued by a remote client that has no
+    in-process model to inspect.
+    """
+    channels, size, _ = dataset_image_shape(dataset_name)
+    model = build_model(preset, in_channels=channels, image_size=size,
+                        seed=seed)
+    return model.layer_names
 
 
 def default_test_split(dataset_name: str, *,

@@ -94,6 +94,39 @@ def measure_sweep(model, test_set, strategy: str) -> dict[str, list[float]]:
             for target in targets}
 
 
+def measure_sweep_via_service(model, test_set, strategy: str, *,
+                              backend: str = "inline",
+                              max_parallel: int | None = None,
+                              nm_chunk: int | None = None
+                              ) -> dict[str, list[float]]:
+    """The frozen-config sweep submitted through a store-less service.
+
+    Same shape as :func:`measure_sweep`, so the golden-regression tier
+    can assert that every execution backend (and the scheduler's
+    shard-merge) reproduces the frozen curves bit-exactly.  Store-less:
+    goldens must always measure live code.
+    """
+    from repro.api import AnalysisRequest, ExecutionOptions, ResilienceService
+    from repro.core import SweepTarget
+
+    service = ResilienceService(use_store=False, backend=backend,
+                                max_parallel=max_parallel,
+                                nm_chunk=nm_chunk)
+    try:
+        ref = service.register("golden", model, test_set)
+        targets = [SweepTarget(*target) for target in golden_targets(model)]
+        result = service.run(AnalysisRequest(
+            model=ref, targets=tuple(golden_targets(model)),
+            nm_values=GOLDEN_NM_VALUES, seed=GOLDEN_SEED,
+            options=ExecutionOptions(batch_size=GOLDEN_BATCH,
+                                     strategy=strategy)))
+        return {str(target): [point.accuracy
+                              for point in result.curves[target.key].points]
+                for target in targets}
+    finally:
+        service.close()
+
+
 def x1_multiplier():
     from repro.approx import MultiplierModel
 

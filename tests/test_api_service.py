@@ -1,13 +1,18 @@
-"""Service-path behaviour of the analysis API (ISSUE 3).
+"""Service-path behaviour of the analysis API (ISSUEs 3+4).
 
-Two kinds of armor:
+Three kinds of armor:
 
-* **Golden compatibility** — the artifact ``run()`` functions now submit
+* **Golden compatibility** — the artifact ``run()`` functions submit
   through :class:`~repro.api.ResilienceService`; their ``--quick``
   ``format_text()`` output must be byte-identical to the pre-redesign
   direct path (``benchmark_entry`` + ``group_wise_analysis``/
   ``layer_wise_analysis``), both on the cold (measured) run and on the
   warm (store-served) run.
+* **Backend golden compatibility** (ISSUE 4) — the same byte-identity
+  must hold through every execution backend (``inline``, ``threads``,
+  ``subprocess``) and through the scheduler's shard-merge (per-target
+  and NM-chunk), proving the futures-first redesign changed *where*
+  measurements run, never *what* they measure.
 * **Concurrency/batching smoke** — concurrent submissions are safe and
   collapse onto one execution-or-hit; compatible requests batch into a
   single engine sweep.
@@ -103,6 +108,76 @@ class TestGoldenCompat:
         assert dict(service._engines) == engines  # no new engine built
 
 
+#: Backend configurations the ISSUE 4 acceptance demands byte-identity
+#: for: every backend, plus shard-merge along both axes.
+BACKEND_CONFIGS = {
+    "inline": {"backend": "inline"},
+    "threads-sharded": {"backend": "threads", "max_parallel": 2},
+    "threads-nm-chunks": {"backend": "threads", "max_parallel": 2,
+                          "nm_chunk": 2},
+    "subprocess-sharded": {"backend": "subprocess", "max_parallel": 2},
+    "subprocess-whole": {"backend": "subprocess", "max_parallel": 1},
+}
+
+
+class TestBackendGoldenCompat:
+    """fig9/fig10 --quick byte-identical through every backend and
+    through sharded vs unsharded execution (ISSUE 4)."""
+
+    @pytest.fixture(scope="class")
+    def fig9_direct(self) -> str:
+        return _direct_fig9("DeepCaps/CIFAR-10", QUICK).format_text()
+
+    @pytest.fixture(scope="class")
+    def fig10_direct(self) -> str:
+        return _direct_fig10("DeepCaps/CIFAR-10", QUICK).format_text()
+
+    @staticmethod
+    def _run_with(tmp_path, config, runner) -> str:
+        service = ResilienceService(cache_dir=str(tmp_path), **config)
+        try:
+            return runner(service).format_text()
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("config", list(BACKEND_CONFIGS),
+                             ids=list(BACKEND_CONFIGS))
+    def test_fig9_quick_byte_identical_on_every_backend(
+            self, tmp_path, fig9_direct, config):
+        text = self._run_with(tmp_path, BACKEND_CONFIGS[config],
+                              lambda svc: fig9.run(scale=QUICK, service=svc))
+        assert text == fig9_direct, config
+
+    @pytest.mark.parametrize("config", ["threads-sharded",
+                                        "subprocess-whole"])
+    def test_fig10_quick_byte_identical_on_parallel_backends(
+            self, tmp_path, fig10_direct, config):
+        text = self._run_with(tmp_path, BACKEND_CONFIGS[config],
+                              lambda svc: fig10.run(scale=QUICK,
+                                                    service=svc))
+        assert text == fig10_direct, config
+
+    def test_sharded_execution_hits_shard_store_entries(self, tmp_path):
+        """Shard results persist under their own keys: a later
+        single-target request is a (shard-level) store hit, making the
+        store the dedup layer between overlapping requests."""
+        service = ResilienceService(cache_dir=str(tmp_path),
+                                    backend="threads", max_parallel=2)
+        try:
+            fig9.run(scale=QUICK, service=service)
+            assert service.stats.shards == 4  # one per INJECTABLE_GROUP
+            single = AnalysisRequest(
+                model=ModelRef(benchmark="DeepCaps/CIFAR-10"),
+                targets=(("softmax", None),),
+                nm_values=QUICK.nm_values,
+                eval_samples=QUICK.eval_samples,
+                options=QUICK.execution)
+            result = service.run(single)
+            assert result.from_cache
+        finally:
+            service.close()
+
+
 class TestConcurrencyAndBatching:
     @pytest.fixture()
     def session_request(self, service, trained_capsnet, mnist_splits):
@@ -118,7 +193,7 @@ class TestConcurrencyAndBatching:
         agree exactly, and collapse onto at most one measurement-or-hit
         (tier-1 smoke required by ISSUE 3)."""
         with ThreadPoolExecutor(max_workers=2) as pool:
-            futures = [pool.submit(service.submit, session_request)
+            futures = [pool.submit(service.run, session_request)
                        for _ in range(2)]
             first, second = [future.result() for future in futures]
         points = [p.accuracy for p in first.curves["softmax"].points]
@@ -133,7 +208,7 @@ class TestConcurrencyAndBatching:
         hook registry are not thread-safe; the service owns the lock)."""
         other = dataclasses.replace(session_request, seed=7)
         with ThreadPoolExecutor(max_workers=2) as pool:
-            results = list(pool.map(service.submit,
+            results = list(pool.map(service.run,
                                     [session_request, other]))
         assert results[0].request.seed == 3
         assert results[1].request.seed == 7
@@ -145,13 +220,13 @@ class TestConcurrencyAndBatching:
         per_group = [dataclasses.replace(session_request,
                                          targets=((group, None),))
                      for group in ("mac_outputs", "softmax", "logits_update")]
-        results = service.submit_many(per_group)
+        results = service.run_many(per_group)
         assert service.stats.sweeps == 1
         assert service.stats.executed == 3
         assert [list(result.curves) for result in results] == \
             [["mac_outputs"], ["softmax"], ["logits_update"]]
         # The batched curves equal the union request's curves exactly.
-        union = service.submit(dataclasses.replace(
+        union = service.run(dataclasses.replace(
             session_request,
             targets=(("mac_outputs", None), ("softmax", None),
                      ("logits_update", None))))
@@ -164,6 +239,6 @@ class TestConcurrencyAndBatching:
         per_group = [dataclasses.replace(session_request,
                                          targets=((group, None),))
                      for group in ("mac_outputs", "softmax")]
-        service.submit_many(per_group)
-        replay = service.submit(per_group[1])
+        service.run_many(per_group)
+        replay = service.run(per_group[1])
         assert replay.from_cache

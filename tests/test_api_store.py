@@ -43,8 +43,8 @@ def _accuracies(result):
 
 class TestCacheSemantics:
     def test_hit_on_identical_request(self, service, request_):
-        cold = service.submit(request_)
-        warm = service.submit(request_)
+        cold = service.run(request_)
+        warm = service.run(request_)
         assert not cold.from_cache
         assert warm.from_cache
         assert _accuracies(warm) == _accuracies(cold)
@@ -53,27 +53,27 @@ class TestCacheSemantics:
 
     def test_hit_survives_service_restart(self, service, request_,
                                           trained_capsnet, mnist_splits):
-        cold = service.submit(request_)
+        cold = service.run(request_)
         fresh = ResilienceService(cache_dir=service.store.root)
         fresh.register("store-test", trained_capsnet, mnist_splits[1])
-        warm = fresh.submit(request_)
+        warm = fresh.run(request_)
         assert warm.from_cache
         assert _accuracies(warm) == _accuracies(cold)
 
     def test_miss_on_changed_nm_grid(self, service, request_):
-        service.submit(request_)
-        other = service.submit(
+        service.run(request_)
+        other = service.run(
             dataclasses.replace(request_, nm_values=(0.2, 0.0)))
         assert not other.from_cache
 
     def test_miss_on_changed_seed(self, service, request_):
-        service.submit(request_)
-        other = service.submit(dataclasses.replace(request_, seed=4))
+        service.run(request_)
+        other = service.run(dataclasses.replace(request_, seed=4))
         assert not other.from_cache
 
     def test_miss_on_changed_eval_subset(self, service, request_):
-        service.submit(request_)
-        other = service.submit(
+        service.run(request_)
+        other = service.run(
             dataclasses.replace(request_, eval_samples=32))
         assert not other.from_cache
 
@@ -83,11 +83,11 @@ class TestCacheSemantics:
         """Session names are handles, not content: the same weights and
         data registered under a different name (e.g. ReDCaNe's
         collision-free per-run names) must still hit the stored entry."""
-        cold = service.submit(request_)
+        cold = service.run(request_)
         other = ResilienceService(cache_dir=service.store.root)
         renamed = other.register("another-name", trained_capsnet,
                                  mnist_splits[1])
-        warm = other.submit(dataclasses.replace(request_, model=renamed))
+        warm = other.run(dataclasses.replace(request_, model=renamed))
         assert warm.from_cache
         assert _accuracies(warm) == _accuracies(cold)
 
@@ -98,8 +98,8 @@ class TestCacheSemantics:
         from repro.nn.hooks import HookRegistry, use_registry
         with use_registry(HookRegistry()):
             with pytest.raises(RuntimeError, match="hook"):
-                service.submit(request_)
-        assert service.submit(request_) is not None  # clean scope works
+                service.run(request_)
+        assert service.run(request_) is not None  # clean scope works
 
     def test_result_invariant_knobs_share_one_entry(self, service, request_):
         """naive↔cached are bit-identical streams and workers never change
@@ -112,8 +112,8 @@ class TestCacheSemantics:
             request_,
             options=dataclasses.replace(request_.options, strategy="cached",
                                         workers=2))
-        cold = service.submit(naive)
-        warm = service.submit(cached)
+        cold = service.run(naive)
+        warm = service.run(cached)
         assert warm.from_cache
         assert _accuracies(warm) == _accuracies(cold)
 
@@ -124,19 +124,19 @@ class TestFingerprintInvalidation:
 
     def test_weight_mutation_invalidates(self, service, request_,
                                          trained_capsnet):
-        before = service.submit(request_)
+        before = service.run(request_)
         param = trained_capsnet.conv1.weight
         original = param.data.copy()
         try:
             param.data[:] = 0.0  # in-place: invisible without fingerprinting
-            mutated = service.submit(request_)
+            mutated = service.run(request_)
             assert not mutated.from_cache
             assert _accuracies(mutated) != _accuracies(before)
         finally:
             param.data = original
         # Restoring the weights restores the original fingerprint — the
         # first entry serves again, untouched by the interlude.
-        restored = service.submit(request_)
+        restored = service.run(request_)
         assert restored.from_cache
         assert _accuracies(restored) == _accuracies(before)
 
@@ -147,22 +147,22 @@ class TestFingerprintInvalidation:
         (this is what makes the X2 ablation safe to cache)."""
         layer = trained_capsnet.class_caps
         baseline_crc = model_fingerprint(trained_capsnet)
-        before = service.submit(request_)
+        before = service.run(request_)
         saved = layer.routing_iterations
         try:
             layer.routing_iterations = saved + 2
             assert model_fingerprint(trained_capsnet) != baseline_crc
-            deeper = service.submit(request_)
+            deeper = service.run(request_)
             assert not deeper.from_cache
         finally:
             layer.routing_iterations = saved
-        assert service.submit(request_).from_cache
-        assert _accuracies(service.submit(request_)) == _accuracies(before)
+        assert service.run(request_).from_cache
+        assert _accuracies(service.run(request_)) == _accuracies(before)
 
 
 class TestSchemaRoundTrip:
     def test_result_round_trips_exactly(self, service, request_):
-        result = service.submit(request_)
+        result = service.run(request_)
         clone = AnalysisResult.from_json(result.to_json())
         assert clone == result
         assert _accuracies(clone) == _accuracies(result)
@@ -180,7 +180,7 @@ class TestSchemaRoundTrip:
             AnalysisRequest.from_payload(payload)
 
     def test_store_treats_foreign_schema_as_miss(self, service, request_):
-        result = service.submit(request_)
+        result = service.run(request_)
         assert not result.from_cache
         # Tamper the stored entry's schema marker: the store must fall
         # back to recomputing rather than deserialising blind.
@@ -192,12 +192,12 @@ class TestSchemaRoundTrip:
         with open(path, "w") as stream:
             json.dump(payload, stream)
         assert service.store.get(key) is None
-        again = service.submit(request_)
+        again = service.run(request_)
         assert not again.from_cache
         assert _accuracies(again) == _accuracies(result)
 
     def test_inspect_entries(self, service, request_):
-        service.submit(request_)
+        service.run(request_)
         entries = service.store.entries()
         assert len(entries) == 1
         entry = entries[0]
@@ -205,3 +205,104 @@ class TestSchemaRoundTrip:
         assert entry.targets == 2
         assert entry.nm_values == len(NM_VALUES)
         assert entry.noise == "gaussian"
+
+
+class TestGc:
+    """ISSUE 4 satellite: ``ResultStore.gc`` / ``repro gc`` reclaim disk
+    from stale, orphaned, aged and (opt-in) all entries."""
+
+    @pytest.fixture()
+    def populated(self, service, request_):
+        service.run(request_)
+        service.run(dataclasses.replace(request_, seed=9))
+        return service.store
+
+    def _corrupt(self, store, kind: str) -> str:
+        import os
+        if kind == "orphan":
+            path = os.path.join(store.root, "leftover-write.tmp")
+            with open(path, "w") as stream:
+                stream.write("{}")
+        elif kind == "garbage":
+            path = os.path.join(store.root, "not-a-result.json")
+            with open(path, "w") as stream:
+                stream.write("{ definitely not json")
+        else:  # stale schema
+            key = store.keys()[0]
+            path = store.path_for(key)
+            with open(path) as stream:
+                payload = json.load(stream)
+            payload["schema"] = 999
+            with open(path, "w") as stream:
+                json.dump(payload, stream)
+        return path
+
+    def test_default_gc_removes_only_stale_and_orphans(self, populated):
+        self._corrupt(populated, "orphan")
+        self._corrupt(populated, "garbage")
+        report = populated.gc()
+        assert report.removed == 2
+        assert report.by_reason == {"orphaned": 1, "stale": 1}
+        assert report.reclaimed_bytes > 0
+        assert report.kept == 2
+        assert len(populated.keys()) == 2  # live entries untouched
+
+    def test_stale_schema_entries_are_collected(self, populated):
+        self._corrupt(populated, "schema")
+        report = populated.gc()
+        assert report.by_reason == {"stale": 1}
+        assert report.kept == 1
+
+    def test_non_dict_json_documents_are_collected(self, populated):
+        """Review regression: a document that parses as JSON but is not a
+        result dict (a bare ``null``) must read as a miss and be
+        gc-collectable, not crash gc/inspect with AttributeError."""
+        import os
+        path = os.path.join(populated.root, "null-doc.json")
+        with open(path, "w") as stream:
+            stream.write("null")
+        assert populated.get("null-doc") is None
+        assert populated.entries()  # inspect path survives too
+        report = populated.gc()
+        assert report.by_reason == {"stale": 1}
+        assert not os.path.exists(path)
+
+    def test_older_than_expires_by_mtime(self, populated):
+        import os
+        import time
+        old_key = populated.keys()[-1]
+        ancient = time.time() - 90 * 86400
+        os.utime(populated.path_for(old_key), (ancient, ancient))
+        report = populated.gc(older_than=30 * 86400)
+        assert report.by_reason == {"expired": 1}
+        assert report.kept == 1
+        assert old_key not in populated.keys()
+
+    def test_everything_prunes_all(self, populated):
+        report = populated.gc(everything=True)
+        assert report.removed == 2 and report.kept == 0
+        assert populated.keys() == []
+        assert populated.gc().removed == 0  # idempotent on empty
+
+    def test_prune_delegates_to_gc(self, populated):
+        assert populated.prune() == 2
+        assert populated.keys() == []
+
+    def test_cli_gc_reports_reclaimed_bytes(self, populated, capsys):
+        from repro.cli import main
+        self._corrupt(populated, "orphan")
+        assert main(["gc", "--cache-dir", populated.root]) == 0
+        out = capsys.readouterr().out
+        assert "1 orphaned" in out and "reclaimed" in out and "kept 2" in out
+        assert main(["gc", "--all", "--cache-dir", populated.root]) == 0
+        assert "2 pruned" in capsys.readouterr().out
+        assert populated.keys() == []
+
+    def test_cli_gc_age_parsing(self, populated, capsys):
+        from repro.cli import main
+        assert main(["gc", "--older-than", "30d",
+                     "--cache-dir", populated.root]) == 0
+        assert "kept 2" in capsys.readouterr().out
+        assert main(["gc", "--older-than", "soon",
+                     "--cache-dir", populated.root]) == 2
+        assert "invalid age" in capsys.readouterr().err

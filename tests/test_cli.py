@@ -80,6 +80,62 @@ class TestSweepFlagRouting:
             assert not ARTIFACTS[name].sweeps, name
 
 
+class TestBackendFlagRouting:
+    """ISSUE 4 satellite: --backend/--max-parallel/--remote follow the
+    same loud-error contract as the PR 3 sweep flags."""
+
+    def test_backend_rejected_for_analytic_artifact(self, capsys):
+        assert main(["run", "table1", "--backend", "threads"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "--backend" in err
+
+    def test_max_parallel_requires_parallel_backend(self, capsys):
+        assert main(["run", "fig9", "--max-parallel", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--max-parallel" in err and "threads" in err
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig9", "--backend", "gpu"])
+
+    def test_remote_conflicts_with_local_service_flags(self, capsys):
+        assert main(["run", "fig9", "--remote", "http://localhost:1",
+                     "--cache-dir", "/tmp/x"]) == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir" in err and "--remote" in err
+        assert main(["run", "fig9", "--remote", "http://localhost:1",
+                     "--backend", "threads"]) == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_remote_rejected_for_non_sweep_artifact(self, capsys):
+        assert main(["run", "table1", "--remote",
+                     "http://localhost:1"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "--remote" in err
+
+    def test_remote_rejected_for_in_process_artifacts(self, capsys):
+        """Review regression: x2 mutates the model in-process; with
+        --remote it must error at validation time, not crash mid-run."""
+        assert main(["run", "x2", "--remote", "http://localhost:1"]) == 2
+        err = capsys.readouterr().err
+        assert "x2" in err and "in-process" in err
+        assert main(["run", "all", "--quick", "--remote",
+                     "http://localhost:1"]) == 2
+        assert "x2" in capsys.readouterr().err
+
+    def test_run_through_threads_backend(self, tmp_path, capsys):
+        """End-to-end: the flags reach the service (fig9 --quick on the
+        threads backend, sharded, against an isolated store)."""
+        assert main(["run", "fig9", "--quick", "--backend", "threads",
+                     "--max-parallel", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out and "softmax" in out
+        assert main(["inspect", "--cache-dir", str(tmp_path)]) == 0
+        # Parent result + one shard per injectable group persisted.
+        assert "5 entries" in capsys.readouterr().out
+
+
 def test_json_output(capsys):
     assert main(["run", "fig5", "--json"]) == 0
     payloads = json.loads(capsys.readouterr().out)
@@ -99,7 +155,7 @@ class TestInspect:
                                ResilienceService)
         service = ResilienceService(cache_dir=str(tmp_path))
         service.register("cli-test", trained_capsnet, mnist_splits[1])
-        service.submit(AnalysisRequest(
+        service.run(AnalysisRequest(
             model=ModelRef(session="cli-test"),
             targets=(("softmax", None),), nm_values=(0.5, 0.0),
             eval_samples=48, options=ExecutionOptions(batch_size=48)))

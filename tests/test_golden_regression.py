@@ -18,7 +18,8 @@ import json
 
 import pytest
 
-from golden_common import GOLDEN_MODELS, SWEEP_GOLDEN, measure_sweep
+from golden_common import (GOLDEN_MODELS, SWEEP_GOLDEN, measure_sweep,
+                           measure_sweep_via_service)
 
 pytestmark = pytest.mark.slow
 
@@ -45,6 +46,23 @@ def test_strategy_reproduces_golden(golden_setup, golden, strategy):
     expected = golden[name][STRATEGY_TIER[strategy]]
     measured = measure_sweep(model, test_set, strategy)
     assert measured == expected, (name, strategy)
+
+
+@pytest.mark.parametrize("backend_config", [
+    {"backend": "inline"},
+    {"backend": "threads", "max_parallel": 2},
+    {"backend": "threads", "max_parallel": 2, "nm_chunk": 2},
+], ids=["inline", "threads-target-shards", "threads-nm-shards"])
+def test_service_backends_reproduce_golden(golden_setup, golden,
+                                           backend_config):
+    """The futures-first service path (ISSUE 4) must reproduce the frozen
+    vectorized-tier curves bit-exactly on every in-process backend and
+    through the scheduler's shard-merge (per-target and NM-chunk)."""
+    name, model, test_set = golden_setup
+    expected = golden[name]["vectorized"]
+    measured = measure_sweep_via_service(model, test_set, "vectorized",
+                                         **backend_config)
+    assert measured == expected, (name, backend_config)
 
 
 def test_golden_file_covers_both_models(golden):
