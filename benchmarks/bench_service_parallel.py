@@ -1,4 +1,4 @@
-"""Cross-request parallelism of the futures-first service (ISSUE 4).
+"""Cross-request parallelism and progressive streaming of the service.
 
 Two *distinct-model* Fig. 9-style requests (DeepCaps/MNIST and
 CapsNet/MNIST) are measured twice: serialized through the ``inline``
@@ -13,6 +13,14 @@ honest ratio hovers around 1.0 (the win there is latency *fairness*, not
 throughput); the >1 throughput assertion therefore only arms on
 multi-core hosts.  Both paths must agree byte-for-byte regardless — that
 part is asserted unconditionally.
+
+The streaming bench (ISSUE 5) measures what the progressive-results API
+buys a triage client: the wall-clock from submission to the *first*
+``shard_done`` event (usable partial curves) versus the full-run
+latency, recorded under ``custom_metrics`` as
+``service_stream_time_to_first_curve_seconds`` /
+``service_stream_full_run_seconds`` / ``..._fraction``.  On any sharded
+run the first curve must land strictly before the last.
 """
 
 from __future__ import annotations
@@ -95,3 +103,46 @@ def test_service_parallel_distinct_models(benchmark, quick_scale):
     assert speedup > 0.6
     if cores >= 2:
         assert speedup > 1.05
+
+
+def test_service_stream_time_to_first_curve(benchmark, quick_scale):
+    """ISSUE 5 satellite: the event stream hands a triage client its
+    first usable partial curve well before the full result resolves."""
+    request = _requests(quick_scale)[0]          # DeepCaps/MNIST, 4 groups
+    service = ResilienceService(use_store=False, backend="threads",
+                                max_parallel=2)
+    try:
+        service.run(request)                     # warm engine + zoo, untimed
+        timings: dict[str, float] = {}
+
+        def stream_run():
+            start = time.perf_counter()
+            handle = service.submit(request)
+            for event in handle.events():
+                if event.kind == "shard_done" and "first" not in timings:
+                    timings["first"] = time.perf_counter() - start
+                    # The embedded partial may already be compacted away
+                    # if a later shard superseded it before we read the
+                    # event; the handle snapshot is always current.
+                    partial = event.payload.get("partial")
+                    timings["first_points"] = (
+                        sum(len(curve["points"])
+                            for curve in partial["curves"])
+                        if partial is not None
+                        else handle.partial().points_measured())
+            handle.result()
+            timings["full"] = time.perf_counter() - start
+
+        run_once(benchmark, stream_run)
+    finally:
+        service.close()
+    first, full = timings["first"], timings["full"]
+    fraction = first / full
+    record_metric("service_stream_time_to_first_curve_seconds", first)
+    record_metric("service_stream_full_run_seconds", full)
+    record_metric("service_stream_time_to_first_curve_fraction", fraction)
+    print(f"\nfirst shard_done after {first:.2f}s with "
+          f"{timings['first_points']} partial points; full run {full:.2f}s "
+          f"({fraction:.0%} of full latency)")
+    assert timings["first_points"] > 0      # the partial carried curves
+    assert first < full                     # streamed strictly earlier

@@ -5,7 +5,8 @@ Walks the full paper pipeline on the smallest benchmark in ~1 minute:
 1. train a scaled CapsNet [25] on the synthetic MNIST stand-in;
 2. show the Eq. 3-4 noise model degrading accuracy as NM grows;
 3. submit a declarative resilience query through the analysis service
-   (futures-first: a handle now, the curves when you ask);
+   (futures-first: a handle now, partial curves as shards land via the
+   event stream, the full curves when you ask);
 4. run the six-step ReD-CaNe methodology to design an approximate CapsNet.
 
 Run:  python examples/quickstart.py
@@ -43,21 +44,33 @@ def main() -> None:
           "(the paper's headline finding)\n")
 
     # 3. The same question as a declarative, handle-based submission ------
-    # (swap backend="threads" to sweep several submissions concurrently,
-    # or point a RemoteService at `repro serve` for out-of-process work)
-    service = ResilienceService(use_store=False)
+    # The threads backend shards the request per target, and the handle's
+    # event stream delivers each shard's merged-so-far partial curves the
+    # moment it lands — a triage client can rank targets long before the
+    # full run finishes.  (Point a RemoteService at `repro serve` and the
+    # identical loop consumes the chunked HTTP event stream instead;
+    # handle.cancel() would drop the unstarted shards cooperatively.)
+    service = ResilienceService(use_store=False, backend="threads",
+                                max_parallel=2)
     ref = service.register("quickstart", model, test_set)
     handle = service.submit(AnalysisRequest(
         model=ref, targets=((GROUP_MAC, None), (GROUP_SOFTMAX, None)),
         nm_values=(0.5, 0.05, 0.005, 0.0),
         options=ExecutionOptions(batch_size=64)))
-    print(f"submitted analysis job {handle.key[:16]}… "
-          f"[{handle.status()}, {handle.progress['shards_done']}/"
-          f"{handle.progress['shards_total']} shards]")
-    result = handle.result()          # blocks until measured
+    print(f"submitted analysis job {handle.key[:16]}… [{handle.status()}]")
+    for event in handle.events():     # live progress, then the terminal event
+        if event.kind == "shard_done":
+            partial = handle.partial()
+            done = ", ".join(str(key) for key in partial.curves)
+            print(f"  {event.kind}: {partial.shards_done}/"
+                  f"{partial.shards_total} shards, curves so far: {done}")
+        else:
+            print(f"  {event.kind}")
+    result = handle.result()          # already resolved; exact final curves
     for group in (GROUP_MAC, GROUP_SOFTMAX):
         tolerable = result.curve_for(group).tolerable_nm()
         print(f"  tolerable NM for {group}: {tolerable:g}")
+    service.close()
     print()
 
     # 4. The six-step methodology -----------------------------------------

@@ -9,10 +9,17 @@ with answers persisted content-addressed (:class:`ResultStore`) so
 repeated artifact runs are cache hits and mutated models auto-invalidate.
 *Where* a measurement executes is a pluggable backend
 (:mod:`repro.api.backends`): ``inline`` (blocking reference), ``threads``
-(cross-request parallelism), or ``subprocess`` (schema-JSON workers);
-large requests shard per target (:mod:`repro.api.scheduler`) and merge
-byte-identically.  :mod:`repro.api.server` serves the same schema over
-HTTP (``repro serve``) with :class:`RemoteService` as the thin client.
+(cross-request parallelism), ``subprocess`` (schema-JSON workers), or
+``procpool`` (persistent warm workers); large requests shard per target
+(:mod:`repro.api.scheduler`) through a bounded priority queue
+(:class:`ShardQueue`, :class:`QueueFull` backpressure) and merge
+byte-identically.  Progress is first-class: handles stream typed
+lifecycle events (:mod:`repro.api.events`), expose merged-so-far
+:class:`PartialResult` snapshots, and support cooperative
+:meth:`~AnalysisHandle.cancel`.  :mod:`repro.api.server` serves the same
+schema over HTTP (``repro serve``) — including a chunked event stream,
+cancellation and 429 backpressure — with :class:`RemoteService` as the
+thin client.
 
 Typical use::
 
@@ -32,14 +39,18 @@ layer; see ``docs/api.md`` for the schema, backends, cache layout and
 migration notes.
 """
 
-from ..core.sweep import ExecutionOptions
+from ..core.sweep import ExecutionOptions, SweepCancelled
 from .backends import (BACKEND_NAMES, BackendError, ExecutionBackend,
-                       InlineBackend, SubprocessBackend, ThreadBackend,
-                       make_backend)
+                       InlineBackend, ProcPoolBackend, SubprocessBackend,
+                       ThreadBackend, make_backend)
+from .events import (EVENT_KINDS, TERMINAL_EVENTS, AnalysisCancelled,
+                     AnalysisEvent, CancelToken, EventLog)
 from .request import (NOISE_KINDS, SCHEMA_VERSION, AnalysisRequest,
-                      AnalysisResult, ModelRef, SchemaError)
-from .scheduler import ShardMismatch, merge_shards, plan_shards
-from .server import AnalysisServer, RemoteError, RemoteHandle, RemoteService
+                      AnalysisResult, ModelRef, PartialResult, SchemaError)
+from .scheduler import (QueueFull, ShardMismatch, ShardQueue, merge_partial,
+                        merge_shards, plan_shards)
+from .server import (AnalysisServer, RemoteBusy, RemoteError, RemoteHandle,
+                     RemoteService)
 from .service import (AnalysisHandle, ResilienceService, ResolvedModel,
                       ServiceStats, ShardProgress, dataset_fingerprint,
                       default_service)
@@ -48,11 +59,16 @@ from .store import (GcReport, ResultStore, StoreEntry, default_store_root,
 
 __all__ = [
     "SCHEMA_VERSION", "NOISE_KINDS", "SchemaError",
-    "ModelRef", "AnalysisRequest", "AnalysisResult", "ExecutionOptions",
+    "ModelRef", "AnalysisRequest", "AnalysisResult", "PartialResult",
+    "ExecutionOptions",
+    "EVENT_KINDS", "TERMINAL_EVENTS", "AnalysisEvent", "EventLog",
+    "CancelToken", "AnalysisCancelled", "SweepCancelled",
     "BACKEND_NAMES", "BackendError", "ExecutionBackend", "InlineBackend",
-    "ThreadBackend", "SubprocessBackend", "make_backend",
-    "ShardMismatch", "plan_shards", "merge_shards",
+    "ThreadBackend", "SubprocessBackend", "ProcPoolBackend", "make_backend",
+    "ShardMismatch", "plan_shards", "merge_shards", "merge_partial",
+    "ShardQueue", "QueueFull",
     "AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError",
+    "RemoteBusy",
     "AnalysisHandle", "ShardProgress",
     "ResilienceService", "ResolvedModel", "ServiceStats", "default_service",
     "dataset_fingerprint",

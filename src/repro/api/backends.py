@@ -8,7 +8,7 @@ runner and returns a :class:`concurrent.futures.Future` resolving to an
 :class:`~repro.api.request.AnalysisResult` — so the scheduler and the
 handle layer are backend-agnostic.
 
-Three implementations:
+Four implementations:
 
 ``inline``
     Runs the measurement synchronously on the submitting thread.  This is
@@ -31,6 +31,23 @@ Three implementations:
     real wire format.  Workers resolve benchmark/zoo refs themselves
     (session refs cannot cross a process boundary and error loudly) and
     run store-less; the parent owns persistence.
+``procpool``
+    Process isolation without the per-shard spin-up: a pool of
+    *persistent* worker processes (``python -m repro.api.backends
+    --pool-worker``) speaking the same request/result JSON, one framed
+    document per line over stdin/stdout.  Each worker keeps a store-less
+    in-process service alive between shards, so the ~1s interpreter
+    start-up, the zoo weight load *and* the engine's prefix-activation
+    cache are all paid once per worker instead of once per shard.  The
+    worker immediately re-points its ``stdout`` at ``stderr`` so
+    incidental prints (e.g. a zoo training run on a cold cache) can
+    never corrupt the protocol channel.  Crashed workers fail their
+    current shard loudly and are replaced on the next borrow.
+
+Progress contract: every ``submit`` accepts an optional ``on_start``
+callback invoked when the measurement *actually begins* (on the worker
+thread, after any pool queuing) — this is what feeds honest ``started``
+events upstream, rather than "was handed to a pool".
 
 ``make_backend`` is the one validation/construction choke point — the
 CLI's ``--backend``/``--max-parallel`` flags and the service constructor
@@ -40,6 +57,7 @@ everywhere.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -52,10 +70,11 @@ from .request import AnalysisRequest, AnalysisResult
 
 __all__ = ["BACKEND_NAMES", "BackendError", "ExecutionBackend",
            "InlineBackend", "ThreadBackend", "SubprocessBackend",
-           "make_backend"]
+           "ProcPoolBackend", "make_backend"]
 
 #: Valid values of the service/CLI ``backend`` knob.
-BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess")
+BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess",
+                                  "procpool")
 
 #: Default shard concurrency for the parallel backends when the caller
 #: does not pass ``max_parallel`` (bounded: sweeps are memory-hungry).
@@ -78,13 +97,28 @@ class ExecutionBackend:
     name: str = "abstract"
     parallel: int = 1
 
-    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
         """Execute ``runner(request)`` (or an equivalent out-of-process
-        measurement of ``request``) and return a Future of the result."""
+        measurement of ``request``) and return a Future of the result.
+        ``on_start`` fires when the measurement actually begins."""
         raise NotImplementedError
 
     def close(self) -> None:
         """Release worker pools; the backend is unusable afterwards."""
+
+
+def _with_start(runner: Runner,
+                on_start: Callable[[], None] | None) -> Runner:
+    """Wrap ``runner`` so ``on_start`` fires on the executing thread."""
+    if on_start is None:
+        return runner
+
+    def wrapped(request: AnalysisRequest) -> AnalysisResult:
+        on_start()
+        return runner(request)
+
+    return wrapped
 
 
 class InlineBackend(ExecutionBackend):
@@ -98,11 +132,12 @@ class InlineBackend(ExecutionBackend):
     name = "inline"
     parallel = 1
 
-    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
-            future.set_result(runner(request))
+            future.set_result(_with_start(runner, on_start)(request))
         except BaseException as exc:  # noqa: BLE001 — delivered via the future
             future.set_exception(exc)
         return future
@@ -126,14 +161,25 @@ class ThreadBackend(ExecutionBackend):
                     thread_name_prefix="repro-sweep")
             return self._pool
 
-    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
-        return self._ensure_pool().submit(runner, request)
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
+        return self._ensure_pool().submit(_with_start(runner, on_start),
+                                          request)
 
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+
+def _reject_session_ref(backend_name: str, request: AnalysisRequest) -> None:
+    if request.model.session is not None:
+        raise BackendError(
+            f"the {backend_name} backend cannot serve session ref "
+            f"{request.model.key!r}: in-memory models do not cross a "
+            f"process boundary (use benchmark=/preset= refs, or the "
+            f"inline/threads backends)")
 
 
 class SubprocessBackend(ExecutionBackend):
@@ -151,17 +197,132 @@ class SubprocessBackend(ExecutionBackend):
         self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
         self._dispatch = ThreadBackend(self.parallel)
 
-    def submit(self, request: AnalysisRequest, runner: Runner) -> Future:
-        if request.model.session is not None:
-            raise BackendError(
-                f"the subprocess backend cannot serve session ref "
-                f"{request.model.key!r}: in-memory models do not cross a "
-                f"process boundary (use benchmark=/preset= refs, or the "
-                f"inline/threads backends)")
-        return self._dispatch.submit(request, _run_in_worker)
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
+        _reject_session_ref(self.name, request)
+        return self._dispatch.submit(request, _run_in_worker,
+                                     on_start=on_start)
 
     def close(self) -> None:
         self._dispatch.close()
+
+
+class _PoolWorker:
+    """One persistent ``--pool-worker`` process of the procpool backend."""
+
+    def __init__(self):
+        handle, self.stderr_path = tempfile.mkstemp(
+            prefix="repro-poolworker-", suffix=".log")
+        self._stderr = os.fdopen(handle, "w")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.api.backends", "--pool-worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=self._stderr, text=True, env=_worker_env())
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def _stderr_tail(self) -> str:
+        self._stderr.flush()
+        try:
+            with open(self.stderr_path) as stream:
+                return stream.read().strip()[-2000:]
+        except OSError:
+            return ""
+
+    def measure(self, request: AnalysisRequest) -> AnalysisResult:
+        """One framed request/response round trip (raises on crash)."""
+        try:
+            self.process.stdin.write(request.to_json() + "\n")
+            self.process.stdin.flush()
+            line = self.process.stdout.readline()
+        except (OSError, ValueError) as exc:
+            raise BackendError(
+                f"procpool worker pipe failed ({exc}); "
+                f"worker log tail:\n{self._stderr_tail()}") from None
+        if not line:
+            code = self.process.poll()
+            raise BackendError(
+                f"procpool worker exited (status {code}) mid-request"
+                + (f":\n{self._stderr_tail()}" if self._stderr_tail()
+                   else ""))
+        envelope = json.loads(line)
+        if "error" in envelope:
+            raise BackendError(
+                f"procpool worker failed: {envelope['error']}")
+        return AnalysisResult.from_payload(envelope["ok"])
+
+    def close(self) -> None:
+        try:
+            if self.alive():
+                self.process.stdin.close()   # EOF -> worker loop exits
+                self.process.wait(timeout=5)
+        except (OSError, ValueError, subprocess.TimeoutExpired):
+            self.process.kill()
+        finally:
+            self._stderr.close()
+            if os.path.exists(self.stderr_path):
+                os.remove(self.stderr_path)
+
+
+class ProcPoolBackend(ExecutionBackend):
+    """Warm process pool: persistent workers speaking request/result JSON.
+
+    Workers are spawned lazily (first borrow) and reused across shards,
+    amortising the interpreter spin-up, zoo weight load and engine
+    prefix-cache that :class:`SubprocessBackend` pays per shard.  A
+    worker that crashes fails its current shard with
+    :class:`BackendError` and is simply not returned to the idle pool —
+    the next borrow spawns a replacement.
+    """
+
+    name = "procpool"
+
+    def __init__(self, max_parallel: int = 0):
+        self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
+        self._dispatch = ThreadBackend(self.parallel)
+        self._idle: list[_PoolWorker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
+        _reject_session_ref(self.name, request)
+        return self._dispatch.submit(request, self._run_on_worker,
+                                     on_start=on_start)
+
+    def _borrow(self) -> _PoolWorker:
+        with self._lock:
+            if self._closed:
+                raise BackendError("procpool backend is closed")
+            while self._idle:
+                worker = self._idle.pop()
+                if worker.alive():
+                    return worker
+                worker.close()
+        return _PoolWorker()
+
+    def _run_on_worker(self, request: AnalysisRequest) -> AnalysisResult:
+        worker = self._borrow()
+        try:
+            result = worker.measure(request)
+        except BaseException:
+            worker.close()               # never reuse a suspect worker
+            raise
+        with self._lock:
+            if not self._closed:
+                self._idle.append(worker)
+                return result
+        worker.close()
+        return result
+
+    def close(self) -> None:
+        self._dispatch.close()           # waits for in-flight borrows
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.close()
 
 
 def _worker_env() -> dict:
@@ -207,17 +368,53 @@ def _run_in_worker(request: AnalysisRequest) -> AnalysisResult:
             os.remove(result_path)
 
 
+def _pool_worker_main() -> int:
+    """``python -m repro.api.backends --pool-worker`` — persistent loop.
+
+    Serves framed measurements until stdin closes: one request JSON per
+    line in, one ``{"ok": <result payload>}`` or ``{"error": <message>}``
+    envelope per line out.  The real stdout fd is captured for the
+    protocol and ``sys.stdout``/fd 1 are re-pointed at stderr first, so
+    incidental prints inside measurement code (zoo training on a cold
+    cache, progress chatter) land in the log instead of the channel.
+
+    One store-less service lives for the whole loop: shards of the same
+    model reuse its engine cache — the warmth the backend exists for.
+    """
+    channel = os.fdopen(os.dup(sys.stdout.fileno()), "w")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    sys.stdout = sys.stderr
+    from .service import ResilienceService
+    service = ResilienceService(use_store=False)
+    for line in sys.stdin:
+        if not line.strip():
+            continue
+        try:
+            result = service.run(AnalysisRequest.from_json(line))
+            envelope = {"ok": result.to_payload()}
+        except Exception as exc:  # noqa: BLE001 — reported to the parent
+            envelope = {"error": f"{type(exc).__name__}: {exc}"}
+        channel.write(json.dumps(envelope, sort_keys=True) + "\n")
+        channel.flush()
+    return 0
+
+
 def worker_main(argv: list[str] | None = None) -> int:
     """``python -m repro.api.backends <result-path>`` — the worker body.
 
     Reads one :class:`AnalysisRequest` JSON document on stdin, measures
     it with a store-less inline service, writes the
-    :class:`AnalysisResult` JSON to ``<result-path>``.
+    :class:`AnalysisResult` JSON to ``<result-path>``.  With
+    ``--pool-worker`` instead, serves the procpool's persistent framed
+    loop (see :func:`_pool_worker_main`).
     """
     argv = sys.argv[1:] if argv is None else argv
+    if argv == ["--pool-worker"]:
+        return _pool_worker_main()
     if len(argv) != 1:
         print("usage: python -m repro.api.backends <result-path> "
-              "(request JSON on stdin)", file=sys.stderr)
+              "(request JSON on stdin), or --pool-worker for the "
+              "persistent procpool loop", file=sys.stderr)
         return 2
     from .service import ResilienceService
     request = AnalysisRequest.from_json(sys.stdin.read())
@@ -258,6 +455,8 @@ def make_backend(backend: str | ExecutionBackend | None,
         return InlineBackend()
     if name == "threads":
         return ThreadBackend(max_parallel or 0)
+    if name == "procpool":
+        return ProcPoolBackend(max_parallel or 0)
     return SubprocessBackend(max_parallel or 0)
 
 

@@ -20,6 +20,16 @@ gives those queries a declarative, serialisable shape:
     JSON-round-trippable, which is what makes the persistent
     :class:`~repro.api.store.ResultStore` possible.
 
+:class:`PartialResult`
+    *What has been measured so far*: the merged-so-far curves of a
+    still-running request, one snapshot per completed shard.  Partials
+    merge **monotonically** — the set of measured (target, NM) points
+    only ever grows, and a point's value never changes once it appears —
+    and the final merge is byte-identical to the blocking
+    :class:`AnalysisResult` (both are assembled by the same
+    shard-concatenation code path).  Schema-versioned and
+    JSON-round-trippable like everything else on the wire.
+
 Schema versioning: every payload carries ``{"schema": SCHEMA_VERSION}``.
 Loading a payload from a different version raises — the store treats such
 entries as misses rather than guessing at migrations.
@@ -35,7 +45,7 @@ from ..core.resilience import PAPER_NM_SWEEP, ResilienceCurve, ResiliencePoint
 from ..core.sweep import ExecutionOptions, SweepTarget
 
 __all__ = ["SCHEMA_VERSION", "NOISE_KINDS", "ModelRef", "AnalysisRequest",
-           "AnalysisResult", "SchemaError"]
+           "AnalysisResult", "PartialResult", "SchemaError"]
 
 #: Version of the request/result JSON schema.  Bump on breaking changes.
 SCHEMA_VERSION = 1
@@ -293,4 +303,80 @@ class AnalysisResult:
 
     @classmethod
     def from_json(cls, text: str) -> "AnalysisResult":
+        return cls.from_payload(json.loads(text))
+
+
+@dataclass
+class PartialResult:
+    """Merged-so-far curves of a still-running request (module docstring).
+
+    ``curves`` holds one (possibly point-incomplete) curve per target
+    that has at least one completed shard; targets with nothing measured
+    yet are absent.  ``complete`` flips exactly when every shard landed,
+    at which point the curves carry every requested point and agree
+    byte-for-byte with the job's final :class:`AnalysisResult`.
+    """
+
+    request: AnalysisRequest
+    curves: dict
+    shards_total: int
+    shards_done: int
+    baseline_accuracy: float | None = None
+    complete: bool = False
+    schema: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_result(cls, result: AnalysisResult,
+                    shards_total: int = 1) -> "PartialResult":
+        """The trivial complete partial of an already-resolved result."""
+        return cls(request=result.request, curves=dict(result.curves),
+                   shards_total=shards_total, shards_done=shards_total,
+                   baseline_accuracy=result.baseline_accuracy,
+                   complete=True)
+
+    def curve_for(self, group: str, layer: str | None = None
+                  ) -> ResilienceCurve | None:
+        """The merged-so-far curve of one target (``None`` if nothing of
+        it has completed yet)."""
+        return self.curves.get(SweepTarget(group, layer).key)
+
+    def points_measured(self) -> int:
+        """Total measured points across every target so far."""
+        return sum(len(curve.points) for curve in self.curves.values())
+
+    # -------------------------------------------------------- serialisation
+    def to_payload(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "request": self.request.to_payload(),
+            "curves": [_curve_to_payload(curve)
+                       for curve in self.curves.values()],
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
+            "baseline_accuracy": self.baseline_accuracy,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PartialResult":
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise SchemaError(f"unsupported partial-result schema "
+                              f"{schema!r} (supported: {SCHEMA_VERSION})")
+        curves = {}
+        for entry in payload["curves"]:
+            curve = _curve_from_payload(entry)
+            curves[SweepTarget(curve.group, curve.layer).key] = curve
+        return cls(request=AnalysisRequest.from_payload(payload["request"]),
+                   curves=curves,
+                   shards_total=payload["shards_total"],
+                   shards_done=payload["shards_done"],
+                   baseline_accuracy=payload["baseline_accuracy"],
+                   complete=payload["complete"])
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartialResult":
         return cls.from_payload(json.loads(text))

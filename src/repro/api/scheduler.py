@@ -18,17 +18,39 @@ results in the parent's target and NM order.  Shards are full
 the service's normal pipeline — content-addressed store lookups and
 in-flight deduplication work per shard, making the store the shared
 dedup layer between overlapping requests.
+
+:func:`merge_partial` is the progressive-results face of the same
+determinism argument: because every shard is independently exact, the
+subset of shards that has completed *so far* already carries final curve
+points — merging them early (in plan order, gaps skipped) yields a
+monotonically-growing snapshot whose final state is byte-identical to
+:func:`merge_shards` over the full set.
+
+:class:`ShardQueue` is where dispatch meets backpressure: a bounded
+priority queue between the service and its execution backend.  At most
+``backend.parallel`` shards are in flight; the rest wait in a heap
+ordered by (priority desc, arrival), are dropped on cancellation before
+they ever start, and — when a ``limit`` is configured — new work is
+refused with :class:`QueueFull` (HTTP 429 upstream) instead of queuing
+unboundedly.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
 
 from ..core.resilience import ResilienceCurve
 from ..core.sweep import SweepTarget
+from .events import AnalysisCancelled, CancelToken
 from .request import AnalysisRequest
 
-__all__ = ["plan_shards", "merge_shards", "merge_curves", "ShardMismatch"]
+__all__ = ["plan_shards", "merge_shards", "merge_curves", "merge_partial",
+           "ShardMismatch", "ShardQueue", "QueueFull"]
 
 
 class ShardMismatch(RuntimeError):
@@ -114,3 +136,240 @@ def merge_shards(request: AnalysisRequest,
                 f"({len(chunks)}/{expected_chunks} chunks present)")
         curves[target.key] = merged
     return curves
+
+
+def merge_partial(request: AnalysisRequest,
+                  shards: list[AnalysisRequest],
+                  results: list) -> tuple[dict, int]:
+    """Merged-so-far curves from the completed subset of ``shards``.
+
+    ``results`` is parallel to ``shards`` (plan order) with ``None`` in
+    the slots of shards that have not completed.  Only ``request``'s own
+    targets are assembled (a batched group's union may be wider).
+    Returns ``(curves, shards_done)``; curves concatenate completed
+    chunks in plan order with missing chunks simply absent, so the point
+    *set* grows monotonically as results land and — once every slot is
+    filled — equals the :func:`merge_shards` output exactly (same chunk
+    concatenation, same order).
+    """
+    wanted = {target.key: target for target in request.targets}
+    per_target: dict = {key: [] for key in wanted}
+    done = 0
+    for shard, result in zip(shards, results):
+        if result is None:
+            continue
+        done += 1
+        for target in shard.targets:
+            if target.key in per_target:
+                per_target[target.key].append(result.curves[target.key])
+    curves = {}
+    for key, chunks in per_target.items():
+        if chunks:
+            curves[key] = merge_curves(wanted[key], chunks)
+    return curves, done
+
+
+class QueueFull(RuntimeError):
+    """The service's dispatch queue is saturated; retry later.
+
+    Raised by :meth:`ShardQueue.check_admission` (and therefore by
+    ``ResilienceService.submit`` when a ``queue_limit`` is configured).
+    ``retry_after`` is the server's backoff hint in seconds — the HTTP
+    layer forwards it as a ``Retry-After`` header on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+@dataclasses.dataclass(order=True)
+class _QueueEntry:
+    """One shard waiting for dispatch capacity (heap-ordered)."""
+
+    sort_key: tuple
+    request: AnalysisRequest = dataclasses.field(compare=False)
+    runner: object = dataclasses.field(compare=False)
+    proxy: Future = dataclasses.field(compare=False)
+    cancel: CancelToken | None = dataclasses.field(compare=False)
+    on_start: object = dataclasses.field(compare=False)
+
+
+class ShardQueue:
+    """Bounded priority dispatch queue in front of one execution backend.
+
+    Every shard the service dispatches flows through :meth:`submit`: at
+    most ``backend.parallel`` are handed to the backend at a time, the
+    remainder wait in a max-priority / FIFO-within-priority heap.  This
+    buys three things the bare backends cannot give:
+
+    * **priority** — a high-priority submission overtakes queued (never
+      running) work, regardless of arrival order;
+    * **cancellation before start** — a queued shard whose
+      :class:`~repro.api.events.CancelToken` is set resolves
+      :class:`~repro.api.events.AnalysisCancelled` without ever touching
+      the backend (and :meth:`drop_cancelled` sweeps them out eagerly);
+    * **backpressure** — with a ``limit``, :meth:`check_admission`
+      refuses new work loudly (:class:`QueueFull` with a backoff hint)
+      instead of queuing unboundedly.
+
+    The queue adds no concurrency of its own: an ``inline`` backend
+    drains it synchronously (capacity 1, dispatch blocks), the parallel
+    backends drain it from their completion callbacks.
+    """
+
+    def __init__(self, backend, limit: int | None = None):
+        if limit is not None and limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {limit}")
+        self.backend = backend
+        self.limit = limit
+        self._heap: list[_QueueEntry] = []
+        self._ticket = itertools.count()
+        self._running = 0
+        self._avg_seconds = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return max(1, int(self.backend.parallel))
+
+    def snapshot(self) -> dict:
+        """Observable queue state (the ``/v1/health`` payload)."""
+        with self._lock:
+            queued = len(self._heap)
+            return {"queued": queued, "running": self._running,
+                    "capacity": self.capacity, "limit": self.limit,
+                    "saturated": (self.limit is not None
+                                  and queued >= self.limit)}
+
+    def check_admission(self, incoming: int = 1) -> None:
+        """Refuse new work while the existing backlog is saturated.
+
+        Admission is **accept-bounded**: a submission is refused exactly
+        when the queue already holds ``limit`` or more waiting shards.
+        An *admitted* submission may transiently push the backlog past
+        the limit with its own fan-out (a 36-shard fig10 request against
+        ``limit=4`` must remain runnable — refusing it would make large
+        requests permanently unservable), and an idle queue admits any
+        batch size; what the limit guarantees is that a saturated
+        service stops taking on new submissions until the backlog
+        drains.  ``incoming`` is accepted for signature stability but
+        does not change the verdict.
+
+        The backoff hint scales with how much work sits ahead: queued
+        depth × the EMA of recent shard durations (floor), so a
+        saturated queue of slow sweeps tells clients to come back later
+        than one of fast ones.
+        """
+        del incoming  # saturation is about the existing backlog
+        if self.limit is None:
+            return
+        with self._lock:
+            queued = len(self._heap)
+            if queued < self.limit:
+                return
+            retry_after = max(1.0, queued * max(self._avg_seconds, 0.1)
+                              / self.capacity)
+        raise QueueFull(
+            f"dispatch queue is full ({queued} queued, limit "
+            f"{self.limit}); retry in ~{retry_after:.0f}s",
+            retry_after=retry_after)
+
+    def submit(self, request: AnalysisRequest, runner, *,
+               priority: int = 0, cancel: CancelToken | None = None,
+               on_start=None) -> Future:
+        """Enqueue one shard; returns a future of its result.
+
+        ``runner`` and ``on_start`` are forwarded to the backend when the
+        shard reaches the front; a set ``cancel`` token resolves the
+        future with :class:`~repro.api.events.AnalysisCancelled` instead
+        (checked both at dispatch time and, via the wrapped runner, at
+        measurement start — so even backend-pool queues drop promptly).
+        """
+        proxy: Future = Future()
+        entry = _QueueEntry(sort_key=(-int(priority), next(self._ticket)),
+                            request=request, runner=runner, proxy=proxy,
+                            cancel=cancel, on_start=on_start)
+        with self._lock:
+            heapq.heappush(self._heap, entry)
+        self._pump()
+        return proxy
+
+    def drop_cancelled(self) -> int:
+        """Eagerly resolve queued entries whose cancel token is set.
+
+        The pump would drop them anyway when capacity frees; this makes
+        ``handle.cancel()`` observable immediately.  Returns the count.
+        """
+        with self._lock:
+            dropped = [entry for entry in self._heap
+                       if entry.cancel is not None and entry.cancel.is_set()]
+            if dropped:
+                kept = [entry for entry in self._heap
+                        if entry not in dropped]
+                heapq.heapify(kept)
+                self._heap = kept
+        for entry in dropped:
+            self._resolve_cancelled(entry)
+        return len(dropped)
+
+    # ----------------------------------------------------------- internals
+    @staticmethod
+    def _resolve_cancelled(entry: _QueueEntry) -> None:
+        if not entry.proxy.done():
+            entry.proxy.set_exception(AnalysisCancelled(
+                f"request {entry.request.fingerprint()} cancelled before "
+                f"its shard started"))
+
+    def _pump(self) -> None:
+        """Dispatch queued entries while capacity allows (thread-safe)."""
+        while True:
+            with self._lock:
+                if self._running >= self.capacity or not self._heap:
+                    return
+                entry = heapq.heappop(self._heap)
+                cancelled = (entry.cancel is not None
+                             and entry.cancel.is_set())
+                if not cancelled:
+                    self._running += 1
+            if cancelled:
+                self._resolve_cancelled(entry)
+                continue
+            self._dispatch(entry)
+
+    def _dispatch(self, entry: _QueueEntry) -> None:
+        started = time.monotonic()
+
+        def guarded(request):
+            # Late cancellation check: the shard may have sat in a
+            # backend pool queue after leaving this heap.
+            if entry.cancel is not None and entry.cancel.is_set():
+                raise AnalysisCancelled(
+                    f"request {request.fingerprint()} cancelled before "
+                    f"measurement started")
+            return entry.runner(request)
+
+        def release(inner: Future) -> None:
+            elapsed = time.monotonic() - started
+            with self._lock:
+                self._running -= 1
+                self._avg_seconds = (elapsed if self._avg_seconds == 0.0
+                                     else 0.7 * self._avg_seconds
+                                     + 0.3 * elapsed)
+            error = inner.exception()
+            if error is not None:
+                entry.proxy.set_exception(error)
+            else:
+                entry.proxy.set_result(inner.result())
+            self._pump()
+
+        try:
+            inner = self.backend.submit(entry.request, guarded,
+                                        on_start=entry.on_start)
+        except BaseException as exc:  # noqa: BLE001 — delivered via the proxy
+            with self._lock:
+                self._running -= 1
+            entry.proxy.set_exception(exc)
+            self._pump()
+            return
+        inner.add_done_callback(release)

@@ -10,12 +10,22 @@ service.
 
 Endpoints (all JSON)::
 
-    GET  /v1/health           {"ok", "schema", "backend", "stats"}
-    POST /v1/submit           body: AnalysisRequest  ->  {"job", "status"}
+    GET  /v1/health           {"ok", "schema", "backend", "stats", "queue"}
+    POST /v1/submit[?priority=N]
+                              body: AnalysisRequest  ->  {"job", "status"};
+                              429 + Retry-After when the queue is full
     GET  /v1/status/<job>     {"job", "status", "shards_*", ...}
     GET  /v1/result/<job>     AnalysisResult (202 + status while pending;
                               ?wait=SECONDS long-polls up to
-                              min(SECONDS, WAIT_SLICE_SECONDS))
+                              min(SECONDS, WAIT_SLICE_SECONDS);
+                              409 when the job was cancelled)
+    GET  /v1/partial/<job>    PartialResult — the merged-so-far curves
+    GET  /v1/events/<job>[?after=SEQ]
+                              chunked ndjson stream of AnalysisEvent
+                              documents; ends at the terminal event or
+                              after WAIT_SLICE_SECONDS of silence
+                              (resume with after=<last seq>)
+    POST /v1/cancel/<job>     {"job", "cancelled", "status"}
     GET  /v1/inspect          {"root", "entries": [...]}
 
 Job ids are the service's content-addressed store keys, so re-submitting
@@ -27,32 +37,51 @@ wire — register them on an in-process service instead.
 The server is a :class:`ThreadingHTTPServer`: each request runs on its
 own thread, which composes with the service's thread-safe submission and
 (optionally) a parallel execution backend for genuine cross-request
-concurrency.
+concurrency.  Event streams hold their handler thread for at most one
+silence slice, like long-polls.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .request import SCHEMA_VERSION, AnalysisRequest, AnalysisResult
-from .service import (AnalysisHandle, ResilienceService, ShardProgress,
-                      _resolved_future)
+from .events import AnalysisCancelled, AnalysisEvent
+from .request import (SCHEMA_VERSION, AnalysisRequest, AnalysisResult,
+                      PartialResult)
+from .scheduler import QueueFull
+from .service import AnalysisHandle, ResilienceService, _cached_handle
 
-__all__ = ["AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError"]
+__all__ = ["AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError",
+           "RemoteBusy"]
 
-#: Seconds one ?wait=1 long-poll blocks before reporting "still pending"
-#: (clients re-poll; bounded so a dead client cannot pin a handler thread).
+#: Seconds one ?wait=1 long-poll (or one silent event-stream slice)
+#: blocks before yielding the handler thread back (clients re-poll or
+#: reconnect; bounded so a dead client cannot pin a thread).
 WAIT_SLICE_SECONDS = 30.0
 
 
 class RemoteError(RuntimeError):
     """The server rejected a request or returned a malformed response."""
+
+
+class RemoteBusy(RemoteError):
+    """The server refused a submission with 429 (queue full).
+
+    ``retry_after`` carries the server's backoff hint in seconds (from
+    the ``Retry-After`` header); :meth:`RemoteService.submit` honours it
+    automatically for ``busy_retries`` attempts before surfacing this.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class AnalysisServer:
@@ -100,14 +129,14 @@ class AnalysisServer:
             self._thread.join(timeout=5)
 
     # ---------------------------------------------------------------- actions
-    def submit_payload(self, payload: dict) -> dict:
+    def submit_payload(self, payload: dict, priority: int = 0) -> dict:
         request = AnalysisRequest.from_payload(payload)
         if request.model.session is not None:
             raise ValueError(
                 f"session ref {request.model.key!r} cannot be served "
                 f"remotely: in-memory models do not cross the wire (use "
                 f"benchmark=/preset= refs)")
-        handle = self.service.submit(request)
+        handle = self.service.submit(request, priority=priority)
         with self._jobs_lock:
             self._jobs[handle.key] = handle
         return {"job": handle.key, "status": handle.status()}
@@ -125,20 +154,24 @@ class AnalysisServer:
         if self.service.store is not None:
             cached = self.service.store.get(job)
             if cached is not None:
-                handle = AnalysisHandle(cached.request, job,
-                                        _resolved_future(cached),
-                                        ShardProgress())
+                handle = _cached_handle(cached.request, job, cached)
                 with self._jobs_lock:
                     self._jobs.setdefault(job, handle)
                 return self._jobs[job]
         return None
 
     def status_payload(self, handle: AnalysisHandle) -> dict:
-        payload = {"job": handle.key, "status": handle.status()}
+        status = handle.status()
+        payload = {"job": handle.key, "status": status}
         payload.update(handle.progress)
-        if handle.status() == "error":
+        if status in ("error", "cancelled"):
             payload["error"] = str(handle.exception())
         return payload
+
+    def cancel_payload(self, handle: AnalysisHandle) -> dict:
+        cancelled = handle.cancel()
+        return {"job": handle.key, "cancelled": cancelled,
+                "status": handle.status()}
 
     def inspect_payload(self) -> dict:
         store = self.service.store
@@ -150,11 +183,18 @@ class AnalysisServer:
     def health_payload(self) -> dict:
         return {"ok": True, "schema": SCHEMA_VERSION,
                 "backend": self.service.backend.name,
-                "stats": asdict(self.service.stats)}
+                "stats": asdict(self.service.stats),
+                "queue": self.service.queue_snapshot()}
 
 
 def _make_handler(server: AnalysisServer):
     class Handler(BaseHTTPRequestHandler):
+        # Chunked transfer (the /v1/events stream) is an HTTP/1.1
+        # construct — a 1.0 response advertising it mis-frames for
+        # conformant clients.  Plain replies always carry
+        # Content-Length, so 1.1 keep-alive framing is satisfied too.
+        protocol_version = "HTTP/1.1"
+
         # Silence per-request stderr logging (the CLI prints the address).
         def log_message(self, *args) -> None:  # noqa: D102
             pass
@@ -189,6 +229,10 @@ def _make_handler(server: AnalysisServer):
                 elif path.startswith("/v1/result/"):
                     self._job_route(path[len("/v1/result/"):], query,
                                     want_result=True)
+                elif path.startswith("/v1/partial/"):
+                    self._partial_route(path[len("/v1/partial/"):])
+                elif path.startswith("/v1/events/"):
+                    self._events_route(path[len("/v1/events/"):], query)
                 else:
                     self._error(404, f"unknown endpoint {path!r}")
             except Exception as exc:  # noqa: BLE001 — must answer the socket
@@ -222,7 +266,14 @@ def _make_handler(server: AnalysisServer):
                 code = 200 if not want_result else 202
                 self._reply(code, server.status_payload(handle))
                 return
-            if handle.status() == "error":
+            status = handle.status()
+            if status == "cancelled":
+                payload = server.status_payload(handle)
+                payload["error"] = (f"job {job} was cancelled; "
+                                    f"resubmit to measure it")
+                self._reply(409, payload)
+                return
+            if status == "error":
                 self._reply(500, server.status_payload(handle))
                 return
             result = handle.result()
@@ -232,15 +283,72 @@ def _make_handler(server: AnalysisServer):
                         headers={"X-Repro-From-Cache":
                                  "1" if result.from_cache else "0"})
 
+        def _partial_route(self, job: str) -> None:
+            handle = server.handle_for(job)
+            if handle is None:
+                self._error(404, f"unknown job {job!r}")
+                return
+            self._reply(200, handle.partial().to_json())
+
+        def _events_route(self, job: str, query: str) -> None:
+            """Chunked ndjson event stream (see module docstring)."""
+            handle = server.handle_for(job)
+            if handle is None:
+                self._error(404, f"unknown job {job!r}")
+                return
+            try:
+                values = urllib.parse.parse_qs(query).get("after")
+                after = int(values[-1]) if values else 0
+            except ValueError:
+                after = 0
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            try:
+                for event in handle.events(after=after,
+                                           timeout=WAIT_SLICE_SECONDS):
+                    self._write_chunk(event.to_json() + "\n")
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-stream (e.g. right after the
+                # terminal event) — nothing left to answer.
+                self.close_connection = True
+
+        def _write_chunk(self, text: str) -> None:
+            data = text.encode()
+            self.wfile.write(f"{len(data):x}\r\n".encode())
+            self.wfile.write(data)
+            self.wfile.write(b"\r\n")
+
         def do_POST(self) -> None:  # noqa: N802 — http.server API
             try:
-                if self.path.partition("?")[0] != "/v1/submit":
+                path, _, query = self.path.partition("?")
+                if path.startswith("/v1/cancel/"):
+                    handle = server.handle_for(path[len("/v1/cancel/"):])
+                    if handle is None:
+                        self._error(404, "unknown job")
+                        return
+                    self._reply(200, server.cancel_payload(handle))
+                    return
+                if path != "/v1/submit":
                     self._error(404, f"unknown endpoint {self.path!r}")
                     return
                 length = int(self.headers.get("Content-Length", 0))
                 try:
+                    values = urllib.parse.parse_qs(query).get("priority")
+                    priority = int(values[-1]) if values else 0
                     payload = json.loads(self.rfile.read(length) or b"{}")
-                    response = server.submit_payload(payload)
+                    response = server.submit_payload(payload,
+                                                     priority=priority)
+                except QueueFull as exc:
+                    # Explicit backpressure: tell the client when to
+                    # come back instead of queuing unboundedly.
+                    self._reply(429, {"error": str(exc),
+                                      "retry_after": exc.retry_after},
+                                headers={"Retry-After":
+                                         f"{max(1, int(exc.retry_after))}"})
+                    return
                 except (ValueError, KeyError, TypeError) as exc:
                     self._error(400, str(exc))
                     return
@@ -255,10 +363,11 @@ def _make_handler(server: AnalysisServer):
 class RemoteHandle:
     """Client-side :class:`~repro.api.service.AnalysisHandle` twin.
 
-    Mirrors the handle API (``result``/``done``/``status``/``progress``)
-    by polling the server's status endpoint and long-polling the result
-    endpoint, so code written against in-process handles works over the
-    wire unchanged.
+    Mirrors the handle API (``result``/``done``/``status``/``progress``/
+    ``events``/``partial``/``cancel``) by polling the server's status
+    endpoint, consuming the chunked event stream and long-polling the
+    result endpoint, so code written against in-process handles works
+    over the wire unchanged.
     """
 
     def __init__(self, remote: "RemoteService", request: AnalysisRequest,
@@ -278,7 +387,7 @@ class RemoteHandle:
 
     def done(self) -> bool:
         return (self._result is not None
-                or self.status() in ("done", "cached", "error"))
+                or self.status() in ("done", "cached", "error", "cancelled"))
 
     @property
     def progress(self) -> dict:
@@ -293,6 +402,30 @@ class RemoteHandle:
                                                      timeout=timeout)
         return self._result
 
+    def events(self, after: int = 0, timeout: float | None = None):
+        """Stream the job's :class:`~repro.api.events.AnalysisEvent`
+        records over the chunked ``/v1/events`` endpoint.
+
+        Transparently reconnects when the server ends a stream slice
+        without a terminal event (its silence bound); ``timeout`` caps
+        the *total* wall-clock spent waiting, after which the generator
+        returns (resume later with ``after=<last seen seq>``).
+        """
+        yield from self.remote._stream_events(self.key, after=after,
+                                              timeout=timeout)
+
+    def partial(self) -> PartialResult:
+        """The server's merged-so-far :class:`~repro.api.request.
+        PartialResult` snapshot for this job."""
+        with self.remote._request(f"/v1/partial/{self.key}") as response:
+            return PartialResult.from_json(response.read().decode())
+
+    def cancel(self) -> bool:
+        """Request server-side cooperative cancellation of this job."""
+        with self.remote._request(f"/v1/cancel/{self.key}",
+                                  data=b"") as response:
+            return bool(json.loads(response.read())["cancelled"])
+
 
 class RemoteService:
     """Thin client for a running :class:`AnalysisServer`.
@@ -302,30 +435,51 @@ class RemoteService:
     ``entry``-free surface — so ``fig9.run(service=RemoteService(url))``
     measures on the server and returns byte-identical results.  Verbs
     that require in-process state (:meth:`register`) error loudly.
+
+    Backpressure: a 429 response carries the server's ``Retry-After``
+    hint; :meth:`submit` honours it for up to ``busy_retries`` attempts
+    (sleeping the hinted seconds, capped at ``busy_wait_cap``) before
+    surfacing :class:`RemoteBusy` to the caller.
     """
 
     #: Socket-timeout headroom over the requested server-side hold; a
     #: socket timeout past it means the server is really gone.
     poll_grace = 15.0
 
-    def __init__(self, url: str, *, timeout: float = 600.0):
+    def __init__(self, url: str, *, timeout: float = 600.0,
+                 busy_retries: int = 3, busy_wait_cap: float = 30.0):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.busy_retries = int(busy_retries)
+        self.busy_wait_cap = float(busy_wait_cap)
 
     # ------------------------------------------------------------ transport
     def _request(self, path: str, data: bytes | None = None,
                  timeout: float | None = None):
         request = urllib.request.Request(
             self.url + path, data=data,
-            headers={"Content-Type": "application/json"} if data else {})
+            headers={"Content-Type": "application/json"}
+            if data is not None else {})
         try:
             return urllib.request.urlopen(
                 request, timeout=timeout or self.timeout)
         except urllib.error.HTTPError as exc:
+            headers = exc.headers
             try:
                 detail = json.loads(exc.read()).get("error", "")
             except Exception:  # noqa: BLE001 — error body is best-effort
                 detail = ""
+            if exc.code == 429:
+                try:
+                    retry_after = float(headers.get("Retry-After", 1.0))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                raise RemoteBusy(
+                    f"{path}: HTTP 429" + (f" — {detail}" if detail else ""),
+                    retry_after=retry_after) from None
+            if exc.code == 409:
+                raise AnalysisCancelled(
+                    detail or f"{path}: job was cancelled") from None
             raise RemoteError(
                 f"{path}: HTTP {exc.code}" + (f" — {detail}" if detail
                                               else "")) from None
@@ -337,6 +491,11 @@ class RemoteService:
         with self._request(path) as response:
             return json.loads(response.read())
 
+    @staticmethod
+    def _sleep(seconds: float) -> None:
+        """Backoff sleep (a method so tests can observe/neutralise it)."""
+        time.sleep(seconds)
+
     # -------------------------------------------------------------- service
     def health(self) -> dict:
         return self._get_json("/v1/health")
@@ -344,20 +503,60 @@ class RemoteService:
     def inspect(self) -> dict:
         return self._get_json("/v1/inspect")
 
-    def submit(self, request: AnalysisRequest) -> RemoteHandle:
+    def submit(self, request: AnalysisRequest, *,
+               priority: int = 0) -> RemoteHandle:
         payload = request.to_json().encode()
-        with self._request("/v1/submit", data=payload) as response:
-            job = json.loads(response.read())["job"]
-        return RemoteHandle(self, request, job)
+        path = "/v1/submit" + (f"?priority={int(priority)}" if priority
+                               else "")
+        attempts = 0
+        while True:
+            try:
+                with self._request(path, data=payload) as response:
+                    job = json.loads(response.read())["job"]
+                return RemoteHandle(self, request, job)
+            except RemoteBusy as busy:
+                attempts += 1
+                if attempts > self.busy_retries:
+                    raise
+                self._sleep(min(busy.retry_after, self.busy_wait_cap))
 
-    def submit_many(self, requests) -> list[RemoteHandle]:
-        return [self.submit(request) for request in requests]
+    def submit_many(self, requests, *, priority: int = 0
+                    ) -> list[RemoteHandle]:
+        return [self.submit(request, priority=priority)
+                for request in requests]
 
-    def run(self, request: AnalysisRequest) -> AnalysisResult:
-        return self.submit(request).result()
+    def run(self, request: AnalysisRequest, *,
+            priority: int = 0) -> AnalysisResult:
+        return self.submit(request, priority=priority).result()
 
-    def run_many(self, requests) -> list[AnalysisResult]:
-        return [handle.result() for handle in self.submit_many(requests)]
+    def run_many(self, requests, *, priority: int = 0
+                 ) -> list[AnalysisResult]:
+        return [handle.result()
+                for handle in self.submit_many(requests, priority=priority)]
+
+    def _stream_events(self, job: str, *, after: int = 0,
+                       timeout: float | None = None):
+        """Consume ``/v1/events/<job>`` slices until the terminal event."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            slice_timeout = WAIT_SLICE_SECONDS + self.poll_grace
+            saw_any = False
+            with self._request(f"/v1/events/{job}?after={after}",
+                               timeout=slice_timeout) as response:
+                for raw in response:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    event = AnalysisEvent.from_json(line.decode())
+                    after = event.seq
+                    saw_any = True
+                    yield event
+                    if event.terminal:
+                        return
+            if deadline is not None and time.monotonic() >= deadline \
+                    and not saw_any:
+                return
 
     def register(self, name: str, model, dataset) -> None:
         raise RemoteError(

@@ -24,12 +24,34 @@ piece of lifecycle the one-shot scripts used to hand-thread:
   measurement runs is a pluggable :mod:`~repro.api.backends` backend
   (``inline`` — the blocking equivalence reference, ``threads`` —
   cross-request parallelism, ``subprocess`` — schema-JSON worker
-  processes).  :meth:`run`/:meth:`run_many` are the thin blocking
-  wrappers with the pre-redesign call semantics.
+  processes, ``procpool`` — persistent warm workers).
+  :meth:`run`/:meth:`run_many` are the thin blocking wrappers with the
+  pre-redesign call semantics.
 * **Sharding** — the scheduler (:mod:`~repro.api.scheduler`) splits
   multi-target requests into per-target (optionally NM-chunked) shards
   on parallel backends and merges them byte-identically, with the store
   deduplicating shards shared between overlapping requests.
+* **Progressive results** — every accepted submission owns a typed
+  :class:`~repro.api.events.EventLog` (``queued``/``started``/
+  ``shard_done``/``progress``/``done``/``error``/``cancelled``);
+  :meth:`AnalysisHandle.events` streams it, and
+  :meth:`AnalysisHandle.partial` snapshots the **merged-so-far**
+  :class:`~repro.api.request.PartialResult` the moment any shard lands.
+  The final merge is the same code path as ever, so streamed curves end
+  byte-identical to the blocking result.
+* **Cancellation** — :meth:`AnalysisHandle.cancel` sets the shard
+  group's cooperative :class:`~repro.api.events.CancelToken`: queued
+  shards drop without starting, running in-process shards stop at the
+  next :class:`~repro.core.sweep.SweepEngine` stage boundary, and the
+  handle resolves with :class:`~repro.api.events.AnalysisCancelled`.
+  Nothing incomplete is ever persisted, so a cancelled-then-resubmitted
+  request reproduces the uncancelled curves exactly.
+* **Backpressure** — dispatch flows through a bounded priority
+  :class:`~repro.api.scheduler.ShardQueue`; with ``queue_limit`` set, a
+  saturated service refuses new submissions with
+  :class:`~repro.api.scheduler.QueueFull` (HTTP 429 + ``Retry-After``
+  upstream) instead of queuing unboundedly, and ``priority=`` lets
+  urgent triage requests overtake queued batch work.
 
 Concurrency model: submission is thread-safe; engines serialise
 themselves (per-engine locks in :class:`~repro.core.sweep.SweepEngine`),
@@ -51,14 +73,16 @@ import numpy as np
 
 from ..core.noise import site_matcher
 from ..core.resilience import ResilienceCurve, ResiliencePoint
-from ..core.sweep import SweepEngine, SweepTarget, model_fingerprint
+from ..core.sweep import (SweepCancelled, SweepEngine, SweepTarget,
+                          model_fingerprint)
 from ..data import Dataset
 from ..nn import hooks
 from ..nn.hooks import HookRegistry, use_registry
 from ..train import evaluate_accuracy
 from .backends import ExecutionBackend, make_backend
-from .request import AnalysisRequest, AnalysisResult, ModelRef
-from .scheduler import merge_shards, plan_shards
+from .events import AnalysisCancelled, CancelToken, EventLog
+from .request import AnalysisRequest, AnalysisResult, ModelRef, PartialResult
+from .scheduler import ShardQueue, merge_partial, merge_shards, plan_shards
 from .store import ResultStore, store_key
 
 __all__ = ["ResolvedModel", "ServiceStats", "ShardProgress",
@@ -121,6 +145,8 @@ class ServiceStats:
     sweeps: int = 0            # in-process engine.sweep calls issued
     shards: int = 0            # shard executions dispatched to the backend
     shard_store_hits: int = 0  # shards served from the store (dedup layer)
+    cancelled: int = 0         # requests resolved via cancellation
+    rejected: int = 0          # submissions refused by queue backpressure
 
 
 class ShardProgress:
@@ -156,27 +182,36 @@ class AnalysisHandle:
 
     The futures-first face of the service: ``submit`` returns
     immediately with one of these; :meth:`result` blocks, :meth:`done`
-    and :meth:`status` poll, :attr:`progress` exposes shard counters.
-    Handles of deduplicated submissions share the winner's future and
-    progress.
+    and :meth:`status` poll, :attr:`progress` exposes shard counters,
+    :meth:`events` streams the typed lifecycle log, :meth:`partial`
+    snapshots the merged-so-far curves, and :meth:`cancel` requests
+    cooperative cancellation of the whole shard group.  Handles of
+    deduplicated submissions share the winner's future, progress and
+    event log.
     """
 
     #: Status vocabulary, also used verbatim by the HTTP server.
-    STATUSES = ("pending", "running", "done", "cached", "error")
+    STATUSES = ("pending", "running", "done", "cached", "error", "cancelled")
 
     def __init__(self, request: AnalysisRequest, key: str, future: Future,
-                 progress: ShardProgress):
+                 progress: ShardProgress, *, events: EventLog | None = None,
+                 partial_fn=None, cancel_fn=None):
         self.request = request
         self.key = key
         self._future = future
         self._progress = progress
+        self._events = events
+        self._partial_fn = partial_fn
+        self._cancel_fn = cancel_fn
 
     def done(self) -> bool:
         """Whether a result (or an error) is available without blocking."""
         return self._future.done()
 
     def result(self, timeout: float | None = None) -> AnalysisResult:
-        """Block until the result is available (re-raising any error)."""
+        """Block until the result is available (re-raising any error;
+        a cancelled submission raises :class:`~repro.api.events.
+        AnalysisCancelled`)."""
         return self._future.result(timeout)
 
     def exception(self, timeout: float | None = None):
@@ -187,8 +222,10 @@ class AnalysisHandle:
     def status(self) -> str:
         """One of :data:`STATUSES`; ``cached`` means a store hit."""
         if self._future.done():
-            if self._future.exception() is not None:
-                return "error"
+            error = self._future.exception()
+            if error is not None:
+                return ("cancelled" if isinstance(error, AnalysisCancelled)
+                        else "error")
             return "cached" if self._future.result().from_cache else "done"
         if self._progress.snapshot()["shards_started"] > 0:
             return "running"
@@ -199,11 +236,107 @@ class AnalysisHandle:
         """Shard counters: ``shards_total``/``started``/``done``."""
         return self._progress.snapshot()
 
+    # --------------------------------------------------------- progressive
+    def events(self, after: int = 0, timeout: float | None = None):
+        """Stream this submission's :class:`~repro.api.events.
+        AnalysisEvent` records (``seq > after``) until the terminal
+        event (or ``timeout`` seconds of silence — resume with
+        ``after=<last seen seq>``).  Replays losslessly: a consumer that
+        attaches after completion still sees the full history.
+        """
+        if self._events is not None:
+            yield from self._events.stream(after=after, timeout=timeout)
+            return
+        # Handles without a log (joined onto a bare in-flight shard
+        # future): degrade to one synthesised terminal event.
+        if after >= 1:
+            return
+        try:
+            error = self._future.exception(timeout)
+        except TimeoutError:
+            return
+        log = EventLog(self.key)
+        if error is None:
+            kind, payload = "done", {"from_cache":
+                                     self._future.result().from_cache}
+        elif isinstance(error, AnalysisCancelled):
+            kind, payload = "cancelled", {"message": str(error)}
+        else:
+            kind, payload = "error", {"message": str(error)}
+        yield log.emit(kind, payload)
+
+    def partial(self) -> PartialResult:
+        """The merged-so-far :class:`~repro.api.request.PartialResult`.
+
+        Monotonic: successive snapshots only ever gain (target, NM)
+        points, and the complete snapshot's curves are byte-identical to
+        :meth:`result`'s.
+        """
+        if self._partial_fn is not None:
+            return self._partial_fn()
+        if self._future.done() and self._future.exception() is None:
+            return PartialResult.from_result(
+                self._future.result(),
+                shards_total=max(1, self._progress.snapshot()["shards_total"]))
+        return PartialResult(
+            request=self.request, curves={},
+            shards_total=max(1, self._progress.snapshot()["shards_total"]),
+            shards_done=0)
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation of this submission.
+
+        Returns ``True`` when cancellation was initiated, ``False`` when
+        the request already resolved (done/cached/error — a no-op) or the
+        handle has no execution to cancel.  Queued shards drop without
+        starting; running in-process shards stop at the engine's next
+        stage boundary; the handle then resolves with
+        :class:`~repro.api.events.AnalysisCancelled`.  Note that
+        cancellation propagates to every handle sharing this execution
+        (deduplicated submissions, batched group members).
+        """
+        if self._future.done() or self._cancel_fn is None:
+            return False
+        return self._cancel_fn()
+
 
 def _resolved_future(result: AnalysisResult) -> Future:
     future: Future = Future()
     future.set_result(result)
     return future
+
+
+def _cached_handle(request: AnalysisRequest, key: str,
+                   result: AnalysisResult) -> AnalysisHandle:
+    """A pre-resolved handle for a store hit (closed event log)."""
+    log = EventLog.resolved(key, "done", {"from_cache": True})
+    return AnalysisHandle(
+        request, key, _resolved_future(result), ShardProgress(),
+        events=log, partial_fn=lambda: PartialResult.from_result(result))
+
+
+@dataclass
+class _GroupRun:
+    """Shared execution state of one batched shard group.
+
+    ``shards``/``results`` are parallel lists in plan order (``None``
+    until a shard completes); ``token`` is the group's cooperative
+    cancellation flag.  Every job of the group points here, which is
+    what makes partial snapshots and cancellation group-wide.
+    """
+
+    token: CancelToken = field(default_factory=CancelToken)
+    shards: list = field(default_factory=list)
+    results: list = field(default_factory=list)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, index: int, result: AnalysisResult) -> None:
+        with self.lock:
+            self.results[index] = result
+
+    def completed(self) -> list:
+        with self.lock:
+            return list(self.results)
 
 
 @dataclass
@@ -216,8 +349,11 @@ class _Job:
     model_crc: int
     dataset_crc: int
     key: str
+    priority: int = 0
     future: Future = field(default_factory=Future)
     progress: ShardProgress = field(default_factory=ShardProgress)
+    events: EventLog | None = None
+    run: _GroupRun | None = None
 
     @property
     def batch_key(self) -> tuple:
@@ -225,7 +361,16 @@ class _Job:
         r = self.request
         return (self.resolved.ref.key, self.dataset_crc, r.eval_samples,
                 r.noise, r.nm_values, r.na, r.seed, r.baseline_accuracy,
-                r.options)
+                r.options, self.priority)
+
+
+@dataclass
+class _InflightEntry:
+    """What the in-flight map shares with duplicate submissions."""
+
+    future: Future
+    progress: ShardProgress
+    job: _Job | None = None
 
 
 class ResilienceService:
@@ -242,34 +387,52 @@ class ResilienceService:
     use_store:
         ``False`` disables persistence entirely (in-memory service).
     backend:
-        Execution backend name (``inline``/``threads``/``subprocess``)
-        or a prebuilt :class:`~repro.api.backends.ExecutionBackend`.
-        Validated through :func:`~repro.api.backends.make_backend` —
-        invalid combinations with ``max_parallel`` error loudly.
+        Execution backend name (``inline``/``threads``/``subprocess``/
+        ``procpool``) or a prebuilt
+        :class:`~repro.api.backends.ExecutionBackend`.  Validated through
+        :func:`~repro.api.backends.make_backend` — invalid combinations
+        with ``max_parallel`` error loudly.
     max_parallel:
         Shard/request concurrency for the parallel backends; rejected
         for ``inline``.
     nm_chunk:
         Optionally also shard the NM axis into chunks of this many
         values (parallel backends only; merged byte-identically).
+    queue_limit:
+        Saturation bound on the dispatch backlog.  ``None`` (default)
+        queues unboundedly; with a limit, a service whose queue already
+        holds that many waiting shards refuses new submissions with
+        :class:`~repro.api.scheduler.QueueFull` carrying a
+        ``retry_after`` backoff hint (HTTP 429 + ``Retry-After`` when
+        served remotely).  Admission is accept-bounded: an admitted
+        submission's own shard fan-out may transiently exceed the limit
+        (large requests stay servable); store hits and deduplicated
+        joins are never refused — only work that would actually queue.
     """
 
     def __init__(self, *, store: ResultStore | None = None,
                  cache_dir: str | None = None, use_store: bool = True,
                  backend: str | ExecutionBackend = "inline",
                  max_parallel: int | None = None,
-                 nm_chunk: int | None = None):
+                 nm_chunk: int | None = None,
+                 queue_limit: int | None = None):
         if store is None and use_store:
             store = ResultStore(cache_dir)
         self.store = store
         self.backend = make_backend(backend, max_parallel)
         self.nm_chunk = nm_chunk
+        self.queue = ShardQueue(self.backend, limit=queue_limit)
         self.stats = ServiceStats()
         self._sessions: dict[str, tuple[object, Dataset]] = {}
         self._resolved: dict[str, ResolvedModel] = {}
         self._engines: dict[tuple, SweepEngine] = {}
-        self._inflight: dict[str, tuple[Future, ShardProgress]] = {}
+        self._inflight: dict[str, _InflightEntry] = {}
         self._state_lock = threading.Lock()   # maps + stats above
+
+    def queue_snapshot(self) -> dict:
+        """Observable dispatch-queue state (queued/running/capacity/
+        limit/saturated) — what ``/v1/health`` reports."""
+        return self.queue.snapshot()
 
     def close(self) -> None:
         """Shut down the backend's worker pools (if any)."""
@@ -372,17 +535,20 @@ class ResilienceService:
             return engine
 
     # ------------------------------------------------------------ submission
-    def submit(self, request: AnalysisRequest) -> AnalysisHandle:
+    def submit(self, request: AnalysisRequest, *,
+               priority: int = 0) -> AnalysisHandle:
         """Accept one request; return its handle immediately.
 
         With the default ``inline`` backend the measurement completes
         before this returns (the handle is already resolved) — exactly
-        the pre-redesign blocking semantics.  On the ``threads`` and
-        ``subprocess`` backends the handle resolves asynchronously.
+        the pre-redesign blocking semantics.  On the parallel backends
+        the handle resolves asynchronously; ``priority`` (higher wins)
+        orders its shards ahead of lower-priority queued work.
         """
-        return self.submit_many([request])[0]
+        return self.submit_many([request], priority=priority)[0]
 
-    def submit_many(self, requests) -> list[AnalysisHandle]:
+    def submit_many(self, requests, *,
+                    priority: int = 0) -> list[AnalysisHandle]:
         """Accept several requests, batching compatible executions.
 
         Requests that share model, dataset, grid, seed, baseline and
@@ -390,6 +556,14 @@ class ResilienceService:
         targets (sharded across the backend when it is parallel);
         identical in-flight requests collapse onto one future.  Handles
         come back in submission order.
+
+        Backpressure: when the service was built with ``queue_limit``
+        and the dispatch backlog is already saturated, the whole batch
+        is refused with :class:`~repro.api.scheduler.QueueFull` *before*
+        anything launches — store hits and duplicate joins alone never
+        trip it, and an admitted batch's own fan-out never does either
+        (accept-bounded admission; see
+        :meth:`~repro.api.scheduler.ShardQueue.check_admission`).
         """
         if hooks.active_registries():
             # An ambient use_registry(...) scope would compose the
@@ -418,44 +592,128 @@ class ResilienceService:
             if cached is not None:
                 with self._state_lock:
                     self.stats.store_hits += 1
-                handles[index] = AnalysisHandle(
-                    request, key, _resolved_future(cached), ShardProgress())
+                handles[index] = _cached_handle(request, key, cached)
                 continue
             with self._state_lock:
                 inflight = self._inflight.get(key)
                 if inflight is not None:
                     self.stats.deduplicated += 1
-                    handles[index] = AnalysisHandle(request, key, *inflight)
+                    handles[index] = self._joined_handle(request, key,
+                                                         inflight)
                     continue
                 job = _Job(index, request, resolved, model_crc,
-                           dataset_crc, key)
-                self._inflight[key] = (job.future, job.progress)
+                           dataset_crc, key, priority=priority,
+                           events=EventLog(key))
+                self._inflight[key] = _InflightEntry(job.future,
+                                                     job.progress, job)
             jobs.append(job)
-            handles[index] = AnalysisHandle(request, key, job.future,
-                                            job.progress)
+            handles[index] = self._job_handle(job)
+        if jobs:
+            try:
+                # All-or-nothing admission for the measured subset: a
+                # refused batch leaves no dangling accepted jobs behind.
+                self.queue.check_admission(len(jobs))
+            except BaseException as refusal:
+                with self._state_lock:
+                    self.stats.rejected += len(jobs)
+                    for job in jobs:
+                        self._inflight.pop(job.key, None)
+                for job in jobs:
+                    # A concurrent identical submission may have already
+                    # dedup-joined one of these jobs in the window since
+                    # it entered the in-flight map; resolving the future
+                    # (instead of abandoning it) propagates the refusal
+                    # to any such joiner rather than hanging it forever.
+                    job.future.set_exception(refusal)
+                    job.events.emit("error", {"message": str(refusal)})
+                raise
         groups: dict[tuple, list[_Job]] = {}
         for job in jobs:
+            job.events.emit("queued", {"targets": len(job.request.targets),
+                                       "priority": job.priority})
             groups.setdefault(job.batch_key, []).append(job)
         for group in groups.values():
             self._launch_group(group)
         return handles
 
-    # --------------------------------------------------- blocking wrappers
-    def run(self, request: AnalysisRequest) -> AnalysisResult:
-        """Blocking wrapper: submit one request and wait for its result."""
-        return self.submit(request).result()
+    def _job_handle(self, job: _Job) -> AnalysisHandle:
+        return AnalysisHandle(
+            job.request, job.key, job.future, job.progress,
+            events=job.events,
+            partial_fn=lambda: self._job_partial(job),
+            cancel_fn=lambda: self._cancel_job(job))
 
-    def run_many(self, requests) -> list[AnalysisResult]:
+    def _joined_handle(self, request: AnalysisRequest, key: str,
+                       inflight: _InflightEntry) -> AnalysisHandle:
+        """A duplicate submission's handle: shares the winner's state."""
+        job = inflight.job
+        if job is not None:
+            return AnalysisHandle(
+                request, key, inflight.future, inflight.progress,
+                events=job.events,
+                partial_fn=lambda: self._job_partial(job),
+                cancel_fn=lambda: self._cancel_job(job))
+        # Joined onto a bare shard proxy: no log of its own; the handle
+        # degrades to synthesised terminal events and result-level
+        # partials.
+        return AnalysisHandle(request, key, inflight.future,
+                              inflight.progress)
+
+    # --------------------------------------------------- blocking wrappers
+    def run(self, request: AnalysisRequest, *,
+            priority: int = 0) -> AnalysisResult:
+        """Blocking wrapper: submit one request and wait for its result."""
+        return self.submit(request, priority=priority).result()
+
+    def run_many(self, requests, *, priority: int = 0) -> list[AnalysisResult]:
         """Blocking wrapper around :meth:`submit_many` (submission order)."""
-        return [handle.result() for handle in self.submit_many(requests)]
+        return [handle.result()
+                for handle in self.submit_many(requests, priority=priority)]
+
+    # ------------------------------------------------- progressive results
+    def _job_partial(self, job: _Job) -> PartialResult:
+        """The merged-so-far snapshot of one job (see module docstring)."""
+        if job.future.done() and job.future.exception() is None:
+            # Completed: serve the final object itself so the snapshot is
+            # trivially byte-identical to the blocking result.
+            return PartialResult.from_result(
+                job.future.result(),
+                shards_total=max(1, job.progress.snapshot()["shards_total"]))
+        run = job.run
+        if run is None or not run.shards:
+            return PartialResult(
+                request=job.request, curves={},
+                shards_total=max(1, job.progress.snapshot()["shards_total"]),
+                shards_done=0)
+        curves, done = merge_partial(job.request, run.shards,
+                                     run.completed())
+        baseline = (next(iter(curves.values())).baseline_accuracy
+                    if curves else None)
+        return PartialResult(request=job.request, curves=curves,
+                             shards_total=len(run.shards), shards_done=done,
+                             baseline_accuracy=baseline,
+                             complete=done == len(run.shards))
+
+    def _cancel_job(self, job: _Job) -> bool:
+        """Set the job's group cancellation flag (handle ``cancel``)."""
+        if job.future.done():
+            return False
+        run = job.run
+        if run is None:
+            return False
+        run.token.set()
+        self.queue.drop_cancelled()
+        return True
 
     # ------------------------------------------------------------- execution
     def _launch_group(self, group: list[_Job]) -> None:
-        """Dispatch one batched group to the backend, sharded if parallel.
+        """Dispatch one batched group through the shard queue.
 
         Never blocks on the measurement itself: completion flows through
-        future callbacks, so a ``threads``/``subprocess`` submission
-        returns while the sweep is still running.
+        future callbacks, so a parallel-backend submission returns while
+        the sweep is still running.  Every shard completion lands in the
+        group's :class:`_GroupRun` and is announced as a ``shard_done``
+        event carrying each job's merged-so-far partial.
         """
         head = group[0].request
         targets: list[SweepTarget] = []
@@ -470,33 +728,63 @@ class ResilienceService:
                  else dataclasses.replace(head, targets=targets))
         shards = plan_shards(union, targets, parallel=self.backend.parallel,
                              nm_chunk=self.nm_chunk) or [union]
+        run = _GroupRun()
+        run.shards = list(shards)
+        run.results = [None] * len(shards)
         for job in group:
+            job.run = run
             job.progress.set_total(len(shards))
         try:
-            futures = [self._submit_shard(shard, group,
+            futures = [self._submit_shard(shard, group, index,
                                           sharded=len(shards) > 1)
-                       for shard in shards]
+                       for index, shard in enumerate(shards)]
         except BaseException as exc:  # noqa: BLE001 — delivered via futures
             self._fail_group(group, exc)
             return
         pending = [len(futures)]
         pending_lock = threading.Lock()
 
-        def _on_shard_done(_future: Future) -> None:
-            for job in group:
-                job.progress.mark_done()
-            with pending_lock:
-                pending[0] -= 1
-                last = pending[0] == 0
-            if last:
-                self._finish_group(group, union, targets, shards, futures)
+        def _make_on_done(index: int):
+            def _on_shard_done(future: Future) -> None:
+                if future.exception() is None:
+                    # Record BEFORE announcing, so the shard_done
+                    # event's partial always includes its own shard.
+                    run.record(index, future.result())
+                for job in group:
+                    job.progress.mark_done()
+                if future.exception() is None:
+                    shard = shards[index]
+                    for job in group:
+                        job.events.emit("shard_done", {
+                            "shard": index,
+                            "targets": [[t.group, t.layer]
+                                        for t in shard.targets],
+                            "nm_values": list(shard.nm_values),
+                            **job.progress.snapshot(),
+                            "partial": self._job_partial(job).to_payload()})
+                with pending_lock:
+                    pending[0] -= 1
+                    last = pending[0] == 0
+                if last:
+                    self._finish_group(group, union, targets, shards,
+                                       futures)
+            return _on_shard_done
 
-        for future in futures:
-            future.add_done_callback(_on_shard_done)
+        for index, future in enumerate(futures):
+            future.add_done_callback(_make_on_done(index))
+
+    def _mark_group_started(self, group: list[_Job]) -> None:
+        """Progress counters + honest started/progress events."""
+        for job in group:
+            job.progress.mark_started()
+            counters = job.progress.snapshot()
+            kind = ("started" if counters["shards_started"] == 1
+                    else "progress")
+            job.events.emit(kind, counters)
 
     def _submit_shard(self, shard: AnalysisRequest, group: list[_Job],
-                      *, sharded: bool) -> Future:
-        """One shard: store-dedup, in-flight-dedup, or backend dispatch.
+                      index: int, *, sharded: bool) -> Future:
+        """One shard: store-dedup, in-flight-dedup, or queued dispatch.
 
         Sharded sub-requests register a *proxy* future in the in-flight
         map before dispatching, so an identical top-level request (or a
@@ -521,35 +809,45 @@ class ResilienceService:
         if cached is not None:
             with self._state_lock:
                 self.stats.shard_store_hits += 1
-            for j in group:
-                j.progress.mark_started()
+            self._mark_group_started(group)
             return _resolved_future(cached)
         proxy: Future = Future()
         progress = ShardProgress()
         with self._state_lock:
             inflight = self._inflight.get(key)
             if inflight is None:
-                self._inflight[key] = (proxy, progress)
+                self._inflight[key] = _InflightEntry(proxy, progress)
         if inflight is not None:
-            for j in group:
-                j.progress.mark_started()
-            return inflight[0]
+            self._mark_group_started(group)
+            return inflight.future
         progress.mark_started()
 
         def _resolve_proxy(done: Future) -> None:
+            # Runs as a Future done-callback: anything that escapes here
+            # is merely *logged* by concurrent.futures, leaving the
+            # proxy unresolved and the in-flight entry leaked (the
+            # request would hang in "running" forever).  Every failure —
+            # provenance mismatch, or the store refusing/failing the
+            # write (disk full, the completeness guard on a torn
+            # result) — must therefore flow out through the proxy.
             progress.mark_done()
             error = done.exception()
+            result = None
             if error is None:
+                result = done.result()
                 try:
-                    self._check_provenance(done.result(), job)
-                except RuntimeError as mismatch:
-                    error = mismatch
-            if error is None and self.store is not None:
-                self.store.put(key, done.result())
+                    self._check_provenance(result, job)
+                    if self.store is not None:
+                        # Only ever a *complete* shard result:
+                        # cancellations and failures arrive as
+                        # exceptions and never reach the store.
+                        self.store.put(key, result)
+                except BaseException as failure:  # noqa: BLE001 — via proxy
+                    error = failure
             with self._state_lock:
                 self._inflight.pop(key, None)
             if error is None:
-                proxy.set_result(done.result())
+                proxy.set_result(result)
             else:
                 proxy.set_exception(error)
 
@@ -564,9 +862,15 @@ class ResilienceService:
     def _dispatch(self, shard: AnalysisRequest, group: list[_Job]) -> Future:
         with self._state_lock:
             self.stats.shards += 1
-        for job in group:
-            job.progress.mark_started()
-        return self.backend.submit(shard, self._measure)
+        run = group[0].run
+        token = run.token if run is not None else None
+
+        def runner(request: AnalysisRequest) -> AnalysisResult:
+            return self._measure(request, cancel=token)
+
+        return self.queue.submit(
+            shard, runner, priority=group[0].priority, cancel=token,
+            on_start=lambda: self._mark_group_started(group))
 
     @staticmethod
     def _check_provenance(result: AnalysisResult, job: _Job) -> None:
@@ -597,9 +901,17 @@ class ResilienceService:
                 f"the worker resolved a different evaluation split")
 
     def _fail_group(self, group: list[_Job], exc: BaseException) -> None:
+        cancelled = isinstance(exc, (AnalysisCancelled, SweepCancelled))
+        if cancelled and not isinstance(exc, AnalysisCancelled):
+            exc = AnalysisCancelled(str(exc))
         for job in group:
             if not job.future.done():
                 job.future.set_exception(exc)
+                with self._state_lock:
+                    if cancelled:
+                        self.stats.cancelled += 1
+            job.events.emit("cancelled" if cancelled else "error",
+                            {"message": str(exc)})
         with self._state_lock:
             for job in group:
                 self._inflight.pop(job.key, None)
@@ -644,6 +956,9 @@ class ResilienceService:
                 if self.store is not None:
                     self.store.put(job.key, result)
                 job.future.set_result(result)
+                job.events.emit("done",
+                                {"from_cache": False,
+                                 "elapsed_seconds": result.elapsed_seconds})
             with self._state_lock:
                 for job in group:
                     self._inflight.pop(job.key, None)
@@ -651,32 +966,39 @@ class ResilienceService:
             self._fail_group(group, exc)
 
     # ----------------------------------------------------------- measurement
-    def _measure(self, request: AnalysisRequest) -> AnalysisResult:
+    def _measure(self, request: AnalysisRequest,
+                 cancel: CancelToken | None = None) -> AnalysisResult:
         """Measure exactly ``request`` in this process.
 
         This is the runner handed to the backend: it may execute on the
         submitting thread (``inline``) or on a pool thread
-        (``threads``); the ``subprocess`` backend runs the same logic in
-        a worker via :func:`repro.api.backends.worker_main`.  Engine
-        access serialises on the engine's own lock, so concurrent
-        measurements of *different* engines overlap.
+        (``threads``); the ``subprocess``/``procpool`` backends run the
+        same logic in workers via :func:`repro.api.backends.worker_main`.
+        Engine access serialises on the engine's own lock, so concurrent
+        measurements of *different* engines overlap.  ``cancel`` is the
+        group's cooperative flag, polled by the sweep engine at stage
+        boundaries (out-of-process workers cannot observe it and run
+        their shard to completion).
         """
         resolved = self.entry(request.model)
         model_crc = model_fingerprint(resolved.model)
         dataset_crc = self._dataset_crc(resolved, request.eval_samples)
         dataset = resolved.eval_set(request.eval_samples)
         targets = list(request.targets)
+        should_cancel = None if cancel is None else cancel.is_set
         start = time.perf_counter()
         if request.noise == "quantization":
             curves = self._run_quantization(request, resolved, dataset,
-                                            targets)
+                                            targets,
+                                            should_cancel=should_cancel)
         else:
             engine = self._engine_for(resolved, dataset_crc, request, dataset)
             with self._state_lock:
                 self.stats.sweeps += 1
             curves = engine.sweep(
                 targets, request.nm_values, na=request.na, seed=request.seed,
-                baseline_accuracy=request.baseline_accuracy)
+                baseline_accuracy=request.baseline_accuracy,
+                should_cancel=should_cancel)
         elapsed = time.perf_counter() - start
         baseline = next(iter(curves.values())).baseline_accuracy
         return AnalysisResult(
@@ -690,13 +1012,14 @@ class ResilienceService:
 
     def _run_quantization(self, request: AnalysisRequest,
                           resolved: ResolvedModel, dataset: Dataset,
-                          targets) -> dict:
+                          targets, should_cancel=None) -> dict:
         """Eq. 1 round-trip error swept over word lengths.
 
         ``nm_values`` holds the bit widths; the error is deterministic
         per value (no RNG), injected through the same hook sites as the
         Gaussian model.  Curve points reuse the ``nm`` axis for the word
-        length.
+        length.  ``should_cancel`` is polled per (target, word length)
+        point, mirroring the sweep engine's checkpoints.
         """
         from ..approx import quantization_noise
         model = resolved.model
@@ -713,6 +1036,10 @@ class ResilienceService:
             curve = ResilienceCurve(group=target.group, layer=target.layer,
                                     baseline_accuracy=baseline)
             for bits in request.nm_values:
+                if should_cancel is not None and should_cancel():
+                    raise SweepCancelled(
+                        "quantization sweep cancelled at a word-length "
+                        "boundary")
                 registry = HookRegistry()
 
                 def transform(site, value, _bits=int(bits)):

@@ -139,7 +139,16 @@ class ResultStore:
         return result
 
     def put(self, key: str, result: AnalysisResult) -> str:
-        """Persist ``result`` under ``key`` atomically; returns the path."""
+        """Persist ``result`` under ``key`` atomically; returns the path.
+
+        Completeness guard: only results answering *every* point of
+        their own request are persisted.  A partial shard (e.g. one cut
+        short by cancellation) filed as complete would be served as a
+        warm hit forever after — the progressive-results redesign keeps
+        partials in memory (:class:`~repro.api.request.PartialResult`)
+        and the store stores exactly what the blocking path returns.
+        """
+        self._check_complete(key, result)
         path = self.path_for(key)
         handle, scratch = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
@@ -151,6 +160,26 @@ class ResultStore:
                 os.remove(scratch)
             raise
         return path
+
+    @staticmethod
+    def _check_complete(key: str, result: AnalysisResult) -> None:
+        """Refuse to persist a result that does not fully answer its
+        request (see :meth:`put`)."""
+        request = result.request
+        expected = {target.key for target in request.targets}
+        if set(result.curves) != expected:
+            missing = sorted(str(k) for k in expected - set(result.curves))
+            raise ValueError(
+                f"refusing to store partial result under {key!r}: curves "
+                f"missing for target(s) {missing} — only complete results "
+                f"are persisted")
+        for target_key, curve in result.curves.items():
+            if len(curve.points) != len(request.nm_values):
+                raise ValueError(
+                    f"refusing to store partial result under {key!r}: "
+                    f"target {target_key!r} has {len(curve.points)} points, "
+                    f"request asked for {len(request.nm_values)} — only "
+                    f"complete results are persisted")
 
     # ------------------------------------------------------------ inspection
     def keys(self) -> list[str]:

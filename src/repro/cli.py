@@ -7,9 +7,11 @@ Usage::
     python -m repro run fig9 --quick
     python -m repro run fig9 --quick --json --cache-dir /tmp/results
     python -m repro run fig12 --quick --backend threads --max-parallel 4
+    python -m repro run fig10 --quick --backend procpool --progress
     python -m repro run all --quick
-    python -m repro serve --port 8035
+    python -m repro serve --port 8035 --queue-limit 64
     python -m repro run fig9 --quick --remote http://127.0.0.1:8035
+    python -m repro run fig9 --quick --remote http://127.0.0.1:8035 --progress
     python -m repro inspect
     python -m repro inspect 6f1f... --cache-dir /tmp/results
     python -m repro gc --older-than 30d
@@ -58,12 +60,14 @@ class RunContext:
     ``service`` is a local :class:`~repro.api.ResilienceService` or (with
     ``--remote``) a :class:`~repro.api.RemoteService`; the sweep
     artifacts only use the shared submit/run verbs, so they cannot tell
-    the difference.
+    the difference.  ``progress`` is ``None`` or the ``--progress``
+    event printer handed to the streaming artifacts.
     """
 
     quick: bool
     scale: ExperimentScale
     service: object
+    progress: object = None
 
 
 @dataclass(frozen=True)
@@ -78,12 +82,17 @@ class ArtifactSpec:
     ``remote_ok=False`` marks sweep artifacts that must touch the model
     object in-process (the X2 ablation mutates routing depth) and
     therefore reject ``--remote`` up front rather than crashing mid-run.
+    ``streams=True`` marks the artifacts whose submissions shard and
+    stream lifecycle events (fig9/fig10/fig12); only they honour
+    ``--progress`` — naming any other artifact with it errors loudly at
+    validation time.
     """
 
     description: str
     runner: Callable[[RunContext], Any]
     sweeps: bool = False
     remote_ok: bool = True
+    streams: bool = False
 
 
 #: artifact id -> spec; every runner takes the shared RunContext.
@@ -103,12 +112,14 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                            lambda ctx: table3.run()),
     "fig9": ArtifactSpec("group-wise resilience, DeepCaps/CIFAR-10",
                          lambda ctx: fig9.run(scale=ctx.scale,
-                                              service=ctx.service),
-                         sweeps=True),
+                                              service=ctx.service,
+                                              progress=ctx.progress),
+                         sweeps=True, streams=True),
     "fig10": ArtifactSpec("layer-wise resilience of non-resilient groups",
                           lambda ctx: fig10.run(scale=ctx.scale,
-                                                service=ctx.service),
-                          sweeps=True),
+                                                service=ctx.service,
+                                                progress=ctx.progress),
+                          sweeps=True, streams=True),
     "fig11": ArtifactSpec("conv-input distributions",
                           lambda ctx: fig11.run(
                               num_images=8 if ctx.quick else 32)),
@@ -118,8 +129,9 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                                samples=20_000 if ctx.quick else 50_000)),
     "fig12": ArtifactSpec("group-wise resilience, other benchmarks",
                           lambda ctx: fig12.run(scale=ctx.scale,
-                                                service=ctx.service),
-                          sweeps=True),
+                                                service=ctx.service,
+                                                progress=ctx.progress),
+                          sweeps=True, streams=True),
     "x1": ArtifactSpec("bit-true validation of the noise model",
                        lambda ctx: bittrue_validation.run(
                            eval_samples=32 if ctx.quick else 64)),
@@ -151,6 +163,49 @@ def _build_service(args):
     return default_service()
 
 
+def _progress_printer(stream=None):
+    """The ``--progress`` event renderer: one stderr line per event.
+
+    Shard-level lines show merged-so-far coverage from the event's
+    embedded partial payload, so an operator watching a long fig10 run
+    sees curves accumulating, not just a counter.
+    """
+
+    def emit(event) -> None:
+        out = stream if stream is not None else sys.stderr
+        job = event.job[:12]
+        payload = event.payload
+        if event.kind == "shard_done":
+            targets = ", ".join(
+                group if layer is None else f"{group}@{layer}"
+                for group, layer in payload.get("targets", []))
+            line = (f"[{job}] shard {payload.get('shards_done', '?')}/"
+                    f"{payload.get('shards_total', '?')} done ({targets}")
+            partial = payload.get("partial")
+            if partial is not None:
+                # Absent when a newer shard_done superseded this event's
+                # snapshot before we read it (log compaction) — the next
+                # line carries the fresher cumulative count anyway.
+                points = sum(len(curve.get("points", []))
+                             for curve in partial.get("curves", []))
+                line += f"; {points} points so far"
+            out.write(line + ")\n")
+        elif event.kind in ("queued", "started", "done", "cancelled",
+                            "error"):
+            detail = ""
+            if event.kind == "done":
+                if payload.get("from_cache"):
+                    detail = " (store hit)"
+                elif "elapsed_seconds" in payload:
+                    detail = f" in {payload['elapsed_seconds']:.1f}s"
+            elif event.kind == "error":
+                detail = f": {payload.get('message', '')}"
+            out.write(f"[{job}] {event.kind}{detail}\n")
+        out.flush()
+
+    return emit
+
+
 def _build_context(args) -> RunContext:
     """The one request-building helper every artifact runs through."""
     execution = ExecutionOptions(strategy=args.strategy,
@@ -160,7 +215,9 @@ def _build_context(args) -> RunContext:
     if args.quick:
         scale = scale.quick()
     return RunContext(quick=args.quick, scale=scale,
-                      service=_build_service(args))
+                      service=_build_service(args),
+                      progress=_progress_printer() if args.progress
+                      else None)
 
 
 def _sweep_flags_given(args) -> list[str]:
@@ -177,6 +234,8 @@ def _sweep_flags_given(args) -> list[str]:
         flags.append("--max-parallel")
     if args.remote is not None:
         flags.append("--remote")
+    if args.progress:
+        flags.append("--progress")
     return flags
 
 
@@ -208,6 +267,20 @@ def _remote_incapable(args, requested: list[str]) -> str | None:
     return (f"artifact(s) {', '.join(rejected)} need in-process model "
             f"access (routing-depth mutation) and cannot run against "
             f"--remote; drop the flag or the artifact")
+
+
+def _progress_incapable(args, requested: list[str]) -> str | None:
+    """Requested artifacts that cannot stream shard progress."""
+    if not args.progress or "all" in args.artifacts:
+        return None
+    rejected = [name for name in requested if not ARTIFACTS[name].streams]
+    if not rejected:
+        return None
+    streaming = ", ".join(name for name, spec in ARTIFACTS.items()
+                          if spec.streams)
+    return (f"artifact(s) {', '.join(rejected)} do not stream per-shard "
+            f"events; --progress applies to the sharding artifacts "
+            f"({streaming}) — drop the flag or the artifact")
 
 
 def _result_payload(name: str, result) -> dict:
@@ -264,6 +337,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="submit sweep requests to a running "
                           "'repro serve' daemon instead of measuring "
                           "in-process")
+    run.add_argument("--progress", action="store_true",
+                     help="render live per-shard progress from the "
+                          "analysis event stream (sharding artifacts "
+                          "only; works locally and with --remote)")
     _add_store_flag(run)
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of tables")
@@ -272,6 +349,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8035,
                        help="bind port (0 picks a free one)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="bound on queued shard executions; a "
+                            "saturated server answers new submissions "
+                            "with 429 + Retry-After instead of queuing "
+                            "unboundedly")
     _add_backend_flags(serve)
     _add_store_flag(serve)
     inspect = sub.add_parser(
@@ -301,7 +383,8 @@ def _run(args) -> int:
               f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
         return 2
     for conflict in (_flag_conflicts(args),
-                     _remote_incapable(args, requested)):
+                     _remote_incapable(args, requested),
+                     _progress_incapable(args, requested)):
         if conflict is not None:
             print(conflict, file=sys.stderr)
             return 2
@@ -333,12 +416,15 @@ def _serve(args) -> int:
     from .api.server import AnalysisServer
     service = ResilienceService(cache_dir=args.cache_dir,
                                 backend=args.backend,
-                                max_parallel=args.max_parallel)
+                                max_parallel=args.max_parallel,
+                                queue_limit=args.queue_limit)
     server = AnalysisServer(service, host=args.host, port=args.port)
     store_root = service.store.root if service.store is not None else "-"
+    limit = ("unbounded" if args.queue_limit is None
+             else f"limit {args.queue_limit}")
     print(f"serving analysis API on {server.address} "
-          f"(backend {service.backend.name}, store {store_root}); "
-          f"Ctrl-C stops")
+          f"(backend {service.backend.name}, store {store_root}, "
+          f"queue {limit}); Ctrl-C stops")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -86,7 +86,17 @@ from .noise import (GaussianNoiseInjector, NoiseSpec, StackedNoiseInjector,
 from .resilience import ResilienceCurve, ResiliencePoint
 
 __all__ = ["STRATEGIES", "ExecutionOptions", "SweepTarget", "SweepEngine",
-           "model_fingerprint"]
+           "SweepCancelled", "model_fingerprint"]
+
+
+class SweepCancelled(RuntimeError):
+    """A sweep observed its cooperative cancellation flag and stopped.
+
+    Raised from the engine's stage-boundary checkpoints when the
+    ``should_cancel`` callable passed to :meth:`SweepEngine.sweep`
+    returns true; no curve is returned and no partial state leaks — the
+    engine's cached clean trace stays valid for the next sweep.
+    """
 
 #: Valid values of the ``strategy`` knob, in "how much machinery" order.
 STRATEGIES: tuple[str, ...] = ("auto", "naive", "cached", "vectorized")
@@ -306,6 +316,7 @@ class SweepEngine:
         self.workers = int(workers)
         self.shared_votes = bool(shared_votes)
         self._trace: _CleanTrace | None = None
+        self._should_cancel = None   # per-sweep cooperative flag (locked)
         # Sweeps mutate engine state (the cached trace, the per-sweep base
         # draws) and install the engine's hook registry on the calling
         # thread, so one engine can only run one sweep at a time.  The
@@ -319,7 +330,7 @@ class SweepEngine:
 
     # ----------------------------------------------------------------- public
     def sweep(self, targets, nm_values, *, na: float = 0.0, seed: int = 0,
-              baseline_accuracy: float | None = None):
+              baseline_accuracy: float | None = None, should_cancel=None):
         """Measure one :class:`ResilienceCurve` per target.
 
         Returns a dict keyed like the Step 2/4 analysis results: by group
@@ -328,10 +339,30 @@ class SweepEngine:
         ``_sweep_lock``); results are independent of the interleaving
         because every noise stream is derived statelessly per
         (seed, site, batch).
+
+        ``should_cancel`` is an optional zero-argument callable polled at
+        stage boundaries (per target, per replayed batch, per naive
+        point): when it returns true the sweep raises
+        :class:`SweepCancelled` at the next checkpoint instead of
+        finishing.  Cancellation is cooperative and loses nothing — the
+        cached clean trace survives, so a resubmitted sweep resumes from
+        the observe half for free.
         """
         with self._sweep_lock:
-            return self._sweep_locked(targets, nm_values, na, seed,
-                                      baseline_accuracy)
+            self._should_cancel = should_cancel
+            try:
+                return self._sweep_locked(targets, nm_values, na, seed,
+                                          baseline_accuracy)
+            finally:
+                self._should_cancel = None
+
+    def _checkpoint(self) -> None:
+        """Stage-boundary cancellation check (see :meth:`sweep`)."""
+        check = getattr(self, "_should_cancel", None)
+        if check is not None and check():
+            raise SweepCancelled(
+                "sweep cancelled at a stage boundary (cooperative "
+                "cancellation flag set)")
 
     def _sweep_locked(self, targets, nm_values, na, seed, baseline_accuracy):
         targets = [target if isinstance(target, SweepTarget)
@@ -341,6 +372,9 @@ class SweepEngine:
             return self._sweep_naive(targets, nm_values, na, seed,
                                      baseline_accuracy)
         if self.workers > 1 and len(targets) > 1:
+            # Worker processes cannot observe the parent's flag; check
+            # once before the fan-out (documented limitation).
+            self._checkpoint()
             return self._sweep_parallel(targets, nm_values, na, seed,
                                         baseline_accuracy, strategy)
         trace = self._clean_trace()
@@ -351,11 +385,13 @@ class SweepEngine:
         # result — it only avoids re-drawing for overlapping site sets).
         self._base_draws: dict = {}
         try:
-            return {target.key: self._sweep_target(trace, target, nm_values,
-                                                   na, seed,
-                                                   baseline_accuracy,
-                                                   strategy)
-                    for target in targets}
+            curves = {}
+            for target in targets:
+                self._checkpoint()
+                curves[target.key] = self._sweep_target(
+                    trace, target, nm_values, na, seed, baseline_accuracy,
+                    strategy)
+            return curves
         finally:
             self._base_draws = {}
 
@@ -417,6 +453,7 @@ class SweepEngine:
         correct = 0
         with no_grad(), use_registry(recorder.install()):
             for images, labels in self.dataset.batches(self.batch_size):
+                self._checkpoint()
                 state = Tensor(images)
                 states = []
                 for index, (_, stage, _meta) in enumerate(stages):
@@ -519,6 +556,7 @@ class SweepEngine:
         correct = 0
         with no_grad(), use_registry(registry):
             for batch in trace.batches:
+                self._checkpoint()
                 output = self._replay(batch, stages, resume)
                 predictions = np.argmax(capsule_lengths(output).data, axis=1)
                 correct += int(np.sum(predictions == batch.labels))
@@ -577,6 +615,7 @@ class SweepEngine:
         correct = np.zeros(k, dtype=np.int64)
         with no_grad(), use_registry(registry):
             for batch_index, batch in enumerate(trace.batches):
+                self._checkpoint()
                 injector.begin_batch(batch_index)
                 for start in range(0, k, chunk):
                     stacked = specs[start:start + chunk]
@@ -664,6 +703,7 @@ class SweepEngine:
         correct = np.zeros(k, dtype=np.int64)
         with no_grad(), use_registry(registry):
             for batch_index, batch in enumerate(trace.batches):
+                self._checkpoint()
                 injector.begin_batch(batch_index)
                 state = self._resume_state(batch, resume)
                 raw = (state if spec.votes_index is None
@@ -747,6 +787,7 @@ class SweepEngine:
         correct = np.zeros(k, dtype=np.int64)
         with no_grad(), use_registry(registry):
             for batch_index, batch in enumerate(trace.batches):
+                self._checkpoint()
                 injector.begin_batch(batch_index)
                 emitted = batch.states[resume]
                 value_range = np.float32(
@@ -804,6 +845,7 @@ class SweepEngine:
                                     baseline_accuracy=baseline_accuracy)
             layers = None if target.layer is None else [target.layer]
             for nm in nm_values:
+                self._checkpoint()
                 spec = NoiseSpec(nm=nm, na=na, seed=seed)
                 accuracy = noisy_accuracy(
                     self.model, self.dataset, spec, groups=[target.group],

@@ -77,26 +77,34 @@ def run(*, benchmark: str = "DeepCaps/CIFAR-10",
         groups: tuple[str, ...] = NON_RESILIENT_GROUPS,
         scale: ExperimentScale | None = None, seed: int = 0,
         layers: list[str] | None = None,
-        service: ResilienceService | None = None) -> Fig10Result:
+        service: ResilienceService | None = None,
+        progress=None) -> Fig10Result:
     """Step-4 sweep over every layer of the non-resilient groups.
 
     Submitted through the analysis service like :func:`repro.experiments.
     fig9.run`; when Fig. 9 ran first on the same service, this request
     reuses its engine's prefix-activation cache.  The layer axis comes
     from the model *topology* (an untrained build), so the request can
-    be issued by a remote thin client that holds no model.
+    be issued by a remote thin client that holds no model.  ``progress``
+    receives each :class:`~repro.api.AnalysisEvent` as shards land —
+    this is the artifact where streaming matters most (2 groups × 18
+    layers of shards on a parallel backend).
     """
+    from .fig9 import consume_events
     scale = scale or ExperimentScale()
     service = service or default_service()
     ref = ModelRef(benchmark=benchmark)
     if layers is None:
         from ..zoo import benchmark_coords, model_layer_names
         layers = model_layer_names(*benchmark_coords(benchmark))
-    result = service.run(AnalysisRequest(
+    handle = service.submit(AnalysisRequest(
         model=ref,
         targets=tuple((group, layer) for group in groups
                       for layer in layers),
         nm_values=scale.nm_values, na=0.0, seed=seed,
         eval_samples=scale.eval_samples, options=scale.execution))
+    if progress is not None:
+        consume_events(handle, progress)
+    result = handle.result()
     return Fig10Result(benchmark, result.baseline_accuracy, result.curves,
                        layers)

@@ -53,20 +53,28 @@ class Fig12Result:
 
 def run(*, benchmarks: tuple[str, ...] = FIG12_BENCHMARKS,
         scale: ExperimentScale | None = None, seed: int = 0,
-        service: ResilienceService | None = None) -> Fig12Result:
+        service: ResilienceService | None = None,
+        progress=None) -> Fig12Result:
     """Step-2 sweeps over the additional benchmarks.
 
-    All panels are submitted *before* any is waited on: on the
-    ``threads``/``subprocess`` backends the distinct-model panels sweep
-    concurrently (each model owns its engine and its engine lock), while
-    the default ``inline`` backend degrades to the sequential order.
-    The collected results are identical either way — the panels are
-    independent requests with stateless noise streams.
+    All panels are submitted *before* any is waited on: on the parallel
+    backends the distinct-model panels sweep concurrently (each model
+    owns its engine and its engine lock), while the default ``inline``
+    backend degrades to the sequential order.  The collected results are
+    identical either way — the panels are independent requests with
+    stateless noise streams.  ``progress`` receives every panel's
+    :class:`~repro.api.AnalysisEvent` stream (consumed panel by panel;
+    event logs replay losslessly, so nothing is missed while an earlier
+    panel is being drained).
     """
+    from .fig9 import consume_events
     scale = scale or ExperimentScale()
     service = service or default_service()
     handles = service.submit_many(
         [request_for(name, scale, seed) for name in benchmarks])
+    if progress is not None:
+        for handle in handles:
+            consume_events(handle, progress)
     panels = {}
     for name, handle in zip(benchmarks, handles):
         result = handle.result()

@@ -21,7 +21,7 @@ from ..core import ResilienceCurve
 from ..nn.hooks import INJECTABLE_GROUPS
 from .common import ExperimentScale, format_table
 
-__all__ = ["Fig9Result", "request_for", "run"]
+__all__ = ["Fig9Result", "request_for", "consume_events", "run"]
 
 
 @dataclass
@@ -74,18 +74,37 @@ def request_for(benchmark: str, scale: ExperimentScale,
         eval_samples=scale.eval_samples, options=scale.execution)
 
 
+def consume_events(handle, progress) -> None:
+    """Drain ``handle.events()`` into the ``progress`` callback.
+
+    The loop ends at the terminal event; errors surface later through
+    ``handle.result()`` so callers keep one failure path.  Works for
+    in-process and remote handles alike (both stream the same
+    :class:`~repro.api.AnalysisEvent` schema and replay losslessly, so
+    consuming after completion still delivers the full history).
+    """
+    for event in handle.events():
+        progress(event)
+
+
 def run(*, benchmark: str = "DeepCaps/CIFAR-10",
         scale: ExperimentScale | None = None, seed: int = 0,
-        service: ResilienceService | None = None) -> Fig9Result:
+        service: ResilienceService | None = None,
+        progress=None) -> Fig9Result:
     """Step-2 sweep on a trained benchmark model.
 
     The sweep is submitted as an :class:`~repro.api.AnalysisRequest`
     through ``service`` (the shared :func:`~repro.api.default_service`
-    when ``None``) and waited on via the blocking ``run`` wrapper, so
-    repeated runs at the same scale are served from the persistent
-    result store.
+    when ``None``), so repeated runs at the same scale are served from
+    the persistent result store.  ``progress`` is an optional callback
+    receiving each :class:`~repro.api.AnalysisEvent` as the sweep's
+    shards land (the CLI's ``--progress`` printer); ``None`` keeps the
+    plain blocking behaviour.
     """
     scale = scale or ExperimentScale()
     service = service or default_service()
-    result = service.run(request_for(benchmark, scale, seed))
+    handle = service.submit(request_for(benchmark, scale, seed))
+    if progress is not None:
+        consume_events(handle, progress)
+    result = handle.result()
     return Fig9Result(benchmark, result.baseline_accuracy, result.curves)

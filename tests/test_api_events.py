@@ -1,0 +1,523 @@
+"""Progressive results: events, partials, cancellation, backpressure
+(ISSUE 5).
+
+Five kinds of armor:
+
+* **Event schema/log** — `AnalysisEvent` JSON round-trips; `EventLog`
+  orders, replays and resumes; exactly one terminal event closes a log.
+* **Partial results** — `PartialResult` round-trips; handle partials
+  merge monotonically (the point set only grows) and the complete
+  snapshot is byte-identical to the blocking result, on every backend.
+* **Cancellation races** — cancel before start drops queued shards
+  without measuring, cancel mid-shard stops at a `SweepEngine` stage
+  boundary, cancel after done is a no-op; a cancelled-then-resubmitted
+  request reproduces the uncancelled curves exactly and the store never
+  holds a partial entry.
+* **Backpressure** — a bounded queue refuses loudly (`QueueFull`
+  locally; HTTP 429 + `Retry-After` on the wire; the client honours the
+  hint before retrying).
+* **Procpool** — the warm process-pool backend registers through
+  `make_backend`, rejects session refs loudly, and reuses its workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.api import (AnalysisCancelled, AnalysisEvent, AnalysisRequest,
+                       AnalysisServer, BackendError, EventLog,
+                       ExecutionOptions, ModelRef, PartialResult,
+                       ProcPoolBackend, QueueFull, RemoteBusy, RemoteService,
+                       ResilienceService, SchemaError, make_backend)
+from repro.core.sweep import SweepCancelled, SweepEngine
+
+
+@pytest.fixture()
+def service(tmp_path):
+    built = []
+
+    def build(**kwargs):
+        kwargs.setdefault("cache_dir", str(tmp_path))
+        instance = ResilienceService(**kwargs)
+        built.append(instance)
+        return instance
+
+    yield build
+    for instance in built:
+        instance.close()
+
+
+@pytest.fixture()
+def session_request(trained_capsnet, mnist_splits):
+    def bind(svc, **overrides) -> AnalysisRequest:
+        ref = svc.register("events-test", trained_capsnet, mnist_splits[1])
+        base = dict(
+            model=ref,
+            targets=(("mac_outputs", None), ("softmax", None)),
+            nm_values=(0.5, 0.05, 0.0), seed=3, eval_samples=48,
+            options=ExecutionOptions(batch_size=48))
+        base.update(overrides)
+        return AnalysisRequest(**base)
+    return bind
+
+
+def _slow_measure(svc, seconds: float):
+    """Wrap ``svc._measure`` so every shard takes at least ``seconds``."""
+    original = svc._measure
+
+    def slow(request, cancel=None):
+        time.sleep(seconds)
+        return original(request, cancel=cancel)
+
+    svc._measure = slow
+
+
+def _accuracies(curves) -> dict:
+    return {key: [point.accuracy for point in curve.points]
+            for key, curve in curves.items()}
+
+
+class TestEventSchema:
+    def test_event_json_round_trip(self):
+        event = AnalysisEvent(kind="shard_done", job="abc", seq=3,
+                              created=12.5, payload={"shard": 1})
+        assert AnalysisEvent.from_json(event.to_json()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            AnalysisEvent(kind="telemetry", job="abc", seq=1)
+
+    def test_wrong_schema_rejected(self):
+        payload = AnalysisEvent(kind="done", job="a", seq=1).to_payload()
+        payload["schema"] = 99
+        with pytest.raises(SchemaError, match="event schema"):
+            AnalysisEvent.from_payload(payload)
+
+    def test_log_orders_replays_and_closes(self):
+        log = EventLog("job-1")
+        log.emit("queued")
+        log.emit("started")
+        log.emit("done")
+        assert log.emit("progress").kind == "done"  # closed: no-op
+        kinds = [event.kind for event in log.stream()]
+        assert kinds == ["queued", "started", "done"]
+        # Resume mid-history: seq is the cursor.
+        assert [e.kind for e in log.stream(after=2)] == ["done"]
+        assert [e.seq for e in log.snapshot()] == [1, 2, 3]
+        assert log.closed()
+
+    def test_stream_timeout_returns_without_terminal(self):
+        log = EventLog("job-2")
+        log.emit("queued")
+        kinds = [event.kind for event in log.stream(timeout=0.05)]
+        assert kinds == ["queued"]  # then silence -> generator returns
+
+    def test_partial_result_json_round_trip(self, service, session_request):
+        svc = service()
+        handle = svc.submit(session_request(svc))
+        partial = handle.partial()
+        clone = PartialResult.from_json(partial.to_json())
+        assert clone.complete and clone.shards_done == partial.shards_done
+        assert _accuracies(clone.curves) == _accuracies(partial.curves)
+
+
+class TestProgressiveLifecycle:
+    def test_inline_lifecycle_replays(self, service, session_request):
+        handle = (svc := service()).submit(session_request(svc))
+        kinds = [event.kind for event in handle.events()]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+        assert "started" in kinds and "shard_done" in kinds
+        # A second consumer attaching after completion sees everything.
+        assert [event.kind for event in handle.events()] == kinds
+
+    def test_cached_handle_closed_log_and_partial(self, service,
+                                                  session_request):
+        svc = service()
+        request = session_request(svc)
+        svc.run(request)
+        warm = svc.submit(request)
+        events = list(warm.events())
+        assert [event.kind for event in events] == ["done"]
+        assert events[0].payload == {"from_cache": True}
+        assert warm.partial().complete
+
+    @pytest.mark.parametrize("config", [
+        {"backend": "threads", "max_parallel": 2},
+        {"backend": "threads", "max_parallel": 2, "nm_chunk": 2},
+    ], ids=["threads-sharded", "threads-nm-chunks"])
+    def test_partial_merges_monotonically_to_final(self, service,
+                                                   session_request, config):
+        """Successive shard_done partials only gain points, and the final
+        snapshot equals the blocking result byte-for-byte."""
+        svc = service(cache_dir=None, use_store=False, **config)
+        handle = svc.submit(session_request(svc))
+        seen_points: list[set] = []
+        shard_done_count = 0
+        for event in handle.events():
+            if event.kind != "shard_done":
+                continue
+            shard_done_count += 1
+            payload = event.payload.get("partial")
+            if payload is None:
+                # Compacted: a newer shard_done superseded this snapshot
+                # before the consumer read it — it must say which.
+                assert event.payload["partial_superseded_by"] > event.seq
+                continue
+            partial = PartialResult.from_payload(payload)
+            points = {(key, point.nm, point.accuracy)
+                      for key, curve in partial.curves.items()
+                      for point in curve.points}
+            if seen_points:
+                assert seen_points[-1] <= points  # monotonic growth
+            seen_points.append(points)
+        result = handle.result(timeout=120)
+        final = handle.partial()
+        assert final.complete
+        assert _accuracies(final.curves) == _accuracies(result.curves)
+        assert shard_done_count == handle.progress["shards_total"]
+        assert seen_points  # at least the newest snapshot was readable
+
+    def test_shard_done_partial_includes_its_own_shard(self, service,
+                                                       session_request):
+        svc = service(cache_dir=None, use_store=False, backend="threads",
+                      max_parallel=1)
+        handle = svc.submit(session_request(svc))
+        for event in handle.events():
+            if event.kind != "shard_done" or "partial" not in event.payload:
+                continue
+            partial = PartialResult.from_payload(event.payload["partial"])
+            assert partial.shards_done >= 1
+            assert partial.points_measured() > 0
+        handle.result(timeout=120)
+
+    def test_log_compacts_superseded_partials(self):
+        """Retention armor: only the newest shard_done keeps its full
+        partial payload; older ones shrink to a pointer (the late
+        replayer loses nothing — the newest snapshot is a superset)."""
+        log = EventLog("compact-job")
+        log.emit("queued")
+        for index in range(3):
+            log.emit("shard_done",
+                     {"shard": index, "partial": {"big": "x" * 10}})
+        log.emit("done")
+        shard_events = [event for event in log.snapshot()
+                        if event.kind == "shard_done"]
+        assert "partial" in shard_events[-1].payload
+        for stale in shard_events[:-1]:
+            assert "partial" not in stale.payload
+            # Points at *a* newer snapshot (possibly itself compacted —
+            # follow the chain; the newest always holds the superset).
+            assert stale.seq < stale.payload["partial_superseded_by"] \
+                <= shard_events[-1].seq
+            assert stale.payload["shard"] in (0, 1)  # coordinates survive
+
+
+class TestSweepEngineCancellation:
+    def test_checkpoint_raises_and_trace_survives(self, trained_capsnet,
+                                                  mnist_splits):
+        engine = SweepEngine(trained_capsnet, mnist_splits[1].subset(48),
+                             batch_size=24)
+        calls = [0]
+
+        def cancel_after_two():
+            calls[0] += 1
+            return calls[0] > 2
+
+        with pytest.raises(SweepCancelled, match="stage boundary"):
+            engine.sweep([("mac_outputs", None), ("softmax", None)],
+                         (0.5, 0.05, 0.0), should_cancel=cancel_after_two)
+        # The flag is per-sweep: a clean resubmission runs to completion
+        # (and reuses the surviving clean trace).
+        curves = engine.sweep([("softmax", None)], (0.5, 0.0))
+        assert len(curves["softmax"].points) == 2
+
+    def test_naive_strategy_checks_per_point(self, trained_capsnet,
+                                             mnist_splits):
+        engine = SweepEngine(trained_capsnet, mnist_splits[1].subset(48),
+                             batch_size=24, strategy="naive")
+        with pytest.raises(SweepCancelled):
+            engine.sweep([("softmax", None)], (0.5, 0.05, 0.0),
+                         should_cancel=lambda: True)
+
+
+class TestCancellationRaces:
+    def test_cancel_after_done_is_noop_everywhere(self, service,
+                                                  session_request):
+        for config in ({}, {"backend": "threads", "max_parallel": 2}):
+            svc = service(cache_dir=None, use_store=False, **config)
+            handle = svc.submit(session_request(svc))
+            handle.result(timeout=120)
+            assert handle.cancel() is False
+            assert handle.status() in ("done", "cached")
+            assert svc.stats.cancelled == 0
+
+    def test_cancel_before_start_drops_without_measuring(
+            self, service, session_request):
+        """A queued job cancelled behind a saturated queue resolves
+        AnalysisCancelled without ever reaching a measurement."""
+        svc = service(cache_dir=None, use_store=False, backend="threads",
+                      max_parallel=1)
+        _slow_measure(svc, 0.6)
+        running = svc.submit(session_request(svc, seed=1))
+        queued = svc.submit(session_request(svc, seed=2))
+        executed_before = svc.stats.executed
+        assert queued.cancel() is True
+        with pytest.raises(AnalysisCancelled):
+            queued.result(timeout=30)
+        assert queued.status() == "cancelled"
+        assert [e.kind for e in queued.events()][-1] == "cancelled"
+        running.result(timeout=120)  # the running job is untouched
+        assert running.status() == "done"
+        assert svc.stats.executed == executed_before + 1
+        assert svc.stats.cancelled == 1
+
+    def test_cancel_mid_shard_stops_at_stage_boundary_and_resubmission_is_exact(
+            self, service, session_request, monkeypatch):
+        """The acceptance race: cancellation lands while shards are
+        inside `SweepEngine.sweep`; the cooperative checkpoint aborts
+        them, nothing is stored, and resubmitting reproduces the
+        uncancelled curves exactly."""
+        reference_svc = service(cache_dir=None, use_store=False)
+        reference = reference_svc.run(session_request(reference_svc))
+
+        svc = service(backend="threads", max_parallel=2)
+        request = session_request(svc)
+        gate = threading.Event()
+        entered = threading.Event()
+        real_sweep = SweepEngine.sweep
+
+        def gated_sweep(self, targets, nm_values, **kwargs):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return real_sweep(self, targets, nm_values, **kwargs)
+
+        monkeypatch.setattr(SweepEngine, "sweep", gated_sweep)
+        handle = svc.submit(request)
+        assert entered.wait(timeout=30)      # a shard is mid-measurement
+        assert handle.cancel() is True
+        gate.set()                           # let it hit the checkpoint
+        with pytest.raises(AnalysisCancelled):
+            handle.result(timeout=60)
+        assert handle.status() == "cancelled"
+        assert svc.store.get(handle.key) is None   # nothing persisted
+        assert not svc.store.keys()                # not even a shard
+
+        monkeypatch.setattr(SweepEngine, "sweep", real_sweep)
+        resubmitted = svc.submit(request)
+        result = resubmitted.result(timeout=120)
+        assert _accuracies(result.curves) == _accuracies(reference.curves)
+
+    def test_duplicate_submission_shares_cancellation(self, service,
+                                                      session_request):
+        """Handles joined onto one in-flight execution share its fate:
+        cancelling either resolves both (documented semantics)."""
+        svc = service(cache_dir=None, use_store=False, backend="threads",
+                      max_parallel=1)
+        _slow_measure(svc, 0.6)
+        svc.submit(session_request(svc, seed=1))          # occupy the queue
+        first = svc.submit(session_request(svc, seed=2))
+        twin = svc.submit(session_request(svc, seed=2))
+        assert svc.stats.deduplicated == 1
+        assert twin.cancel() is True
+        for handle in (first, twin):
+            with pytest.raises(AnalysisCancelled):
+                handle.result(timeout=30)
+            assert handle.status() == "cancelled"
+
+
+class TestShardStoreFailure:
+    def test_store_put_failure_fails_request_instead_of_hanging(
+            self, service, session_request, monkeypatch):
+        """Review regression: an exception inside the shard proxy's
+        done-callback (e.g. the store refusing or failing a write) used
+        to be swallowed by the Future machinery — the proxy never
+        resolved, the request hung in 'running' forever and the leaked
+        in-flight entry captured every resubmission.  It must surface
+        as the request's error and drain the in-flight map."""
+        svc = service(backend="threads", max_parallel=2)
+        request = session_request(svc)
+
+        def broken_put(key, result):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(svc.store, "put", broken_put)
+        handle = svc.submit(request)
+        with pytest.raises(OSError, match="disk full"):
+            handle.result(timeout=60)
+        assert handle.status() == "error"
+        assert [e.kind for e in handle.events()][-1] == "error"
+        monkeypatch.undo()
+        retry = svc.submit(request)      # joins nothing dead; measures
+        assert retry.result(timeout=120).baseline_accuracy > 0
+
+
+class TestBackpressure:
+    def test_local_queue_full_raises_and_leaves_no_dangling_job(
+            self, service, session_request):
+        svc = service(cache_dir=None, use_store=False, backend="threads",
+                      max_parallel=1, queue_limit=1)
+        _slow_measure(svc, 0.8)
+        running = svc.submit(session_request(svc, seed=1))
+        queued = svc.submit(session_request(svc, seed=2))
+        with pytest.raises(QueueFull, match="queue is full") as excinfo:
+            svc.submit(session_request(svc, seed=3))
+        assert excinfo.value.retry_after >= 1.0
+        assert svc.stats.rejected == 1
+        assert svc.queue_snapshot()["saturated"]
+        running.result(timeout=120)
+        queued.result(timeout=120)
+        # The refused key was evicted from the in-flight map: submitting
+        # it again later measures normally instead of joining a ghost.
+        late = svc.submit(session_request(svc, seed=3))
+        assert late.result(timeout=120).baseline_accuracy > 0
+
+    def test_store_hits_never_refused(self, service, session_request):
+        svc = service(queue_limit=1)
+        request = session_request(svc)
+        svc.run(request)
+        # Saturation only counts would-be-measured work; a warm hit
+        # passes even at limit 1 with the queue artificially busy.
+        warm = svc.submit(request)
+        assert warm.status() == "cached"
+
+    def test_queue_limit_validated(self, service):
+        with pytest.raises(ValueError, match="queue_limit"):
+            service(queue_limit=0)
+
+
+def _zoo_request(**overrides) -> AnalysisRequest:
+    base = dict(model=ModelRef(benchmark="CapsNet/MNIST"),
+                targets=(("softmax", None), ("mac_outputs", None)),
+                nm_values=(0.5, 0.0), eval_samples=32,
+                options=ExecutionOptions(batch_size=32))
+    base.update(overrides)
+    return AnalysisRequest(**base)
+
+
+class TestHttpStreaming:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        service = ResilienceService(cache_dir=str(tmp_path / "srv"),
+                                    backend="threads", max_parallel=2)
+        instance = AnalysisServer(service).start()
+        yield instance
+        instance.shutdown()
+        service.close()
+
+    def test_remote_events_partial_and_final_identity(self, server,
+                                                      tmp_path):
+        local = ResilienceService(cache_dir=str(tmp_path / "loc"))
+        try:
+            reference = local.run(_zoo_request())
+        finally:
+            local.close()
+        remote = RemoteService(server.address)
+        handle = remote.submit(_zoo_request())
+        kinds = [event.kind for event in handle.events()]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+        assert kinds.count("shard_done") == 2
+        partial = handle.partial()
+        assert partial.complete
+        result = handle.result(timeout=120)
+        assert _accuracies(partial.curves) == _accuracies(result.curves)
+        assert _accuracies(result.curves) == _accuracies(reference.curves)
+
+    def test_remote_cancel_roundtrip(self, server):
+        service = server.service
+        _slow_measure(service, 0.8)
+        remote = RemoteService(server.address)
+        running = remote.submit(_zoo_request(seed=11))
+        queued = remote.submit(_zoo_request(seed=12))
+        assert queued.cancel() is True
+        with pytest.raises(AnalysisCancelled):
+            queued.result(timeout=30)
+        assert queued.status() == "cancelled"
+        assert [e.kind for e in queued.events()][-1] == "cancelled"
+        assert running.cancel() in (True, False)  # may already be running
+        # Cancel of a finished job is a no-op over the wire too.
+        done = remote.submit(_zoo_request(seed=13))
+        done.result(timeout=120)
+        assert done.cancel() is False
+
+    def test_events_endpoint_unknown_job_404(self, server):
+        remote = RemoteService(server.address)
+        from repro.api import RemoteError
+        with pytest.raises(RemoteError, match="404"):
+            with remote._request("/v1/events/deadbeef"):
+                pass
+
+    def test_health_reports_queue_state(self, server):
+        health = RemoteService(server.address).health()
+        queue = health["queue"]
+        assert queue["capacity"] == 2
+        assert queue["limit"] is None and not queue["saturated"]
+
+
+class TestHttp429:
+    @pytest.fixture()
+    def busy_server(self, tmp_path):
+        service = ResilienceService(cache_dir=str(tmp_path),
+                                    backend="threads", max_parallel=1,
+                                    queue_limit=1)
+        _slow_measure(service, 1.2)
+        instance = AnalysisServer(service).start()
+        yield instance
+        instance.shutdown()
+        service.close()
+
+    def _saturate(self, client):
+        return [client.submit(_zoo_request(seed=21)),
+                client.submit(_zoo_request(seed=22))]
+
+    def test_429_carries_retry_after(self, busy_server):
+        client = RemoteService(busy_server.address, busy_retries=0)
+        handles = self._saturate(client)
+        with pytest.raises(RemoteBusy, match="429") as excinfo:
+            client.submit(_zoo_request(seed=23))
+        assert excinfo.value.retry_after >= 1.0
+        for handle in handles:
+            handle.result(timeout=120)
+
+    def test_client_retry_honours_retry_after(self, busy_server):
+        client = RemoteService(busy_server.address, busy_retries=10)
+        slept: list[float] = []
+        real_sleep = time.sleep
+        client._sleep = lambda seconds: (slept.append(seconds),
+                                         real_sleep(min(seconds, 1.5)))[0]
+        handles = self._saturate(client)
+        retried = client.submit(_zoo_request(seed=23))  # retries until in
+        assert slept and all(seconds >= 1.0 for seconds in slept)
+        for handle in handles + [retried]:
+            handle.result(timeout=120)
+
+
+class TestProcPoolBackend:
+    def test_registered_via_make_backend(self):
+        backend = make_backend("procpool", 2)
+        assert isinstance(backend, ProcPoolBackend)
+        assert backend.parallel == 2
+        backend.close()
+
+    def test_session_refs_rejected_loudly(self, service, session_request):
+        svc = service(use_store=False, backend="procpool", max_parallel=1)
+        handle = svc.submit(session_request(svc))
+        with pytest.raises(BackendError, match="session ref"):
+            handle.result(timeout=60)
+
+    def test_warm_workers_are_reused(self, service):
+        """The point of the backend: the second shard rides the first
+        shard's worker (same interpreter, warm engine) instead of paying
+        another spin-up."""
+        svc = service(use_store=False, backend="procpool", max_parallel=1)
+        first = svc.run(_zoo_request(seed=31))
+        backend = svc.backend
+        assert len(backend._idle) == 1
+        [worker] = backend._idle
+        second = svc.run(_zoo_request(seed=32))
+        assert backend._idle == [worker]      # same process served both
+        assert worker.alive()
+        assert first.baseline_accuracy == second.baseline_accuracy

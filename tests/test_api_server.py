@@ -158,9 +158,9 @@ class TestRoundTrip:
                                     backend="threads", max_parallel=1)
         measure = service._measure
 
-        def slow_measure(request):
+        def slow_measure(request, cancel=None):
             time_module.sleep(4.0)
-            return measure(request)
+            return measure(request, cancel=cancel)
 
         monkeypatch.setattr(service, "_measure", slow_measure)
         server = AnalysisServer(service).start()

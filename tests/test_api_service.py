@@ -108,8 +108,9 @@ class TestGoldenCompat:
         assert dict(service._engines) == engines  # no new engine built
 
 
-#: Backend configurations the ISSUE 4 acceptance demands byte-identity
-#: for: every backend, plus shard-merge along both axes.
+#: Backend configurations the ISSUE 4/5 acceptance demands byte-identity
+#: for: every backend (incl. the warm ``procpool`` workers), plus
+#: shard-merge along both axes.
 BACKEND_CONFIGS = {
     "inline": {"backend": "inline"},
     "threads-sharded": {"backend": "threads", "max_parallel": 2},
@@ -117,6 +118,9 @@ BACKEND_CONFIGS = {
                           "nm_chunk": 2},
     "subprocess-sharded": {"backend": "subprocess", "max_parallel": 2},
     "subprocess-whole": {"backend": "subprocess", "max_parallel": 1},
+    "procpool-sharded": {"backend": "procpool", "max_parallel": 2},
+    "procpool-nm-chunks": {"backend": "procpool", "max_parallel": 2,
+                           "nm_chunk": 2},
 }
 
 
@@ -156,6 +160,20 @@ class TestBackendGoldenCompat:
                               lambda svc: fig10.run(scale=QUICK,
                                                     service=svc))
         assert text == fig10_direct, config
+
+    def test_fig9_quick_streaming_consumer_is_byte_identical(
+            self, tmp_path, fig9_direct):
+        """ISSUE 5 acceptance: consuming the live event stream (the
+        --progress path) changes nothing about the measured output."""
+        events = []
+        text = self._run_with(
+            tmp_path, BACKEND_CONFIGS["threads-nm-chunks"],
+            lambda svc: fig9.run(scale=QUICK, service=svc,
+                                 progress=events.append))
+        assert text == fig9_direct
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+        assert kinds.count("shard_done") == 8  # 4 targets x 2 NM chunks
 
     def test_sharded_execution_hits_shard_store_entries(self, tmp_path):
         """Shard results persist under their own keys: a later

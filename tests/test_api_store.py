@@ -207,6 +207,36 @@ class TestSchemaRoundTrip:
         assert entry.noise == "gaussian"
 
 
+class TestCompletenessGuard:
+    """ISSUE 5 satellite: the store refuses anything but complete
+    results, so a cancellation-truncated shard can never be replayed as
+    a warm hit."""
+
+    def test_missing_points_rejected(self, service, request_):
+        result = service.run(request_)
+        torn = dataclasses.replace(result)
+        torn.curves = {key: dataclasses.replace(
+            curve, points=curve.points[:-1])
+            for key, curve in result.curves.items()}
+        with pytest.raises(ValueError, match="partial result"):
+            service.store.put("torn-key", torn)
+        assert service.store.get("torn-key") is None
+
+    def test_missing_target_rejected(self, service, request_):
+        result = service.run(request_)
+        torn = dataclasses.replace(result)
+        torn.curves = dict(list(result.curves.items())[:1])
+        with pytest.raises(ValueError, match="missing for target"):
+            service.store.put("torn-key", torn)
+        assert service.store.get("torn-key") is None
+
+    def test_complete_results_still_stored(self, service, request_):
+        result = service.run(request_)
+        path = service.store.put("explicit-key", result)
+        assert service.store.get("explicit-key") is not None
+        assert path.endswith("explicit-key.json")
+
+
 class TestGc:
     """ISSUE 4 satellite: ``ResultStore.gc`` / ``repro gc`` reclaim disk
     from stale, orphaned, aged and (opt-in) all entries."""

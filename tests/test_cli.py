@@ -135,6 +135,46 @@ class TestBackendFlagRouting:
         # Parent result + one shard per injectable group persisted.
         assert "5 entries" in capsys.readouterr().out
 
+    def test_procpool_backend_accepted(self, capsys):
+        """The warm process-pool backend routes through the same flag
+        validation as the other parallel backends."""
+        assert main(["run", "table1", "--backend", "procpool"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "--backend" in err
+
+
+class TestProgressFlag:
+    """ISSUE 5 satellite: --progress streams per-shard events for the
+    sharding artifacts and errors loudly everywhere else."""
+
+    def test_rejected_for_non_sweep_artifact(self, capsys):
+        assert main(["run", "table1", "--progress"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err and "--progress" in err
+
+    def test_rejected_for_non_streaming_sweep_artifact(self, capsys):
+        """x3 sweeps but submits a per-NA request batch, not one
+        sharding submission — --progress would silently show nothing."""
+        assert main(["run", "x3", "--progress"]) == 2
+        err = capsys.readouterr().err
+        assert "x3" in err and "--progress" in err
+
+    def test_streaming_artifacts_marked(self):
+        for name in ("fig9", "fig10", "fig12"):
+            assert ARTIFACTS[name].streams, name
+        for name in ("x2", "x3", "x4", "table1", "fig6"):
+            assert not ARTIFACTS[name].streams, name
+
+    def test_renders_live_progress_lines(self, tmp_path, capsys):
+        assert main(["run", "fig9", "--quick", "--backend", "threads",
+                     "--max-parallel", "2", "--progress",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 9" in captured.out            # the artifact itself
+        assert "queued" in captured.err            # the event stream
+        assert "shard 4/4 done" in captured.err
+        assert "points so far" in captured.err
+
 
 def test_json_output(capsys):
     assert main(["run", "fig5", "--json"]) == 0
