@@ -1,0 +1,104 @@
+"""Cost of crash recovery on the chaos-wrapped procpool backend.
+
+The same Fig. 9-style request is measured twice through warm procpool
+workers: once fault-free, once under a chaos plan that crashes every
+shard's first attempt (`FaultPlan.crash_every_shard`) so every shard
+pays one worker loss + respawn + retry.  The wall-clock difference is
+the *recovery overhead* — what a worker crash actually costs end to
+end (detection via the broken pipe, the structured restart, the
+backoff, the replacement worker's spin-up and the byte-identical
+replay) — recorded in ``BENCH_sweep.json`` →
+``custom_metrics.chaos_recovery_overhead_seconds`` via the autosave
+conftest, alongside both absolute timings.
+
+Both paths must agree byte-for-byte: recovery that changed the curves
+would be a correctness bug, not an overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import (AnalysisRequest, FaultPlan, ModelRef,
+                       ResilienceService, RetryPolicy)
+from repro.nn.hooks import INJECTABLE_GROUPS
+
+from conftest import record_metric, run_once
+
+#: Tight spacing so the metric isolates recovery mechanics, not the
+#: production backoff schedule (which is policy, not cost).
+FAST_RETRY = RetryPolicy(base_delay=0.05, multiplier=2.0, max_delay=0.2)
+
+
+def _request(quick_scale, seed: int = 0) -> AnalysisRequest:
+    return AnalysisRequest(
+        model=ModelRef(benchmark="DeepCaps/MNIST"),
+        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
+        nm_values=quick_scale.nm_values,
+        eval_samples=quick_scale.eval_samples, seed=seed,
+        options=quick_scale.execution)
+
+
+def _measure(request, warmup, fault_plan=None) -> tuple[float, object]:
+    """Timed run of ``request`` against warm workers and a warm engine.
+
+    The warm-up submission uses a *different seed* (different shard
+    fingerprints), so on the chaos path the plan's attempt-0 faults are
+    still unspent when the timed shards arrive — both runs crash every
+    shard once, but only the timed one is on the clock.
+    """
+    backend = "procpool" if fault_plan is None else "chaos:procpool"
+    service = ResilienceService(use_store=False, backend=backend,
+                                max_parallel=2, fault_plan=fault_plan,
+                                retry_policy=FAST_RETRY)
+    try:
+        service.run(warmup)             # warm workers + engine, untimed
+        if fault_plan is not None:
+            injected = service.backend.injected
+            restarts = service.backend.worker_restarts
+        start = time.perf_counter()
+        result = service.run(request)
+        elapsed = time.perf_counter() - start
+        if fault_plan is not None:
+            # The timed region really paid for fresh injections and
+            # worker replacements, not leftovers from the warm-up.
+            assert service.backend.injected > injected
+            assert service.backend.worker_restarts > restarts
+        return elapsed, result
+    finally:
+        service.close()
+
+
+def _curve_accuracies(result) -> list:
+    return [[point.accuracy for point in curve.points]
+            for curve in result.curves.values()]
+
+
+def test_chaos_recovery_overhead(benchmark, quick_scale):
+    """ISSUE 6 satellite: what one crash-per-shard costs end to end."""
+    request = _request(quick_scale, seed=0)
+    warmup = _request(quick_scale, seed=1)
+    clean_seconds, clean_result = _measure(request, warmup)
+
+    plan = FaultPlan.crash_every_shard(times=1)
+    timings: dict[str, object] = {}
+
+    def chaos_run():
+        timings["chaos"], timings["result"] = _measure(request, warmup,
+                                                       fault_plan=plan)
+
+    run_once(benchmark, chaos_run)
+    chaos_seconds = float(timings["chaos"])
+    overhead = chaos_seconds - clean_seconds
+
+    assert _curve_accuracies(timings["result"]) == \
+        _curve_accuracies(clean_result)
+
+    record_metric("chaos_recovery_clean_seconds", clean_seconds)
+    record_metric("chaos_recovery_chaos_seconds", chaos_seconds)
+    record_metric("chaos_recovery_overhead_seconds", overhead)
+    print(f"\nfault-free {clean_seconds:.2f}s, crash-every-shard "
+          f"{chaos_seconds:.2f}s -> recovery overhead {overhead:.2f}s")
+    # Recovery must not dwarf the measurement itself; the clean run is
+    # the honest floor.
+    assert chaos_seconds > clean_seconds * 0.5

@@ -40,17 +40,20 @@ migration notes.
 """
 
 from ..core.sweep import ExecutionOptions, SweepCancelled
-from .backends import (BACKEND_NAMES, BackendError, ExecutionBackend,
-                       InlineBackend, ProcPoolBackend, SubprocessBackend,
-                       ThreadBackend, make_backend)
+from .backends import (BACKEND_NAMES, BackendError, ChaosBackend,
+                       ExecutionBackend, InlineBackend, ProcPoolBackend,
+                       SubprocessBackend, ThreadBackend, make_backend)
 from .events import (EVENT_KINDS, TERMINAL_EVENTS, AnalysisCancelled,
                      AnalysisEvent, CancelToken, EventLog)
 from .request import (NOISE_KINDS, SCHEMA_VERSION, AnalysisRequest,
                       AnalysisResult, ModelRef, PartialResult, SchemaError)
+from .resilience import (AttemptRecord, Fault, FaultPlan, FaultyStore,
+                         RetryPolicy, ServiceHealth, ShardPoisoned,
+                         WorkerCrashed, WorkerSupervisor, WorkerTimeout)
 from .scheduler import (QueueFull, ShardMismatch, ShardQueue, merge_partial,
                         merge_shards, plan_shards)
 from .server import (AnalysisServer, RemoteBusy, RemoteError, RemoteHandle,
-                     RemoteService)
+                     RemoteService, ServerDraining)
 from .service import (AnalysisHandle, ResilienceService, ResolvedModel,
                       ServiceStats, ShardProgress, dataset_fingerprint,
                       default_service)
@@ -64,11 +67,15 @@ __all__ = [
     "EVENT_KINDS", "TERMINAL_EVENTS", "AnalysisEvent", "EventLog",
     "CancelToken", "AnalysisCancelled", "SweepCancelled",
     "BACKEND_NAMES", "BackendError", "ExecutionBackend", "InlineBackend",
-    "ThreadBackend", "SubprocessBackend", "ProcPoolBackend", "make_backend",
+    "ThreadBackend", "SubprocessBackend", "ProcPoolBackend", "ChaosBackend",
+    "make_backend",
+    "WorkerCrashed", "WorkerTimeout", "ShardPoisoned", "AttemptRecord",
+    "RetryPolicy", "WorkerSupervisor", "ServiceHealth",
+    "Fault", "FaultPlan", "FaultyStore",
     "ShardMismatch", "plan_shards", "merge_shards", "merge_partial",
     "ShardQueue", "QueueFull",
     "AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError",
-    "RemoteBusy",
+    "RemoteBusy", "ServerDraining",
     "AnalysisHandle", "ShardProgress",
     "ResilienceService", "ResolvedModel", "ServiceStats", "default_service",
     "dataset_fingerprint",

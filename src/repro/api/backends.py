@@ -49,6 +49,18 @@ callback invoked when the measurement *actually begins* (on the worker
 thread, after any pool queuing) — this is what feeds honest ``started``
 events upstream, rather than "was handed to a pool".
 
+Fault tolerance (see :mod:`repro.api.resilience`): worker loss raises
+the retryable :class:`~repro.api.resilience.WorkerCrashed` (or
+:class:`~repro.api.resilience.WorkerTimeout` when the supervision
+watchdog killed a worker past its ``ExecutionOptions.shard_timeout``
+deadline or with stale heartbeats), while deterministic refusals stay
+bare :class:`~repro.api.resilience.BackendError`.  Procpool workers
+heartbeat through every measurement so hung (not just dead) workers are
+detected and replaced; cumulative replacements surface as
+``worker_restarts``.  ``chaos:<inner>`` (built via ``make_backend``
+with a :class:`~repro.api.resilience.FaultPlan`) wraps any backend in
+the deterministic fault-injection harness — see :class:`ChaosBackend`.
+
 ``make_backend`` is the one validation/construction choke point — the
 CLI's ``--backend``/``--max-parallel`` flags and the service constructor
 both go through it, so invalid combinations fail loudly and identically
@@ -58,21 +70,29 @@ everywhere.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import subprocess
 import sys
 import tempfile
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
 from .request import AnalysisRequest, AnalysisResult
+from .resilience import (BackendError, FaultPlan, WorkerCrashed,
+                         WorkerSupervisor, WorkerTimeout)
 
-__all__ = ["BACKEND_NAMES", "BackendError", "ExecutionBackend",
-           "InlineBackend", "ThreadBackend", "SubprocessBackend",
-           "ProcPoolBackend", "make_backend"]
+__all__ = ["BACKEND_NAMES", "BackendError", "WorkerCrashed", "WorkerTimeout",
+           "ExecutionBackend", "InlineBackend", "ThreadBackend",
+           "SubprocessBackend", "ProcPoolBackend", "ChaosBackend",
+           "make_backend"]
 
-#: Valid values of the service/CLI ``backend`` knob.
+logger = logging.getLogger("repro.api.backends")
+
+#: Valid values of the service/CLI ``backend`` knob (each may also be
+#: wrapped as ``chaos:<name>`` together with a ``fault_plan``).
 BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess",
                                   "procpool")
 
@@ -80,11 +100,11 @@ BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess",
 #: does not pass ``max_parallel`` (bounded: sweeps are memory-hungry).
 DEFAULT_MAX_PARALLEL = max(2, min(4, os.cpu_count() or 1))
 
+#: Seconds between heartbeat frames a procpool worker emits while a
+#: measurement is in flight (well under any sane supervision grace).
+HEARTBEAT_INTERVAL = 0.5
+
 Runner = Callable[[AnalysisRequest], AnalysisResult]
-
-
-class BackendError(RuntimeError):
-    """A backend could not execute a request (bad combo or worker failure)."""
 
 
 class ExecutionBackend:
@@ -208,7 +228,16 @@ class SubprocessBackend(ExecutionBackend):
 
 
 class _PoolWorker:
-    """One persistent ``--pool-worker`` process of the procpool backend."""
+    """One persistent ``--pool-worker`` process of the procpool backend.
+
+    The worker heartbeats while a measurement is in flight (``{"hb": t}``
+    frames interleaved with the result envelope); :meth:`measure` skips
+    them, refreshing :attr:`last_beat` — the supervision watchdog's
+    staleness signal.  :meth:`kill` is the watchdog's teardown: it notes
+    *why* before SIGKILLing, so the read loop (which then observes EOF)
+    can raise :class:`~repro.api.resilience.WorkerTimeout` instead of a
+    plain crash.
+    """
 
     def __init__(self):
         handle, self.stderr_path = tempfile.mkstemp(
@@ -218,9 +247,19 @@ class _PoolWorker:
             [sys.executable, "-m", "repro.api.backends", "--pool-worker"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=self._stderr, text=True, env=_worker_env())
+        self.last_beat = time.monotonic()
+        self.killed_reason: str | None = None
 
     def alive(self) -> bool:
         return self.process.poll() is None
+
+    def kill(self, reason: str) -> None:
+        """Watchdog teardown: record the verdict, then SIGKILL."""
+        self.killed_reason = reason
+        try:
+            self.process.kill()
+        except OSError:
+            pass
 
     def _stderr_tail(self) -> str:
         self._stderr.flush()
@@ -230,27 +269,55 @@ class _PoolWorker:
         except OSError:
             return ""
 
-    def measure(self, request: AnalysisRequest) -> AnalysisResult:
-        """One framed request/response round trip (raises on crash)."""
+    def _lost(self, detail: str) -> BackendError:
+        """The channel broke: classify watchdog kill vs spontaneous death."""
+        if self.killed_reason is not None:
+            return WorkerTimeout(self.killed_reason)
+        return WorkerCrashed(detail)
+
+    def measure(self, request: AnalysisRequest,
+                chaos: dict | None = None) -> AnalysisResult:
+        """One framed request/response round trip (raises on crash).
+
+        ``chaos`` is an optional scripted-fault rider (a
+        :class:`~repro.api.resilience.Fault` payload) executed *inside*
+        the worker — the chaos harness's real-injection path.
+        """
+        self.last_beat = time.monotonic()
+        if chaos is None:
+            frame = request.to_json()
+        else:
+            frame = json.dumps({"request": request.to_payload(),
+                                "chaos": chaos}, sort_keys=True)
         try:
-            self.process.stdin.write(request.to_json() + "\n")
+            self.process.stdin.write(frame + "\n")
             self.process.stdin.flush()
-            line = self.process.stdout.readline()
+            while True:
+                line = self.process.stdout.readline()
+                if not line:
+                    code = self.process.poll()
+                    raise self._lost(
+                        f"procpool worker exited (status {code}) mid-request"
+                        + (f":\n{self._stderr_tail()}" if self._stderr_tail()
+                           else ""))
+                try:
+                    envelope = json.loads(line)
+                except ValueError:
+                    raise WorkerCrashed(
+                        f"procpool worker emitted a corrupted frame "
+                        f"({line.strip()[:120]!r}); worker log tail:\n"
+                        f"{self._stderr_tail()}") from None
+                if "hb" in envelope:
+                    self.last_beat = time.monotonic()
+                    continue
+                if "error" in envelope:
+                    raise BackendError(
+                        f"procpool worker failed: {envelope['error']}")
+                return AnalysisResult.from_payload(envelope["ok"])
         except (OSError, ValueError) as exc:
-            raise BackendError(
+            raise self._lost(
                 f"procpool worker pipe failed ({exc}); "
                 f"worker log tail:\n{self._stderr_tail()}") from None
-        if not line:
-            code = self.process.poll()
-            raise BackendError(
-                f"procpool worker exited (status {code}) mid-request"
-                + (f":\n{self._stderr_tail()}" if self._stderr_tail()
-                   else ""))
-        envelope = json.loads(line)
-        if "error" in envelope:
-            raise BackendError(
-                f"procpool worker failed: {envelope['error']}")
-        return AnalysisResult.from_payload(envelope["ok"])
 
     def close(self) -> None:
         try:
@@ -271,25 +338,51 @@ class ProcPoolBackend(ExecutionBackend):
     Workers are spawned lazily (first borrow) and reused across shards,
     amortising the interpreter spin-up, zoo weight load and engine
     prefix-cache that :class:`SubprocessBackend` pays per shard.  A
-    worker that crashes fails its current shard with
-    :class:`BackendError` and is simply not returned to the idle pool —
-    the next borrow spawns a replacement.
+    worker that crashes fails its current shard with the retryable
+    :class:`~repro.api.resilience.WorkerCrashed` and is simply not
+    returned to the idle pool — the next borrow spawns a replacement
+    (counted in :attr:`worker_restarts`, surfaced via
+    ``queue_snapshot()`` and ``/v1/health``).
+
+    Supervision: every in-flight measurement is watched by a
+    :class:`~repro.api.resilience.WorkerSupervisor` — a wall-clock
+    deadline when the request carries ``options.shard_timeout``, and
+    heartbeat staleness (``heartbeat_grace`` seconds without a worker
+    heartbeat frame) always.  A tripped watchdog SIGKILLs the worker,
+    whose read loop then raises
+    :class:`~repro.api.resilience.WorkerTimeout` — retryable, so the
+    shard requeues on a fresh worker.
     """
 
     name = "procpool"
 
-    def __init__(self, max_parallel: int = 0):
+    def __init__(self, max_parallel: int = 0, *,
+                 heartbeat_grace: float | None = 10.0,
+                 poll_interval: float = 0.1):
         self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
+        self.heartbeat_grace = heartbeat_grace
         self._dispatch = ThreadBackend(self.parallel)
+        self._supervisor = WorkerSupervisor(poll_interval=poll_interval)
         self._idle: list[_PoolWorker] = []
         self._lock = threading.Lock()
         self._closed = False
+        self._restarts = 0
+
+    @property
+    def worker_restarts(self) -> int:
+        """Cumulative crashed/killed-worker replacements."""
+        with self._lock:
+            return self._restarts
 
     def submit(self, request: AnalysisRequest, runner: Runner, *,
-               on_start: Callable[[], None] | None = None) -> Future:
+               on_start: Callable[[], None] | None = None,
+               chaos: dict | None = None) -> Future:
         _reject_session_ref(self.name, request)
-        return self._dispatch.submit(request, self._run_on_worker,
-                                     on_start=on_start)
+
+        def run(req: AnalysisRequest, _chaos=chaos) -> AnalysisResult:
+            return self._run_on_worker(req, chaos=_chaos)
+
+        return self._dispatch.submit(request, run, on_start=on_start)
 
     def _borrow(self) -> _PoolWorker:
         with self._lock:
@@ -302,13 +395,30 @@ class ProcPoolBackend(ExecutionBackend):
                 worker.close()
         return _PoolWorker()
 
-    def _run_on_worker(self, request: AnalysisRequest) -> AnalysisResult:
+    def _run_on_worker(self, request: AnalysisRequest,
+                       chaos: dict | None = None) -> AnalysisResult:
         worker = self._borrow()
+        describe = f"shard {request.fingerprint()[:12]}"
+        timeout = request.options.shard_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        token = self._supervisor.watch(
+            kill=worker.kill, describe=describe, deadline=deadline,
+            beat=lambda: worker.last_beat, grace=self.heartbeat_grace)
         try:
-            result = worker.measure(request)
-        except BaseException:
+            result = worker.measure(request, chaos=chaos)
+        except BaseException as error:
             worker.close()               # never reuse a suspect worker
+            if isinstance(error, WorkerCrashed):
+                with self._lock:
+                    self._restarts += 1
+                    restarts = self._restarts
+                logger.warning(
+                    "procpool worker lost on %s (%s: %s); replacement "
+                    "spawns on next borrow (worker_restarts=%d)",
+                    describe, type(error).__name__, error, restarts)
             raise
+        finally:
+            self._supervisor.unwatch(token)
         with self._lock:
             if not self._closed:
                 self._idle.append(worker)
@@ -318,6 +428,7 @@ class ProcPoolBackend(ExecutionBackend):
 
     def close(self) -> None:
         self._dispatch.close()           # waits for in-flight borrows
+        self._supervisor.close()
         with self._lock:
             self._closed = True
             idle, self._idle = self._idle, []
@@ -351,14 +462,25 @@ def _run_in_worker(request: AnalysisRequest) -> AnalysisResult:
     handle, result_path = tempfile.mkstemp(prefix="repro-worker-",
                                            suffix=".json")
     os.close(handle)
+    timeout = request.options.shard_timeout
     try:
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.api.backends", result_path],
-            input=request.to_json(), capture_output=True, text=True,
-            env=_worker_env())
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.api.backends", result_path],
+                input=request.to_json(), capture_output=True, text=True,
+                env=_worker_env(), timeout=timeout)
+        except subprocess.TimeoutExpired:
+            raise WorkerTimeout(
+                f"analysis worker exceeded the {timeout}s shard deadline "
+                f"and was killed") from None
         if proc.returncode != 0:
             detail = (proc.stderr or proc.stdout or "").strip()
-            raise BackendError(
+            # A negative status means the process died on a signal
+            # (OOM-kill, segfault) — infrastructure, hence retryable; a
+            # positive one is the worker reporting a deterministic
+            # measurement error.
+            error_cls = WorkerCrashed if proc.returncode < 0 else BackendError
+            raise error_cls(
                 f"analysis worker exited with status {proc.returncode}"
                 + (f":\n{detail[-2000:]}" if detail else ""))
         with open(result_path) as stream:
@@ -368,15 +490,33 @@ def _run_in_worker(request: AnalysisRequest) -> AnalysisResult:
             os.remove(result_path)
 
 
+def _heartbeat_loop(emit: Callable[[dict], None],
+                    stop: threading.Event) -> None:
+    """Worker-side heartbeat thread body: one ``{"hb": t}`` frame per
+    :data:`HEARTBEAT_INTERVAL` while a measurement is in flight."""
+    while not stop.wait(HEARTBEAT_INTERVAL):
+        try:
+            emit({"hb": time.time()})
+        except (OSError, ValueError):
+            return                       # parent hung up; we exit soon
+
+
 def _pool_worker_main() -> int:
     """``python -m repro.api.backends --pool-worker`` — persistent loop.
 
     Serves framed measurements until stdin closes: one request JSON per
     line in, one ``{"ok": <result payload>}`` or ``{"error": <message>}``
-    envelope per line out.  The real stdout fd is captured for the
-    protocol and ``sys.stdout``/fd 1 are re-pointed at stderr first, so
-    incidental prints inside measurement code (zoo training on a cold
-    cache, progress chatter) land in the log instead of the channel.
+    envelope per line out — plus ``{"hb": t}`` heartbeat frames while a
+    measurement runs, so the parent's watchdog can tell *hung* from
+    *slow*.  A frame may also be an envelope ``{"request": ..,
+    "chaos": ..}`` carrying a scripted fault to execute in-process (the
+    chaos harness's real-injection path): crash before/after the
+    measurement (``os._exit``), emit a corrupted result frame, or hang
+    without heartbeats until the watchdog kills us.  The real stdout fd
+    is captured for the protocol and ``sys.stdout``/fd 1 are re-pointed
+    at stderr first, so incidental prints inside measurement code (zoo
+    training on a cold cache, progress chatter) land in the log instead
+    of the channel.
 
     One store-less service lives for the whole loop: shards of the same
     model reuse its engine cache — the warmth the backend exists for.
@@ -386,16 +526,48 @@ def _pool_worker_main() -> int:
     sys.stdout = sys.stderr
     from .service import ResilienceService
     service = ResilienceService(use_store=False)
+    write_lock = threading.Lock()
+
+    def emit(document) -> None:
+        text = (document if isinstance(document, str)
+                else json.dumps(document, sort_keys=True))
+        with write_lock:
+            channel.write(text + "\n")
+            channel.flush()
+
     for line in sys.stdin:
         if not line.strip():
             continue
+        document = json.loads(line)
+        chaos = document.get("chaos") if "request" in document else None
+        payload = document.get("request", document)
+        kind = chaos["kind"] if chaos is not None else None
+        if kind == "crash-before":
+            os._exit(17)
+        if kind == "hang":
+            # No heartbeats, no progress: indistinguishable from a
+            # genuinely wedged worker.  The parent watchdog kills us.
+            time.sleep(3600)
+        stop_beat = threading.Event()
+        beat_thread = threading.Thread(target=_heartbeat_loop,
+                                       args=(emit, stop_beat), daemon=True)
+        beat_thread.start()
         try:
-            result = service.run(AnalysisRequest.from_json(line))
+            result = service.run(AnalysisRequest.from_payload(payload))
             envelope = {"ok": result.to_payload()}
         except Exception as exc:  # noqa: BLE001 — reported to the parent
             envelope = {"error": f"{type(exc).__name__}: {exc}"}
-        channel.write(json.dumps(envelope, sort_keys=True) + "\n")
-        channel.flush()
+        finally:
+            # Joined before the envelope is emitted, so no stale
+            # heartbeat frame ever follows a result on the channel.
+            stop_beat.set()
+            beat_thread.join(timeout=5)
+        if kind == "crash-after":
+            os._exit(17)
+        if kind == "corrupt":
+            emit("{corrupt frame" + "x" * 16)
+            continue
+        emit(envelope)
     return 0
 
 
@@ -425,14 +597,119 @@ def worker_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+class ChaosBackend(ExecutionBackend):
+    """Deterministic fault-injection wrapper around a real backend.
+
+    Built via ``make_backend("chaos:<inner>", fault_plan=...)``.  Every
+    submission is keyed by its request fingerprint: the first time a
+    fingerprint is seen it gets the next shard index (first-seen order),
+    and each resubmission of the same fingerprint bumps its attempt
+    counter — so a :class:`~repro.api.resilience.FaultPlan` matches on
+    *(shard, attempt)* coordinates that are stable under any dispatch
+    interleaving, making chaos runs reproducible.
+
+    Injection has two paths:
+
+    * **procpool inner** — the fault rides the wire to the worker and
+      executes there (real ``os._exit`` crashes, a genuinely corrupted
+      protocol frame, a genuinely hung process for the watchdog);
+    * **other inners** — the fault is simulated at the dispatch
+      boundary (a :class:`~repro.api.resilience.WorkerCrashed` future;
+      ``crash-after`` runs the real measurement first, then loses the
+      result), exercising the same retry machinery without process
+      machinery.  ``hang`` faults *require* the procpool inner — there
+      is no process to kill anywhere else, so they are rejected at
+      construction.
+
+    ``injected`` counts faults actually fired (a chaos test asserting
+    recovery should also assert its faults happened).
+    """
+
+    def __init__(self, inner: ExecutionBackend, fault_plan: FaultPlan):
+        if not isinstance(fault_plan, FaultPlan):
+            raise TypeError(f"fault_plan must be a FaultPlan, "
+                            f"got {type(fault_plan).__name__}")
+        if any(fault.kind == "hang" for fault in fault_plan.faults) \
+                and not isinstance(inner, ProcPoolBackend):
+            raise ValueError(
+                f"hang faults hold a worker process hostage and need the "
+                f"procpool backend's watchdog to recover; the "
+                f"{inner.name!r} backend cannot inject them")
+        self.inner = inner
+        self.plan = fault_plan
+        self.name = f"chaos:{inner.name}"
+        self.parallel = inner.parallel
+        self.injected = 0
+        self._order: dict[str, int] = {}
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def worker_restarts(self) -> int:
+        return int(getattr(self.inner, "worker_restarts", 0) or 0)
+
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None) -> Future:
+        fingerprint = request.fingerprint()
+        with self._lock:
+            shard = self._order.setdefault(fingerprint, len(self._order))
+            attempt = self._attempts.get(fingerprint, 0)
+            self._attempts[fingerprint] = attempt + 1
+            fault = self.plan.fault_for(shard, attempt)
+            if fault is not None:
+                self.injected += 1
+        if fault is None:
+            return self.inner.submit(request, runner, on_start=on_start)
+        logger.info("chaos: injecting %s on shard %d attempt %d",
+                    fault.kind, shard, attempt)
+        if isinstance(self.inner, ProcPoolBackend):
+            return self.inner.submit(request, runner, on_start=on_start,
+                                     chaos=fault.to_payload())
+        return self._simulate(fault, request, runner, on_start,
+                              shard, attempt)
+
+    def _simulate(self, fault, request: AnalysisRequest, runner: Runner,
+                  on_start, shard: int, attempt: int) -> Future:
+        """Dispatch-boundary fault simulation for in-process inners."""
+        if fault.kind in ("crash-before", "corrupt"):
+            noun = ("corrupted result frame" if fault.kind == "corrupt"
+                    else "worker crash before measurement")
+            failed: Future = Future()
+            failed.set_exception(WorkerCrashed(
+                f"chaos: injected {noun} on shard {shard} "
+                f"attempt {attempt}"))
+            return failed
+        # crash-after: the measurement really runs, then its result is
+        # lost — the replay must still be byte-identical.
+        inner = self.inner.submit(request, runner, on_start=on_start)
+        outer: Future = Future()
+
+        def lose_result(done: Future) -> None:
+            error = done.exception()
+            outer.set_exception(error if error is not None else WorkerCrashed(
+                f"chaos: injected worker crash after measurement on "
+                f"shard {shard} attempt {attempt} (result frame lost)"))
+
+        inner.add_done_callback(lose_result)
+        return outer
+
+    def close(self) -> None:
+        self.inner.close()
+
+
 def make_backend(backend: str | ExecutionBackend | None,
-                 max_parallel: int | None = None) -> ExecutionBackend:
+                 max_parallel: int | None = None,
+                 fault_plan: FaultPlan | None = None) -> ExecutionBackend:
     """Build (and validate) an execution backend.
 
     Loud-error contract (mirrors the CLI's inapplicable-flag rule):
     an unknown name, a non-positive ``max_parallel``, and
     ``max_parallel`` combined with the single-threaded ``inline``
-    backend are all rejected here rather than silently ignored.
+    backend are all rejected here rather than silently ignored.  The
+    ``chaos:<inner>`` prefix wraps the named inner backend in
+    :class:`ChaosBackend` and **requires** ``fault_plan``; conversely a
+    ``fault_plan`` without the chaos prefix (or a prebuilt backend) is
+    rejected rather than silently dropped.
     """
     if max_parallel is not None and max_parallel < 1:
         raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
@@ -441,8 +718,23 @@ def make_backend(backend: str | ExecutionBackend | None,
             raise ValueError(
                 f"max_parallel={max_parallel} conflicts with the prebuilt "
                 f"{backend.name!r} backend (parallel={backend.parallel})")
+        if fault_plan is not None:
+            return ChaosBackend(backend, fault_plan)
         return backend
     name = backend or "inline"
+    chaos = name.startswith("chaos:")
+    if chaos:
+        name = name[len("chaos:"):]
+        if fault_plan is None:
+            raise ValueError(
+                f"the chaos:{name} backend wrapper needs a fault_plan= "
+                f"(a repro.api.resilience.FaultPlan): chaos without a "
+                f"script injects nothing")
+    elif fault_plan is not None:
+        raise ValueError(
+            f"fault_plan only applies to the chaos wrapper; use "
+            f"backend='chaos:{name}' to inject faults into the "
+            f"{name!r} backend")
     if name not in BACKEND_NAMES:
         raise ValueError(f"unknown backend {name!r}; "
                          f"valid: {list(BACKEND_NAMES)}")
@@ -452,12 +744,16 @@ def make_backend(backend: str | ExecutionBackend | None,
                 "the inline backend executes on the submitting thread; "
                 "max_parallel does not apply (use --backend threads or "
                 "subprocess for parallel execution)")
-        return InlineBackend()
-    if name == "threads":
-        return ThreadBackend(max_parallel or 0)
-    if name == "procpool":
-        return ProcPoolBackend(max_parallel or 0)
-    return SubprocessBackend(max_parallel or 0)
+        inner: ExecutionBackend = InlineBackend()
+    elif name == "threads":
+        inner = ThreadBackend(max_parallel or 0)
+    elif name == "procpool":
+        inner = ProcPoolBackend(max_parallel or 0)
+    else:
+        inner = SubprocessBackend(max_parallel or 0)
+    if chaos:
+        return ChaosBackend(inner, fault_plan)
+    return inner
 
 
 if __name__ == "__main__":

@@ -55,8 +55,14 @@ __all__ = ["EVENT_KINDS", "TERMINAL_EVENTS", "AnalysisCancelled",
            "AnalysisEvent", "CancelToken", "EventLog"]
 
 #: Every event kind a log may carry, in rough lifecycle order.
+#: ``shard_retry`` announces one shard's failed attempt being requeued
+#: (payload: shard coordinates, attempt counter, classified error,
+#: backoff delay); ``degraded`` announces the service latching its
+#: pool-collapse fallback — remaining shards measure on the in-process
+#: inline path (see :mod:`repro.api.resilience`).
 EVENT_KINDS: tuple[str, ...] = ("queued", "started", "shard_done",
-                                "progress", "done", "error", "cancelled")
+                                "shard_retry", "progress", "degraded",
+                                "done", "error", "cancelled")
 
 #: Kinds that close a log; exactly one terminates every submission.
 TERMINAL_EVENTS: frozenset[str] = frozenset({"done", "error", "cancelled"})

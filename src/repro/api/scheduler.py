@@ -234,13 +234,19 @@ class ShardQueue:
         return max(1, int(self.backend.parallel))
 
     def snapshot(self) -> dict:
-        """Observable queue state (the ``/v1/health`` payload)."""
+        """Observable queue state (the ``/v1/health`` payload).
+
+        ``worker_restarts`` is the backend's cumulative crashed/killed
+        worker replacement count (0 for backends without a pool).
+        """
+        restarts = int(getattr(self.backend, "worker_restarts", 0) or 0)
         with self._lock:
             queued = len(self._heap)
             return {"queued": queued, "running": self._running,
                     "capacity": self.capacity, "limit": self.limit,
                     "saturated": (self.limit is not None
-                                  and queued >= self.limit)}
+                                  and queued >= self.limit),
+                    "worker_restarts": restarts}
 
     def check_admission(self, incoming: int = 1) -> None:
         """Refuse new work while the existing backlog is saturated.

@@ -59,12 +59,21 @@ from .scheduler import QueueFull
 from .service import AnalysisHandle, ResilienceService, _cached_handle
 
 __all__ = ["AnalysisServer", "RemoteService", "RemoteHandle", "RemoteError",
-           "RemoteBusy"]
+           "RemoteBusy", "ServerDraining"]
 
 #: Seconds one ?wait=1 long-poll (or one silent event-stream slice)
 #: blocks before yielding the handler thread back (clients re-poll or
 #: reconnect; bounded so a dead client cannot pin a thread).
 WAIT_SLICE_SECONDS = 30.0
+
+
+class ServerDraining(RuntimeError):
+    """The server is draining (SIGTERM) and admits no new submissions.
+
+    Served as HTTP 503 + ``Retry-After``: running shards finish, event
+    logs flush, but new work must go elsewhere (or come back after the
+    restart).
+    """
 
 
 class RemoteError(RuntimeError):
@@ -100,6 +109,8 @@ class AnalysisServer:
         self.service = service
         self._jobs: dict[str, AnalysisHandle] = {}
         self._jobs_lock = threading.Lock()
+        self._draining = False
+        self._closed = False
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -123,13 +134,60 @@ class AnalysisServer:
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
+        """Stop serving (idempotent — drain threads and ``finally``
+        blocks may both call it)."""
+        if self._closed:
+            return
+        self._closed = True
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
 
+    # ------------------------------------------------------- graceful drain
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new submissions (``repro serve``'s SIGTERM).
+
+        Read endpoints keep answering — clients holding job ids can
+        still collect results and event streams while running shards
+        finish; new ``/v1/submit`` requests get 503 + ``Retry-After``.
+        """
+        self._draining = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until in-flight work settles (or ``timeout`` runs out).
+
+        "Settled" means the dispatch queue is empty with nothing
+        running and every tracked handle has resolved — at which point
+        every event log carries its terminal event (flushed: logs live
+        in memory and streams replay from history, so a resolved job's
+        history is durable for as long as the process lives).  Returns
+        whether the server fully drained.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            queue = self.service.queue_snapshot()
+            with self._jobs_lock:
+                handles = list(self._jobs.values())
+            settled = (queue["queued"] == 0 and queue["running"] == 0
+                       and all(handle.done() for handle in handles))
+            if settled:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.1)
+
     # ---------------------------------------------------------------- actions
     def submit_payload(self, payload: dict, priority: int = 0) -> dict:
+        if self._draining:
+            raise ServerDraining(
+                "server is draining (shutdown requested): no new "
+                "submissions are admitted; running jobs will finish")
         request = AnalysisRequest.from_payload(payload)
         if request.model.session is not None:
             raise ValueError(
@@ -181,10 +239,14 @@ class AnalysisServer:
                 "entries": [asdict(entry) for entry in store.entries()]}
 
     def health_payload(self) -> dict:
+        health = getattr(self.service, "health", None)
         return {"ok": True, "schema": SCHEMA_VERSION,
                 "backend": self.service.backend.name,
                 "stats": asdict(self.service.stats),
-                "queue": self.service.queue_snapshot()}
+                "queue": self.service.queue_snapshot(),
+                "draining": self._draining,
+                "degraded": bool(getattr(self.service, "degraded", False)),
+                "health": health.snapshot() if health is not None else {}}
 
 
 def _make_handler(server: AnalysisServer):
@@ -306,9 +368,23 @@ def _make_handler(server: AnalysisServer):
             self.send_header("Transfer-Encoding", "chunked")
             self.end_headers()
             try:
+                yielded = 0
                 for event in handle.events(after=after,
                                            timeout=WAIT_SLICE_SECONDS):
+                    yielded += 1
                     self._write_chunk(event.to_json() + "\n")
+                if yielded == 0 and after > 0 and handle.done():
+                    # A consumer resuming (after=N) against a job
+                    # resurrected from the store would spin forever:
+                    # the rebuilt log is a single terminal event whose
+                    # seq is below what the client already saw, so the
+                    # normal replay yields nothing.  Re-send just the
+                    # terminal event — shard_done history was already
+                    # delivered in the previous server life, so nothing
+                    # duplicates — and the client's stream closes.
+                    for event in handle.events(after=0, timeout=0.5):
+                        if event.terminal and event.seq <= after:
+                            self._write_chunk(event.to_json() + "\n")
                 self.wfile.write(b"0\r\n\r\n")
             except (BrokenPipeError, ConnectionResetError):
                 # The client hung up mid-stream (e.g. right after the
@@ -341,6 +417,12 @@ def _make_handler(server: AnalysisServer):
                     payload = json.loads(self.rfile.read(length) or b"{}")
                     response = server.submit_payload(payload,
                                                      priority=priority)
+                except ServerDraining as exc:
+                    # Graceful shutdown: refuse new work but tell the
+                    # client this is temporary unavailability.
+                    self._reply(503, {"error": str(exc)},
+                                headers={"Retry-After": "5"})
+                    return
                 except QueueFull as exc:
                     # Explicit backpressure: tell the client when to
                     # come back instead of queuing unboundedly.

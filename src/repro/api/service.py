@@ -63,10 +63,11 @@ thread-local, so worker threads cannot contaminate each other.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import threading
 import time
 import zlib
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -82,12 +83,16 @@ from ..train import evaluate_accuracy
 from .backends import ExecutionBackend, make_backend
 from .events import AnalysisCancelled, CancelToken, EventLog
 from .request import AnalysisRequest, AnalysisResult, ModelRef, PartialResult
+from .resilience import (FaultPlan, RetryPolicy, ServiceHealth, ShardPoisoned,
+                         dispatch_with_retries, retry_call)
 from .scheduler import ShardQueue, merge_partial, merge_shards, plan_shards
 from .store import ResultStore, store_key
 
 __all__ = ["ResolvedModel", "ServiceStats", "ShardProgress",
            "AnalysisHandle", "ResilienceService", "default_service",
            "dataset_fingerprint"]
+
+logger = logging.getLogger("repro.api.service")
 
 
 def dataset_fingerprint(dataset: Dataset) -> int:
@@ -329,6 +334,7 @@ class _GroupRun:
     shards: list = field(default_factory=list)
     results: list = field(default_factory=list)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    degraded_announced: bool = False
 
     def record(self, index: int, result: AnalysisResult) -> None:
         with self.lock:
@@ -337,6 +343,14 @@ class _GroupRun:
     def completed(self) -> list:
         with self.lock:
             return list(self.results)
+
+    def announce_degraded_once(self) -> bool:
+        """True exactly once per group (gates the ``degraded`` event)."""
+        with self.lock:
+            if self.degraded_announced:
+                return False
+            self.degraded_announced = True
+            return True
 
 
 @dataclass
@@ -408,6 +422,22 @@ class ResilienceService:
         submission's own shard fan-out may transiently exceed the limit
         (large requests stay servable); store hits and deduplicated
         joins are never refused — only work that would actually queue.
+    retry_policy:
+        How failed shards requeue (:class:`~repro.api.resilience.
+        RetryPolicy`: backoff spacing + retryable-error classification).
+        ``None`` uses the defaults.  The retry *budget* is per-request:
+        ``ExecutionOptions.max_retries``.
+    degrade_threshold:
+        Consecutive infrastructure failures (worker crashes/timeouts,
+        transient ``OSError``) after which the service latches
+        *degraded* and measures remaining shards on the in-process
+        fallback path (byte-identical; loud ``degraded`` event +
+        ``/v1/health`` flag) instead of erroring jobs against a
+        collapsed pool.  ``None`` (default) disables degradation.
+    fault_plan:
+        A :class:`~repro.api.resilience.FaultPlan` for the chaos
+        harness; requires a ``chaos:<inner>`` backend name (or wraps a
+        prebuilt backend).  Test/benchmark machinery, never production.
     """
 
     def __init__(self, *, store: ResultStore | None = None,
@@ -415,14 +445,21 @@ class ResilienceService:
                  backend: str | ExecutionBackend = "inline",
                  max_parallel: int | None = None,
                  nm_chunk: int | None = None,
-                 queue_limit: int | None = None):
+                 queue_limit: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 degrade_threshold: int | None = None,
+                 fault_plan: FaultPlan | None = None):
         if store is None and use_store:
             store = ResultStore(cache_dir)
         self.store = store
-        self.backend = make_backend(backend, max_parallel)
+        self.backend = make_backend(backend, max_parallel,
+                                    fault_plan=fault_plan)
         self.nm_chunk = nm_chunk
         self.queue = ShardQueue(self.backend, limit=queue_limit)
         self.stats = ServiceStats()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.health = ServiceHealth(degrade_threshold)
+        self._degraded_pool: ThreadPoolExecutor | None = None
         self._sessions: dict[str, tuple[object, Dataset]] = {}
         self._resolved: dict[str, ResolvedModel] = {}
         self._engines: dict[tuple, SweepEngine] = {}
@@ -431,12 +468,22 @@ class ResilienceService:
 
     def queue_snapshot(self) -> dict:
         """Observable dispatch-queue state (queued/running/capacity/
-        limit/saturated) — what ``/v1/health`` reports."""
+        limit/saturated/worker_restarts) — what ``/v1/health`` reports."""
         return self.queue.snapshot()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool-collapse fallback has latched (see
+        ``degrade_threshold``)."""
+        return self.health.degraded
 
     def close(self) -> None:
         """Shut down the backend's worker pools (if any)."""
         self.backend.close()
+        with self._state_lock:
+            pool, self._degraded_pool = self._degraded_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # ------------------------------------------------------------ resolution
     def register(self, name: str, model, dataset: Dataset) -> ModelRef:
@@ -793,7 +840,7 @@ class ResilienceService:
         before any joiner observes completion.
         """
         if not sharded:
-            return self._dispatch(shard, group)
+            return self._dispatch(shard, group, index)
         job = group[0]
         key = store_key(shard.fingerprint(), job.model_crc, job.dataset_crc)
         if any(key == member.key for member in group):
@@ -804,7 +851,7 @@ class ResilienceService:
             # shard completes, so joining it here would deadlock the
             # group on itself.  Dispatch directly; the job-level store
             # put covers this key at finish time.
-            return self._dispatch(shard, group)
+            return self._dispatch(shard, group, index)
         cached = self.store.get(key) if self.store is not None else None
         if cached is not None:
             with self._state_lock:
@@ -841,7 +888,7 @@ class ResilienceService:
                         # Only ever a *complete* shard result:
                         # cancellations and failures arrive as
                         # exceptions and never reach the store.
-                        self.store.put(key, result)
+                        self._store_put(key, result, shard.options)
                 except BaseException as failure:  # noqa: BLE001 — via proxy
                     error = failure
             with self._state_lock:
@@ -852,25 +899,139 @@ class ResilienceService:
                 proxy.set_exception(error)
 
         try:
-            self._dispatch(shard, group).add_done_callback(_resolve_proxy)
+            self._dispatch(shard, group,
+                           index).add_done_callback(_resolve_proxy)
         except BaseException as exc:  # noqa: BLE001 — delivered via the proxy
             with self._state_lock:
                 self._inflight.pop(key, None)
             proxy.set_exception(exc)
         return proxy
 
-    def _dispatch(self, shard: AnalysisRequest, group: list[_Job]) -> Future:
+    def _dispatch(self, shard: AnalysisRequest, group: list[_Job],
+                  index: int = 0) -> Future:
+        """One shard's fault-tolerant execution (see module docstring).
+
+        Wraps queue dispatch in :func:`~repro.api.resilience.
+        dispatch_with_retries`: a retryable failure (worker crash,
+        watchdog timeout, transient ``OSError``) requeues the shard up
+        to ``options.max_retries`` times with the service's
+        :class:`~repro.api.resilience.RetryPolicy` backoff, announcing
+        each relaunch as a ``shard_retry`` event; exhaustion raises
+        :class:`~repro.api.resilience.ShardPoisoned` with full attempt
+        provenance.  Every attempt outcome also feeds the degradation
+        tracker — once it latches, remaining launches bypass the
+        collapsed backend and measure on the in-process fallback
+        (byte-identical by the stateless noise-stream guarantee).
+        """
         with self._state_lock:
             self.stats.shards += 1
         run = group[0].run
         token = run.token if run is not None else None
+        options = shard.options
+        describe = f"{shard.fingerprint()[:12]}#{index}"
 
         def runner(request: AnalysisRequest) -> AnalysisResult:
             return self._measure(request, cancel=token)
 
-        return self.queue.submit(
-            shard, runner, priority=group[0].priority, cancel=token,
-            on_start=lambda: self._mark_group_started(group))
+        started = [False]
+
+        def mark_started() -> None:
+            # Exactly one started/progress tick per shard, no matter
+            # how many attempts it takes to actually begin measuring.
+            if not started[0]:
+                started[0] = True
+                self._mark_group_started(group)
+
+        def launch(attempt: int) -> Future:
+            on_start = None if started[0] else mark_started
+            if self.health.degraded:
+                self._announce_degraded(group, run)
+                return self._run_degraded(shard, runner, on_start=on_start)
+            return self.queue.submit(shard, runner,
+                                     priority=group[0].priority,
+                                     cancel=token, on_start=on_start)
+
+        def on_retry(attempt: int, error: BaseException,
+                     delay: float) -> None:
+            logger.warning(
+                "shard %s attempt %d/%d failed (%s: %s); retrying "
+                "in %.2fs", describe, attempt, options.max_retries + 1,
+                type(error).__name__, error, delay)
+            self._record_health(error, group, run)
+            for job in group:
+                job.events.emit("shard_retry", {
+                    "shard": index, "attempt": attempt,
+                    "max_retries": options.max_retries,
+                    "error": f"{type(error).__name__}: {error}",
+                    "delay_seconds": delay})
+
+        def on_outcome(error: BaseException | None) -> None:
+            # The terminal attempt's failure never passes through
+            # on_retry; unwrap poisoning so it still counts as the
+            # infrastructure loss it was.
+            if isinstance(error, ShardPoisoned):
+                error = error.__cause__
+            self._record_health(error, group, run)
+
+        return dispatch_with_retries(
+            launch, policy=self.retry_policy,
+            max_retries=options.max_retries, describe=describe,
+            should_abort=token.is_set if token is not None else None,
+            on_retry=on_retry, on_outcome=on_outcome)
+
+    # ------------------------------------------------- graceful degradation
+    def _record_health(self, error: BaseException | None,
+                       group: list[_Job], run: _GroupRun | None) -> None:
+        if self.health.record(error):
+            logger.warning(
+                "service degraded: %d consecutive infrastructure "
+                "failures (last: %s: %s); remaining shards fall back to "
+                "in-process execution", self.health.degrade_threshold,
+                type(error).__name__, error)
+            self._announce_degraded(group, run)
+
+    def _announce_degraded(self, group: list[_Job],
+                           run: _GroupRun | None) -> None:
+        """Emit the loud ``degraded`` event, once per shard group."""
+        if run is None or not run.announce_degraded_once():
+            return
+        snapshot = self.health.snapshot()
+        for job in group:
+            job.events.emit("degraded", snapshot)
+
+    def _run_degraded(self, shard: AnalysisRequest, runner,
+                      on_start=None) -> Future:
+        """Measure one shard on the in-process fallback pool.
+
+        Bypasses the (collapsed) backend entirely; results are
+        byte-identical to any backend's because every noise stream
+        derives statelessly per (seed, site, batch).
+        """
+        with self._state_lock:
+            if self._degraded_pool is None:
+                self._degraded_pool = ThreadPoolExecutor(
+                    max_workers=max(1, int(self.backend.parallel)),
+                    thread_name_prefix="repro-degraded")
+            pool = self._degraded_pool
+
+        def wrapped() -> AnalysisResult:
+            if on_start is not None:
+                on_start()
+            return runner(shard)
+
+        return pool.submit(wrapped)
+
+    def _store_put(self, key: str, result: AnalysisResult,
+                   options) -> None:
+        """Persist with the retry policy: a transient store-write
+        ``OSError`` (full disk, flaky network mount) is retried with
+        backoff instead of failing a fully-measured request; a
+        persistent one re-raises *itself* after the budget (never
+        wrapped — the caller sees the real error)."""
+        retry_call(lambda: self.store.put(key, result),
+                   policy=self.retry_policy,
+                   max_retries=options.max_retries,
+                   describe=f"store put {key[:16]}")
 
     @staticmethod
     def _check_provenance(result: AnalysisResult, job: _Job) -> None:
@@ -954,7 +1115,7 @@ class ResilienceService:
                     created=created,
                     elapsed_seconds=elapsed / len(group))
                 if self.store is not None:
-                    self.store.put(job.key, result)
+                    self._store_put(job.key, result, job.request.options)
                 job.future.set_result(result)
                 job.events.emit("done",
                                 {"from_cache": False,

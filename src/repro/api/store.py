@@ -156,8 +156,12 @@ class ResultStore:
                 stream.write(result.to_json())
             os.replace(scratch, path)
         except BaseException:
-            if os.path.exists(scratch):
+            try:
                 os.remove(scratch)
+            except FileNotFoundError:
+                # A concurrent gc() already collected the orphan (or the
+                # failure struck after the replace promoted it).
+                pass
             raise
         return path
 

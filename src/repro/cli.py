@@ -190,6 +190,17 @@ def _progress_printer(stream=None):
                              for curve in partial.get("curves", []))
                 line += f"; {points} points so far"
             out.write(line + ")\n")
+        elif event.kind == "shard_retry":
+            out.write(f"[{job}] shard {payload.get('shard', '?')} attempt "
+                      f"{payload.get('attempt', '?')}/"
+                      f"{payload.get('max_retries', '?')} failed; "
+                      f"retrying in {payload.get('delay_seconds', 0.0):.2f}s"
+                      f" ({payload.get('error', 'unknown error')})\n")
+        elif event.kind == "degraded":
+            out.write(f"[{job}] DEGRADED: execution pool collapsed "
+                      f"({payload.get('infrastructure_failures', '?')} "
+                      f"infrastructure failures); remaining shards run "
+                      f"in-process\n")
         elif event.kind in ("queued", "started", "done", "cancelled",
                             "error"):
             detail = ""
@@ -208,9 +219,15 @@ def _progress_printer(stream=None):
 
 def _build_context(args) -> RunContext:
     """The one request-building helper every artifact runs through."""
+    resilience = {}
+    if args.max_retries is not None:
+        resilience["max_retries"] = args.max_retries
+    if args.shard_timeout is not None:
+        resilience["shard_timeout"] = args.shard_timeout
     execution = ExecutionOptions(strategy=args.strategy,
                                  workers=args.workers,
-                                 shared_votes=not args.no_shared_votes)
+                                 shared_votes=not args.no_shared_votes,
+                                 **resilience)
     scale = ExperimentScale(execution=execution)
     if args.quick:
         scale = scale.quick()
@@ -228,6 +245,10 @@ def _sweep_flags_given(args) -> list[str]:
         flags.append("--workers")
     if args.no_shared_votes:
         flags.append("--no-shared-votes")
+    if args.max_retries is not None:
+        flags.append("--max-retries")
+    if args.shard_timeout is not None:
+        flags.append("--shard-timeout")
     if args.backend != "inline":
         flags.append("--backend")
     if args.max_parallel is not None:
@@ -332,6 +353,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-shared-votes", action="store_true",
                      help="disable the shared-votes routing fast path for "
                           "routing-resumed sweep targets")
+    run.add_argument("--max-retries", type=int, default=None,
+                     help="retry a failed shard this many times with "
+                          "exponential backoff before poisoning it "
+                          "(default: 2; see repro.api.resilience)")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     help="wall-clock deadline in seconds per shard "
+                          "attempt; hung workers are killed and the "
+                          "shard retried (default: no deadline)")
     _add_backend_flags(run)
     run.add_argument("--remote", default=None, metavar="URL",
                      help="submit sweep requests to a running "
@@ -354,6 +383,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "saturated server answers new submissions "
                             "with 429 + Retry-After instead of queuing "
                             "unboundedly")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds SIGTERM waits for in-flight work "
+                            "to finish before the server stops "
+                            "(default: 30)")
+    serve.add_argument("--degrade-threshold", type=int, default=None,
+                       help="consecutive infrastructure failures before "
+                            "the service latches degraded and runs "
+                            "remaining shards in-process (default: 3)")
     _add_backend_flags(serve)
     _add_store_flag(serve)
     inspect = sub.add_parser(
@@ -413,18 +450,40 @@ def _run(args) -> int:
 
 
 def _serve(args) -> int:
+    import signal
+    import threading
+
     from .api.server import AnalysisServer
     service = ResilienceService(cache_dir=args.cache_dir,
                                 backend=args.backend,
                                 max_parallel=args.max_parallel,
-                                queue_limit=args.queue_limit)
+                                queue_limit=args.queue_limit,
+                                degrade_threshold=args.degrade_threshold)
     server = AnalysisServer(service, host=args.host, port=args.port)
+
+    def _graceful_drain(signum, frame):
+        # serve_forever() runs on this (the main) thread, so the handler
+        # must not call server.shutdown() itself — that join deadlocks.
+        # Flip the drain flag here (new submissions get 503) and hand
+        # the wait-then-stop to a helper thread.
+        print("SIGTERM: draining — no new submissions; in-flight shards "
+              f"get {args.drain_timeout:.0f}s to finish", file=sys.stderr)
+        server.begin_drain()
+
+        def _finish() -> None:
+            server.drain(timeout=args.drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=_finish, name="repro-serve-drain",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful_drain)
     store_root = service.store.root if service.store is not None else "-"
     limit = ("unbounded" if args.queue_limit is None
              else f"limit {args.queue_limit}")
     print(f"serving analysis API on {server.address} "
           f"(backend {service.backend.name}, store {store_root}, "
-          f"queue {limit}); Ctrl-C stops")
+          f"queue {limit}); Ctrl-C stops, SIGTERM drains")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -118,17 +118,33 @@ class ExecutionOptions:
     accumulation on routing-resumed targets.  :meth:`cache_key` encodes
     exactly the result-affecting subset, so the result store hits across
     equivalent configurations.
+
+    ``max_retries`` and ``shard_timeout`` are the fault-tolerance knobs
+    (how many times a failed shard requeues; the per-shard wall-clock
+    deadline enforced by the worker-supervision watchdog on the
+    ``procpool``/``subprocess`` backends).  Like ``workers`` they are
+    result-invariant — a retried or timed-out-and-replayed shard is
+    byte-identical because every noise stream derives statelessly — so
+    they serialise on the wire but stay out of :meth:`cache_key`.
     """
 
     batch_size: int = 64
     strategy: str = "auto"
     workers: int = 0
     shared_votes: bool = True
+    max_retries: int = 2
+    shard_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r}; "
                              f"valid: {list(STRATEGIES)}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, "
+                             f"got {self.max_retries}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive (seconds) "
+                             f"or None, got {self.shard_timeout}")
 
     @property
     def noise_tier(self) -> str:
@@ -143,7 +159,8 @@ class ExecutionOptions:
     def cache_key(self) -> dict:
         """The result-affecting subset, canonicalised for request hashing.
 
-        ``workers`` is excluded (partitioning never changes results);
+        ``workers``, ``max_retries`` and ``shard_timeout`` are excluded
+        (partitioning, requeueing and deadlines never change results);
         strategies collapse to their :attr:`noise_tier`; ``shared_votes``
         is normalised away under the ``exact`` tier where it cannot
         apply.
@@ -155,7 +172,9 @@ class ExecutionOptions:
 
     def to_payload(self) -> dict:
         return {"batch_size": self.batch_size, "strategy": self.strategy,
-                "workers": self.workers, "shared_votes": self.shared_votes}
+                "workers": self.workers, "shared_votes": self.shared_votes,
+                "max_retries": self.max_retries,
+                "shard_timeout": self.shard_timeout}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ExecutionOptions":
