@@ -82,12 +82,12 @@ from typing import Callable
 
 from .request import AnalysisRequest, AnalysisResult
 from .resilience import (BackendError, FaultPlan, WorkerCrashed,
-                         WorkerSupervisor, WorkerTimeout)
+                         WorkerPreempted, WorkerSupervisor, WorkerTimeout)
 
 __all__ = ["BACKEND_NAMES", "BackendError", "WorkerCrashed", "WorkerTimeout",
-           "ExecutionBackend", "InlineBackend", "ThreadBackend",
-           "SubprocessBackend", "ProcPoolBackend", "ChaosBackend",
-           "make_backend"]
+           "WorkerPreempted", "ExecutionBackend", "InlineBackend",
+           "ThreadBackend", "SubprocessBackend", "ProcPoolBackend",
+           "ChaosBackend", "make_backend"]
 
 logger = logging.getLogger("repro.api.backends")
 
@@ -116,6 +116,12 @@ class ExecutionBackend:
 
     name: str = "abstract"
     parallel: int = 1
+    #: Whether this backend can terminate a running out-of-process
+    #: measurement on a :class:`~repro.api.events.PreemptToken` set
+    #: (the procpool's supervisor kill path).  In-process backends leave
+    #: this False — their measurements observe the token cooperatively
+    #: through the sweep engine's checkpoints instead.
+    supports_preempt: bool = False
 
     def submit(self, request: AnalysisRequest, runner: Runner, *,
                on_start: Callable[[], None] | None = None) -> Future:
@@ -249,13 +255,21 @@ class _PoolWorker:
             stderr=self._stderr, text=True, env=_worker_env())
         self.last_beat = time.monotonic()
         self.killed_reason: str | None = None
+        self.killed_preempted = False
 
     def alive(self) -> bool:
         return self.process.poll() is None
 
-    def kill(self, reason: str) -> None:
-        """Watchdog teardown: record the verdict, then SIGKILL."""
+    def kill(self, reason: str, *, preempted: bool = False) -> None:
+        """Watchdog/scheduler teardown: record the verdict, then SIGKILL.
+
+        ``preempted`` marks a fair-scheduler kill (a healthy worker shot
+        to free its slot) so the read loop classifies the loss as
+        :class:`~repro.api.resilience.WorkerPreempted` rather than a
+        timeout.
+        """
         self.killed_reason = reason
+        self.killed_preempted = preempted
         try:
             self.process.kill()
         except OSError:
@@ -272,6 +286,8 @@ class _PoolWorker:
     def _lost(self, detail: str) -> BackendError:
         """The channel broke: classify watchdog kill vs spontaneous death."""
         if self.killed_reason is not None:
+            if self.killed_preempted:
+                return WorkerPreempted(self.killed_reason)
             return WorkerTimeout(self.killed_reason)
         return WorkerCrashed(detail)
 
@@ -352,21 +368,48 @@ class ProcPoolBackend(ExecutionBackend):
     whose read loop then raises
     :class:`~repro.api.resilience.WorkerTimeout` — retryable, so the
     shard requeues on a fresh worker.
+
+    Elasticity: the pool grows on demand toward ``max_parallel`` (a
+    borrow with no idle worker spawns one) and shrinks when quiet —
+    workers idle longer than ``idle_ttl`` seconds are reaped on the next
+    borrow/return (or an explicit :meth:`reap_idle`), releasing their
+    memory-hungry model weights.  :meth:`pool_snapshot` surfaces the
+    live size/busy/idle counts plus cumulative spawn/reap counters into
+    ``queue_snapshot()`` and ``/v1/health``.
+
+    Preemption: ``supports_preempt`` is True — ``submit`` accepts a
+    :class:`~repro.api.events.PreemptToken` and registers a kill hook so
+    a fair-scheduler preempt SIGKILLs the borrowed worker immediately;
+    the read loop then raises
+    :class:`~repro.api.resilience.WorkerPreempted` (a
+    :class:`~repro.api.resilience.WorkerTimeout` subclass the service
+    intercepts *before* the retry layer — preemption is not a fault and
+    burns no retry budget).
     """
 
     name = "procpool"
+    supports_preempt = True
 
     def __init__(self, max_parallel: int = 0, *,
                  heartbeat_grace: float | None = 10.0,
-                 poll_interval: float = 0.1):
+                 poll_interval: float = 0.1,
+                 idle_ttl: float | None = 300.0):
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ValueError(f"idle_ttl must be positive or None, "
+                             f"got {idle_ttl}")
         self.parallel = int(max_parallel) or DEFAULT_MAX_PARALLEL
         self.heartbeat_grace = heartbeat_grace
+        self.idle_ttl = idle_ttl
         self._dispatch = ThreadBackend(self.parallel)
         self._supervisor = WorkerSupervisor(poll_interval=poll_interval)
-        self._idle: list[_PoolWorker] = []
+        #: (worker, idled_at) pairs, oldest first at index 0.
+        self._idle: list[tuple[_PoolWorker, float]] = []
         self._lock = threading.Lock()
         self._closed = False
         self._restarts = 0
+        self._spawned = 0
+        self._reaped = 0
+        self._busy = 0
 
     @property
     def worker_restarts(self) -> int:
@@ -374,29 +417,68 @@ class ProcPoolBackend(ExecutionBackend):
         with self._lock:
             return self._restarts
 
+    def pool_snapshot(self) -> dict:
+        """Live pool shape for health/queue surfaces."""
+        with self._lock:
+            idle = len(self._idle)
+            busy = self._busy
+            return {"size": idle + busy, "busy": busy, "idle": idle,
+                    "max": self.parallel, "spawned": self._spawned,
+                    "reaped": self._reaped, "idle_ttl": self.idle_ttl}
+
     def submit(self, request: AnalysisRequest, runner: Runner, *,
                on_start: Callable[[], None] | None = None,
-               chaos: dict | None = None) -> Future:
+               chaos: dict | None = None, preempt=None) -> Future:
         _reject_session_ref(self.name, request)
 
-        def run(req: AnalysisRequest, _chaos=chaos) -> AnalysisResult:
-            return self._run_on_worker(req, chaos=_chaos)
+        def run(req: AnalysisRequest, _chaos=chaos,
+                _preempt=preempt) -> AnalysisResult:
+            return self._run_on_worker(req, chaos=_chaos, preempt=_preempt)
 
         return self._dispatch.submit(request, run, on_start=on_start)
 
+    def reap_idle(self, now: float | None = None) -> int:
+        """Close idle workers past :attr:`idle_ttl`; returns the count."""
+        if self.idle_ttl is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        expired: list[_PoolWorker] = []
+        with self._lock:
+            while self._idle and now - self._idle[0][1] >= self.idle_ttl:
+                expired.append(self._idle.pop(0)[0])
+            self._reaped += len(expired)
+        for worker in expired:
+            worker.close()
+        if expired:
+            logger.info("procpool reaped %d idle worker(s) past the %.0fs "
+                        "TTL", len(expired), self.idle_ttl)
+        return len(expired)
+
     def _borrow(self) -> _PoolWorker:
+        self.reap_idle()
         with self._lock:
             if self._closed:
                 raise BackendError("procpool backend is closed")
+            self._busy += 1
             while self._idle:
-                worker = self._idle.pop()
+                worker, _ = self._idle.pop()      # newest first: warmest
                 if worker.alive():
                     return worker
                 worker.close()
-        return _PoolWorker()
+            self._spawned += 1
+        try:
+            return _PoolWorker()
+        except BaseException:
+            with self._lock:
+                self._busy -= 1
+            raise
 
     def _run_on_worker(self, request: AnalysisRequest,
-                       chaos: dict | None = None) -> AnalysisResult:
+                       chaos: dict | None = None,
+                       preempt=None) -> AnalysisResult:
+        if preempt is not None and preempt.is_set():
+            raise WorkerPreempted(preempt.reason or
+                                  "shard preempted before dispatch")
         worker = self._borrow()
         describe = f"shard {request.fingerprint()[:12]}"
         timeout = request.options.shard_timeout
@@ -404,11 +486,19 @@ class ProcPoolBackend(ExecutionBackend):
         token = self._supervisor.watch(
             kill=worker.kill, describe=describe, deadline=deadline,
             beat=lambda: worker.last_beat, grace=self.heartbeat_grace)
+        hook = None
+        if preempt is not None:
+            def hook(reason, _worker=worker):
+                _worker.kill(reason or "shard preempted", preempted=True)
+            preempt.add_hook(hook)
         try:
             result = worker.measure(request, chaos=chaos)
         except BaseException as error:
             worker.close()               # never reuse a suspect worker
-            if isinstance(error, WorkerCrashed):
+            with self._lock:
+                self._busy -= 1
+            if isinstance(error, WorkerCrashed) \
+                    and not isinstance(error, WorkerPreempted):
                 with self._lock:
                     self._restarts += 1
                     restarts = self._restarts
@@ -418,12 +508,16 @@ class ProcPoolBackend(ExecutionBackend):
                     describe, type(error).__name__, error, restarts)
             raise
         finally:
+            if hook is not None:
+                preempt.remove_hook(hook)
             self._supervisor.unwatch(token)
         with self._lock:
+            self._busy -= 1
             if not self._closed:
-                self._idle.append(worker)
-                return result
-        worker.close()
+                self._idle.append((worker, time.monotonic()))
+                worker = None
+        if worker is not None:
+            worker.close()
         return result
 
     def close(self) -> None:
@@ -432,7 +526,7 @@ class ProcPoolBackend(ExecutionBackend):
         with self._lock:
             self._closed = True
             idle, self._idle = self._idle, []
-        for worker in idle:
+        for worker, _ in idle:
             worker.close()
 
 
@@ -648,9 +742,21 @@ class ChaosBackend(ExecutionBackend):
     def worker_restarts(self) -> int:
         return int(getattr(self.inner, "worker_restarts", 0) or 0)
 
+    @property
+    def supports_preempt(self) -> bool:
+        return bool(getattr(self.inner, "supports_preempt", False))
+
+    def pool_snapshot(self) -> dict:
+        snapshot = getattr(self.inner, "pool_snapshot", None)
+        return snapshot() if callable(snapshot) else {}
+
     def submit(self, request: AnalysisRequest, runner: Runner, *,
-               on_start: Callable[[], None] | None = None) -> Future:
+               on_start: Callable[[], None] | None = None,
+               preempt=None) -> Future:
         fingerprint = request.fingerprint()
+        kwargs = {"on_start": on_start}
+        if preempt is not None and self.supports_preempt:
+            kwargs["preempt"] = preempt
         with self._lock:
             shard = self._order.setdefault(fingerprint, len(self._order))
             attempt = self._attempts.get(fingerprint, 0)
@@ -659,12 +765,12 @@ class ChaosBackend(ExecutionBackend):
             if fault is not None:
                 self.injected += 1
         if fault is None:
-            return self.inner.submit(request, runner, on_start=on_start)
+            return self.inner.submit(request, runner, **kwargs)
         logger.info("chaos: injecting %s on shard %d attempt %d",
                     fault.kind, shard, attempt)
         if isinstance(self.inner, ProcPoolBackend):
-            return self.inner.submit(request, runner, on_start=on_start,
-                                     chaos=fault.to_payload())
+            return self.inner.submit(request, runner,
+                                     chaos=fault.to_payload(), **kwargs)
         return self._simulate(fault, request, runner, on_start,
                               shard, attempt)
 

@@ -52,17 +52,20 @@ from dataclasses import dataclass, field
 from .request import SCHEMA_VERSION, SchemaError
 
 __all__ = ["EVENT_KINDS", "TERMINAL_EVENTS", "AnalysisCancelled",
-           "AnalysisEvent", "CancelToken", "EventLog"]
+           "AnalysisEvent", "CancelToken", "PreemptToken", "EventLog"]
 
 #: Every event kind a log may carry, in rough lifecycle order.
 #: ``shard_retry`` announces one shard's failed attempt being requeued
 #: (payload: shard coordinates, attempt counter, classified error,
 #: backoff delay); ``degraded`` announces the service latching its
 #: pool-collapse fallback — remaining shards measure on the in-process
-#: inline path (see :mod:`repro.api.resilience`).
+#: inline path (see :mod:`repro.api.resilience`); ``preempted``
+#: (non-terminal) announces one shard parking at a checkpoint for a
+#: starved tenant — its measured-so-far points are kept and a remainder
+#: shard requeues (payload: shard coordinates, points parked, reason).
 EVENT_KINDS: tuple[str, ...] = ("queued", "started", "shard_done",
                                 "shard_retry", "progress", "degraded",
-                                "done", "error", "cancelled")
+                                "preempted", "done", "error", "cancelled")
 
 #: Kinds that close a log; exactly one terminates every submission.
 TERMINAL_EVENTS: frozenset[str] = frozenset({"done", "error", "cancelled"})
@@ -93,6 +96,53 @@ class CancelToken:
 
     def is_set(self) -> bool:
         return self._event.is_set()
+
+
+class PreemptToken:
+    """A cooperative park-at-next-checkpoint flag for one shard attempt.
+
+    The fair scheduler sets it (with a human-readable ``reason``) when a
+    starved tenant needs the capacity slot.  In-process measurements
+    poll :meth:`is_set` at the sweep engine's preemption checkpoints;
+    out-of-process backends register a kill hook via :meth:`add_hook`
+    so the set reaches the worker process immediately (hooks fire at
+    most once, and fire immediately if the token was already set when
+    registered).  Unlike :class:`CancelToken` a preempt token is
+    per-attempt: the requeued remainder shard gets a fresh one.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._hooks: list = []
+        self.reason: str = ""
+
+    def set(self, reason: str = "") -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self.reason = reason
+            self._event.set()
+            hooks, self._hooks = self._hooks, []
+        for hook in hooks:
+            hook(reason)
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def add_hook(self, hook) -> None:
+        """Call ``hook(reason)`` when (or if already) set."""
+        with self._lock:
+            if not self._event.is_set():
+                self._hooks.append(hook)
+                return
+            reason = self.reason
+        hook(reason)
+
+    def remove_hook(self, hook) -> None:
+        with self._lock:
+            if hook in self._hooks:
+                self._hooks.remove(hook)
 
 
 @dataclass(frozen=True)

@@ -161,6 +161,14 @@ class AnalysisRequest:
             raise ValueError(f"unknown noise kind {self.noise!r}; "
                              f"valid: {list(NOISE_KINDS)}")
 
+    @property
+    def client_id(self) -> str | None:
+        """The submitting tenant (``options.client_id``); ``None`` means
+        the anonymous default tenant.  Carried on the wire, excluded
+        from :meth:`fingerprint` — identical work by different tenants
+        shares one cache entry."""
+        return self.options.client_id
+
     # -------------------------------------------------------- serialisation
     def to_payload(self) -> dict:
         return {

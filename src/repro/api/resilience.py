@@ -57,7 +57,8 @@ from typing import Callable
 
 from .events import AnalysisCancelled
 
-__all__ = ["BackendError", "WorkerCrashed", "WorkerTimeout", "ShardPoisoned",
+__all__ = ["BackendError", "WorkerCrashed", "WorkerTimeout",
+           "WorkerPreempted", "ShardPoisoned",
            "AttemptRecord", "RetryPolicy", "dispatch_with_retries",
            "retry_call", "WorkerSupervisor", "ServiceHealth",
            "Fault", "FaultPlan", "FaultyStore", "FAULT_KINDS"]
@@ -88,6 +89,19 @@ class WorkerTimeout(WorkerCrashed):
     """The supervision watchdog killed a worker past its shard deadline
     (or with stale heartbeats — hung, not just dead).  Retryable like
     any other worker loss; the attempt provenance records the reason."""
+
+
+class WorkerPreempted(WorkerTimeout):
+    """The fair scheduler killed a worker mid-shard to free its slot
+    for a starved tenant.
+
+    A :class:`WorkerTimeout` subclass so every existing classification
+    (retryable infrastructure loss, byte-identical replay) applies —
+    but the service's preemption wrapper intercepts it *before* the
+    retry layer sees it: a preempted shard requeues immediately without
+    burning retry budget, feeding the degradation streak, or counting
+    as a worker restart (the worker was healthy; we shot it on
+    purpose)."""
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,10 @@ Endpoints (all JSON)::
     GET  /v1/health           {"ok", "schema", "backend", "stats", "queue"}
     POST /v1/submit[?priority=N]
                               body: AnalysisRequest  ->  {"job", "status"};
-                              429 + Retry-After when the queue is full
+                              429 + Retry-After when the queue is full;
+                              an X-Repro-Client header names the tenant
+                              (stamped into options.client_id when the
+                              body does not already carry one)
     GET  /v1/status/<job>     {"job", "status", "shards_*", ...}
     GET  /v1/result/<job>     AnalysisResult (202 + status while pending;
                               ?wait=SECONDS long-polls up to
@@ -183,11 +186,19 @@ class AnalysisServer:
             time.sleep(0.1)
 
     # ---------------------------------------------------------------- actions
-    def submit_payload(self, payload: dict, priority: int = 0) -> dict:
+    def submit_payload(self, payload: dict, priority: int = 0,
+                       client_id: str | None = None) -> dict:
         if self._draining:
             raise ServerDraining(
                 "server is draining (shutdown requested): no new "
                 "submissions are admitted; running jobs will finish")
+        if client_id is not None:
+            # The X-Repro-Client header names the tenant; an explicit
+            # options.client_id in the body wins over it.
+            options = dict(payload.get("options") or {})
+            if options.get("client_id") is None:
+                options["client_id"] = client_id
+                payload = {**payload, "options": options}
         request = AnalysisRequest.from_payload(payload)
         if request.model.session is not None:
             raise ValueError(
@@ -414,9 +425,11 @@ def _make_handler(server: AnalysisServer):
                 try:
                     values = urllib.parse.parse_qs(query).get("priority")
                     priority = int(values[-1]) if values else 0
+                    client = self.headers.get("X-Repro-Client") or None
                     payload = json.loads(self.rfile.read(length) or b"{}")
                     response = server.submit_payload(payload,
-                                                     priority=priority)
+                                                     priority=priority,
+                                                     client_id=client)
                 except ServerDraining as exc:
                     # Graceful shutdown: refuse new work but tell the
                     # client this is temporary unavailability.
@@ -522,6 +535,10 @@ class RemoteService:
     hint; :meth:`submit` honours it for up to ``busy_retries`` attempts
     (sleeping the hinted seconds, capped at ``busy_wait_cap``) before
     surfacing :class:`RemoteBusy` to the caller.
+
+    ``client_id`` names this client's tenant for the server's fair
+    scheduler; it rides every request as the ``X-Repro-Client`` header
+    (an explicit ``options.client_id`` in a submitted request wins).
     """
 
     #: Socket-timeout headroom over the requested server-side hold; a
@@ -529,19 +546,23 @@ class RemoteService:
     poll_grace = 15.0
 
     def __init__(self, url: str, *, timeout: float = 600.0,
-                 busy_retries: int = 3, busy_wait_cap: float = 30.0):
+                 busy_retries: int = 3, busy_wait_cap: float = 30.0,
+                 client_id: str | None = None):
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.busy_retries = int(busy_retries)
         self.busy_wait_cap = float(busy_wait_cap)
+        self.client_id = client_id
 
     # ------------------------------------------------------------ transport
     def _request(self, path: str, data: bytes | None = None,
                  timeout: float | None = None):
-        request = urllib.request.Request(
-            self.url + path, data=data,
-            headers={"Content-Type": "application/json"}
-            if data is not None else {})
+        headers = ({"Content-Type": "application/json"}
+                   if data is not None else {})
+        if self.client_id is not None:
+            headers["X-Repro-Client"] = self.client_id
+        request = urllib.request.Request(self.url + path, data=data,
+                                         headers=headers)
         try:
             return urllib.request.urlopen(
                 request, timeout=timeout or self.timeout)

@@ -52,6 +52,17 @@ piece of lifecycle the one-shot scripts used to hand-thread:
   :class:`~repro.api.scheduler.QueueFull` (HTTP 429 + ``Retry-After``
   upstream) instead of queuing unboundedly, and ``priority=`` lets
   urgent triage requests overtake queued batch work.
+* **Multi-tenancy** — requests carrying ``options.client_id`` dispatch
+  through per-tenant sub-queues drained by deficit round-robin
+  (``tenant_weights`` sets the shares), so one tenant's 36-shard batch
+  cannot head-of-line-block another tenant's single-target request.
+  With ``starvation_threshold`` set, a tenant starved past it preempts
+  a running lower-priority shard at the sweep engine's next checkpoint:
+  the measured-so-far points are parked, a remainder request covering
+  only the unmeasured points requeues, and the assembled result is
+  byte-identical to an unpreempted run (stateless noise streams).
+  Preemption is not a fault — it burns no retry budget and never feeds
+  the degradation tracker.
 
 Concurrency model: submission is thread-safe; engines serialise
 themselves (per-engine locks in :class:`~repro.core.sweep.SweepEngine`),
@@ -74,17 +85,17 @@ import numpy as np
 
 from ..core.noise import site_matcher
 from ..core.resilience import ResilienceCurve, ResiliencePoint
-from ..core.sweep import (SweepCancelled, SweepEngine, SweepTarget,
-                          model_fingerprint)
+from ..core.sweep import (SweepCancelled, SweepEngine, SweepPreempted,
+                          SweepTarget, model_fingerprint)
 from ..data import Dataset
 from ..nn import hooks
 from ..nn.hooks import HookRegistry, use_registry
 from ..train import evaluate_accuracy
 from .backends import ExecutionBackend, make_backend
-from .events import AnalysisCancelled, CancelToken, EventLog
+from .events import AnalysisCancelled, CancelToken, EventLog, PreemptToken
 from .request import AnalysisRequest, AnalysisResult, ModelRef, PartialResult
 from .resilience import (FaultPlan, RetryPolicy, ServiceHealth, ShardPoisoned,
-                         dispatch_with_retries, retry_call)
+                         WorkerPreempted, dispatch_with_retries, retry_call)
 from .scheduler import ShardQueue, merge_partial, merge_shards, plan_shards
 from .store import ResultStore, store_key
 
@@ -152,6 +163,7 @@ class ServiceStats:
     shard_store_hits: int = 0  # shards served from the store (dedup layer)
     cancelled: int = 0         # requests resolved via cancellation
     rejected: int = 0          # submissions refused by queue backpressure
+    preempted: int = 0         # shard parks taken for starved tenants
 
 
 class ShardProgress:
@@ -438,6 +450,18 @@ class ResilienceService:
         A :class:`~repro.api.resilience.FaultPlan` for the chaos
         harness; requires a ``chaos:<inner>`` backend name (or wraps a
         prebuilt backend).  Test/benchmark machinery, never production.
+    tenant_weights:
+        Per-tenant deficit-round-robin shares (``{"name": weight}``, a
+        tenant being ``options.client_id``; unlisted tenants weigh 1.0).
+        A weight-2 tenant drains two shards per round for every one of a
+        weight-1 tenant.  Single-tenant traffic is unaffected — the DRR
+        degenerates to the plain priority heap.
+    starvation_threshold:
+        Seconds a tenant (with queued work and nothing running) may wait
+        on a saturated queue before the fair scheduler preempts a
+        running lower-priority shard of another tenant (park at the
+        engine's next checkpoint; remainder requeues).  ``None``
+        (default) disables preemption.
     """
 
     def __init__(self, *, store: ResultStore | None = None,
@@ -448,14 +472,18 @@ class ResilienceService:
                  queue_limit: int | None = None,
                  retry_policy: RetryPolicy | None = None,
                  degrade_threshold: int | None = None,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 tenant_weights: dict | None = None,
+                 starvation_threshold: float | None = None):
         if store is None and use_store:
             store = ResultStore(cache_dir)
         self.store = store
         self.backend = make_backend(backend, max_parallel,
                                     fault_plan=fault_plan)
         self.nm_chunk = nm_chunk
-        self.queue = ShardQueue(self.backend, limit=queue_limit)
+        self.queue = ShardQueue(self.backend, limit=queue_limit,
+                                weights=tenant_weights,
+                                starvation_threshold=starvation_threshold)
         self.stats = ServiceStats()
         self.retry_policy = retry_policy or RetryPolicy()
         self.health = ServiceHealth(degrade_threshold)
@@ -478,7 +506,9 @@ class ResilienceService:
         return self.health.degraded
 
     def close(self) -> None:
-        """Shut down the backend's worker pools (if any)."""
+        """Shut down the fair-scheduler monitor and the backend's
+        worker pools (if any)."""
+        self.queue.close()
         self.backend.close()
         with self._state_lock:
             pool, self._degraded_pool = self._degraded_pool, None
@@ -573,6 +603,11 @@ class ResilienceService:
     def _engine_for(self, resolved: ResolvedModel, dataset_crc: int,
                     request: AnalysisRequest, dataset: Dataset) -> SweepEngine:
         options = request.options
+        # client_id never changes what an engine computes — keying it
+        # would give every tenant a duplicate engine (and a cold
+        # prefix-activation cache) for identical work.
+        if options.client_id is not None:
+            options = dataclasses.replace(options, client_id=None)
         key = (resolved.ref.key, dataset_crc, request.eval_samples, options)
         with self._state_lock:
             engine = self._engines.get(key)
@@ -609,8 +644,11 @@ class ResilienceService:
         is refused with :class:`~repro.api.scheduler.QueueFull` *before*
         anything launches — store hits and duplicate joins alone never
         trip it, and an admitted batch's own fan-out never does either
-        (accept-bounded admission; see
-        :meth:`~repro.api.scheduler.ShardQueue.check_admission`).
+        (accept-bounded admission).  The verdict and the capacity
+        reservation are one atomic step
+        (:meth:`~repro.api.scheduler.ShardQueue.admit`), so concurrent
+        submitters racing an almost-full queue cannot all observe the
+        same free slot and collectively overshoot the limit.
         """
         if hooks.active_registries():
             # An ambient use_registry(...) scope would compose the
@@ -655,11 +693,16 @@ class ResilienceService:
                                                      job.progress, job)
             jobs.append(job)
             handles[index] = self._job_handle(job)
+        admission = None
         if jobs:
             try:
                 # All-or-nothing admission for the measured subset: a
                 # refused batch leaves no dangling accepted jobs behind.
-                self.queue.check_admission(len(jobs))
+                # The verdict reserves its slots atomically, so parallel
+                # submitters cannot all pass on the same free capacity;
+                # the reservation is released once the batch's own
+                # shards are really in the queue.
+                admission = self.queue.admit(len(jobs))
             except BaseException as refusal:
                 with self._state_lock:
                     self.stats.rejected += len(jobs)
@@ -679,8 +722,12 @@ class ResilienceService:
             job.events.emit("queued", {"targets": len(job.request.targets),
                                        "priority": job.priority})
             groups.setdefault(job.batch_key, []).append(job)
-        for group in groups.values():
-            self._launch_group(group)
+        try:
+            for group in groups.values():
+                self._launch_group(group)
+        finally:
+            if admission is not None:
+                admission.release()
         return handles
 
     def _job_handle(self, job: _Job) -> AnalysisHandle:
@@ -947,9 +994,8 @@ class ResilienceService:
             if self.health.degraded:
                 self._announce_degraded(group, run)
                 return self._run_degraded(shard, runner, on_start=on_start)
-            return self.queue.submit(shard, runner,
-                                     priority=group[0].priority,
-                                     cancel=token, on_start=on_start)
+            return self._launch_preemptible(shard, group, index,
+                                            cancel=token, on_start=on_start)
 
         def on_retry(attempt: int, error: BaseException,
                      delay: float) -> None:
@@ -978,6 +1024,154 @@ class ResilienceService:
             max_retries=options.max_retries, describe=describe,
             should_abort=token.is_set if token is not None else None,
             on_retry=on_retry, on_outcome=on_outcome)
+
+    # ------------------------------------------------------------ preemption
+    def _launch_preemptible(self, shard: AnalysisRequest, group: list[_Job],
+                            index: int, *, cancel, on_start) -> Future:
+        """One queue dispatch of ``shard`` that survives fair-scheduler
+        preemption.
+
+        Each segment carries a fresh per-attempt
+        :class:`~repro.api.events.PreemptToken`: in-process measurements
+        observe it at the sweep engine's checkpoints and raise
+        :class:`~repro.core.sweep.SweepPreempted` carrying the
+        measured-so-far curves, which are **parked** here; procpool
+        workers are SIGKILLed by the token's hook and surface
+        :class:`~repro.api.resilience.WorkerPreempted` (their in-flight
+        points are lost — re-measured identically).  Either way a
+        remainder request covering only the still-unmeasured (target,
+        NM) points requeues with a fresh token, and the final
+        :meth:`_assemble` pass reproduces the unpreempted result
+        byte-for-byte (every point derives statelessly per (seed, site,
+        batch)).  Preemption resolves *inside* one retry attempt: the
+        returned future never surfaces a preemption error, so the retry
+        layer, the retry budget and the degradation tracker never see
+        one.
+        """
+        outer: Future = Future()
+        parked: dict = {}            # (target.key, nm) -> ResiliencePoint
+
+        def submit_segment(request: AnalysisRequest) -> None:
+            ptoken = PreemptToken()
+
+            def runner(req: AnalysisRequest,
+                       _token=ptoken) -> AnalysisResult:
+                return self._measure(req, cancel=cancel, preempt=_token)
+
+            try:
+                inner = self.queue.submit(request, runner,
+                                          priority=group[0].priority,
+                                          cancel=cancel, on_start=on_start,
+                                          preempt=ptoken)
+            except BaseException as exc:  # noqa: BLE001 — via the future
+                outer.set_exception(exc)
+                return
+            inner.add_done_callback(
+                lambda done, _req=request, _tok=ptoken:
+                finish(done, _req, _tok))
+
+        def finish(done: Future, request: AnalysisRequest,
+                   ptoken: PreemptToken) -> None:
+            error = done.exception()
+            if error is None:
+                try:
+                    outer.set_result(self._assemble(shard, parked,
+                                                    done.result()))
+                except BaseException as exc:  # noqa: BLE001 — via the future
+                    outer.set_exception(exc)
+                return
+            if isinstance(error, SweepPreempted):
+                fresh = self._park_partial(error.partial, parked)
+            elif isinstance(error, WorkerPreempted):
+                fresh = 0            # the killed worker's points are gone
+            else:
+                outer.set_exception(error)
+                return
+            remainder = self._remainder_request(shard, parked) or shard
+            reason = ptoken.reason or str(error)
+            self._announce_preempted(group, index, fresh, reason)
+            logger.info("shard %s#%d preempted (%s); parked %d fresh "
+                        "point(s), requeueing %d target(s) × %d NM",
+                        shard.fingerprint()[:12], index, reason, fresh,
+                        len(remainder.targets), len(remainder.nm_values))
+            submit_segment(remainder)
+
+        submit_segment(shard)
+        return outer
+
+    @staticmethod
+    def _park_partial(partial: dict, parked: dict) -> int:
+        """Fold a parked segment's measured points into the accumulator;
+        returns how many were new."""
+        fresh = 0
+        for key, curve in (partial or {}).items():
+            for point in curve.points:
+                slot = (key, float(point.nm))
+                if slot not in parked:
+                    parked[slot] = point
+                    fresh += 1
+        return fresh
+
+    @staticmethod
+    def _remainder_request(shard: AnalysisRequest,
+                           parked: dict) -> AnalysisRequest | None:
+        """The sub-request covering exactly the unmeasured points.
+
+        Targets with every NM parked drop out; the NM axis keeps the
+        original order restricted to values some remaining target still
+        needs (a target whose parked coverage overlaps the union simply
+        re-measures a few points — identical values, no harm).  Returns
+        ``None`` when nothing is missing.
+        """
+        missing_targets = []
+        needed = set()
+        for target in shard.targets:
+            missing = [nm for nm in shard.nm_values
+                       if (target.key, float(nm)) not in parked]
+            if missing:
+                missing_targets.append(target)
+                needed.update(missing)
+        if not missing_targets:
+            return None
+        return dataclasses.replace(
+            shard, targets=tuple(missing_targets),
+            nm_values=tuple(nm for nm in shard.nm_values if nm in needed))
+
+    @staticmethod
+    def _assemble(shard: AnalysisRequest, parked: dict,
+                  result: AnalysisResult) -> AnalysisResult:
+        """Merge parked points with the final segment's result into the
+        full-shard result (byte-identical to an unpreempted run)."""
+        if not parked:
+            return result
+        curves = {}
+        for target in shard.targets:
+            segment = result.curves.get(target.key)
+            measured = {float(point.nm): point
+                        for point in (segment.points if segment is not None
+                                      else [])}
+            curve = ResilienceCurve(group=target.group, layer=target.layer,
+                                    baseline_accuracy=result.baseline_accuracy)
+            for nm in shard.nm_values:
+                point = parked.get((target.key, float(nm)),
+                                   measured.get(float(nm)))
+                if point is None:
+                    raise RuntimeError(
+                        f"preempted shard reassembly lost NM={nm} for "
+                        f"target {target.key!r}: neither parked nor in "
+                        f"the remainder result")
+                curve.points.append(point)
+            curves[target.key] = curve
+        return dataclasses.replace(result, request=shard, curves=curves)
+
+    def _announce_preempted(self, group: list[_Job], index: int,
+                            points_parked: int, reason: str) -> None:
+        with self._state_lock:
+            self.stats.preempted += 1
+        for job in group:
+            job.events.emit("preempted", {"shard": index,
+                                          "points_parked": points_parked,
+                                          "reason": reason})
 
     # ------------------------------------------------- graceful degradation
     def _record_health(self, error: BaseException | None,
@@ -1128,7 +1322,8 @@ class ResilienceService:
 
     # ----------------------------------------------------------- measurement
     def _measure(self, request: AnalysisRequest,
-                 cancel: CancelToken | None = None) -> AnalysisResult:
+                 cancel: CancelToken | None = None,
+                 preempt: PreemptToken | None = None) -> AnalysisResult:
         """Measure exactly ``request`` in this process.
 
         This is the runner handed to the backend: it may execute on the
@@ -1138,8 +1333,10 @@ class ResilienceService:
         Engine access serialises on the engine's own lock, so concurrent
         measurements of *different* engines overlap.  ``cancel`` is the
         group's cooperative flag, polled by the sweep engine at stage
-        boundaries (out-of-process workers cannot observe it and run
-        their shard to completion).
+        boundaries; ``preempt`` is the fair scheduler's per-attempt
+        park flag, polled at the engine's preemption checkpoints
+        (out-of-process workers observe neither and rely on the
+        supervisor kill path instead).
         """
         resolved = self.entry(request.model)
         model_crc = model_fingerprint(resolved.model)
@@ -1147,6 +1344,7 @@ class ResilienceService:
         dataset = resolved.eval_set(request.eval_samples)
         targets = list(request.targets)
         should_cancel = None if cancel is None else cancel.is_set
+        should_preempt = None if preempt is None else preempt.is_set
         start = time.perf_counter()
         if request.noise == "quantization":
             curves = self._run_quantization(request, resolved, dataset,
@@ -1159,7 +1357,7 @@ class ResilienceService:
             curves = engine.sweep(
                 targets, request.nm_values, na=request.na, seed=request.seed,
                 baseline_accuracy=request.baseline_accuracy,
-                should_cancel=should_cancel)
+                should_cancel=should_cancel, should_preempt=should_preempt)
         elapsed = time.perf_counter() - start
         baseline = next(iter(curves.values())).baseline_accuracy
         return AnalysisResult(

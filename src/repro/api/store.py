@@ -4,7 +4,7 @@ Layout: one JSON document per result under the store root (default
 ``.artifacts/results``, override with ``REPRO_RESULT_DIR`` or the CLI's
 ``--cache-dir``), named
 
-    ``<request fingerprint>-m<model CRC>-d<dataset CRC>.json``
+    ``<request fingerprint>-m<model CRC>-d<dataset CRC>-e<engine rev>.json``
 
 The key is fully content-addressed:
 
@@ -16,15 +16,19 @@ The key is fully content-addressed:
   (:func:`repro.core.sweep.model_fingerprint`) — retraining or mutating
   a model in place auto-invalidates without any explicit bookkeeping;
 * the **dataset CRC** covers the evaluated images/labels — a different
-  eval subset or regenerated synthetic split cannot alias.
+  eval subset or regenerated synthetic split cannot alias;
+* the **engine revision** (:data:`repro.core.sweep.ENGINE_REV`) salts
+  the key with the *code* version of the measurement itself.  The other
+  components are inputs-only: a bugfix that changes the numerics would
+  otherwise keep serving the buggy cached curves forever (cache
+  poisoning).  Bumping ``ENGINE_REV`` misses every old entry.
 
 Invalidation is therefore *keying*, not deletion: stale entries are
 simply never looked up again.  ``gc()`` (CLI: ``repro gc``) exists for
-reclaiming the disk they hold — unreadable/schema-stale documents and
-orphaned write temporaries always go; age-based and wholesale pruning
-are opt-in (``older_than``/``everything``), which is how the "prune
-after intentional numerics changes" workflow clears entries that key on
-inputs the change did not touch.  Writes are atomic (temp file +
+reclaiming the disk they hold — unreadable/schema-stale documents,
+entries keyed under a previous engine revision, and orphaned write
+temporaries always go; age-based and wholesale pruning are opt-in
+(``older_than``/``everything``).  Writes are atomic (temp file +
 ``os.replace``) so concurrent runs never observe torn JSON.
 """
 
@@ -32,10 +36,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import time
 from dataclasses import dataclass, field
 
+from ..core.sweep import ENGINE_REV
 from .request import AnalysisResult, SchemaError
 
 __all__ = ["ResultStore", "StoreEntry", "GcReport", "store_key",
@@ -59,9 +65,16 @@ def default_store_root() -> str:
 
 def store_key(request_fingerprint: str, model_crc: int,
               dataset_crc: int) -> str:
-    """The content-addressed key of one (request, model, dataset) triple."""
+    """The content-addressed key of one (request, model, dataset) triple.
+
+    Salted with :data:`repro.core.sweep.ENGINE_REV` — the measurement
+    code's own version — because the other components only see *inputs*:
+    without the salt, a numerics bugfix would keep serving the pre-fix
+    cached curves (the cache-poisoning failure mode).  Referenced as a
+    module global so tests can exercise a rev bump via monkeypatching.
+    """
     return (f"{request_fingerprint}-m{model_crc & 0xffffffff:08x}"
-            f"-d{dataset_crc & 0xffffffff:08x}")
+            f"-d{dataset_crc & 0xffffffff:08x}-e{ENGINE_REV}")
 
 
 @dataclass
@@ -215,6 +228,20 @@ class ResultStore:
         return self.gc(everything=True).removed
 
     # --------------------------------------------------------------- garbage
+    @staticmethod
+    def _stale_engine_rev(key: str) -> bool:
+        """Whether ``key`` is content-addressed but salted with a
+        previous :data:`~repro.core.sweep.ENGINE_REV` (or none at all,
+        the pre-salt layout).  Manually-named keys (no ``-m…-d…`` CRC
+        tail) are not the store's to version — they fall through to the
+        readability check instead.
+        """
+        match = re.search(r"-m[0-9a-f]{8}-d[0-9a-f]{8}(?:-e(\d+))?$", key)
+        if match is None:
+            return False
+        rev = match.group(1)
+        return rev is None or int(rev) != ENGINE_REV
+
     def gc(self, *, older_than: float | None = None,
            everything: bool = False) -> "GcReport":
         """Reclaim disk from stale, orphaned, aged or (optionally) all
@@ -224,6 +251,10 @@ class ResultStore:
 
         * **orphans** — ``*.tmp`` write temporaries left by a crashed
           :meth:`put` (the atomic-replace never promoted them);
+        * **engine-rev** entries — keys salted with a previous
+          :data:`~repro.core.sweep.ENGINE_REV` (or none at all, the
+          pre-salt layout): the current code will never look them up
+          again, they can only hold stale numerics;
         * **stale** entries — documents that no longer parse or carry an
           unsupported schema version (they can only ever be misses).
 
@@ -232,9 +263,7 @@ class ResultStore:
         * ``older_than`` (seconds) — live entries whose file mtime is
           older than ``now - older_than`` (the store touches mtime on
           every ``put``, so this is "not re-measured recently");
-        * ``everything`` — the full store, e.g. after an intentional
-          numerics change that old entries' input-addressed keys cannot
-          see.
+        * ``everything`` — the full store.
         """
         report = GcReport(root=self.root)
         cutoff = None if older_than is None else time.time() - older_than
@@ -252,6 +281,9 @@ class ResultStore:
             key = name[:-len(".json")]
             if everything:
                 report.remove(path, "pruned")
+                continue
+            if self._stale_engine_rev(key):
+                report.remove(path, "engine-rev")
                 continue
             if self.get(key) is None:
                 report.remove(path, "stale")

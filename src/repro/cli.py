@@ -154,7 +154,8 @@ def _build_service(args):
     """The service behind this invocation: local, custom-store, or remote."""
     if getattr(args, "remote", None) is not None:
         from .api.server import RemoteService
-        return RemoteService(args.remote)
+        return RemoteService(args.remote,
+                             client_id=getattr(args, "client_id", None))
     if args.cache_dir is not None or args.backend != "inline" \
             or args.max_parallel is not None:
         return ResilienceService(cache_dir=args.cache_dir,
@@ -196,6 +197,12 @@ def _progress_printer(stream=None):
                       f"{payload.get('max_retries', '?')} failed; "
                       f"retrying in {payload.get('delay_seconds', 0.0):.2f}s"
                       f" ({payload.get('error', 'unknown error')})\n")
+        elif event.kind == "preempted":
+            out.write(f"[{job}] shard {payload.get('shard', '?')} preempted "
+                      f"({payload.get('points_parked', 0)} points parked; "
+                      f"remainder requeued): "
+                      f"{payload.get('reason', 'fair-scheduler preemption')}"
+                      f"\n")
         elif event.kind == "degraded":
             out.write(f"[{job}] DEGRADED: execution pool collapsed "
                       f"({payload.get('infrastructure_failures', '?')} "
@@ -224,6 +231,8 @@ def _build_context(args) -> RunContext:
         resilience["max_retries"] = args.max_retries
     if args.shard_timeout is not None:
         resilience["shard_timeout"] = args.shard_timeout
+    if args.client_id is not None:
+        resilience["client_id"] = args.client_id
     execution = ExecutionOptions(strategy=args.strategy,
                                  workers=args.workers,
                                  shared_votes=not args.no_shared_votes,
@@ -249,6 +258,8 @@ def _sweep_flags_given(args) -> list[str]:
         flags.append("--max-retries")
     if args.shard_timeout is not None:
         flags.append("--shard-timeout")
+    if args.client_id is not None:
+        flags.append("--client-id")
     if args.backend != "inline":
         flags.append("--backend")
     if args.max_parallel is not None:
@@ -361,6 +372,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="wall-clock deadline in seconds per shard "
                           "attempt; hung workers are killed and the "
                           "shard retried (default: no deadline)")
+    run.add_argument("--client-id", default=None, metavar="NAME",
+                     help="tenant name for the fair scheduler; rides "
+                          "requests as options.client_id (and the "
+                          "X-Repro-Client header with --remote) — never "
+                          "changes results or cache keys")
     _add_backend_flags(run)
     run.add_argument("--remote", default=None, metavar="URL",
                      help="submit sweep requests to a running "
@@ -391,6 +407,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="consecutive infrastructure failures before "
                             "the service latches degraded and runs "
                             "remaining shards in-process (default: 3)")
+    serve.add_argument("--tenant-weight", action="append", default=None,
+                       metavar="NAME=W",
+                       help="deficit-round-robin share for one tenant "
+                            "(repeatable; e.g. --tenant-weight batch=1 "
+                            "--tenant-weight triage=4; unlisted tenants "
+                            "weigh 1)")
+    serve.add_argument("--preempt-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="preempt a running lower-priority shard when "
+                            "a tenant starves this long on a saturated "
+                            "queue (parks at the next sweep checkpoint; "
+                            "default: preemption off)")
     _add_backend_flags(serve)
     _add_store_flag(serve)
     inspect = sub.add_parser(
@@ -449,16 +477,45 @@ def _run(args) -> int:
     return 0
 
 
+def _parse_tenant_weights(pairs) -> dict | None:
+    """``["batch=1", "triage=4"]`` -> ``{"batch": 1.0, "triage": 4.0}``."""
+    if not pairs:
+        return None
+    weights = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"invalid --tenant-weight {pair!r}; "
+                             f"expected NAME=WEIGHT (e.g. triage=4)")
+        try:
+            weight = float(value)
+        except ValueError:
+            raise ValueError(f"invalid --tenant-weight {pair!r}: "
+                             f"{value!r} is not a number") from None
+        if weight <= 0:
+            raise ValueError(f"invalid --tenant-weight {pair!r}: "
+                             f"weight must be positive")
+        weights[name] = weight
+    return weights
+
+
 def _serve(args) -> int:
     import signal
     import threading
 
     from .api.server import AnalysisServer
+    try:
+        tenant_weights = _parse_tenant_weights(args.tenant_weight)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     service = ResilienceService(cache_dir=args.cache_dir,
                                 backend=args.backend,
                                 max_parallel=args.max_parallel,
                                 queue_limit=args.queue_limit,
-                                degrade_threshold=args.degrade_threshold)
+                                degrade_threshold=args.degrade_threshold,
+                                tenant_weights=tenant_weights,
+                                starvation_threshold=args.preempt_after)
     server = AnalysisServer(service, host=args.host, port=args.port)
 
     def _graceful_drain(signum, frame):

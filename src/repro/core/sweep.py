@@ -85,8 +85,17 @@ from .noise import (GaussianNoiseInjector, NoiseSpec, StackedNoiseInjector,
                     site_matcher)
 from .resilience import ResilienceCurve, ResiliencePoint
 
-__all__ = ["STRATEGIES", "ExecutionOptions", "SweepTarget", "SweepEngine",
-           "SweepCancelled", "model_fingerprint"]
+__all__ = ["ENGINE_REV", "STRATEGIES", "ExecutionOptions", "SweepTarget",
+           "SweepEngine", "SweepCancelled", "SweepPreempted",
+           "model_fingerprint"]
+
+#: Code-revision salt for the result store.  The store key hashes the
+#: *inputs* of a measurement (request, model CRC, dataset CRC) — it
+#: cannot see the measurement *code*.  Bump this constant on any change
+#: that alters measured numerics (noise streams, accumulation order,
+#: evaluation semantics): old entries then simply stop being looked up,
+#: and ``repro gc`` collects the files keyed under previous revisions.
+ENGINE_REV = 1
 
 
 class SweepCancelled(RuntimeError):
@@ -97,6 +106,33 @@ class SweepCancelled(RuntimeError):
     returns true; no curve is returned and no partial state leaks — the
     engine's cached clean trace stays valid for the next sweep.
     """
+
+
+class SweepPreempted(RuntimeError):
+    """A sweep observed its preemption flag and parked at a checkpoint.
+
+    Unlike :class:`SweepCancelled`, the measured-so-far state is not
+    discarded: ``partial`` carries every completed (and, on per-point
+    strategies, point-partial) :class:`ResilienceCurve` keyed like the
+    sweep result.  Because every noise stream derives statelessly per
+    (seed, site, batch), re-running only the missing points later and
+    concatenating yields curves byte-identical to the uninterrupted
+    sweep — which is what lets the scheduler park a shard for a starved
+    tenant and requeue just its remainder.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial: dict = dict(partial or {})
+
+
+class _TargetPreempted(Exception):
+    """Internal: a per-point strategy parked mid-target (carries the
+    point-partial curve of the interrupted target)."""
+
+    def __init__(self, curve: ResilienceCurve):
+        super().__init__("target preempted")
+        self.curve = curve
 
 #: Valid values of the ``strategy`` knob, in "how much machinery" order.
 STRATEGIES: tuple[str, ...] = ("auto", "naive", "cached", "vectorized")
@@ -126,6 +162,13 @@ class ExecutionOptions:
     result-invariant — a retried or timed-out-and-replayed shard is
     byte-identical because every noise stream derives statelessly — so
     they serialise on the wire but stay out of :meth:`cache_key`.
+
+    ``client_id`` names the submitting tenant for the analysis service's
+    fair scheduler (``None`` = the anonymous default tenant).  Identity
+    never changes what is measured, only *when*, so like the
+    fault-tolerance knobs it rides in :meth:`to_payload` but stays out
+    of :meth:`cache_key` — two tenants measuring the same thing share
+    one store entry.
     """
 
     batch_size: int = 64
@@ -134,6 +177,7 @@ class ExecutionOptions:
     shared_votes: bool = True
     max_retries: int = 2
     shard_timeout: float | None = None
+    client_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -145,6 +189,18 @@ class ExecutionOptions:
         if self.shard_timeout is not None and self.shard_timeout <= 0:
             raise ValueError(f"shard_timeout must be positive (seconds) "
                              f"or None, got {self.shard_timeout}")
+        if self.client_id is not None:
+            # Travels as the X-Repro-Client header, so it must be a
+            # sane header token: non-empty, bounded, no whitespace or
+            # control characters.
+            if (not isinstance(self.client_id, str) or not self.client_id
+                    or len(self.client_id) > 64
+                    or any(ch.isspace() or not ch.isprintable()
+                           for ch in self.client_id)):
+                raise ValueError(
+                    f"client_id must be a non-empty printable token of at "
+                    f"most 64 characters without whitespace, got "
+                    f"{self.client_id!r}")
 
     @property
     def noise_tier(self) -> str:
@@ -159,11 +215,11 @@ class ExecutionOptions:
     def cache_key(self) -> dict:
         """The result-affecting subset, canonicalised for request hashing.
 
-        ``workers``, ``max_retries`` and ``shard_timeout`` are excluded
-        (partitioning, requeueing and deadlines never change results);
-        strategies collapse to their :attr:`noise_tier`; ``shared_votes``
-        is normalised away under the ``exact`` tier where it cannot
-        apply.
+        ``workers``, ``max_retries``, ``shard_timeout`` and ``client_id``
+        are excluded (partitioning, requeueing, deadlines and tenant
+        identity never change results); strategies collapse to their
+        :attr:`noise_tier`; ``shared_votes`` is normalised away under the
+        ``exact`` tier where it cannot apply.
         """
         return {"batch_size": self.batch_size,
                 "noise_tier": self.noise_tier,
@@ -174,7 +230,8 @@ class ExecutionOptions:
         return {"batch_size": self.batch_size, "strategy": self.strategy,
                 "workers": self.workers, "shared_votes": self.shared_votes,
                 "max_retries": self.max_retries,
-                "shard_timeout": self.shard_timeout}
+                "shard_timeout": self.shard_timeout,
+                "client_id": self.client_id}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ExecutionOptions":
@@ -336,6 +393,7 @@ class SweepEngine:
         self.shared_votes = bool(shared_votes)
         self._trace: _CleanTrace | None = None
         self._should_cancel = None   # per-sweep cooperative flag (locked)
+        self._should_preempt = None  # per-sweep cooperative flag (locked)
         # Sweeps mutate engine state (the cached trace, the per-sweep base
         # draws) and install the engine's hook registry on the calling
         # thread, so one engine can only run one sweep at a time.  The
@@ -349,7 +407,8 @@ class SweepEngine:
 
     # ----------------------------------------------------------------- public
     def sweep(self, targets, nm_values, *, na: float = 0.0, seed: int = 0,
-              baseline_accuracy: float | None = None, should_cancel=None):
+              baseline_accuracy: float | None = None, should_cancel=None,
+              should_preempt=None):
         """Measure one :class:`ResilienceCurve` per target.
 
         Returns a dict keyed like the Step 2/4 analysis results: by group
@@ -366,14 +425,25 @@ class SweepEngine:
         finishing.  Cancellation is cooperative and loses nothing — the
         cached clean trace survives, so a resubmitted sweep resumes from
         the observe half for free.
+
+        ``should_preempt`` is the parking twin: polled at target
+        boundaries (and per point on the ``naive``/``cached``
+        strategies, whose points are independent evaluations); when it
+        returns true the sweep raises :class:`SweepPreempted` carrying
+        the measured-so-far curves instead of discarding them.  The
+        vectorized strategies park only between targets — a stacked
+        replay is one fused evaluation, so mid-target its per-batch
+        partial sums are not yet accuracies.
         """
         with self._sweep_lock:
             self._should_cancel = should_cancel
+            self._should_preempt = should_preempt
             try:
                 return self._sweep_locked(targets, nm_values, na, seed,
                                           baseline_accuracy)
             finally:
                 self._should_cancel = None
+                self._should_preempt = None
 
     def _checkpoint(self) -> None:
         """Stage-boundary cancellation check (see :meth:`sweep`)."""
@@ -383,6 +453,11 @@ class SweepEngine:
                 "sweep cancelled at a stage boundary (cooperative "
                 "cancellation flag set)")
 
+    def _preempt_pending(self) -> bool:
+        """Whether the cooperative preemption flag is raised."""
+        check = getattr(self, "_should_preempt", None)
+        return check is not None and bool(check())
+
     def _sweep_locked(self, targets, nm_values, na, seed, baseline_accuracy):
         targets = [target if isinstance(target, SweepTarget)
                    else SweepTarget(*target) for target in targets]
@@ -391,9 +466,12 @@ class SweepEngine:
             return self._sweep_naive(targets, nm_values, na, seed,
                                      baseline_accuracy)
         if self.workers > 1 and len(targets) > 1:
-            # Worker processes cannot observe the parent's flag; check
+            # Worker processes cannot observe the parent's flags; check
             # once before the fan-out (documented limitation).
             self._checkpoint()
+            if self._preempt_pending():
+                raise SweepPreempted(
+                    "sweep preempted before the worker fan-out")
             return self._sweep_parallel(targets, nm_values, na, seed,
                                         baseline_accuracy, strategy)
         trace = self._clean_trace()
@@ -407,9 +485,23 @@ class SweepEngine:
             curves = {}
             for target in targets:
                 self._checkpoint()
-                curves[target.key] = self._sweep_target(
-                    trace, target, nm_values, na, seed, baseline_accuracy,
-                    strategy)
+                if self._preempt_pending():
+                    raise SweepPreempted(
+                        f"sweep preempted at a target boundary "
+                        f"({len(curves)}/{len(targets)} targets measured)",
+                        partial=curves)
+                try:
+                    curves[target.key] = self._sweep_target(
+                        trace, target, nm_values, na, seed,
+                        baseline_accuracy, strategy)
+                except _TargetPreempted as parked:
+                    partial = dict(curves)
+                    if parked.curve.points:
+                        partial[target.key] = parked.curve
+                    raise SweepPreempted(
+                        f"sweep preempted mid-target on {target} "
+                        f"({len(parked.curve.points)} points measured)",
+                        partial=partial) from None
             return curves
         finally:
             self._base_draws = {}
@@ -553,8 +645,18 @@ class SweepEngine:
                                                     matcher, resume,
                                                     first_site)
             else:
-                measured = [self._run_cached(trace, spec, matcher, resume)
-                            for _, spec in live]
+                # Per-point execution: points are independent evaluations,
+                # so preemption can park between them with the measured
+                # prefix intact (the vectorized branch above is one fused
+                # replay and parks only at target boundaries).
+                measured = []
+                for _, spec in live:
+                    if self._preempt_pending():
+                        raise _TargetPreempted(self._partial_curve(
+                            target, specs, accuracies, live, measured,
+                            baseline))
+                    measured.append(
+                        self._run_cached(trace, spec, matcher, resume))
             for (index, _), accuracy in zip(live, measured):
                 accuracies[index] = accuracy
         curve = ResilienceCurve(group=target.group, layer=target.layer,
@@ -562,6 +664,26 @@ class SweepEngine:
         for spec, accuracy in zip(specs, accuracies):
             curve.points.append(ResiliencePoint(
                 spec.nm, spec.na, accuracy, accuracy - baseline))
+        return curve
+
+    @staticmethod
+    def _partial_curve(target: SweepTarget, specs, accuracies, live,
+                       measured, baseline) -> ResilienceCurve:
+        """The point-partial curve of a mid-target preemption: every
+        zero-noise point (free off the clean trace) plus the measured
+        prefix of live points, in request NM order with the unmeasured
+        points simply absent."""
+        known = {index for index, spec in enumerate(specs) if spec.is_zero}
+        for (index, _), accuracy in zip(live, measured):
+            accuracies[index] = accuracy
+            known.add(index)
+        curve = ResilienceCurve(group=target.group, layer=target.layer,
+                                baseline_accuracy=baseline)
+        for index, spec in enumerate(specs):
+            if index in known:
+                curve.points.append(ResiliencePoint(
+                    spec.nm, spec.na, accuracies[index],
+                    accuracies[index] - baseline))
         return curve
 
     def _run_cached(self, trace: _CleanTrace, spec: NoiseSpec, matcher,
@@ -865,6 +987,14 @@ class SweepEngine:
             layers = None if target.layer is None else [target.layer]
             for nm in nm_values:
                 self._checkpoint()
+                if self._preempt_pending():
+                    partial = dict(curves)
+                    if curve.points:
+                        partial[target.key] = curve
+                    raise SweepPreempted(
+                        f"naive sweep preempted mid-target on {target} "
+                        f"({len(curve.points)} points measured)",
+                        partial=partial)
                 spec = NoiseSpec(nm=nm, na=na, seed=seed)
                 accuracy = noisy_accuracy(
                     self.model, self.dataset, spec, groups=[target.group],

@@ -69,9 +69,9 @@ def _slow_measure(svc, seconds: float):
     """Wrap ``svc._measure`` so every shard takes at least ``seconds``."""
     original = svc._measure
 
-    def slow(request, cancel=None):
+    def slow(request, cancel=None, preempt=None):
         time.sleep(seconds)
-        return original(request, cancel=cancel)
+        return original(request, cancel=cancel, preempt=preempt)
 
     svc._measure = slow
 
@@ -516,8 +516,9 @@ class TestProcPoolBackend:
         first = svc.run(_zoo_request(seed=31))
         backend = svc.backend
         assert len(backend._idle) == 1
-        [worker] = backend._idle
+        [(worker, _)] = backend._idle
         second = svc.run(_zoo_request(seed=32))
-        assert backend._idle == [worker]      # same process served both
+        [(reused, _)] = backend._idle
+        assert reused is worker               # same process served both
         assert worker.alive()
         assert first.baseline_accuracy == second.baseline_accuracy

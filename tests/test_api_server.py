@@ -158,9 +158,9 @@ class TestRoundTrip:
                                     backend="threads", max_parallel=1)
         measure = service._measure
 
-        def slow_measure(request, cancel=None):
+        def slow_measure(request, cancel=None, preempt=None):
             time_module.sleep(4.0)
-            return measure(request, cancel=cancel)
+            return measure(request, cancel=cancel, preempt=preempt)
 
         monkeypatch.setattr(service, "_measure", slow_measure)
         server = AnalysisServer(service).start()
