@@ -170,7 +170,14 @@ class InlineBackend(ExecutionBackend):
 
 
 class ThreadBackend(ExecutionBackend):
-    """Cross-request parallelism on a shared thread pool."""
+    """Cross-request parallelism on a shared thread pool.
+
+    **Lock ordering**: ``_lock`` is a leaf guarding only lazy pool
+    creation and teardown; :meth:`close` swaps the pool reference out
+    under it and shuts the pool down *after* releasing (a worker
+    completion callback re-entering backend code must never find the
+    lock held).
+    """
 
     name = "threads"
 
@@ -385,6 +392,16 @@ class ProcPoolBackend(ExecutionBackend):
     :class:`~repro.api.resilience.WorkerTimeout` subclass the service
     intercepts *before* the retry layer — preemption is not a fault and
     burns no retry budget).
+
+    **Lock ordering** (checked by ``repro lint`` and the runtime lock
+    witness): ``_lock`` is a leaf guarding the idle list and the
+    spawn/reap/busy counters.  Borrow/return take it in short bursts
+    and **drop it before any blocking call** — spawning a worker,
+    writing a frame, killing a process, or joining the supervisor
+    (:class:`~repro.api.resilience.WorkerSupervisor` has its own leaf
+    lock; the two are never held together).  ``reap_idle`` collects
+    victims under ``_lock`` and closes them after releasing it.  Never
+    call into a worker or another component while holding ``_lock``.
     """
 
     name = "procpool"

@@ -294,6 +294,20 @@ class ShardQueue:
     The queue adds no concurrency of its own: an ``inline`` backend
     drains it synchronously (capacity 1, dispatch blocks), the parallel
     backends drain it from their completion callbacks.
+
+    **Lock ordering** (checked by ``repro lint`` and the runtime lock
+    witness — see ``docs/devtools.md``): ``_lock`` is a *leaf* lock.
+    Every method takes it for short critical sections over the
+    tenant/heap/running bookkeeping and **releases it before calling
+    out** — into the backend, a proxy future's callbacks, a
+    :class:`~repro.api.events.PreemptToken` (its own leaf lock), or
+    :meth:`_pump` re-entry.  In particular :meth:`preempt_starved`
+    computes its victim under ``_lock`` but fires ``preempt.set()``
+    after dropping it, and :meth:`_dispatch`'s completion callback
+    resolves the proxy outside its bookkeeping section.  Nothing in
+    this module may acquire another lock while holding ``_lock``; new
+    code that needs to must take the other lock first (and will be
+    flagged as a ``lock-order-cycle`` if two call paths disagree).
     """
 
     def __init__(self, backend, limit: int | None = None, *,

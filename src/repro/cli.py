@@ -15,6 +15,8 @@ Usage::
     python -m repro inspect
     python -m repro inspect 6f1f... --cache-dir /tmp/results
     python -m repro gc --older-than 30d
+    python -m repro lint
+    python -m repro lint src/repro --format json
 
 Each artifact prints the same rows/series the paper reports (measured next
 to published values where applicable).  ``--quick`` shrinks the evaluation
@@ -427,6 +429,34 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="store-key prefix to dump in full (omit to "
                               "list all entries)")
     _add_store_flag(inspect)
+    lint = sub.add_parser(
+        "lint", help="run the invariant lint suite (lock order, "
+                     "determinism, wire schema; see docs/devtools.md)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to scan (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="finding output format (default: text)")
+    lint.add_argument("--rules", default=None, metavar="PREFIXES",
+                      help="comma-separated rule-id prefixes to run "
+                           "(e.g. 'lock,schema'; default: all rules)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="grandfather baseline file (default: "
+                           "lint_baseline.json discovered above the "
+                           "scan root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report baselined findings too")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current findings as the grandfather "
+                           "baseline instead of failing on them")
+    lint.add_argument("--schema-manifest", default=None, metavar="FILE",
+                      help="wire-schema field manifest (default: the "
+                           "checked-in repro/devtools/"
+                           "schema_manifest.json)")
+    lint.add_argument("--update-schema-manifest", action="store_true",
+                      help="re-pin the versioned payload field sets "
+                           "after an intentional SCHEMA_VERSION bump")
     gc = sub.add_parser(
         "gc", help="reclaim result-store disk (stale/orphaned entries; "
                    "--older-than/--all widen the sweep)")
@@ -630,6 +660,9 @@ def main(argv: list[str] | None = None) -> int:
         return _inspect(args)
     if args.command == "gc":
         return _gc(args)
+    if args.command == "lint":
+        from .devtools.runner import run_cli
+        return run_cli(args)
     return _run(args)
 
 

@@ -1,0 +1,42 @@
+"""Invariant lint suite for the repro codebase (``repro lint``).
+
+Static analyzers plus a runtime witness that turn the repo's two
+load-bearing guarantees — bitwise determinism of the numerics tier and
+deadlock-freedom of the lock-dense service stack — into CI-time
+diagnostics instead of shipped flakes:
+
+- :mod:`.lockorder` — static nested-lock-acquisition graph, fails on
+  cycles (potential deadlocks);
+- :mod:`.determinism` — unseeded RNG, wall-clock reads, and unordered
+  set iteration in the numerics tier and the store-keying closure;
+- :mod:`.schema_drift` — ``to_payload``/``from_payload`` field parity
+  and schema-version discipline for the wire classes;
+- :mod:`.witness` — opt-in (``REPRO_LOCK_WITNESS=1``) instrumented
+  locks recording the *observed* acquisition order at test time.
+
+Findings are :class:`~repro.devtools.findings.LintFinding` records;
+``repro lint`` (see :mod:`.runner`) renders them as text or JSON,
+honours ``# lint: allow(<rule>): reason`` escapes and the checked-in
+``lint_baseline.json``, and gates tier-1 via
+``tests/test_lint_repo.py``.  Rules and workflow: ``docs/devtools.md``.
+"""
+
+from .determinism import (RULE_SET_ITER, RULE_UNSEEDED_RNG, RULE_WALL_CLOCK,
+                          run_determinism)
+from .findings import Baseline, LintFinding, apply_allows
+from .lockorder import RULE_LOCK_CYCLE, RULE_LOCK_SELF, run_lockorder
+from .project import Project, load_project
+from .runner import LintReport, lint_tree, run_static
+from .schema_drift import (RULE_SCHEMA_PARITY, RULE_SCHEMA_VERSION,
+                           build_manifest, run_schema_drift)
+from .witness import RULE_WITNESS_CYCLE, LockWitness, witness_enabled
+
+__all__ = [
+    "LintFinding", "Baseline", "apply_allows", "LintReport",
+    "Project", "load_project", "lint_tree", "run_static",
+    "run_lockorder", "run_determinism", "run_schema_drift",
+    "build_manifest", "LockWitness", "witness_enabled",
+    "RULE_LOCK_CYCLE", "RULE_LOCK_SELF", "RULE_UNSEEDED_RNG",
+    "RULE_WALL_CLOCK", "RULE_SET_ITER", "RULE_SCHEMA_PARITY",
+    "RULE_SCHEMA_VERSION", "RULE_WITNESS_CYCLE",
+]

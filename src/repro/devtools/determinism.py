@@ -1,0 +1,301 @@
+"""Determinism lint: nondeterminism sources in the numerics tier.
+
+The repo's byte-identity guarantees (stacked == per-point routing,
+``cached`` == ``naive`` sweeps, store keys) hold only if the numerics
+tier is a pure function of its inputs and seeds.  This pass forbids the
+three ambient-nondeterminism idioms Python makes easy:
+
+:data:`RULE_UNSEEDED_RNG`
+    Module-level RNG state — any stdlib ``random.*`` call, any legacy
+    ``numpy.random.*`` distribution call, and ``default_rng()`` /
+    ``Generator(PCG64())`` *without* a seed argument.  Seeded
+    constructions (``default_rng(seed)``, ``random.Random(seed)``,
+    caller-supplied ``np.random.Generator`` parameters) pass.
+
+:data:`RULE_WALL_CLOCK`
+    Wall-clock reads: ``time.time``/``time.time_ns`` and
+    ``datetime.now``/``utcnow``/``today``.  (Monotonic timers are
+    allowed — they measure, they don't leak into values.)
+
+:data:`RULE_SET_ITER`
+    Iterating an unordered ``set``/``frozenset`` (``for``,
+    comprehensions, ``list(...)``/``tuple(...)``/``enumerate(...)``/
+    ``"".join(...)`` over a set expression).  Python sets iterate in
+    hash order, which varies across runs with ``PYTHONHASHSEED`` for
+    str keys; ``sorted(<set>)`` is the deterministic spelling and is
+    not flagged.
+
+Scope: every module under the numerics tier (``core/``, ``nn/``,
+``tensor/``) in full, plus — in *any* module — every function reachable
+from ``cache_key``/``model_fingerprint``/``fingerprint`` (the
+store-keying closure; a wall-clock read there silently poisons the
+content-addressed cache).  Intentional exceptions take a
+``# lint: allow(<rule>): reason`` escape (see
+:mod:`repro.devtools.findings`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from .findings import LintFinding
+from .project import (FunctionInfo, Project, SourceModule,
+                      iter_nodes_excluding_nested)
+
+__all__ = ["RULE_UNSEEDED_RNG", "RULE_WALL_CLOCK", "RULE_SET_ITER",
+           "NUMERICS_DIRS", "FINGERPRINT_SEEDS", "run_determinism"]
+
+RULE_UNSEEDED_RNG = "det-unseeded-rng"
+RULE_WALL_CLOCK = "det-wall-clock"
+RULE_SET_ITER = "det-set-iter"
+
+#: Top-level directories forming the numerics tier (scanned in full).
+NUMERICS_DIRS = ("core", "nn", "tensor")
+
+#: Function names seeding the store-keying reachability closure.
+FINGERPRINT_SEEDS = ("cache_key", "model_fingerprint", "fingerprint",
+                     "store_key")
+
+#: Seeded RNG constructors: fine *with* arguments, flagged bare.
+_SEEDABLE = {"default_rng", "Random", "PCG64", "SeedSequence", "Philox",
+             "MT19937", "SFC64", "RandomState"}
+
+_WALL_CLOCK_TIME = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _origin(module: SourceModule, name: str) -> str:
+    return module.imports.get(name, "")
+
+
+class _FunctionChecker:
+    """Runs the three node checks over one function (or module) body."""
+
+    def __init__(self, module: SourceModule):
+        self.module = module
+        self.findings: list[LintFinding] = []
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(LintFinding(
+            path=self.module.rel, line=getattr(node, "lineno", 1),
+            rule=rule, message=message))
+
+    # ------------------------------------------------------------------ rng
+    def _check_rng(self, node: ast.Call) -> None:
+        func = node.func
+        has_args = bool(node.args or node.keywords)
+        if isinstance(func, ast.Name):
+            origin = _origin(self.module, func.id)
+            if origin.startswith("random."):  # from random import shuffle
+                name = origin.split(".", 1)[1]
+                if name in _SEEDABLE and has_args:
+                    return
+                self._flag(RULE_UNSEEDED_RNG, node,
+                           f"stdlib random.{name} draws from module-level "
+                           f"RNG state; use a seeded "
+                           f"np.random.default_rng(seed)")
+            elif origin.startswith("numpy.random.") \
+                    or origin.startswith("numpy.random "):
+                name = origin.rsplit(".", 1)[1]
+                if name in _SEEDABLE:
+                    if not has_args:
+                        self._flag(RULE_UNSEEDED_RNG, node,
+                                   f"{name}() without a seed draws OS "
+                                   f"entropy; pass an explicit seed")
+                else:
+                    self._flag(RULE_UNSEEDED_RNG, node,
+                               f"legacy numpy.random.{name} uses global "
+                               f"RNG state; use a seeded Generator")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        chain = _attr_chain(func)
+        if chain is None:
+            return
+        base, rest = chain[0], chain[1:]
+        origin = _origin(self.module, base)
+        dotted = ".".join([origin or base] + rest)
+        if dotted.startswith("random.") and origin == "random":
+            name = rest[-1]
+            if name in _SEEDABLE and has_args:
+                return
+            self._flag(RULE_UNSEEDED_RNG, node,
+                       f"stdlib random.{name} draws from module-level RNG "
+                       f"state; use a seeded np.random.default_rng(seed)")
+        elif dotted.startswith("numpy.random."):
+            name = rest[-1]
+            if name in _SEEDABLE:
+                if not has_args:
+                    self._flag(RULE_UNSEEDED_RNG, node,
+                               f"np.random.{name}() without a seed draws "
+                               f"OS entropy; pass an explicit seed")
+            elif name[:1].islower():  # distribution calls, seed(), etc.
+                self._flag(RULE_UNSEEDED_RNG, node,
+                           f"legacy np.random.{name} uses global RNG "
+                           f"state; use a seeded Generator")
+
+    # ----------------------------------------------------------- wall clock
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = _origin(self.module, func.id)
+            if origin == "time.time" or origin == "time.time_ns":
+                self._flag(RULE_WALL_CLOCK, node,
+                           f"wall-clock read {origin}() is "
+                           f"run-dependent; thread a timestamp in "
+                           f"explicitly")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        chain = _attr_chain(func)
+        if chain is None:
+            return
+        base, rest = chain[0], chain[1:]
+        origin = _origin(self.module, base)
+        if origin == "time" and len(rest) == 1 \
+                and rest[0] in _WALL_CLOCK_TIME:
+            self._flag(RULE_WALL_CLOCK, node,
+                       f"wall-clock read time.{rest[0]}() is "
+                       f"run-dependent; thread a timestamp in explicitly")
+        elif rest and rest[-1] in _WALL_CLOCK_DATETIME:
+            if origin.startswith("datetime") \
+                    or base in ("datetime", "date"):
+                self._flag(RULE_WALL_CLOCK, node,
+                           f"wall-clock read "
+                           f"{'.'.join([base] + rest)}() is "
+                           f"run-dependent; thread a timestamp in "
+                           f"explicitly")
+
+    # -------------------------------------------------------- set iteration
+    def _set_like(self, expr: ast.AST, local_sets: set[str]) -> bool:
+        if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in local_sets
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return self._set_like(expr.left, local_sets) \
+                or self._set_like(expr.right, local_sets)
+        if isinstance(expr, ast.Call) and isinstance(
+                expr.func, ast.Attribute) and expr.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            return self._set_like(expr.func.value, local_sets)
+        return False
+
+    def _check_set_iteration(self, root: ast.AST) -> None:
+        local_sets: set[str] = set()
+        for node in iter_nodes_excluding_nested(root):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and self._set_like(node.value, local_sets):
+                local_sets.add(node.targets[0].id)
+        # Iteration feeding an order-insensitive consumer is fine:
+        # sorted({...}) *is* the deterministic spelling this rule asks
+        # for, and min/max/sum/any/all/len cannot observe the order.
+        safe: set[int] = set()
+        for node in iter_nodes_excluding_nested(root):
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name) and node.func.id in (
+                    "sorted", "min", "max", "sum", "len", "any", "all",
+                    "set", "frozenset"):
+                for arg in node.args:
+                    safe.add(id(arg))
+        message = ("iteration order of an unordered set is hash-dependent "
+                   "and varies across runs; iterate sorted(...) instead")
+        for node in iter_nodes_excluding_nested(root):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and self._set_like(node.iter, local_sets):
+                self._flag(RULE_SET_ITER, node, message)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                if id(node) in safe:
+                    continue
+                for gen in node.generators:
+                    if self._set_like(gen.iter, local_sets):
+                        self._flag(RULE_SET_ITER, node, message)
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name) \
+                    and node.func.id in ("list", "tuple", "enumerate") \
+                    and node.args \
+                    and self._set_like(node.args[0], local_sets):
+                self._flag(RULE_SET_ITER, node, message)
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) \
+                    and node.func.attr == "join" and node.args \
+                    and self._set_like(node.args[0], local_sets):
+                self._flag(RULE_SET_ITER, node, message)
+
+    # ---------------------------------------------------------------- entry
+    def check_body(self, root: ast.AST) -> None:
+        for node in iter_nodes_excluding_nested(root):
+            if isinstance(node, ast.Call):
+                self._check_rng(node)
+                self._check_wall_clock(node)
+        self._check_set_iteration(root)
+
+
+def _attr_chain(node: ast.Attribute) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for computed receivers."""
+    parts: list[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return list(reversed(parts))
+
+
+def _in_numerics_tier(module: SourceModule) -> bool:
+    top = module.rel.split("/", 1)[0]
+    return top in NUMERICS_DIRS
+
+
+def _fingerprint_closure(project: Project) -> list[FunctionInfo]:
+    """Functions reachable (via resolvable calls) from the store-keying
+    seed functions, breadth-first over the whole project."""
+    seeds = [fn for fn in project.functions
+             if fn.name in FINGERPRINT_SEEDS]
+    seen: set[int] = {id(fn) for fn in seeds}
+    queue = deque(seeds)
+    closure: list[FunctionInfo] = []
+    while queue:
+        fn = queue.popleft()
+        closure.append(fn)
+        local_types = project.local_types(fn)
+        for node in iter_nodes_excluding_nested(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = project.resolve_call(node, fn, local_types)
+            if callee is not None and id(callee) not in seen:
+                seen.add(id(callee))
+                queue.append(callee)
+    return closure
+
+
+def run_determinism(project: Project) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    scanned_modules: set[str] = set()
+    for module in project.modules:
+        if _in_numerics_tier(module):
+            scanned_modules.add(module.rel)
+            checker = _FunctionChecker(module)
+            checker.check_body(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    checker.check_body(node)
+            findings.extend(checker.findings)
+    for fn in _fingerprint_closure(project):
+        if fn.module.rel in scanned_modules:
+            continue  # already covered by the tier scan
+        checker = _FunctionChecker(fn.module)
+        checker.check_body(fn.node)
+        findings.extend(checker.findings)
+    return sorted(set(findings))

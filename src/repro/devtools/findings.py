@@ -1,0 +1,155 @@
+"""Structured lint findings, allow-escapes, and the grandfather baseline.
+
+Every analyzer in :mod:`repro.devtools` reports :class:`LintFinding`
+records — a rule id, a repo-relative ``path:line``, and a one-line
+message — so the CLI, the pytest gate, and the baseline file all speak
+one shape.
+
+Two suppression mechanisms exist, with different intents:
+
+``# lint: allow(<rule>): <reason>``
+    An *inline escape* on the flagged line (or the line above it).  It
+    must carry a non-empty reason; a bare ``allow`` suppresses nothing
+    and instead raises a :data:`RULE_ALLOW_REASON` finding, so every
+    escape in the tree documents why the rule does not apply.
+
+Baseline file (``lint_baseline.json``)
+    *Grandfathered* findings recorded when a rule is introduced against
+    pre-existing code.  Baselined findings are filtered from the gate;
+    stale entries (no longer firing) are reported so the file shrinks
+    over time instead of fossilising.  Keys deliberately exclude the
+    line number: moving grandfathered code around must not re-trigger
+    the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintFinding", "Baseline", "apply_allows", "RULE_ALLOW_REASON"]
+
+#: Raised when an inline escape has no reason text.
+RULE_ALLOW_REASON = "lint-allow-reason"
+
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*([a-z0-9_\-,\s]+?)\s*\)\s*:?\s*(.*)$")
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One lint violation at ``path:line``, attributed to ``rule``."""
+
+    path: str  # repo-relative, posix separators
+    line: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_payload(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LintFinding":
+        return cls(path=payload["path"], line=int(payload["line"]),
+                   rule=payload["rule"], message=payload["message"])
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity for baseline matching — line-number free, so
+        grandfathered code can move without re-arming the gate."""
+        return (self.rule, self.path, self.message)
+
+
+def _allow_on_line(line: str) -> tuple[set[str], str] | None:
+    """Parsed ``# lint: allow(...)`` escape on one source line, if any."""
+    match = _ALLOW_RE.search(line)
+    if match is None:
+        return None
+    rules = {rule.strip() for rule in match.group(1).split(",")
+             if rule.strip()}
+    return rules, match.group(2).strip()
+
+
+def apply_allows(findings: list[LintFinding],
+                 sources: dict[str, list[str]]) -> list[LintFinding]:
+    """Filter findings suppressed by inline escapes.
+
+    ``sources`` maps each repo-relative path to its source lines.  An
+    escape suppresses a finding when it names the finding's rule and
+    sits on the flagged line or the line directly above it.  Escapes
+    without a reason suppress nothing and add a
+    :data:`RULE_ALLOW_REASON` finding of their own.
+    """
+    kept: list[LintFinding] = []
+    reasonless: set[tuple[str, int]] = set()
+    for finding in findings:
+        lines = sources.get(finding.path)
+        suppressed = False
+        if lines is not None:
+            for lineno in (finding.line, finding.line - 1):
+                if not 1 <= lineno <= len(lines):
+                    continue
+                allow = _allow_on_line(lines[lineno - 1])
+                if allow is None or finding.rule not in allow[0]:
+                    continue
+                if allow[1]:
+                    suppressed = True
+                else:
+                    reasonless.add((finding.path, lineno))
+                break
+        if not suppressed:
+            kept.append(finding)
+    for path, lineno in sorted(reasonless):
+        kept.append(LintFinding(
+            path=path, line=lineno, rule=RULE_ALLOW_REASON,
+            message="lint escape carries no reason; write "
+                    "'# lint: allow(<rule>): <why the rule does not "
+                    "apply here>'"))
+    return sorted(set(kept))
+
+
+class Baseline:
+    """The checked-in grandfather list (see module docstring)."""
+
+    def __init__(self, entries: list[LintFinding], path: Path | None = None):
+        self.entries = entries
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        entries = [LintFinding.from_payload(entry)
+                   for entry in payload.get("findings", [])]
+        return cls(entries, path=Path(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "comment": "Grandfathered repro-lint findings. Entries here "
+                       "are tolerated by the tier-1 gate; new code must "
+                       "ship clean. Regenerate with "
+                       "'repro lint --write-baseline'.",
+            "findings": [entry.to_payload()
+                         for entry in sorted(self.entries)],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(self, findings: list[LintFinding]
+              ) -> tuple[list[LintFinding], list[LintFinding]]:
+        """``(new, stale)``: findings not covered by the baseline, and
+        baseline entries that no longer fire (candidates for removal)."""
+        keys = {entry.baseline_key for entry in self.entries}
+        new = [f for f in findings if f.baseline_key not in keys]
+        live = {f.baseline_key for f in findings}
+        stale = [entry for entry in self.entries
+                 if entry.baseline_key not in live]
+        return new, stale

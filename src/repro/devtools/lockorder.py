@@ -1,0 +1,446 @@
+"""Static lock-order analyzer: potential deadlocks as lint findings.
+
+Inventories every ``threading.Lock``/``RLock``/``Condition`` created by
+the scanned tree — instance attributes (``self._lock = threading.Lock()``
+or ``field(default_factory=threading.Lock)``), module-level globals, and
+function locals — then builds the *nested-acquisition graph*: an edge
+``A -> B`` whenever code can acquire ``B`` while holding ``A``, through
+
+- lexically nested ``with`` blocks,
+- explicit ``.acquire()`` / ``.release()`` pairs (tracked linearly
+  through the enclosing block), and
+- calls, one level deep: while holding ``A``, calling a function that
+  itself directly acquires ``B`` adds ``A -> B`` (callee resolution via
+  :class:`~repro.devtools.project.Project`).
+
+A cycle in this graph is a potential deadlock (two threads taking the
+arcs in different orders can block forever) and becomes a
+:data:`RULE_LOCK_CYCLE` finding naming every lock and edge site on the
+cycle.  Re-acquiring the *same* non-reentrant lock while holding it is
+the one-lock special case (:data:`RULE_LOCK_SELF`): guaranteed
+self-deadlock for ``Lock``, ignored for ``RLock``/``Condition`` (whose
+default inner lock is reentrant).
+
+Lock identity is ``owner.attr`` where owner is the defining class (or
+module/function for globals/locals) — i.e. the analysis is
+per-creation-site, matching how the runtime witness keys its observed
+edges.  Unresolvable receivers produce no edge rather than a guessed
+one; the witness covers the dynamic remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+
+from .findings import LintFinding
+from .project import (FunctionInfo, Project, SourceModule,
+                      iter_nodes_excluding_nested)
+
+__all__ = ["RULE_LOCK_CYCLE", "RULE_LOCK_SELF", "LockOrderAnalyzer",
+           "run_lockorder"]
+
+RULE_LOCK_CYCLE = "lock-order-cycle"
+RULE_LOCK_SELF = "lock-self-deadlock"
+
+_LOCK_FACTORIES = {"Lock": False, "RLock": True, "Condition": True}
+
+
+@dataclass(frozen=True)
+class LockId:
+    """One lock creation site: ``owner`` is ``module:Class``,
+    ``module``, or ``module:function``."""
+
+    owner: str
+    attr: str
+    reentrant: bool = dc_field(compare=False, default=False)
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    src: LockId
+    dst: LockId
+    path: str
+    line: int
+    via: str  # holding function, plus "-> callee" for call edges
+
+
+class LockOrderAnalyzer:
+    def __init__(self, project: Project):
+        self.project = project
+        #: (owner, attr) -> LockId for every inventoried lock.
+        self.locks: dict[tuple[str, str], LockId] = {}
+        self.edges: list[LockEdge] = []
+        self._direct: dict[int, set[LockId]] = {}  # id(fn) -> acquired
+        self._inventory()
+        for fn in project.functions:
+            self._direct[id(fn)] = self._direct_acquisitions(fn)
+        for fn in project.functions:
+            self._walk_function(fn)
+
+    # ------------------------------------------------------------ inventory
+    def _lock_kind(self, expr: ast.AST, module: SourceModule) -> str | None:
+        """``"Lock"``/``"RLock"``/``"Condition"`` when ``expr`` creates
+        one, else ``None``.  Handles ``threading.Lock()``, a bare
+        imported ``Lock()``, and ``field(default_factory=threading.Lock)``.
+        """
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id == "field":
+                for kw in expr.keywords:
+                    if kw.arg == "default_factory":
+                        return self._factory_kind(kw.value, module)
+                return None
+            origin = module.imports.get(func.id, "")
+            if origin == f"threading.{func.id}" \
+                    and func.id in _LOCK_FACTORIES:
+                return func.id
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name):
+            if module.imports.get(func.value.id) == "threading" \
+                    and func.attr in _LOCK_FACTORIES:
+                return func.attr
+        return None
+
+    def _factory_kind(self, expr: ast.AST,
+                      module: SourceModule) -> str | None:
+        if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name) \
+                and module.imports.get(expr.value.id) == "threading" \
+                and expr.attr in _LOCK_FACTORIES:
+            return expr.attr
+        if isinstance(expr, ast.Name) and module.imports.get(
+                expr.id, "") == f"threading.{expr.id}" \
+                and expr.id in _LOCK_FACTORIES:
+            return expr.id
+        return None
+
+    def _register(self, owner: str, attr: str, kind: str) -> None:
+        self.locks.setdefault(
+            (owner, attr),
+            LockId(owner, attr, reentrant=_LOCK_FACTORIES[kind]))
+
+    def _inventory(self) -> None:
+        for module in self.project.modules:
+            for node in module.tree.body:  # module-level globals
+                if isinstance(node, ast.Assign):
+                    kind = self._lock_kind(node.value, module)
+                    if kind:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self._register(module.name, target.id, kind)
+        for cls in self.project.classes.values():
+            if cls is None:
+                continue
+            owner = f"{cls.module.name}:{cls.name}"
+            for item in cls.node.body:  # dataclass lock fields
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name) and item.value is not None:
+                    kind = self._lock_kind(item.value, cls.module)
+                    if kind:
+                        self._register(owner, item.target.id, kind)
+            for method in cls.methods.values():
+                for node in iter_nodes_excluding_nested(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    kind = self._lock_kind(node.value, cls.module)
+                    if not kind:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self":
+                            self._register(owner, target.attr, kind)
+        for fn in self.project.functions:  # function locals
+            for node in iter_nodes_excluding_nested(fn.node):
+                if isinstance(node, ast.Assign):
+                    kind = self._lock_kind(node.value, fn.module)
+                    if kind:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self._register(fn.qualname, target.id, kind)
+
+    # ----------------------------------------------------- lock resolution
+    def _resolve_lock(self, expr: ast.AST, fn: FunctionInfo,
+                      local_types: dict[str, str]) -> LockId | None:
+        """The inventoried lock an expression denotes, or ``None``."""
+        if isinstance(expr, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:  # locals, incl. enclosing closures
+                lock = self.locks.get((scope.qualname, expr.id))
+                if lock is not None:
+                    return lock
+                scope = scope.parent
+            return self.locks.get((fn.module.name, expr.id))
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if isinstance(expr.value, ast.Name):
+            if expr.value.id == "self" and fn.cls is not None:
+                cls = fn.cls
+                while cls is not None:
+                    lock = self.locks.get(
+                        (f"{cls.module.name}:{cls.name}", expr.attr))
+                    if lock is not None:
+                        return lock
+                    cls = next(
+                        (self.project.classes.get(base)
+                         for base in cls.bases
+                         if self.project.classes.get(base)), None)
+                return None
+            type_name = local_types.get(expr.value.id)
+        else:
+            owner_cls = self.project._receiver_class(
+                expr.value, fn, local_types)
+            type_name = owner_cls.name if owner_cls else None
+        if type_name:
+            owner = self.project.classes.get(type_name)
+            if owner is not None:
+                return self.locks.get(
+                    (f"{owner.module.name}:{owner.name}", expr.attr))
+        return None
+
+    # -------------------------------------------------- acquisition walking
+    def _direct_acquisitions(self, fn: FunctionInfo) -> set[LockId]:
+        """Locks a function acquires anywhere in its own body."""
+        acquired: set[LockId] = set()
+        local_types = self.project.local_types(fn)
+        for node in iter_nodes_excluding_nested(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    lock = self._resolve_lock(item.context_expr, fn,
+                                              local_types)
+                    if lock is not None:
+                        acquired.add(lock)
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) and node.func.attr == "acquire":
+                lock = self._resolve_lock(node.func.value, fn, local_types)
+                if lock is not None:
+                    acquired.add(lock)
+        return acquired
+
+    def _walk_function(self, fn: FunctionInfo) -> None:
+        local_types = self.project.local_types(fn)
+        self._walk_block(fn.node.body, fn, local_types, held=[])
+
+    def _record(self, held: list[tuple[LockId, int]], lock: LockId,
+                line: int, fn: FunctionInfo, via: str) -> None:
+        for src, _ in held:
+            if src == lock:
+                continue  # same-lock handled by the self-deadlock check
+            self.edges.append(LockEdge(
+                src=src, dst=lock, path=fn.module.rel, line=line, via=via))
+        if held and not lock.reentrant and any(
+                src == lock for src, _ in held):
+            self.edges.append(LockEdge(  # self-loop: direct self-deadlock
+                src=lock, dst=lock, path=fn.module.rel, line=line, via=via))
+
+    def _walk_block(self, stmts, fn: FunctionInfo,
+                    local_types: dict[str, str],
+                    held: list[tuple[LockId, int]]) -> None:
+        opened: list[LockId] = []  # explicit .acquire() in this block
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = []
+                for item in stmt.items:
+                    self._scan_calls(item.context_expr, fn, local_types,
+                                     held)
+                    lock = self._resolve_lock(item.context_expr, fn,
+                                              local_types)
+                    if lock is not None:
+                        self._record(held, lock, stmt.lineno, fn,
+                                     fn.qualname)
+                        acquired.append((lock, stmt.lineno))
+                self._walk_block(stmt.body, fn, local_types,
+                                 held + acquired)
+                continue
+            acquire = self._acquire_release(stmt, fn, local_types)
+            if acquire is not None:
+                lock, is_acquire, line = acquire
+                if is_acquire:
+                    self._record(held, lock, line, fn, fn.qualname)
+                    opened.append(lock)
+                    held = held + [(lock, line)]
+                elif any(src == lock for src, _ in held):
+                    held = [pair for pair in held if pair[0] != lock]
+                    opened = [item for item in opened if item != lock]
+                continue
+            for body in self._inner_blocks(stmt):
+                self._walk_block(body, fn, local_types, held)
+            self._scan_calls(stmt, fn, local_types, held,
+                             skip_blocks=True)
+
+    @staticmethod
+    def _inner_blocks(stmt) -> list[list]:
+        blocks = []
+        for name in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, name, None)
+            if inner and isinstance(inner, list) \
+                    and inner and isinstance(inner[0], ast.stmt):
+                blocks.append(inner)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    def _acquire_release(self, stmt, fn, local_types):
+        """``(lock, is_acquire, line)`` for a bare ``X.acquire()`` /
+        ``X.release()`` expression statement, else ``None``."""
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr in ("acquire", "release")):
+            return None
+        lock = self._resolve_lock(stmt.value.func.value, fn, local_types)
+        if lock is None:
+            return None
+        return lock, stmt.value.func.attr == "acquire", stmt.lineno
+
+    def _scan_calls(self, node, fn, local_types, held,
+                    skip_blocks: bool = False) -> None:
+        """Interprocedural one-level edges for calls made while holding."""
+        if not held:
+            return
+        roots = [node]
+        if skip_blocks:  # compound statement: headers only, bodies were
+            roots = []   # walked with their own held-state already
+            for child in ast.iter_fields(node):
+                name, value = child
+                if name in ("body", "orelse", "finalbody", "handlers"):
+                    continue
+                roots.extend(value if isinstance(value, list) else [value])
+        for root in roots:
+            if not isinstance(root, ast.AST):
+                continue
+            for sub in iter_nodes_excluding_nested(root):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if isinstance(sub.func, ast.Attribute) \
+                        and sub.func.attr in ("acquire", "release", "wait",
+                                              "notify", "notify_all",
+                                              "locked"):
+                    continue
+                callee = self.project.resolve_call(sub, fn, local_types)
+                if callee is None:
+                    continue
+                for lock in self._direct[id(callee)]:
+                    line = getattr(sub, "lineno", fn.node.lineno)
+                    for src, _ in held:
+                        if src == lock:
+                            if not lock.reentrant:
+                                self.edges.append(LockEdge(
+                                    src=lock, dst=lock, path=fn.module.rel,
+                                    line=line,
+                                    via=f"{fn.qualname} -> "
+                                        f"{callee.qualname}"))
+                        else:
+                            self.edges.append(LockEdge(
+                                src=src, dst=lock, path=fn.module.rel,
+                                line=line,
+                                via=f"{fn.qualname} -> {callee.qualname}"))
+
+    # --------------------------------------------------------------- cycles
+    def findings(self) -> list[LintFinding]:
+        graph: dict[LockId, set[LockId]] = {}
+        sites: dict[tuple[LockId, LockId], LockEdge] = {}
+        for edge in self.edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+            sites.setdefault((edge.src, edge.dst), edge)
+        findings = []
+        for cycle in _cycles(graph):
+            arcs = [(src, dst) for src, dst
+                    in zip(cycle, cycle[1:] + cycle[:1])
+                    if (src, dst) in sites]
+            if not arcs:
+                continue
+            where = "; ".join(
+                f"{src} -> {dst} at {sites[(src, dst)].path}:"
+                f"{sites[(src, dst)].line} ({sites[(src, dst)].via})"
+                for src, dst in arcs)
+            first = sites[arcs[0]]
+            if len(cycle) == 1:
+                findings.append(LintFinding(
+                    path=first.path, line=first.line, rule=RULE_LOCK_SELF,
+                    message=f"non-reentrant lock {cycle[0]} re-acquired "
+                            f"while already held ({first.via}); this "
+                            f"self-deadlocks"))
+            else:
+                order = " -> ".join(str(lock) for lock in cycle)
+                findings.append(LintFinding(
+                    path=first.path, line=first.line, rule=RULE_LOCK_CYCLE,
+                    message=f"lock-order cycle {order} -> {cycle[0]}: "
+                            f"{where}"))
+        return sorted(set(findings))
+
+
+def _cycles(graph: dict[LockId, set[LockId]]) -> list[list[LockId]]:
+    """Elementary cycles, one per strongly connected component (plus
+    self-loops) — enough to name every deadlock-capable lock set."""
+    index: dict[LockId, int] = {}
+    low: dict[LockId, int] = {}
+    stack: list[LockId] = []
+    on_stack: set[LockId] = set()
+    sccs: list[list[LockId]] = []
+    counter = [0]
+
+    def strongconnect(node: LockId) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ()),
+                           key=lambda lock: str(lock)):
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            sccs.append(component)
+
+    for node in sorted(graph, key=lambda lock: str(lock)):
+        if node not in index:
+            strongconnect(node)
+    cycles = []
+    for component in sccs:
+        if len(component) > 1:
+            cycles.append(_order_cycle(component, graph))
+        elif component[0] in graph.get(component[0], ()):
+            cycles.append(component)
+    return cycles
+
+
+def run_lockorder(project: Project) -> list[LintFinding]:
+    """The analyzer's findings for an already-loaded project."""
+    return LockOrderAnalyzer(project).findings()
+
+
+def _order_cycle(component: list[LockId],
+                 graph: dict[LockId, set[LockId]]) -> list[LockId]:
+    """Arrange an SCC as a walkable cycle (every arc exists in graph)."""
+    members = set(component)
+    start = min(component, key=str)
+    cycle = [start]
+    seen = {start}
+    node = start
+    while True:
+        succ = next((s for s in sorted(graph[node], key=str)
+                     if s in members and s not in seen), None)
+        if succ is None:
+            break
+        cycle.append(succ)
+        seen.add(succ)
+        node = succ
+    return cycle

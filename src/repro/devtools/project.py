@@ -1,0 +1,399 @@
+"""Shared AST source model for the static analyzers.
+
+Loads a Python source tree once and exposes the structure every
+analyzer needs: per-module import maps, an index of classes and
+functions (including closures, with their enclosing scope), a light
+attribute/local type inference, and best-effort call resolution one
+level deep.
+
+The inference is deliberately *shallow and honest*: it resolves the
+idioms this codebase actually uses — ``self.attr`` assigned from an
+annotated ``__init__`` parameter or a direct constructor call,
+locals bound to constructor calls or to methods with return
+annotations, dataclass field annotations — and returns ``None`` for
+anything it cannot prove.  Analyzers treat ``None`` as "no edge",
+never as "no problem elsewhere": the goal is zero false positives on
+the shipped tree, with the runtime lock witness (:mod:`.witness`)
+covering orders the static pass cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceModule", "FunctionInfo", "ClassInfo", "Project",
+           "load_project", "iter_nodes_excluding_nested", "simple_type_name"]
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    rel: str    # posix path relative to the scan root, e.g. "api/scheduler.py"
+    name: str   # dotted module name relative to the scan root
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    #: local name -> dotted origin ("np" -> "numpy",
+    #: "Lock" -> "threading.Lock", "model_fingerprint" ->
+    #: "core.sweep.model_fingerprint" after relative-import resolution).
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or closure."""
+
+    qualname: str  # "module:Class.method" / "module:func" / ".../inner"
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+    parent: "FunctionInfo | None" = None  # enclosing function (closures)
+    children: dict[str, "FunctionInfo"] = field(default_factory=dict)
+    arg_types: dict[str, str] = field(default_factory=dict)
+    return_type: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class."""
+
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    #: class-body annotated names (dataclass fields included), in order.
+    fields: list[str] = field(default_factory=list)
+    #: instance attribute -> inferred class name.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def simple_type_name(node: ast.AST | None) -> str | None:
+    """The class name an annotation denotes, if it is simple enough.
+
+    Handles ``Foo``, ``"Foo"``, ``pkg.Foo``, ``Foo | None`` and
+    ``Optional[Foo]``; anything fancier resolves to ``None``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip().strip("'\"")
+        return text.split("[")[0].split(".")[-1] or None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = simple_type_name(node.left)
+        if left not in (None, "None"):
+            return left
+        return simple_type_name(node.right)
+    if isinstance(node, ast.Subscript):
+        base = simple_type_name(node.value)
+        if base == "Optional":
+            return simple_type_name(node.slice)
+        return None
+    return None
+
+
+def iter_nodes_excluding_nested(root: ast.AST):
+    """Walk ``root`` without descending into nested function/class
+    definitions or lambdas (their bodies execute later, not here)."""
+    stack = [root]
+    barrier = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+               ast.ClassDef)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, barrier):
+                continue
+            stack.append(child)
+
+
+def _module_imports(tree: ast.Module, module_name: str) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(
+                    ".")[0]
+                imports[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = module_name.split(".")
+                parts = parts[:len(parts) - node.level] if node.level <= len(
+                    parts) else []
+                base = ".".join(parts + ([node.module] if node.module
+                                         else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base \
+                    else alias.name
+    return imports
+
+
+class Project:
+    """The loaded source tree plus its class/function indexes."""
+
+    def __init__(self, modules: list[SourceModule]):
+        self.modules = modules
+        #: class name -> ClassInfo; ambiguous (duplicated) names resolve
+        #: to None so analyzers never guess between two classes.
+        self.classes: dict[str, ClassInfo | None] = {}
+        #: (module name, function name) -> module-level FunctionInfo.
+        self.module_funcs: dict[tuple[str, str], FunctionInfo] = {}
+        self.functions: list[FunctionInfo] = []
+        self._module_names = {module.name for module in modules}
+        for module in modules:
+            self._index_module(module)
+        for info in self.classes.values():
+            if info is not None:
+                self._infer_attr_types(info)
+
+    # ------------------------------------------------------------- indexing
+    def _index_module(self, module: SourceModule) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(module, node, cls=None,
+                                          parent=None,
+                                          prefix=f"{module.name}:")
+                self.module_funcs[(module.name, node.name)] = info
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    name=node.name, module=module, node=node,
+                    bases=[simple_type_name(base) or "" for base in
+                           node.bases])
+                for item in node.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                            item.target, ast.Name):
+                        cls.fields.append(item.target.id)
+                        ann = simple_type_name(item.annotation)
+                        if ann:
+                            cls.attr_types.setdefault(item.target.id, ann)
+                    elif isinstance(item, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        info = self._add_function(
+                            module, item, cls=cls, parent=None,
+                            prefix=f"{module.name}:{cls.name}.")
+                        cls.methods[item.name] = info
+                if node.name in self.classes:
+                    self.classes[node.name] = None  # ambiguous
+                else:
+                    self.classes[node.name] = cls
+
+    def _add_function(self, module: SourceModule, node, cls, parent,
+                      prefix: str) -> FunctionInfo:
+        info = FunctionInfo(qualname=f"{prefix}{node.name}", module=module,
+                            node=node, cls=cls, parent=parent)
+        for arg in (list(node.args.posonlyargs) + list(node.args.args)
+                    + list(node.args.kwonlyargs)):
+            ann = simple_type_name(arg.annotation)
+            if ann:
+                info.arg_types[arg.arg] = ann
+        info.return_type = simple_type_name(node.returns)
+        self.functions.append(info)
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and self._direct_parent_function(node, child):
+                nested = self._add_function(
+                    module, child, cls=cls, parent=info,
+                    prefix=f"{info.qualname}/")
+                info.children[child.name] = nested
+        return info
+
+    @staticmethod
+    def _direct_parent_function(outer, inner) -> bool:
+        """True when ``inner`` is defined directly under ``outer`` (not
+        inside a deeper nested function, which indexes itself)."""
+        for node in ast.walk(outer):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not outer:
+                if inner in ast.walk(node) and inner is not node:
+                    return False
+        return True
+
+    # ------------------------------------------------------ type inference
+    def _class_by_local_name(self, module: SourceModule,
+                             name: str) -> ClassInfo | None:
+        info = self.classes.get(name)
+        if info is not None:
+            return info
+        origin = module.imports.get(name)
+        if origin:
+            return self.classes.get(origin.split(".")[-1])
+        return None
+
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        for method in cls.methods.values():
+            for node in iter_nodes_excluding_nested(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    inferred = self._expr_type(node.value, method, {})
+                    if inferred:
+                        cls.attr_types.setdefault(target.attr, inferred)
+
+    def _expr_type(self, expr: ast.AST, fn: FunctionInfo,
+                   local_types: dict[str, str]) -> str | None:
+        """Best-effort class name of an expression's value."""
+        if isinstance(expr, ast.Name):
+            if expr.id in local_types:
+                return local_types[expr.id]
+            return fn.arg_types.get(expr.id)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                cls = self._class_by_local_name(fn.module, func.id)
+                if cls is not None:
+                    return cls.name
+            callee = self.resolve_call(expr, fn, local_types)
+            if callee is not None and callee.return_type:
+                return callee.return_type
+        if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name) and expr.value.id == "self" \
+                and fn.cls is not None:
+            return self._attr_type(fn.cls, expr.attr)
+        return None
+
+    def _attr_type(self, cls: ClassInfo, attr: str) -> str | None:
+        seen = set()
+        info: ClassInfo | None = cls
+        while info is not None and info.name not in seen:
+            seen.add(info.name)
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            info = next((self.classes.get(base) for base in info.bases
+                         if self.classes.get(base)), None)
+        return None
+
+    def local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Inferred types of local variables (single linear pass).
+        Closures inherit the enclosing function's locals."""
+        types: dict[str, str] = {}
+        if fn.parent is not None:
+            types.update(self.local_types(fn.parent))
+        types.update(fn.arg_types)
+        for node in iter_nodes_excluding_nested(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                inferred = self._expr_type(node.value, fn, types)
+                if inferred:
+                    types[node.targets[0].id] = inferred
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name):
+                ann = simple_type_name(node.annotation)
+                if ann:
+                    types[node.target.id] = ann
+        return types
+
+    # ----------------------------------------------------- call resolution
+    def method_of(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """``name`` resolved through ``cls`` and its (known) bases."""
+        seen = set()
+        info: ClassInfo | None = cls
+        while info is not None and info.name not in seen:
+            seen.add(info.name)
+            if name in info.methods:
+                return info.methods[name]
+            info = next((self.classes.get(base) for base in info.bases
+                         if self.classes.get(base)), None)
+        return None
+
+    def resolve_call(self, call: ast.Call, fn: FunctionInfo,
+                     local_types: dict[str, str]) -> FunctionInfo | None:
+        """The project function a call lands in, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:  # closures see enclosing defs
+                if func.id in scope.children:
+                    return scope.children[func.id]
+                scope = scope.parent
+            direct = self.module_funcs.get((fn.module.name, func.id))
+            if direct is not None:
+                return direct
+            cls = self._class_by_local_name(fn.module, func.id)
+            if cls is not None:  # constructor call
+                return self.method_of(cls, "__init__")
+            origin = fn.module.imports.get(func.id)
+            if origin and "." in origin:
+                mod, _, name = origin.rpartition(".")
+                if mod in self._module_names:
+                    return self.module_funcs.get((mod, name))
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = self._receiver_class(func.value, fn, local_types)
+        if owner is not None:
+            return self.method_of(owner, func.attr)
+        if isinstance(func.value, ast.Name):
+            origin = fn.module.imports.get(func.value.id)
+            if origin in self._module_names:
+                return self.module_funcs.get((origin, func.attr))
+        return None
+
+    def _receiver_class(self, expr: ast.AST, fn: FunctionInfo,
+                        local_types: dict[str, str]) -> ClassInfo | None:
+        """The class of a method call's receiver expression."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and fn.cls is not None:
+                return fn.cls
+            name = local_types.get(expr.id)
+            return self.classes.get(name) if name else None
+        if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name) and expr.value.id == "self" \
+                and fn.cls is not None:
+            name = self._attr_type(fn.cls, expr.attr)
+            return self.classes.get(name) if name else None
+        return None
+
+
+def load_project(paths: list[Path]) -> Project:
+    """Parse every ``*.py`` under ``paths`` into one :class:`Project`.
+
+    Module/relative names are taken against each argument: passing
+    ``src/repro`` yields names like ``api.scheduler``; passing a single
+    file yields its stem.
+    """
+    modules: list[SourceModule] = []
+    seen: set[Path] = set()
+    for root in paths:
+        root = Path(root).resolve()
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        base = root if root.is_dir() else root.parent
+        for file in files:
+            if file in seen:
+                continue
+            seen.add(file)
+            rel = file.relative_to(base).as_posix()
+            name = rel[:-3].replace("/", ".")
+            if name.endswith(".__init__"):
+                name = name[:-len(".__init__")]
+            source = file.read_text()
+            modules.append(SourceModule(
+                path=file, rel=rel, name=name, source=source,
+                lines=source.splitlines(),
+                tree=ast.parse(source, filename=str(file)),
+                imports={}))
+    for module in modules:
+        module.imports = _module_imports(module.tree, module.name)
+    return Project(modules)

@@ -1,0 +1,162 @@
+"""The ``repro lint`` driver: analyzers -> escapes -> baseline -> report.
+
+Orchestrates the three static analyzers over a source tree, applies the
+inline allow-escapes and the grandfather baseline, and renders findings
+as text (``path:line: rule: message``) or ``--format json``.  This is
+both the CLI entry (:func:`run_cli`, wired into ``repro lint``) and the
+programmatic surface the tier-1 gate (``tests/test_lint_repo.py``)
+calls (:func:`run_static`, :func:`lint_tree`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from .determinism import run_determinism
+from .findings import Baseline, LintFinding, apply_allows
+from .lockorder import run_lockorder
+from .project import Project, load_project
+from .schema_drift import DEFAULT_MANIFEST, build_manifest, run_schema_drift
+
+__all__ = ["run_static", "lint_tree", "LintReport", "run_cli",
+           "default_lint_root", "find_baseline"]
+
+_ANALYZERS = {
+    "lock": run_lockorder,
+    "det": run_determinism,
+    "schema": None,  # needs the manifest path; dispatched explicitly
+}
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package source — what bare ``repro lint``
+    scans."""
+    return Path(__file__).resolve().parent.parent
+
+
+def find_baseline(start: Path) -> Path | None:
+    """``lint_baseline.json`` discovered upward from the scan root (the
+    checked-in grandfather file lives next to ``pytest.ini``)."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        baseline = candidate / "lint_baseline.json"
+        if baseline.exists():
+            return baseline
+        if (candidate / ".git").exists() \
+                or (candidate / "pytest.ini").exists():
+            return None
+    return None
+
+
+def run_static(project: Project, manifest_path: Path | None = None,
+               rules: str | None = None) -> list[LintFinding]:
+    """All static findings for a loaded project, allow-escapes applied.
+
+    ``rules`` optionally restricts to comma-separated rule-id prefixes
+    (e.g. ``"lock,schema"``).
+    """
+    findings: list[LintFinding] = []
+    findings.extend(run_lockorder(project))
+    findings.extend(run_determinism(project))
+    findings.extend(run_schema_drift(project, manifest_path=manifest_path))
+    sources = {module.rel: module.lines for module in project.modules}
+    findings = apply_allows(sorted(set(findings)), sources)
+    if rules:
+        prefixes = tuple(prefix.strip() for prefix in rules.split(",")
+                         if prefix.strip())
+        findings = [f for f in findings if f.rule.startswith(prefixes)]
+    return findings
+
+
+@dataclass
+class LintReport:
+    """One lint run's outcome."""
+
+    findings: list[LintFinding]   # new findings (post-baseline)
+    baselined: int                # suppressed by the baseline
+    stale: list[LintFinding]      # baseline entries no longer firing
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def lint_tree(paths: list[Path], baseline: Baseline | None = None,
+              manifest_path: Path | None = None,
+              rules: str | None = None) -> LintReport:
+    """Load ``paths``, run the static suite, apply ``baseline``."""
+    project = load_project([Path(path) for path in paths])
+    findings = run_static(project, manifest_path=manifest_path,
+                          rules=rules)
+    if baseline is None:
+        return LintReport(findings=findings, baselined=0, stale=[])
+    new, stale = baseline.split(findings)
+    return LintReport(findings=new, baselined=len(findings) - len(new),
+                      stale=stale)
+
+
+def run_cli(args) -> int:
+    """``repro lint`` (argparse namespace from :mod:`repro.cli`)."""
+    paths = [Path(path) for path in (args.paths or
+                                     [default_lint_root()])]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    manifest_path = Path(args.schema_manifest) if args.schema_manifest \
+        else None
+    if args.update_schema_manifest:
+        project = load_project(paths)
+        target = manifest_path or DEFAULT_MANIFEST
+        payload = build_manifest(project)
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"schema manifest pinned to {target} "
+              f"(schema_version {payload['schema_version']}, "
+              f"{len(payload['classes'])} classes)")
+        return 0
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else find_baseline(paths[0]))
+        if args.baseline and not baseline_path.exists() \
+                and not args.write_baseline:
+            print(f"baseline {baseline_path} does not exist "
+                  f"(--write-baseline creates it)", file=sys.stderr)
+            return 2
+        if baseline_path and baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+    if args.write_baseline:
+        report = lint_tree(paths, baseline=None, manifest_path=manifest_path,
+                           rules=args.rules)
+        target = Path(args.baseline) if args.baseline \
+            else (find_baseline(paths[0]) or Path("lint_baseline.json"))
+        Baseline(report.findings).write(target)
+        print(f"baseline written to {target} "
+              f"({len(report.findings)} grandfathered findings)")
+        return 0
+    report = lint_tree(paths, baseline=baseline,
+                       manifest_path=manifest_path, rules=args.rules)
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_payload() for f in report.findings],
+            "baselined": report.baselined,
+            "stale_baseline": [f.to_payload() for f in report.stale],
+        }, indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format_text())
+        summary = (f"{len(report.findings)} finding"
+                   f"{'' if len(report.findings) == 1 else 's'}")
+        if report.baselined:
+            summary += f" ({report.baselined} baselined)"
+        print(("FAIL: " if report.findings else "OK: ") + summary)
+        for entry in report.stale:
+            print(f"note: stale baseline entry no longer fires: "
+                  f"{entry.rule} at {entry.path} — remove it",
+                  file=sys.stderr)
+    return 1 if report.findings else 0

@@ -1,0 +1,276 @@
+"""Wire-schema drift checker: payload parity and version discipline.
+
+Every class that round-trips through the wire/store defines
+``to_payload`` / ``from_payload``.  Two invariants keep remote peers and
+persisted results honest, and both are checkable statically:
+
+:data:`RULE_SCHEMA_PARITY`
+    *Field parity.*  Every key ``to_payload`` emits must be consumed by
+    ``from_payload`` (else the field silently drops on a round trip),
+    and every key ``from_payload`` reads must be emitted (else parsing
+    depends on data the writer never produces).  The ``schema`` marker
+    key is exempt on the read side only when the class is unversioned.
+
+:data:`RULE_SCHEMA_VERSION`
+    *Version discipline*, for classes whose payload carries a
+    ``"schema"`` key.  The shipped field sets are pinned in a checked-in
+    manifest (``schema_manifest.json``) together with the
+    ``SCHEMA_VERSION`` they were recorded at.  Changing a versioned
+    class's payload fields while ``SCHEMA_VERSION`` still equals the
+    manifest's is the drift this rule exists for: old peers/stores will
+    accept the new payloads and mis-parse them.  Bump ``SCHEMA_VERSION``
+    *and* regenerate the manifest (``repro lint
+    --update-schema-manifest``) in the same change.  ``from_payload``
+    of a versioned class must also actually read the ``schema`` key.
+
+Extraction is AST-based and intentionally conservative: emitted keys
+come from the returned dict literal (string constants; for key-filtered
+comprehensions like :class:`~repro.api.request.ModelRef`'s, from the
+constant first elements of the iterated pairs); consumed keys from
+``payload[...]`` / ``payload.get(...)`` on the parameter, with
+``cls(**payload)`` meaning "all declared fields".  A class whose
+payload methods defeat extraction is skipped, never guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import LintFinding
+from .project import ClassInfo, Project
+
+__all__ = ["RULE_SCHEMA_PARITY", "RULE_SCHEMA_VERSION", "PayloadClass",
+           "extract_payload_classes", "run_schema_drift",
+           "build_manifest", "DEFAULT_MANIFEST"]
+
+RULE_SCHEMA_PARITY = "schema-parity"
+RULE_SCHEMA_VERSION = "schema-version"
+
+#: The checked-in pin of versioned payload field sets.
+DEFAULT_MANIFEST = Path(__file__).with_name("schema_manifest.json")
+
+#: ``from_payload`` reading ``cls(**payload)``: consumes every field.
+_ALL_FIELDS = "**"
+
+
+@dataclass
+class PayloadClass:
+    """Extraction result for one to_payload/from_payload class."""
+
+    cls: ClassInfo
+    emitted: set[str] | None      # None: extraction defeated
+    consumed: set[str] | None     # may contain _ALL_FIELDS
+    versioned: bool               # to_payload carries a "schema" key
+    reads_schema: bool            # from_payload checks the "schema" key
+    schema_version: int | None    # module-level SCHEMA_VERSION, if any
+    line: int
+
+    @property
+    def name(self) -> str:
+        return self.cls.name
+
+
+def _emitted_keys(node: ast.FunctionDef) -> set[str] | None:
+    """Keys of the payload ``to_payload`` returns, or None."""
+    returns = [stmt for stmt in ast.walk(node)
+               if isinstance(stmt, ast.Return) and stmt.value is not None]
+    if not returns:
+        return None
+    keys: set[str] = set()
+    for stmt in returns:
+        value = stmt.value
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str):
+                    keys.add(key.value)
+                else:
+                    return None  # computed key: extraction defeated
+        elif isinstance(value, ast.DictComp):
+            # The ModelRef idiom: {k: v for k, v in (("a", ...), ...)}.
+            pairs = _constant_pair_keys(value)
+            if pairs is None:
+                return None
+            keys.update(pairs)
+        else:
+            return None
+    return keys
+
+
+def _constant_pair_keys(comp: ast.DictComp) -> set[str] | None:
+    if len(comp.generators) != 1:
+        return None
+    source = comp.generators[0].iter
+    if not isinstance(source, (ast.Tuple, ast.List)):
+        return None
+    keys: set[str] = set()
+    for element in source.elts:
+        if isinstance(element, (ast.Tuple, ast.List)) and element.elts \
+                and isinstance(element.elts[0], ast.Constant) \
+                and isinstance(element.elts[0].value, str):
+            keys.add(element.elts[0].value)
+        else:
+            return None
+    return keys
+
+
+def _consumed_keys(node: ast.FunctionDef) -> tuple[set[str] | None, bool]:
+    """``(keys, reads_schema)`` for ``from_payload``."""
+    args = node.args.posonlyargs + node.args.args
+    if len(args) < 2:
+        return None, False
+    payload_name = args[1].arg  # (cls, payload)
+    keys: set[str] = set()
+    reads_schema = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Subscript) and isinstance(
+                sub.value, ast.Name) and sub.value.id == payload_name \
+                and isinstance(sub.slice, ast.Constant) \
+                and isinstance(sub.slice.value, str):
+            keys.add(sub.slice.value)
+        elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute) and sub.func.attr == "get" \
+                and isinstance(sub.func.value, ast.Name) \
+                and sub.func.value.id == payload_name and sub.args \
+                and isinstance(sub.args[0], ast.Constant) \
+                and isinstance(sub.args[0].value, str):
+            keys.add(sub.args[0].value)
+        elif isinstance(sub, ast.Call):
+            for kw in sub.keywords:
+                if kw.arg is None and isinstance(kw.value, ast.Name) \
+                        and kw.value.id == payload_name:
+                    keys.add(_ALL_FIELDS)  # cls(**payload)
+    if "schema" in keys:
+        reads_schema = True
+    return keys, reads_schema
+
+
+def _module_schema_version(cls: ClassInfo) -> int | None:
+    for stmt in cls.module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "SCHEMA_VERSION" \
+                        and isinstance(stmt.value, ast.Constant) \
+                        and isinstance(stmt.value.value, int):
+                    return stmt.value.value
+    return None
+
+
+def extract_payload_classes(project: Project) -> list[PayloadClass]:
+    result = []
+    for cls in project.classes.values():
+        if cls is None or "to_payload" not in cls.methods \
+                or "from_payload" not in cls.methods:
+            continue
+        to_node = cls.methods["to_payload"].node
+        emitted = _emitted_keys(to_node)
+        consumed, reads_schema = _consumed_keys(
+            cls.methods["from_payload"].node)
+        versioned = emitted is not None and "schema" in emitted
+        result.append(PayloadClass(
+            cls=cls, emitted=emitted, consumed=consumed,
+            versioned=versioned, reads_schema=reads_schema,
+            schema_version=_module_schema_version(cls),
+            line=to_node.lineno))
+    return sorted(result, key=lambda pc: (pc.cls.module.rel, pc.line))
+
+
+def build_manifest(project: Project) -> dict:
+    """The manifest payload pinning every versioned class's fields."""
+    classes = {}
+    version = None
+    for pc in extract_payload_classes(project):
+        if not pc.versioned or pc.emitted is None:
+            continue
+        classes[pc.name] = sorted(pc.emitted - {"schema"})
+        if pc.schema_version is not None:
+            version = pc.schema_version
+    return {
+        "comment": "Pinned wire-payload fields per versioned class at "
+                   "the recorded SCHEMA_VERSION. Changing fields "
+                   "requires bumping SCHEMA_VERSION and regenerating "
+                   "this file: repro lint --update-schema-manifest.",
+        "schema_version": version,
+        "classes": classes,
+    }
+
+
+def run_schema_drift(project: Project,
+                     manifest_path: Path | None = None
+                     ) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    payload_classes = extract_payload_classes(project)
+    for pc in payload_classes:
+        if pc.emitted is None or pc.consumed is None:
+            continue  # extraction defeated; covered by round-trip tests
+        consumed = set(pc.consumed)
+        if _ALL_FIELDS in consumed:
+            consumed.discard(_ALL_FIELDS)
+            consumed.update(pc.cls.fields)
+        dropped = pc.emitted - consumed - {"schema"}
+        phantom = consumed - pc.emitted - {"schema"}
+        where = f"{pc.name}.to_payload/from_payload"
+        if dropped:
+            findings.append(LintFinding(
+                path=pc.cls.module.rel, line=pc.line,
+                rule=RULE_SCHEMA_PARITY,
+                message=f"{where}: emitted but never parsed: "
+                        f"{', '.join(sorted(dropped))} — the field "
+                        f"silently drops on a wire round trip"))
+        if phantom:
+            findings.append(LintFinding(
+                path=pc.cls.module.rel, line=pc.line,
+                rule=RULE_SCHEMA_PARITY,
+                message=f"{where}: parsed but never emitted: "
+                        f"{', '.join(sorted(phantom))} — from_payload "
+                        f"depends on data to_payload never writes"))
+        if pc.versioned and not pc.reads_schema:
+            findings.append(LintFinding(
+                path=pc.cls.module.rel, line=pc.line,
+                rule=RULE_SCHEMA_VERSION,
+                message=f"{pc.name}.from_payload ignores the 'schema' "
+                        f"key its writer emits; a version mismatch "
+                        f"must raise, not mis-parse"))
+    manifest_file = Path(manifest_path or DEFAULT_MANIFEST)
+    if not manifest_file.exists():
+        return sorted(set(findings))
+    manifest = json.loads(manifest_file.read_text())
+    pinned_version = manifest.get("schema_version")
+    pinned_classes: dict[str, list[str]] = manifest.get("classes", {})
+    regen_hint = ("bump SCHEMA_VERSION and regenerate the manifest "
+                  "(repro lint --update-schema-manifest)")
+    for pc in payload_classes:
+        if not pc.versioned or pc.emitted is None:
+            continue
+        current = sorted(pc.emitted - {"schema"})
+        pinned = pinned_classes.get(pc.name)
+        if pinned is None:
+            findings.append(LintFinding(
+                path=pc.cls.module.rel, line=pc.line,
+                rule=RULE_SCHEMA_VERSION,
+                message=f"versioned payload class {pc.name} is not "
+                        f"pinned in the schema manifest; {regen_hint}"))
+            continue
+        if current != pinned:
+            changed = sorted(set(current).symmetric_difference(pinned))
+            if pc.schema_version == pinned_version:
+                findings.append(LintFinding(
+                    path=pc.cls.module.rel, line=pc.line,
+                    rule=RULE_SCHEMA_VERSION,
+                    message=f"{pc.name} payload fields changed "
+                            f"({', '.join(changed)}) without a schema "
+                            f"version bump (still {pinned_version}); "
+                            f"old peers would mis-parse — {regen_hint}"))
+            else:
+                findings.append(LintFinding(
+                    path=pc.cls.module.rel, line=pc.line,
+                    rule=RULE_SCHEMA_VERSION,
+                    message=f"{pc.name} schema manifest is stale "
+                            f"(fields changed alongside a version "
+                            f"bump to {pc.schema_version}); regenerate "
+                            f"it: repro lint --update-schema-manifest"))
+    return sorted(set(findings))

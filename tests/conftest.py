@@ -27,6 +27,28 @@ from repro.models import build_model
 from repro.train import TrainConfig, Trainer, evaluate_accuracy
 
 
+@pytest.fixture(scope="session", autouse=True)
+def lock_witness_session():
+    """Opt-in whole-run lock witness (``REPRO_LOCK_WITNESS=1``).
+
+    Instruments every lock repro code creates during the session and
+    fails teardown if the *observed* acquisition-order graph picked up
+    a cycle — coverage for orderings the static ``repro lint`` pass
+    cannot see (see docs/devtools.md).
+    """
+    from repro.devtools.witness import LockWitness, witness_enabled
+    if not witness_enabled():
+        yield None
+        return
+    witness = LockWitness().install()
+    try:
+        yield witness
+    finally:
+        witness.uninstall()
+    findings = witness.check()
+    assert not findings, "\n".join(f.format_text() for f in findings)
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(42)

@@ -1,0 +1,507 @@
+"""The invariant lint suite's own armor (ISSUE 8).
+
+Fixture mini-modules seeded with exactly one violation class each,
+asserted to produce exactly the expected :class:`LintFinding`s — and
+clean twins asserted to produce none.  Four analyzer families:
+
+* lock-order (static nested-acquisition graph, incl. one-call-deep
+  interprocedural edges and cross-class resolution),
+* determinism (unseeded RNG / wall clock / set iteration, numerics-tier
+  scope + fingerprint-closure reachability, allow-escapes),
+* wire-schema drift (payload parity, version discipline, manifest pin),
+* the runtime lock witness (observed acquisition edges).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import threading
+
+import pytest
+
+from repro.devtools import (Baseline, LintFinding, LockWitness,
+                            RULE_LOCK_CYCLE, RULE_LOCK_SELF,
+                            RULE_SCHEMA_PARITY, RULE_SCHEMA_VERSION,
+                            RULE_SET_ITER, RULE_UNSEEDED_RNG,
+                            RULE_WALL_CLOCK, RULE_WITNESS_CYCLE,
+                            load_project, run_determinism, run_lockorder,
+                            run_schema_drift, run_static)
+from repro.devtools.findings import RULE_ALLOW_REASON, apply_allows
+
+
+def write_tree(root, files: dict[str, str]):
+    """Write ``{relpath: source}`` fixture modules under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def line_of(root, rel: str, marker: str) -> int:
+    """1-based line number of the first line containing ``marker``."""
+    for number, line in enumerate(
+            (root / rel).read_text().splitlines(), start=1):
+        if marker in line:
+            return number
+    raise AssertionError(f"marker {marker!r} not in {rel}")
+
+
+# --------------------------------------------------------------- lock order
+class TestLockOrderAnalyzer:
+    DEADLOCK = """\
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:  # edge a->b
+                    pass
+
+        def backward(self):
+            with self._b:
+                self.takes_a()  # edge b->a, one call deep
+
+        def takes_a(self):
+            with self._a:
+                pass
+    """
+
+    def test_seeded_cycle_detected_with_site(self, tmp_path):
+        root = write_tree(tmp_path, {"pool.py": self.DEADLOCK})
+        findings = run_lockorder(load_project([root]))
+        assert [f.rule for f in findings] == [RULE_LOCK_CYCLE]
+        finding = findings[0]
+        assert finding.path == "pool.py"
+        assert finding.line == line_of(root, "pool.py", "# edge a->b")
+        assert "Pool._a" in finding.message
+        assert "Pool._b" in finding.message
+        assert "pool.py:" in finding.message  # every arc carries its site
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        root = write_tree(tmp_path, {"pool.py": """\
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._a:
+                    self.takes_b()  # same order: a before b
+
+            def takes_b(self):
+                with self._b:
+                    pass
+        """})
+        assert run_lockorder(load_project([root])) == []
+
+    def test_self_deadlock_on_plain_lock(self, tmp_path):
+        root = write_tree(tmp_path, {"selfd.py": """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()  # re-acquires _lock: self-deadlock
+
+            def inner(self):
+                with self._lock:
+                    pass
+        """})
+        findings = run_lockorder(load_project([root]))
+        assert [f.rule for f in findings] == [RULE_LOCK_SELF]
+        assert findings[0].line == line_of(root, "selfd.py",
+                                           "self.inner()")
+
+    def test_rlock_reentry_is_clean(self, tmp_path):
+        root = write_tree(tmp_path, {"reent.py": """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+        """})
+        assert run_lockorder(load_project([root])) == []
+
+    def test_cross_class_cycle_via_annotated_attr(self, tmp_path):
+        root = write_tree(tmp_path, {"svc.py": """\
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def push(self, svc: "Service"):
+                with self._lock:
+                    svc.tick()
+
+        class Service:
+            def __init__(self, queue: "Queue"):
+                self._state = threading.Lock()
+                self._queue = queue
+
+            def submit(self):
+                with self._state:
+                    self._queue.push(self)
+
+            def tick(self):
+                with self._state:
+                    pass
+        """})
+        findings = run_lockorder(load_project([root]))
+        assert [f.rule for f in findings] == [RULE_LOCK_CYCLE]
+        assert "Queue._lock" in findings[0].message
+        assert "Service._state" in findings[0].message
+
+    def test_explicit_acquire_release_pairs(self, tmp_path):
+        root = write_tree(tmp_path, {"acq.py": """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def ab(self):
+                self._a.acquire()
+                with self._b:  # a held: edge a->b
+                    pass
+                self._a.release()
+
+            def ba_released(self):
+                self._b.acquire()
+                self._b.release()
+                with self._a:  # b already released: no edge
+                    pass
+        """})
+        assert run_lockorder(load_project([root])) == []
+        flipped = (root / "acq.py").read_text().replace(
+            "self._b.release()\n        with self._a:",
+            "with self._a:")
+        (root / "acq.py").write_text(flipped)
+        findings = run_lockorder(load_project([root]))
+        assert [f.rule for f in findings] == [RULE_LOCK_CYCLE]
+
+
+# -------------------------------------------------------------- determinism
+class TestDeterminismLint:
+    def test_unseeded_numerics_function_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {"core/noise.py": """\
+        import numpy as np
+
+        def draw(n):
+            return np.random.normal(size=n)  # unseeded
+
+        def draw_seeded(n, seed):
+            return np.random.default_rng(seed).normal(size=n)
+
+        def draw_bare():
+            return np.random.default_rng()  # bare
+        """})
+        findings = run_determinism(load_project([root]))
+        expected = {
+            (RULE_UNSEEDED_RNG, line_of(root, "core/noise.py",
+                                        "# unseeded")),
+            (RULE_UNSEEDED_RNG, line_of(root, "core/noise.py", "# bare")),
+        }
+        assert {(f.rule, f.line) for f in findings} == expected
+
+    def test_wall_clock_and_set_iteration(self, tmp_path):
+        root = write_tree(tmp_path, {"tensor/ops.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # wall
+
+        def timing():
+            return time.perf_counter()
+
+        def names(groups):
+            seen = {g.name for g in groups}
+            ordered = sorted(seen)
+            raw = [n for n in seen]  # unordered
+            return ordered, raw
+        """})
+        findings = run_determinism(load_project([root]))
+        expected = {
+            (RULE_WALL_CLOCK, line_of(root, "tensor/ops.py", "# wall")),
+            (RULE_SET_ITER, line_of(root, "tensor/ops.py", "# unordered")),
+        }
+        assert {(f.rule, f.line) for f in findings} == expected
+
+    def test_fingerprint_closure_reaches_outside_numerics(self, tmp_path):
+        root = write_tree(tmp_path, {"api/keys.py": """\
+        import time
+
+        def cache_key(options):
+            return _canonical(options)
+
+        def _canonical(options):
+            return {"t": time.time(), "o": options}  # reached
+
+        def unrelated():
+            return time.time()
+        """})
+        findings = run_determinism(load_project([root]))
+        assert [(f.rule, f.line) for f in findings] == [
+            (RULE_WALL_CLOCK, line_of(root, "api/keys.py", "# reached"))]
+
+    def test_allow_escape_needs_reason(self, tmp_path):
+        root = write_tree(tmp_path, {"core/ok.py": """\
+        import time
+
+        def good():
+            return time.time()  # lint: allow(det-wall-clock): bench label only
+
+        def bad():
+            return time.time()  # lint: allow(det-wall-clock)
+        """})
+        project = load_project([root])
+        findings = run_static(project)
+        rules = sorted(f.rule for f in findings)
+        assert rules == [RULE_WALL_CLOCK, RULE_ALLOW_REASON]
+        assert all(f.line == line_of(root, "core/ok.py",
+                                     "def bad") + 1 for f in findings)
+
+    def test_clean_numerics_module_produces_nothing(self, tmp_path):
+        root = write_tree(tmp_path, {"nn/layers.py": """\
+        import numpy as np
+
+        def init(shape, seed=0):
+            rng = np.random.default_rng(seed)
+            return rng.standard_normal(shape)
+
+        def ordered(groups):
+            return sorted({g.name for g in groups})
+        """})
+        assert run_determinism(load_project([root])) == []
+
+
+# ------------------------------------------------------------- schema drift
+class TestSchemaDrift:
+    DRIFT = """\
+    SCHEMA_VERSION = 1
+
+    class Ticket:
+        def to_payload(self):
+            return {
+                "schema": SCHEMA_VERSION,
+                "name": self.name,
+                "extra": self.extra,
+            }
+
+        @classmethod
+        def from_payload(cls, payload):
+            if payload.get("schema") != SCHEMA_VERSION:
+                raise ValueError("bad schema")
+            return cls(name=payload["name"])
+    """
+
+    def test_payload_drift_dataclass_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {"wire.py": self.DRIFT})
+        findings = run_schema_drift(load_project([root]),
+                                    manifest_path=tmp_path / "absent.json")
+        assert [f.rule for f in findings] == [RULE_SCHEMA_PARITY]
+        finding = findings[0]
+        assert finding.line == line_of(root, "wire.py", "def to_payload")
+        assert "extra" in finding.message
+
+    def test_parity_both_directions_and_clean_pair(self, tmp_path):
+        root = write_tree(tmp_path, {"wire.py": """\
+        class Clean:
+            def to_payload(self):
+                return {"a": self.a, "b": self.b}
+
+            @classmethod
+            def from_payload(cls, payload):
+                return cls(a=payload["a"], b=payload.get("b"))
+
+        class Phantom:
+            def to_payload(self):
+                return {"x": self.x}
+
+            @classmethod
+            def from_payload(cls, payload):
+                return cls(x=payload["x"], y=payload.get("ghost"))
+        """})
+        findings = run_schema_drift(load_project([root]),
+                                    manifest_path=tmp_path / "absent.json")
+        assert [f.rule for f in findings] == [RULE_SCHEMA_PARITY]
+        assert "Phantom" in findings[0].message
+        assert "ghost" in findings[0].message
+
+    def test_field_change_without_version_bump(self, tmp_path):
+        root = write_tree(tmp_path, {"wire.py": self.DRIFT.replace(
+            '"extra": self.extra,\n', '')})
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "schema_version": 1,
+            "classes": {"Ticket": ["name", "renamed_away"]}}))
+        findings = run_schema_drift(load_project([root]),
+                                    manifest_path=manifest)
+        assert [f.rule for f in findings] == [RULE_SCHEMA_VERSION]
+        assert "without a schema version bump" in findings[0].message
+
+    def test_version_bump_with_manifest_update_is_clean(self, tmp_path):
+        root = write_tree(tmp_path, {"wire.py": self.DRIFT})
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "schema_version": 1,
+            "classes": {"Ticket": ["extra", "name"]}}))
+        findings = run_schema_drift(load_project([root]),
+                                    manifest_path=manifest)
+        assert [f.rule for f in findings] == [RULE_SCHEMA_PARITY]  # drift
+        # only the (independent) parity finding remains; no version drift
+
+    def test_versioned_class_must_check_schema(self, tmp_path):
+        root = write_tree(tmp_path, {"wire.py": """\
+        SCHEMA_VERSION = 1
+
+        class Sloppy:
+            def to_payload(self):
+                return {"schema": SCHEMA_VERSION, "v": self.v}
+
+            @classmethod
+            def from_payload(cls, payload):
+                return cls(v=payload["v"])
+        """})
+        findings = run_schema_drift(load_project([root]),
+                                    manifest_path=tmp_path / "absent.json")
+        assert [f.rule for f in findings] == [RULE_SCHEMA_VERSION]
+        assert "ignores the 'schema' key" in findings[0].message
+
+
+# ----------------------------------------------------------- runtime witness
+class TestLockWitness:
+    def test_opposite_orders_form_observed_cycle(self):
+        witness = LockWitness(scope=lambda filename: True)
+        with witness:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with lock_a:
+                    pass
+        findings = witness.check()
+        assert [f.rule for f in findings] == [RULE_WITNESS_CYCLE]
+        assert "test_devtools_lint.py" in findings[0].message
+
+    def test_consistent_order_across_threads_is_clean(self):
+        witness = LockWitness(scope=lambda filename: True)
+        with witness:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def nest():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            threads = [threading.Thread(target=nest) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert witness.check() == []
+        assert witness.acquisitions >= 8
+
+    def test_condition_wait_keeps_held_set_truthful(self):
+        witness = LockWitness(scope=lambda filename: True)
+        with witness:
+            ready = []
+            condition = threading.Condition()
+
+            def consumer():
+                with condition:
+                    while not ready:
+                        condition.wait(timeout=2.0)
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            with condition:
+                ready.append(1)
+                condition.notify_all()
+            thread.join()
+        assert witness.check() == []
+
+    def test_rlock_reentry_records_no_edge(self):
+        witness = LockWitness(scope=lambda filename: True)
+        with witness:
+            rlock = threading.RLock()
+            with rlock:
+                with rlock:
+                    pass
+        assert witness.check() == []
+        assert witness.edges == {}
+
+    def test_scope_predicate_limits_instrumentation(self):
+        witness = LockWitness(scope=lambda filename: False)
+        with witness:
+            lock = threading.Lock()
+            assert type(lock).__name__ != "_WitnessedLock"
+            with lock:
+                pass
+        assert witness.acquisitions == 0
+
+    def test_factories_restored_after_uninstall(self):
+        originals = (threading.Lock, threading.RLock, threading.Condition)
+        witness = LockWitness(scope=lambda filename: True)
+        with witness:
+            assert threading.Lock is not originals[0]
+        assert (threading.Lock, threading.RLock,
+                threading.Condition) == originals
+
+
+# ------------------------------------------------------- findings machinery
+class TestFindingsAndBaseline:
+    def test_finding_payload_round_trip(self):
+        finding = LintFinding(path="a/b.py", line=7, rule="det-wall-clock",
+                              message="nope")
+        assert LintFinding.from_payload(finding.to_payload()) == finding
+        assert finding.format_text() == "a/b.py:7: det-wall-clock: nope"
+
+    def test_baseline_filters_and_reports_stale(self, tmp_path):
+        live = LintFinding(path="m.py", line=3, rule="det-set-iter",
+                           message="msg")
+        moved = LintFinding(path="m.py", line=99, rule="det-set-iter",
+                            message="msg")
+        gone = LintFinding(path="m.py", line=5, rule="det-wall-clock",
+                           message="old")
+        path = tmp_path / "lint_baseline.json"
+        Baseline([live, gone]).write(path)
+        loaded = Baseline.load(path)
+        new, stale = loaded.split([moved])  # same finding, moved line
+        assert new == []  # baseline keys ignore line numbers
+        assert [s.rule for s in stale] == ["det-wall-clock"]
+
+    def test_allow_escape_on_preceding_line(self, tmp_path):
+        finding = LintFinding(path="m.py", line=2, rule="det-wall-clock",
+                              message="msg")
+        sources = {"m.py": ["# lint: allow(det-wall-clock): banner only",
+                            "x = time.time()"]}
+        assert apply_allows([finding], sources) == []

@@ -1,0 +1,167 @@
+"""Tier-1 invariant gate: ``repro lint`` run against the repo itself.
+
+This is the enforcement end of :mod:`repro.devtools` (ISSUE 8): the
+shipped tree must pass its own lock-order, determinism, and wire-schema
+analyzers (modulo the checked-in ``lint_baseline.json``), the gate must
+not be vacuous (an injected violation turns it red), and a real threaded
+sweep must run clean under the runtime lock witness.
+
+All tests carry the ``lint`` marker: they run in tier-1 and can be
+selected standalone with ``-m lint``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (Baseline, LockWitness, lint_tree, load_project,
+                            run_static)
+from repro.devtools.determinism import RULE_UNSEEDED_RNG
+from repro.devtools.runner import find_baseline
+from repro.devtools.schema_drift import DEFAULT_MANIFEST, build_manifest
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "lint_baseline.json"
+
+
+def _repo_baseline() -> Baseline:
+    return Baseline.load(BASELINE_PATH) if BASELINE_PATH.exists() \
+        else Baseline.empty()
+
+
+class TestRepoIsLintClean:
+    def test_static_suite_clean_under_baseline(self):
+        """The gate: new findings in src/repro fail tier-1."""
+        report = lint_tree([SRC], baseline=_repo_baseline())
+        assert report.clean, "new lint findings:\n" + "\n".join(
+            finding.format_text() for finding in report.findings)
+
+    def test_baseline_has_no_stale_entries(self):
+        """Grandfathered entries that stopped firing must be removed,
+        so the baseline shrinks instead of fossilising."""
+        report = lint_tree([SRC], baseline=_repo_baseline())
+        assert not report.stale, "stale baseline entries:\n" + "\n".join(
+            finding.format_text() for finding in report.stale)
+
+    def test_schema_manifest_matches_tree(self):
+        """The checked-in manifest pins exactly the versioned payload
+        classes the tree currently ships (regenerate via
+        ``repro lint --update-schema-manifest``)."""
+        current = build_manifest(load_project([SRC]))
+        pinned = json.loads(DEFAULT_MANIFEST.read_text())
+        assert current["classes"] == pinned["classes"]
+        assert current["schema_version"] == pinned["schema_version"]
+
+    def test_baseline_discovery_from_scan_root(self):
+        found = find_baseline(SRC)
+        if BASELINE_PATH.exists():
+            assert found == BASELINE_PATH
+        else:  # pragma: no cover - baseline is checked in
+            assert found is None
+
+
+class TestGateIsNotVacuous:
+    def test_injected_violation_turns_the_report_red(self, tmp_path):
+        """Same analyzers, same baseline, one seeded bug alongside the
+        real tree: the gate must fail — proof the clean run above is a
+        real check, not a no-op."""
+        injected = tmp_path / "core" / "injected_bad.py"
+        injected.parent.mkdir(parents=True)
+        injected.write_text(textwrap.dedent("""\
+            import numpy as np
+
+            def draw(n):
+                return np.random.normal(size=n)
+            """))
+        report = lint_tree([SRC, tmp_path], baseline=_repo_baseline())
+        assert not report.clean
+        assert any(finding.rule == RULE_UNSEEDED_RNG
+                   and finding.path == "core/injected_bad.py"
+                   for finding in report.findings)
+
+    def test_analyzers_inventory_the_real_tree(self):
+        """The lock analyzer actually sees the service stack's locks
+        (an empty inventory would make the clean run meaningless)."""
+        from repro.devtools.lockorder import LockOrderAnalyzer
+        analyzer = LockOrderAnalyzer(load_project([SRC]))
+        owners = {owner for owner, _ in analyzer.locks}
+        assert any("scheduler" in owner for owner in owners)
+        assert any("backends" in owner for owner in owners)
+        assert len(analyzer.locks) >= 10
+
+    def test_run_static_without_baseline_is_also_clean(self):
+        """With the (currently empty) baseline out of the picture the
+        tree still lints clean — keeps the baseline honest."""
+        findings = run_static(load_project([SRC]))
+        baseline_keys = {entry.baseline_key
+                         for entry in _repo_baseline().entries}
+        unexplained = [f for f in findings
+                       if f.baseline_key not in baseline_keys]
+        assert not unexplained, "\n".join(
+            finding.format_text() for finding in unexplained)
+
+
+class TestCliGate:
+    def test_repro_lint_cli_exits_zero_on_clean_tree(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC)],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.strip().endswith("OK: 0 findings")
+
+    def test_repro_lint_json_format(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC),
+             "--format", "json"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        assert payload["stale_baseline"] == []
+
+
+class TestRuntimeWitnessOverSweep:
+    def test_threaded_sweep_runs_clean_under_witness(
+            self, trained_capsnet, mnist_splits):
+        """Drive a real sharded sweep on the threads backend with every
+        repro-created lock instrumented: the *observed* acquisition
+        graph must be acyclic, and the witness must actually have seen
+        acquisitions (else the check is vacuous)."""
+        from repro.api import (AnalysisRequest, ExecutionOptions,
+                               ResilienceService)
+        witness = LockWitness().install()
+        try:
+            svc = ResilienceService(cache_dir=None, use_store=False,
+                                    backend="threads", max_parallel=2)
+            try:
+                ref = svc.register("lint-witness", trained_capsnet,
+                                   mnist_splits[1])
+                request = AnalysisRequest(
+                    model=ref,
+                    targets=(("mac_outputs", None), ("softmax", None)),
+                    nm_values=(0.5, 0.05, 0.0), seed=3, eval_samples=48,
+                    options=ExecutionOptions(batch_size=48))
+                result = svc.run(request)
+            finally:
+                svc.close()
+        finally:
+            witness.uninstall()
+        assert result.curves  # the sweep actually ran
+        assert witness.acquisitions > 0  # ...through witnessed locks
+        findings = witness.check()
+        assert not findings, "\n".join(
+            finding.format_text() for finding in findings)
