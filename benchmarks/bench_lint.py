@@ -1,0 +1,50 @@
+"""Wall-clock of the full-tree ``repro lint`` static suite (ISSUE 9).
+
+The invariant lint gate runs inside tier-1 on every test session and
+``--changed`` is pitched as a pre-commit loop, so analysis latency is a
+cost paid constantly — and the suite keeps growing families (lock
+order, blocking-under-lock, determinism, schema, exception contract,
+resource lifecycle, event protocol).  This bench times one cold
+full-tree run over ``src/repro`` and pins it into ``BENCH_sweep.json``
+-> ``custom_metrics.lint_full_tree_seconds`` so the trajectory across
+PRs shows when an analyzer change makes the gate noticeably slower.
+
+The regression bound is deliberately *soft* (interactive-latency scale,
+an order of magnitude above today's cost): it exists to catch
+accidentally-quadratic analyzer rewrites, not to flake on a loaded CI
+runner.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.devtools import lint_tree
+
+from conftest import record_metric, run_once
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Soft bound: the full static suite must stay interactive.
+SOFT_BOUND_SECONDS = 30.0
+
+
+def test_lint_full_tree(benchmark):
+    """Time load-project + every static analyzer over the real tree."""
+    timings: dict[str, object] = {}
+
+    def lint_run():
+        start = time.perf_counter()
+        report = lint_tree([SRC])
+        timings["seconds"] = time.perf_counter() - start
+        timings["report"] = report
+
+    run_once(benchmark, lint_run)
+    seconds = timings["seconds"]
+    report = timings["report"]
+    record_metric("lint_full_tree_seconds", seconds)
+    print(f"\nfull-tree lint: {seconds:.2f}s "
+          f"({len(report.findings)} findings)")
+    assert report.findings == []     # the bench doubles as a gate echo
+    assert seconds < SOFT_BOUND_SECONDS

@@ -643,7 +643,9 @@ def _pool_worker_main() -> int:
         text = (document if isinstance(document, str)
                 else json.dumps(document, sort_keys=True))
         with write_lock:
+            # lint: allow(lock-blocking-call): serializing this write IS the lock's job — the heartbeat thread shares the channel
             channel.write(text + "\n")
+            # lint: allow(lock-blocking-call): the flush completes the frame the lock serializes
             channel.flush()
 
     for line in sys.stdin:

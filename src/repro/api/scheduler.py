@@ -567,6 +567,7 @@ class ShardQueue:
         while not self._stop.wait(interval):
             try:
                 self.preempt_starved()
+            # lint: allow(exc-swallowed): the monitor thread must outlive arbitrary callback failures; a real starvation recurs next tick
             except Exception:  # noqa: BLE001 — the monitor must survive
                 pass
 

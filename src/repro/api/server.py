@@ -333,6 +333,7 @@ def _make_handler(server: AnalysisServer):
                     handle.result(timeout=wait)
                 except TimeoutError:
                     pass  # report current status; the client re-polls
+                # lint: allow(exc-swallowed): the failure is already recorded on the handle and reported below as status=error
                 except Exception:  # noqa: BLE001 — surfaced as status=error
                     pass
             if not want_result or not handle.done():

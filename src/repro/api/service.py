@@ -94,8 +94,9 @@ from ..train import evaluate_accuracy
 from .backends import ExecutionBackend, make_backend
 from .events import AnalysisCancelled, CancelToken, EventLog, PreemptToken
 from .request import AnalysisRequest, AnalysisResult, ModelRef, PartialResult
-from .resilience import (FaultPlan, RetryPolicy, ServiceHealth, ShardPoisoned,
-                         WorkerPreempted, dispatch_with_retries, retry_call)
+from .resilience import (BackendError, FaultPlan, RetryPolicy, ServiceHealth,
+                         ShardPoisoned, WorkerPreempted,
+                         dispatch_with_retries, retry_call)
 from .scheduler import ShardQueue, merge_partial, merge_shards, plan_shards
 from .store import ResultStore, store_key
 
@@ -658,6 +659,7 @@ class ResilienceService:
             # isolated (the hook stack is thread-local), but the guard
             # holds for every backend so behaviour never depends on
             # where the measurement happens to run.
+            # lint: allow(exc-unclassified): boundary guard raised to the caller before any dispatch; it never reaches the retry loop's classification
             raise RuntimeError(
                 "ResilienceService cannot accept submissions inside an "
                 "active hook-registry scope: ambient transforms would "
@@ -1156,7 +1158,7 @@ class ResilienceService:
                 point = parked.get((target.key, float(nm)),
                                    measured.get(float(nm)))
                 if point is None:
-                    raise RuntimeError(
+                    raise BackendError(
                         f"preempted shard reassembly lost NM={nm} for "
                         f"target {target.key!r}: neither parked nor in "
                         f"the remainder result")
@@ -1243,14 +1245,14 @@ class ResilienceService:
         expected_model = f"{job.model_crc & 0xffffffff:08x}"
         expected_dataset = f"{job.dataset_crc & 0xffffffff:08x}"
         if result.model_fingerprint != expected_model:
-            raise RuntimeError(
+            raise BackendError(
                 f"backend measured model fingerprint "
                 f"{result.model_fingerprint}, but the request was keyed on "
                 f"{expected_model}: the in-process model differs from what "
                 f"the worker resolved (mutated after loading?); use the "
                 f"inline or threads backend for in-process model mutations")
         if result.dataset_fingerprint != expected_dataset:
-            raise RuntimeError(
+            raise BackendError(
                 f"backend measured dataset fingerprint "
                 f"{result.dataset_fingerprint}, expected {expected_dataset}: "
                 f"the worker resolved a different evaluation split")

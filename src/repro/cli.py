@@ -431,13 +431,22 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_store_flag(inspect)
     lint = sub.add_parser(
         "lint", help="run the invariant lint suite (lock order, "
-                     "determinism, wire schema; see docs/devtools.md)")
+                     "blocking-under-lock, determinism, wire schema, "
+                     "exception contract, resource lifecycle, event "
+                     "protocol; see docs/devtools.md)")
     lint.add_argument("paths", nargs="*", default=None,
                       help="files or directories to scan (default: the "
                            "installed repro package source)")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text",
-                      help="finding output format (default: text)")
+                      help="finding output format (default: text; "
+                           "sarif is SARIF 2.1.0 for CI annotation)")
+    lint.add_argument("--changed", nargs="?", const="", default=None,
+                      metavar="BASE",
+                      help="only report findings in files changed vs "
+                           "git (default base: the merge base with "
+                           "origin/main; analysis still covers the "
+                           "full tree)")
     lint.add_argument("--rules", default=None, metavar="PREFIXES",
                       help="comma-separated rule-id prefixes to run "
                            "(e.g. 'lock,schema'; default: all rules)")
@@ -457,6 +466,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--update-schema-manifest", action="store_true",
                       help="re-pin the versioned payload field sets "
                            "after an intentional SCHEMA_VERSION bump")
+    lint.add_argument("--update-event-manifest", action="store_true",
+                      help="re-pin the event-protocol vocabulary "
+                           "(EVENT_KINDS/TERMINAL_EVENTS) after an "
+                           "intentional lifecycle change")
     gc = sub.add_parser(
         "gc", help="reclaim result-store disk (stale/orphaned entries; "
                    "--older-than/--all widen the sweep)")

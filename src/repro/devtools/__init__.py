@@ -1,32 +1,55 @@
 """Invariant lint suite for the repro codebase (``repro lint``).
 
-Static analyzers plus a runtime witness that turn the repo's two
-load-bearing guarantees — bitwise determinism of the numerics tier and
-deadlock-freedom of the lock-dense service stack — into CI-time
-diagnostics instead of shipped flakes:
+Static analyzers plus runtime sanitizers that turn the repo's
+load-bearing guarantees — bitwise determinism of the numerics tier,
+deadlock-freedom of the lock-dense service stack, the resilience
+layer's exception contract, OS-resource hygiene, and the event-log
+lifecycle protocol — into CI-time diagnostics instead of shipped
+flakes:
 
 - :mod:`.lockorder` — static nested-lock-acquisition graph, fails on
   cycles (potential deadlocks);
+- :mod:`.effects` — blocking calls (I/O, subprocess, sleeps, joins,
+  ``Future.result()``) made while holding a lock;
 - :mod:`.determinism` — unseeded RNG, wall-clock reads, and unordered
   set iteration in the numerics tier and the store-keying closure;
 - :mod:`.schema_drift` — ``to_payload``/``from_payload`` field parity
   and schema-version discipline for the wire classes;
+- :mod:`.exc_contract` — raise sites in the worker dispatch closure
+  outside the retryable/fatal taxonomy, and broad swallowed-exception
+  handlers in service paths;
+- :mod:`.resources` — OS-resource acquisitions (subprocesses, sockets,
+  files, temp dirs, threads) with no reachable release;
+- :mod:`.event_protocol` — ``EventLog`` emission sites checked against
+  the pinned lifecycle state machine (``event_protocol.json``);
 - :mod:`.witness` — opt-in (``REPRO_LOCK_WITNESS=1``) instrumented
-  locks recording the *observed* acquisition order at test time.
+  locks recording the *observed* acquisition order at test time;
+- :mod:`.resource_tracker` — opt-in (``REPRO_RESOURCE_TRACK=1``)
+  factory shims recording every repro-created thread/process/socket/fd
+  and failing teardown on leaks.
 
 Findings are :class:`~repro.devtools.findings.LintFinding` records;
-``repro lint`` (see :mod:`.runner`) renders them as text or JSON,
-honours ``# lint: allow(<rule>): reason`` escapes and the checked-in
-``lint_baseline.json``, and gates tier-1 via
+``repro lint`` (see :mod:`.runner`) renders them as text, JSON, or
+SARIF 2.1.0, honours ``# lint: allow(<rule>): reason`` escapes and the
+checked-in ``lint_baseline.json``, and gates tier-1 via
 ``tests/test_lint_repo.py``.  Rules and workflow: ``docs/devtools.md``.
 """
 
 from .determinism import (RULE_SET_ITER, RULE_UNSEEDED_RNG, RULE_WALL_CLOCK,
                           run_determinism)
+from .effects import RULE_LOCK_BLOCKING, run_blocking
+from .event_protocol import (RULE_EVENT_PROTOCOL, build_event_manifest,
+                             run_event_protocol)
+from .exc_contract import (RULE_EXC_SWALLOWED, RULE_EXC_UNCLASSIFIED,
+                           run_exc_contract)
 from .findings import Baseline, LintFinding, apply_allows
 from .lockorder import RULE_LOCK_CYCLE, RULE_LOCK_SELF, run_lockorder
 from .project import Project, load_project
-from .runner import LintReport, lint_tree, run_static
+from .resource_tracker import (RULE_RESOURCE_LEAK_RUNTIME, ResourceTracker,
+                               tracking_enabled)
+from .resources import RULE_RESOURCE_LEAK, run_resources
+from .runner import LintReport, changed_files, lint_tree, run_static
+from .sarif import render_sarif
 from .schema_drift import (RULE_SCHEMA_PARITY, RULE_SCHEMA_VERSION,
                            build_manifest, run_schema_drift)
 from .witness import RULE_WITNESS_CYCLE, LockWitness, witness_enabled
@@ -34,9 +57,16 @@ from .witness import RULE_WITNESS_CYCLE, LockWitness, witness_enabled
 __all__ = [
     "LintFinding", "Baseline", "apply_allows", "LintReport",
     "Project", "load_project", "lint_tree", "run_static",
-    "run_lockorder", "run_determinism", "run_schema_drift",
-    "build_manifest", "LockWitness", "witness_enabled",
-    "RULE_LOCK_CYCLE", "RULE_LOCK_SELF", "RULE_UNSEEDED_RNG",
-    "RULE_WALL_CLOCK", "RULE_SET_ITER", "RULE_SCHEMA_PARITY",
-    "RULE_SCHEMA_VERSION", "RULE_WITNESS_CYCLE",
+    "changed_files", "render_sarif",
+    "run_lockorder", "run_blocking", "run_determinism",
+    "run_schema_drift", "run_exc_contract", "run_resources",
+    "run_event_protocol", "build_manifest", "build_event_manifest",
+    "LockWitness", "witness_enabled",
+    "ResourceTracker", "tracking_enabled",
+    "RULE_LOCK_CYCLE", "RULE_LOCK_SELF", "RULE_LOCK_BLOCKING",
+    "RULE_UNSEEDED_RNG", "RULE_WALL_CLOCK", "RULE_SET_ITER",
+    "RULE_SCHEMA_PARITY", "RULE_SCHEMA_VERSION",
+    "RULE_EXC_UNCLASSIFIED", "RULE_EXC_SWALLOWED",
+    "RULE_RESOURCE_LEAK", "RULE_RESOURCE_LEAK_RUNTIME",
+    "RULE_EVENT_PROTOCOL", "RULE_WITNESS_CYCLE",
 ]

@@ -1,0 +1,282 @@
+"""Event-protocol analyzer (:data:`RULE_EVENT_PROTOCOL`).
+
+``repro.api.events`` defines the job-lifecycle state machine every
+consumer of an :class:`EventLog` stream relies on: a fixed event
+vocabulary (``EVENT_KINDS``), three terminal kinds
+(``TERMINAL_EVENTS`` — ``done``/``error``/``cancelled``), and a stage
+order *queued -> started -> progress-class events -> terminal*.  The
+runtime log enforces part of this (``emit`` after a terminal is a
+silent no-op), which is exactly why source-level violations hide: the
+misbehaving emit simply disappears.
+
+This pass checks every **statically resolvable** emission site —
+``<receiver>.emit("<constant kind>", ...)``, including the
+``"a" if cond else "b"`` two-constant conditional — against a small
+checked-in protocol manifest (``event_protocol.json``, next to
+``schema_manifest.json``):
+
+- unknown event kinds (typo'd or never registered in ``EVENT_KINDS``);
+- any emit after a terminal emit **on the same receiver along the same
+  linear path** — covers double-terminals and the
+  ``shard_done``-after-``done`` class.  Path tracking is linear and
+  honest: state flows forward through a block and into nested
+  bodies/branches, but never back out of a branch, a loop body, or an
+  exception handler (each may not execute, or execute against a
+  different receiver binding);
+- stage-order regressions on the same linear path (``queued`` emitted
+  after ``started``, ``started`` after a progress-class event);
+- manifest drift: ``EVENT_KINDS``/``TERMINAL_EVENTS`` in the source
+  no longer match the pin — regenerate with
+  ``repro lint --update-event-manifest`` so vocabulary changes are an
+  explicit, reviewable commit (the same discipline as the wire-schema
+  manifest).
+
+Dynamic kinds (``emit(kind, ...)``) and unresolvable receivers produce
+no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from .findings import LintFinding
+from .project import Project, SourceModule, iter_nodes_excluding_nested
+
+__all__ = ["RULE_EVENT_PROTOCOL", "DEFAULT_EVENT_MANIFEST",
+           "build_event_manifest", "run_event_protocol"]
+
+RULE_EVENT_PROTOCOL = "event-protocol"
+
+DEFAULT_EVENT_MANIFEST = Path(__file__).with_name("event_protocol.json")
+
+#: Lifecycle stages: admission, start, progress-class, terminal.
+_STAGE_QUEUED, _STAGE_STARTED, _STAGE_PROGRESS, _STAGE_TERMINAL = range(4)
+
+
+def _extract_kinds(module: SourceModule) \
+        -> tuple[list[str], list[str]] | None:
+    """``(EVENT_KINDS, TERMINAL_EVENTS)`` from a module's globals."""
+    kinds: list[str] | None = None
+    terminal: list[str] | None = None
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        # Unwrap frozenset({...}) / tuple((...)) constructor idioms.
+        if isinstance(value, ast.Call) and isinstance(value.func,
+                                                      ast.Name) \
+                and value.func.id in ("frozenset", "set", "tuple") \
+                and len(value.args) == 1:
+            value = value.args[0]
+        if not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name) \
+                    or target.id not in ("EVENT_KINDS",
+                                         "TERMINAL_EVENTS"):
+                continue
+            values = [elt.value for elt in value.elts
+                      if isinstance(elt, ast.Constant)
+                      and isinstance(elt.value, str)]
+            if target.id == "EVENT_KINDS":
+                kinds = values
+            else:
+                terminal = sorted(values)
+    if kinds is None or terminal is None:
+        return None
+    return kinds, terminal
+
+
+def build_event_manifest(project: Project) -> dict:
+    """The protocol pin for the tree's event vocabulary."""
+    for module in project.modules:
+        extracted = _extract_kinds(module)
+        if extracted is not None:
+            kinds, terminal = extracted
+            return {"kinds": kinds, "terminal": terminal}
+    return {"kinds": [], "terminal": []}
+
+
+def _stage(kind: str, terminal: set[str]) -> int:
+    if kind in terminal:
+        return _STAGE_TERMINAL
+    if kind == "queued":
+        return _STAGE_QUEUED
+    if kind == "started":
+        return _STAGE_STARTED
+    return _STAGE_PROGRESS
+
+
+def _emit_kinds(call: ast.Call) -> list[str] | None:
+    """Constant kind(s) an ``emit`` call can send, or ``None``."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return [arg.value]
+    if isinstance(arg, ast.IfExp) \
+            and isinstance(arg.body, ast.Constant) \
+            and isinstance(arg.body.value, str) \
+            and isinstance(arg.orelse, ast.Constant) \
+            and isinstance(arg.orelse.value, str):
+        return [arg.body.value, arg.orelse.value]
+    return None
+
+
+def _receiver_key(expr: ast.AST) -> str | None:
+    """Stable textual key for an emit receiver (``job.events``,
+    ``self._log``); ``None`` for computed receivers."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _ProtocolWalker:
+    """Linear per-receiver stage tracking through one function."""
+
+    def __init__(self, module: SourceModule, kinds: set[str],
+                 terminal: set[str]):
+        self.module = module
+        self.kinds = kinds
+        self.terminal = terminal
+        self.findings: list[LintFinding] = []
+
+    def walk(self, stmts: list[ast.stmt],
+             state: dict[str, tuple[int, str, int]]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # separate scope; walked via its own FunctionInfo
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, state)
+                self.walk(stmt.body, state)  # body always runs; flows on
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                header = stmt.iter if hasattr(stmt, "iter") else stmt.test
+                self._scan_expr(header, state)
+                self.walk(stmt.body, dict(state))   # may run 0..n times
+                self.walk(stmt.orelse, dict(state))
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, state)
+                self.walk(stmt.body, dict(state))   # branch may not run
+                self.walk(stmt.orelse, dict(state))
+            elif isinstance(stmt, ast.Try):
+                body_state = dict(state)
+                self.walk(stmt.body, body_state)
+                for handler in stmt.handlers:   # body may have stopped
+                    self.walk(handler.body, dict(state))  # at any point
+                self.walk(stmt.orelse, body_state)  # runs after full body
+                self.walk(stmt.finalbody, dict(state))
+            else:
+                self._scan_expr(stmt, state)
+
+    def _scan_expr(self, node: ast.AST | None,
+                   state: dict[str, tuple[int, str, int]]) -> None:
+        if node is None:
+            return
+        emits = []
+        for sub in iter_nodes_excluding_nested(node):
+            if isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Attribute) \
+                    and sub.func.attr == "emit":
+                emits.append(sub)
+        for call in sorted(emits, key=lambda c: (c.lineno,
+                                                 c.col_offset)):
+            self._check_emit(call, state)
+
+    def _check_emit(self, call: ast.Call,
+                    state: dict[str, tuple[int, str, int]]) -> None:
+        kinds = _emit_kinds(call)
+        if kinds is None:
+            return  # dynamic kind: the runtime log guards it
+        for kind in kinds:
+            if kind not in self.kinds:
+                self.findings.append(LintFinding(
+                    path=self.module.rel, line=call.lineno,
+                    rule=RULE_EVENT_PROTOCOL,
+                    message=f"unknown event kind {kind!r}; the protocol "
+                            f"manifest knows "
+                            f"{', '.join(sorted(self.kinds))}"))
+        known = [kind for kind in kinds if kind in self.kinds]
+        if not known:
+            return
+        receiver = _receiver_key(call.func.value)
+        if receiver is None:
+            return
+        stage = max(_stage(kind, self.terminal) for kind in known)
+        previous = state.get(receiver)
+        if previous is not None:
+            prev_stage, prev_kind, prev_line = previous
+            if prev_stage == _STAGE_TERMINAL:
+                self.findings.append(LintFinding(
+                    path=self.module.rel, line=call.lineno,
+                    rule=RULE_EVENT_PROTOCOL,
+                    message=f"emit of {'/'.join(known)!r} after terminal "
+                            f"{prev_kind!r} (line {prev_line}) on the "
+                            f"same path: the event log is closed after "
+                            f"a terminal event, so this emission is "
+                            f"silently dropped"))
+            elif stage < prev_stage:
+                self.findings.append(LintFinding(
+                    path=self.module.rel, line=call.lineno,
+                    rule=RULE_EVENT_PROTOCOL,
+                    message=f"non-monotonic lifecycle: "
+                            f"{'/'.join(known)!r} emitted after "
+                            f"{prev_kind!r} (line {prev_line}) on the "
+                            f"same path; stage order is queued -> "
+                            f"started -> progress -> terminal"))
+        if previous is None or stage >= previous[0]:
+            state[receiver] = (stage, "/".join(known), call.lineno)
+
+
+def run_event_protocol(project: Project,
+                       manifest_path: Path | None = None) \
+        -> list[LintFinding]:
+    manifest_path = manifest_path or DEFAULT_EVENT_MANIFEST
+    current = build_event_manifest(project)
+    findings: list[LintFinding] = []
+    if current["kinds"]:
+        defining = next(module for module in project.modules
+                        if _extract_kinds(module) is not None)
+        if not manifest_path.exists():
+            findings.append(LintFinding(
+                path=defining.rel, line=1, rule=RULE_EVENT_PROTOCOL,
+                message=f"event protocol manifest {manifest_path.name} "
+                        f"is missing; pin it with "
+                        f"'repro lint --update-event-manifest'"))
+            pinned = current
+        else:
+            pinned = json.loads(manifest_path.read_text())
+            if pinned != current:
+                findings.append(LintFinding(
+                    path=defining.rel, line=1, rule=RULE_EVENT_PROTOCOL,
+                    message="EVENT_KINDS/TERMINAL_EVENTS no longer match "
+                            "the pinned protocol manifest; an intentional "
+                            "vocabulary change ships with 'repro lint "
+                            "--update-event-manifest'"))
+    else:
+        # Tree without an events module (fixtures): fall back to the
+        # checked-in pin so emission sites are still checked.
+        pinned = json.loads(manifest_path.read_text()) \
+            if manifest_path.exists() else {"kinds": [], "terminal": []}
+    kinds, terminal = set(pinned["kinds"]), set(pinned["terminal"])
+    if not kinds:
+        return sorted(set(findings))
+    for fn in project.functions:
+        walker = _ProtocolWalker(fn.module, kinds, terminal)
+        walker.walk(fn.node.body, {})
+        findings.extend(walker.findings)
+    return sorted(set(findings))

@@ -300,6 +300,17 @@ class LockOrderAnalyzer:
             return None
         return lock, stmt.value.func.attr == "acquire", stmt.lineno
 
+    def _note_held_call(self, call: ast.Call, fn: FunctionInfo,
+                        local_types: dict[str, str],
+                        held: list[tuple["LockId", int]]) -> None:
+        """Hook: every call scanned while at least one lock is held.
+
+        The base analyzer only builds acquisition edges; subclasses
+        (:class:`~repro.devtools.effects.BlockingCallAnalyzer`) override
+        this to check other effects against the same held-region
+        tracking without re-implementing the walk.
+        """
+
     def _scan_calls(self, node, fn, local_types, held,
                     skip_blocks: bool = False) -> None:
         """Interprocedural one-level edges for calls made while holding."""
@@ -319,6 +330,7 @@ class LockOrderAnalyzer:
             for sub in iter_nodes_excluding_nested(root):
                 if not isinstance(sub, ast.Call):
                     continue
+                self._note_held_call(sub, fn, local_types, held)
                 if isinstance(sub.func, ast.Attribute) \
                         and sub.func.attr in ("acquire", "release", "wait",
                                               "notify", "notify_all",

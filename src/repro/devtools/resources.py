@@ -1,0 +1,285 @@
+"""Resource-lifecycle analyzer (:data:`RULE_RESOURCE_LEAK`).
+
+Inventories acquisition sites of OS resources — ``subprocess.Popen``,
+``socket.socket``/``create_connection``, the ``open()`` builtin,
+``os.fdopen``, ``tempfile.mkdtemp``/``TemporaryDirectory``,
+``ThreadPoolExecutor``/``ProcessPoolExecutor``, and started
+non-daemon ``threading.Thread``s — and flags those with **no reachable
+release at all**: no ``close``/``terminate``/``wait``/``join``/
+``shutdown``/``cleanup`` call on the handle, no ``with`` management, no
+``shutil.rmtree``/``os.rmdir`` for a temp dir path.
+
+Honest like the lock analyzer: the rule only fires when the whole
+lifecycle is provably local.  A handle that *escapes* — returned,
+yielded, stored on an object, passed to another call, aliased,
+captured by a closure, put in a container — has an unresolvable
+lifetime and produces no finding.  A release anywhere in the function
+(even on one conditional path: ``finally`` blocks and error paths
+count the same) counts as reachable.  What remains is the unambiguous
+leak shapes: ``f = open(p)`` read and forgotten,
+``subprocess.Popen(...)`` fired and dropped, ``open(p).read()`` with
+the handle never retained, and ``threading.Thread(...).start()`` on a
+non-daemon thread that can never be joined.  Module-level acquisitions
+are process-lifetime singletons and exempt.
+
+The runtime counterpart (:mod:`.resource_tracker`,
+``REPRO_RESOURCE_TRACK=1``) covers the dynamic remainder the same way
+the lock witness backs the static lock-order pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import LintFinding
+from .project import (FunctionInfo, Project, SourceModule,
+                      iter_nodes_excluding_nested)
+
+__all__ = ["RULE_RESOURCE_LEAK", "run_resources"]
+
+RULE_RESOURCE_LEAK = "resource-leak"
+
+#: origin -> (kind label, method names that release the handle).
+_ACQUIRERS = {
+    "subprocess.Popen": ("subprocess", {"wait", "kill", "terminate",
+                                        "communicate"}),
+    "socket.socket": ("socket", {"close", "detach", "shutdown"}),
+    "socket.create_connection": ("socket", {"close", "detach",
+                                            "shutdown"}),
+    "os.fdopen": ("file", {"close"}),
+    "tempfile.TemporaryDirectory": ("temp dir", {"cleanup"}),
+    "tempfile.mkdtemp": ("temp dir", set()),
+    "concurrent.futures.ThreadPoolExecutor": ("executor", {"shutdown"}),
+    "concurrent.futures.ProcessPoolExecutor": ("executor", {"shutdown"}),
+}
+_OPEN_RELEASES = {"close"}
+_THREAD_CTORS = ("threading.Thread", "threading.Timer")
+
+#: Module-level functions that release a path-like resource passed in.
+_PATH_RELEASERS = {"shutil.rmtree", "os.rmdir", "os.removedirs"}
+
+
+def _acquisition(call: ast.AST, module: SourceModule) \
+        -> tuple[str, set[str]] | None:
+    """``(kind, release method names)`` when ``call`` acquires an OS
+    resource, else ``None``.  Threads are handled separately."""
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open" and "open" not in module.imports:
+            return "file", set(_OPEN_RELEASES)
+        origin = module.imports.get(func.id)
+        if origin in _ACQUIRERS:
+            return _ACQUIRERS[origin]
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = module.imports.get(func.value.id)
+        if base:
+            entry = _ACQUIRERS.get(f"{base}.{func.attr}")
+            if entry is not None:
+                return entry
+    return None
+
+
+def _thread_ctor(call: ast.AST, module: SourceModule) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    if isinstance(func, ast.Name):
+        return module.imports.get(func.id) in _THREAD_CTORS
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = module.imports.get(func.value.id)
+        return bool(base) and f"{base}.{func.attr}" in _THREAD_CTORS
+    return False
+
+
+def _is_daemon(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "daemon" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _parent_map(root: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _is_path_releaser(call: ast.Call, module: SourceModule) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return module.imports.get(func.id) in _PATH_RELEASERS
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = module.imports.get(func.value.id)
+        return bool(base) and f"{base}.{func.attr}" in _PATH_RELEASERS
+    return False
+
+
+class _FunctionScan:
+    """Lifecycle scan of one function (module docstring)."""
+
+    def __init__(self, fn: FunctionInfo):
+        self.fn = fn
+        self.module = fn.module
+        self.parents = _parent_map(fn.node)
+        self.findings: list[LintFinding] = []
+        self._scan()
+
+    # ----------------------------------------------------------- candidates
+    def _scan(self) -> None:
+        for stmt in iter_nodes_excluding_nested(self.fn.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Call):
+                self._check_bound(stmt.targets[0].id, stmt.value)
+            elif isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Call):
+                self._check_discarded(stmt.value)
+
+    def _check_bound(self, name: str, call: ast.Call) -> None:
+        entry = _acquisition(call, self.module)
+        if entry is not None:
+            kind, releases = entry
+            if self._released_or_escapes(name, call, releases,
+                                         temp_dir=(kind == "temp dir")):
+                return
+            self.findings.append(LintFinding(
+                path=self.module.rel, line=call.lineno,
+                rule=RULE_RESOURCE_LEAK,
+                message=f"{kind} acquired here is never released in "
+                        f"{self.fn.qualname}: no "
+                        f"{'/'.join(sorted(releases)) or 'cleanup'}"
+                        f" call, no 'with', and the handle never "
+                        f"escapes the function"))
+        elif _thread_ctor(call, self.module) and not _is_daemon(call) \
+                and not self._daemon_assigned(name):
+            if not self._thread_started(name):
+                return  # never started: not an OS resource yet
+            if self._released_or_escapes(name, call, {"join"}):
+                return
+            self.findings.append(LintFinding(
+                path=self.module.rel, line=call.lineno,
+                rule=RULE_RESOURCE_LEAK,
+                message=f"non-daemon thread started in "
+                        f"{self.fn.qualname} is never joined and the "
+                        f"handle never escapes; join it or mark it "
+                        f"daemon=True"))
+
+    def _check_discarded(self, call: ast.Call) -> None:
+        """Bare-expression acquisitions: the handle is unrecoverable."""
+        entry = _acquisition(call, self.module)
+        if entry is not None:
+            kind, releases = entry
+            self.findings.append(LintFinding(
+                path=self.module.rel, line=call.lineno,
+                rule=RULE_RESOURCE_LEAK,
+                message=f"{kind} acquired and immediately discarded in "
+                        f"{self.fn.qualname}: the handle is never "
+                        f"bound, so no "
+                        f"{'/'.join(sorted(releases)) or 'cleanup'} "
+                        f"can ever run"))
+            return
+        # Chained call on a fresh acquisition: open(p).read(),
+        # Popen(...).wait(), Thread(...).start().
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        inner = func.value
+        entry = _acquisition(inner, self.module)
+        if entry is not None:
+            kind, releases = entry
+            if func.attr in releases:
+                return  # e.g. subprocess.Popen(...).wait()
+            self.findings.append(LintFinding(
+                path=self.module.rel, line=call.lineno,
+                rule=RULE_RESOURCE_LEAK,
+                message=f"{kind} acquired here with the handle never "
+                        f"retained ('.{func.attr}()' chained on the "
+                        f"constructor), so it can never be released"))
+        elif _thread_ctor(inner, self.module) and func.attr == "start" \
+                and not _is_daemon(inner):
+            self.findings.append(LintFinding(
+                path=self.module.rel, line=call.lineno,
+                rule=RULE_RESOURCE_LEAK,
+                message=f"non-daemon thread started in "
+                        f"{self.fn.qualname} with the handle never "
+                        f"retained, so it can never be joined; keep "
+                        f"the handle or mark it daemon=True"))
+
+    # ------------------------------------------------------ release/escape
+    def _daemon_assigned(self, name: str) -> bool:
+        """``handle.daemon = True`` anywhere in the function — the only
+        way to daemonize a ``threading.Timer``, whose constructor takes
+        no ``daemon=`` keyword."""
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Constant) \
+                    and node.value.value:
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and target.attr == "daemon" \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == name:
+                        return True
+        return False
+
+    def _thread_started(self, name: str) -> bool:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "start" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == name:
+                return True
+        return False
+
+    def _released_or_escapes(self, name: str, acquisition: ast.Call,
+                             releases: set[str],
+                             temp_dir: bool = False) -> bool:
+        """True when a release is reachable or the handle's lifetime is
+        not provably local (either way: no finding)."""
+        # Captured by a nested function/lambda: lifetime unresolvable.
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)) and node is not self.fn.node:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        for node in iter_nodes_excluding_nested(self.fn.node):
+            if not (isinstance(node, ast.Name) and node.id == name):
+                continue
+            parent = self.parents.get(id(node))
+            if isinstance(parent, ast.Attribute):
+                grand = self.parents.get(id(parent))
+                if isinstance(grand, ast.Call) and grand.func is parent \
+                        and parent.attr in releases:
+                    return True  # handle.close() / proc.wait() / t.join()
+                continue  # other method/attr access: not an escape
+            if isinstance(parent, ast.withitem) \
+                    and parent.context_expr is node:
+                return True  # with handle: ... manages the lifetime
+            if isinstance(parent, ast.Assign) \
+                    and node in parent.targets:
+                continue  # rebinding the name, not a use
+            if isinstance(parent, ast.Call):
+                if temp_dir and _is_path_releaser(parent, self.module):
+                    return True  # shutil.rmtree(path)
+                return True  # passed to a call: escapes
+            if isinstance(parent, (ast.Expr, ast.Compare, ast.BoolOp,
+                                   ast.UnaryOp)):
+                continue  # pure read (truthiness test etc.)
+            if isinstance(parent, ast.Subscript) and parent.value is node:
+                continue  # indexing the handle, not storing it
+            return True  # returned/yielded/stored/aliased: escapes
+        return False
+
+
+def run_resources(project: Project) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for fn in project.functions:
+        findings.extend(_FunctionScan(fn).findings)
+    return sorted(set(findings))

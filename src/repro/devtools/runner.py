@@ -1,33 +1,49 @@
 """The ``repro lint`` driver: analyzers -> escapes -> baseline -> report.
 
-Orchestrates the three static analyzers over a source tree, applies the
-inline allow-escapes and the grandfather baseline, and renders findings
-as text (``path:line: rule: message``) or ``--format json``.  This is
-both the CLI entry (:func:`run_cli`, wired into ``repro lint``) and the
-programmatic surface the tier-1 gate (``tests/test_lint_repo.py``)
-calls (:func:`run_static`, :func:`lint_tree`).
+Orchestrates the static analyzers over a source tree — lock order,
+blocking-under-lock, determinism, wire schema, exception contract,
+resource lifecycle, event protocol — applies the inline allow-escapes
+and the grandfather baseline, and renders findings as text
+(``path:line: rule: message``), ``--format json``, or ``--format
+sarif`` (SARIF 2.1.0 for CI diff annotation).  ``--changed`` scopes the
+*report* to files touched versus git (merge-base aware) for a fast
+pre-commit loop; the analysis itself always runs over the full tree so
+cross-module resolution stays sound.  This is both the CLI entry
+(:func:`run_cli`, wired into ``repro lint``) and the programmatic
+surface the tier-1 gate (``tests/test_lint_repo.py``) calls
+(:func:`run_static`, :func:`lint_tree`).
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 
 from .determinism import run_determinism
+from .effects import run_blocking
+from .event_protocol import (DEFAULT_EVENT_MANIFEST, build_event_manifest,
+                             run_event_protocol)
+from .exc_contract import run_exc_contract
 from .findings import Baseline, LintFinding, apply_allows
 from .lockorder import run_lockorder
 from .project import Project, load_project
+from .resources import run_resources
+from .sarif import render_sarif
 from .schema_drift import DEFAULT_MANIFEST, build_manifest, run_schema_drift
 
 __all__ = ["run_static", "lint_tree", "LintReport", "run_cli",
-           "default_lint_root", "find_baseline"]
+           "default_lint_root", "find_baseline", "changed_files"]
 
 _ANALYZERS = {
-    "lock": run_lockorder,
+    "lock": run_lockorder,        # also the lock-blocking-call family
     "det": run_determinism,
     "schema": None,  # needs the manifest path; dispatched explicitly
+    "exc": run_exc_contract,
+    "resource": run_resources,
+    "event": None,   # needs the protocol manifest; dispatched explicitly
 }
 
 
@@ -54,7 +70,9 @@ def find_baseline(start: Path) -> Path | None:
 
 
 def run_static(project: Project, manifest_path: Path | None = None,
-               rules: str | None = None) -> list[LintFinding]:
+               rules: str | None = None,
+               event_manifest_path: Path | None = None) \
+        -> list[LintFinding]:
     """All static findings for a loaded project, allow-escapes applied.
 
     ``rules`` optionally restricts to comma-separated rule-id prefixes
@@ -62,8 +80,13 @@ def run_static(project: Project, manifest_path: Path | None = None,
     """
     findings: list[LintFinding] = []
     findings.extend(run_lockorder(project))
+    findings.extend(run_blocking(project))
     findings.extend(run_determinism(project))
     findings.extend(run_schema_drift(project, manifest_path=manifest_path))
+    findings.extend(run_exc_contract(project))
+    findings.extend(run_resources(project))
+    findings.extend(run_event_protocol(
+        project, manifest_path=event_manifest_path))
     sources = {module.rel: module.lines for module in project.modules}
     findings = apply_allows(sorted(set(findings)), sources)
     if rules:
@@ -88,16 +111,74 @@ class LintReport:
 
 def lint_tree(paths: list[Path], baseline: Baseline | None = None,
               manifest_path: Path | None = None,
-              rules: str | None = None) -> LintReport:
+              rules: str | None = None,
+              event_manifest_path: Path | None = None) -> LintReport:
     """Load ``paths``, run the static suite, apply ``baseline``."""
     project = load_project([Path(path) for path in paths])
     findings = run_static(project, manifest_path=manifest_path,
-                          rules=rules)
+                          rules=rules,
+                          event_manifest_path=event_manifest_path)
     if baseline is None:
         return LintReport(findings=findings, baselined=0, stale=[])
     new, stale = baseline.split(findings)
     return LintReport(findings=new, baselined=len(findings) - len(new),
                       stale=stale)
+
+
+def changed_files(anchor: Path, base: str | None = None) \
+        -> set[Path] | None:
+    """Absolute paths of ``*.py`` files changed versus git, or ``None``
+    outside a repository.
+
+    Merge-base aware: with no explicit ``base``, the diff anchor is the
+    merge base of ``HEAD`` and the first of ``origin/main``,
+    ``origin/master``, ``main``, ``master`` that resolves — i.e. "what
+    this branch touched", not "what differs from an arbitrary commit".
+    Working-tree modifications and untracked files are always included.
+    """
+    def git(*argv: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True,
+                cwd=anchor if anchor.is_dir() else anchor.parent,
+                timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    top = git("rev-parse", "--show-toplevel")
+    if top is None:
+        return None
+    root = Path(top.strip())
+    diff_base = base
+    if diff_base is None:
+        for candidate in ("origin/main", "origin/master", "main",
+                          "master"):
+            merged = git("merge-base", "HEAD", candidate)
+            if merged is not None:
+                diff_base = merged.strip()
+                break
+    names: set[str] = set()
+    listed = git("diff", "--name-only", diff_base or "HEAD")
+    if listed is not None:
+        names.update(line for line in listed.splitlines() if line)
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        names.update(line for line in untracked.splitlines() if line)
+    return {(root / name).resolve() for name in names
+            if name.endswith(".py")}
+
+
+def _finding_abs(paths: list[Path], finding: LintFinding) -> Path | None:
+    """Resolve a finding's scan-root-relative path back to an absolute
+    file (findings carry paths relative to whichever root matched)."""
+    for root in paths:
+        root = Path(root).resolve()
+        base = root if root.is_dir() else root.parent
+        candidate = base / finding.path
+        if candidate.exists():
+            return candidate.resolve()
+    return None
 
 
 def run_cli(args) -> int:
@@ -119,6 +200,30 @@ def run_cli(args) -> int:
               f"(schema_version {payload['schema_version']}, "
               f"{len(payload['classes'])} classes)")
         return 0
+    if getattr(args, "update_event_manifest", False):
+        project = load_project(paths)
+        payload = build_event_manifest(project)
+        if not payload["kinds"]:
+            print("no EVENT_KINDS/TERMINAL_EVENTS found under the scan "
+                  "paths; nothing to pin", file=sys.stderr)
+            return 2
+        DEFAULT_EVENT_MANIFEST.write_text(
+            json.dumps(payload, indent=2) + "\n")
+        print(f"event protocol manifest pinned to "
+              f"{DEFAULT_EVENT_MANIFEST} ({len(payload['kinds'])} kinds, "
+              f"{len(payload['terminal'])} terminal)")
+        return 0
+    changed: set[Path] | None = None
+    changed_arg = getattr(args, "changed", None)
+    if changed_arg is not None:
+        changed = changed_files(paths[0], base=changed_arg or None)
+        if changed is None:
+            print("--changed needs a git repository above the scan "
+                  "path", file=sys.stderr)
+            return 2
+        if not changed:
+            print("OK: 0 findings (no changed python files)")
+            return 0
     baseline: Baseline | None = None
     if not args.no_baseline:
         baseline_path = (Path(args.baseline) if args.baseline
@@ -141,12 +246,20 @@ def run_cli(args) -> int:
         return 0
     report = lint_tree(paths, baseline=baseline,
                        manifest_path=manifest_path, rules=args.rules)
+    if changed is not None:
+        report = LintReport(
+            findings=[f for f in report.findings
+                      if _finding_abs(paths, f) in changed],
+            baselined=report.baselined,
+            stale=[])  # stale accounting needs the full report
     if args.format == "json":
         print(json.dumps({
             "findings": [f.to_payload() for f in report.findings],
             "baselined": report.baselined,
             "stale_baseline": [f.to_payload() for f in report.stale],
         }, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(report.findings), indent=2))
     else:
         for finding in report.findings:
             print(finding.format_text())

@@ -1,0 +1,51 @@
+"""SARIF 2.1.0 rendering for lint findings (``repro lint --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems
+ingest to annotate pull-request diffs with per-line findings.  One run,
+one tool (``repro-lint``), one result per finding; rule metadata is
+collected from the findings actually present so the file stays small.
+Paths are emitted exactly as the text format prints them (relative to
+the scan root) — CI resolves them against ``originalUriBaseIds`` or
+the checkout root.
+"""
+
+from __future__ import annotations
+
+from .findings import LintFinding
+
+__all__ = ["render_sarif"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+_INFO_URI = "https://example.invalid/repro/docs/devtools.md"
+
+
+def render_sarif(findings: list[LintFinding]) -> dict:
+    """A SARIF 2.1.0 log dict for ``findings`` (new findings only —
+    baselined ones are suppressed upstream, matching text/json)."""
+    rule_ids = sorted({finding.rule for finding in findings})
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": _INFO_URI,
+                "rules": [{"id": rule_id,
+                           "shortDescription": {"text": rule_id}}
+                          for rule_id in rule_ids],
+            }},
+            "results": [{
+                "ruleId": finding.rule,
+                "ruleIndex": rule_ids.index(finding.rule),
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": max(1, finding.line)},
+                    },
+                }],
+            } for finding in findings],
+        }],
+    }

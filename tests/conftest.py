@@ -49,6 +49,29 @@ def lock_witness_session():
     assert not findings, "\n".join(f.format_text() for f in findings)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def resource_tracker_session():
+    """Opt-in whole-run resource tracker (``REPRO_RESOURCE_TRACK=1``).
+
+    Records every thread/subprocess/socket/fd/temp-dir repro code
+    creates during the session and fails teardown if any is still held
+    — the runtime counterpart of the static resource-lifecycle lint
+    (see docs/devtools.md).
+    """
+    from repro.devtools.resource_tracker import (ResourceTracker,
+                                                 tracking_enabled)
+    if not tracking_enabled():
+        yield None
+        return
+    tracker = ResourceTracker().install()
+    try:
+        yield tracker
+    finally:
+        tracker.uninstall()
+    findings = tracker.check()
+    assert not findings, "\n".join(f.format_text() for f in findings)
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(42)

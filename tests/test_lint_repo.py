@@ -1,10 +1,12 @@
 """Tier-1 invariant gate: ``repro lint`` run against the repo itself.
 
-This is the enforcement end of :mod:`repro.devtools` (ISSUE 8): the
-shipped tree must pass its own lock-order, determinism, and wire-schema
-analyzers (modulo the checked-in ``lint_baseline.json``), the gate must
-not be vacuous (an injected violation turns it red), and a real threaded
-sweep must run clean under the runtime lock witness.
+This is the enforcement end of :mod:`repro.devtools` (ISSUEs 8 and 9):
+the shipped tree must pass its own lock-order, blocking-under-lock,
+determinism, wire-schema, exception-contract, resource-lifecycle, and
+event-protocol analyzers (modulo the checked-in ``lint_baseline.json``),
+the gate must not be vacuous (an injected violation per family turns it
+red), and real sweeps must run clean under the runtime lock witness and
+the runtime resource tracker.
 
 All tests carry the ``lint`` marker: they run in tier-1 and can be
 selected standalone with ``-m lint``.
@@ -21,9 +23,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools import (Baseline, LockWitness, lint_tree, load_project,
-                            run_static)
+from repro.devtools import (Baseline, LockWitness, ResourceTracker,
+                            RULE_EVENT_PROTOCOL, RULE_EXC_SWALLOWED,
+                            RULE_EXC_UNCLASSIFIED, RULE_LOCK_BLOCKING,
+                            RULE_RESOURCE_LEAK, build_event_manifest,
+                            lint_tree, load_project, run_static)
 from repro.devtools.determinism import RULE_UNSEEDED_RNG
+from repro.devtools.event_protocol import DEFAULT_EVENT_MANIFEST
 from repro.devtools.runner import find_baseline
 from repro.devtools.schema_drift import DEFAULT_MANIFEST, build_manifest
 
@@ -62,6 +68,14 @@ class TestRepoIsLintClean:
         assert current["classes"] == pinned["classes"]
         assert current["schema_version"] == pinned["schema_version"]
 
+    def test_event_manifest_matches_tree(self):
+        """The checked-in protocol pin matches the tree's
+        ``EVENT_KINDS``/``TERMINAL_EVENTS`` (regenerate via
+        ``repro lint --update-event-manifest``)."""
+        current = build_event_manifest(load_project([SRC]))
+        pinned = json.loads(DEFAULT_EVENT_MANIFEST.read_text())
+        assert current == pinned
+
     def test_baseline_discovery_from_scan_root(self):
         found = find_baseline(SRC)
         if BASELINE_PATH.exists():
@@ -88,6 +102,61 @@ class TestGateIsNotVacuous:
         assert any(finding.rule == RULE_UNSEEDED_RNG
                    and finding.path == "core/injected_bad.py"
                    for finding in report.findings)
+
+    @pytest.mark.parametrize("rel,source,rule", [
+        ("api/injected_block.py", """\
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def stall(self):
+                    with self._lock:
+                        time.sleep(1.0)
+            """, RULE_LOCK_BLOCKING),
+        ("api/backends.py", """\
+            class NovelFailure(Exception):
+                pass
+
+            def launch(job):
+                raise NovelFailure(job)
+            """, RULE_EXC_UNCLASSIFIED),
+        ("api/injected_swallow.py", """\
+            def poll(step):
+                try:
+                    step()
+                except Exception:
+                    pass
+            """, RULE_EXC_SWALLOWED),
+        ("core/injected_leak.py", """\
+            import subprocess
+
+            def fire(cmd):
+                proc = subprocess.Popen(cmd)
+                return None
+            """, RULE_RESOURCE_LEAK),
+        ("core/injected_emit.py", """\
+            def finish(log):
+                log.emit("done", {})
+                log.emit("shard_done", {})
+            """, RULE_EVENT_PROTOCOL),
+    ], ids=["lock-blocking", "exc-unclassified", "exc-swallowed",
+            "resource-leak", "event-protocol"])
+    def test_each_new_family_turns_the_gate_red(self, tmp_path, rel,
+                                                source, rule):
+        """One seeded violation per ISSUE-9 analyzer family, linted
+        alongside the real tree under the real baseline: each must
+        surface as a new finding."""
+        injected = tmp_path / rel
+        injected.parent.mkdir(parents=True, exist_ok=True)
+        injected.write_text(textwrap.dedent(source))
+        report = lint_tree([SRC, tmp_path], baseline=_repo_baseline())
+        assert not report.clean
+        assert any(finding.rule == rule and finding.path == rel
+                   for finding in report.findings), "\n".join(
+            finding.format_text() for finding in report.findings)
 
     def test_analyzers_inventory_the_real_tree(self):
         """The lock analyzer actually sees the service stack's locks
@@ -133,6 +202,31 @@ class TestCliGate:
         assert payload["findings"] == []
         assert payload["stale_baseline"] == []
 
+    def test_repro_lint_sarif_format(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC),
+             "--format", "sarif"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert log["runs"][0]["results"] == []
+
+    def test_repro_lint_changed_scopes_the_report(self):
+        """``--changed`` against this repo exits clean (full-tree
+        analysis, report filtered to git-changed files)."""
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC),
+             "--changed"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.startswith("OK: 0 findings")
+
 
 class TestRuntimeWitnessOverSweep:
     def test_threaded_sweep_runs_clean_under_witness(
@@ -163,5 +257,43 @@ class TestRuntimeWitnessOverSweep:
         assert result.curves  # the sweep actually ran
         assert witness.acquisitions > 0  # ...through witnessed locks
         findings = witness.check()
+        assert not findings, "\n".join(
+            finding.format_text() for finding in findings)
+
+
+class TestResourceTrackerOverSweep:
+    def test_threads_and_procpool_sweeps_leave_no_resources(self):
+        """ISSUE 9 acceptance: drive real sharded sweeps on the threads
+        and procpool backends with every repro-created OS resource
+        tracked — the tracker must have *observed* at least one thread,
+        one subprocess, and one fd (else the audit is vacuous), and the
+        final audit must report zero leaks."""
+        from repro.api import (AnalysisRequest, ExecutionOptions,
+                               ModelRef, ResilienceService)
+
+        def request(seed):
+            return AnalysisRequest(
+                model=ModelRef(benchmark="CapsNet/MNIST"),
+                targets=(("softmax", None), ("mac_outputs", None)),
+                nm_values=(0.5, 0.0), seed=seed, eval_samples=32,
+                options=ExecutionOptions(batch_size=32))
+
+        tracker = ResourceTracker().install()
+        try:
+            for seed, backend in enumerate(("threads", "procpool")):
+                svc = ResilienceService(cache_dir=None, use_store=False,
+                                        backend=backend, max_parallel=2)
+                try:
+                    result = svc.run(request(seed))
+                    assert result.curves
+                finally:
+                    svc.close()
+        finally:
+            tracker.uninstall()
+        summary = tracker.summary()
+        assert summary["thread"] >= 1    # supervisor/heartbeat threads
+        assert summary["process"] >= 1   # procpool worker processes
+        assert summary["fd"] >= 1        # worker spill files
+        findings = tracker.check(grace=10.0)
         assert not findings, "\n".join(
             finding.format_text() for finding in findings)
