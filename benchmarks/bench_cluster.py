@@ -1,0 +1,104 @@
+"""Cost of crossing the wire: loopback remote-pool vs in-process.
+
+The same Fig. 9-style request is measured twice: once on the inline
+in-process path, once dispatched shard-by-shard through the remote-pool
+backend to two loopback ``WorkerAgent``\\ s (ISSUE 10).  The wall-clock
+difference is the *fleet tax* for a single host — connection pooling,
+JSON framing, heartbeat bookkeeping and the supervision watchdog —
+recorded in ``BENCH_sweep.json`` →
+``custom_metrics.remote_pool_loopback_overhead_seconds`` via the
+autosave conftest, alongside both absolute timings.
+
+Both paths must agree byte-for-byte: a remote curve that differs from
+the inline curve would be a correctness bug, not an overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import (AnalysisRequest, ModelRef, ResilienceService,
+                       WorkerAgent)
+from repro.nn.hooks import INJECTABLE_GROUPS
+
+from conftest import record_metric, run_once
+
+
+def _request(quick_scale, seed: int = 0) -> AnalysisRequest:
+    return AnalysisRequest(
+        model=ModelRef(benchmark="DeepCaps/MNIST"),
+        targets=tuple((group, None) for group in INJECTABLE_GROUPS),
+        nm_values=quick_scale.nm_values,
+        eval_samples=quick_scale.eval_samples, seed=seed,
+        options=quick_scale.execution)
+
+
+def _measure_inline(request, warmup) -> tuple[float, object]:
+    service = ResilienceService(use_store=False)
+    try:
+        service.run(warmup)             # warm engine cache, untimed
+        start = time.perf_counter()
+        result = service.run(request)
+        return time.perf_counter() - start, result
+    finally:
+        service.close()
+
+
+def _measure_remote(request, warmup) -> tuple[float, object]:
+    """Timed run through two loopback TCP agents with warm channels.
+
+    The warm-up submission (different seed, same model) dials the
+    channels and loads the agents' engines, so the timed region pays
+    only the per-shard wire cost — the steady-state overhead a real
+    fleet would see, not the one-time connection setup.
+    """
+    agents = [WorkerAgent().start(), WorkerAgent().start()]
+    service = ResilienceService(
+        use_store=False, backend="remote-pool", max_parallel=2,
+        workers=[agent.address for agent in agents])
+    try:
+        service.run(warmup)
+        start = time.perf_counter()
+        result = service.run(request)
+        elapsed = time.perf_counter() - start
+        assert service.backend.worker_restarts == 0  # clean wire, no luck
+        return elapsed, result
+    finally:
+        service.close()
+        for agent in agents:
+            agent.close()
+
+
+def _curve_accuracies(result) -> list:
+    return [[point.accuracy for point in curve.points]
+            for curve in result.curves.values()]
+
+
+def test_remote_pool_loopback_overhead(benchmark, quick_scale):
+    """ISSUE 10 satellite: what the TCP hop costs on one machine."""
+    request = _request(quick_scale, seed=0)
+    warmup = _request(quick_scale, seed=1)
+    inline_seconds, inline_result = _measure_inline(request, warmup)
+
+    timings: dict[str, object] = {}
+
+    def remote_run():
+        timings["remote"], timings["result"] = _measure_remote(request,
+                                                               warmup)
+
+    run_once(benchmark, remote_run)
+    remote_seconds = float(timings["remote"])
+    overhead = remote_seconds - inline_seconds
+
+    assert _curve_accuracies(timings["result"]) == \
+        _curve_accuracies(inline_result)
+
+    record_metric("remote_pool_loopback_inline_seconds", inline_seconds)
+    record_metric("remote_pool_loopback_remote_seconds", remote_seconds)
+    record_metric("remote_pool_loopback_overhead_seconds", overhead)
+    print(f"\ninline {inline_seconds:.2f}s, remote-pool loopback "
+          f"{remote_seconds:.2f}s -> wire overhead {overhead:.2f}s")
+    # The wire must stay a tax, not the bill: a loopback remote run that
+    # is an order of magnitude slower than inline means framing or
+    # pooling has regressed.
+    assert remote_seconds < inline_seconds * 10 + 5.0

@@ -9,8 +9,11 @@ with answers persisted content-addressed (:class:`ResultStore`) so
 repeated artifact runs are cache hits and mutated models auto-invalidate.
 *Where* a measurement executes is a pluggable backend
 (:mod:`repro.api.backends`): ``inline`` (blocking reference), ``threads``
-(cross-request parallelism), ``subprocess`` (schema-JSON workers), or
-``procpool`` (persistent warm workers); large requests shard per target
+(cross-request parallelism), ``subprocess`` (schema-JSON workers),
+``procpool`` (persistent warm workers), or ``remote-pool`` (the same
+framed worker protocol over TCP to ``repro worker`` agents;
+:mod:`repro.api.cluster` adds the agent, a multi-node coordinator and
+shared :class:`ResultStore` layouts); large requests shard per target
 (:mod:`repro.api.scheduler`) through a bounded priority queue
 (:class:`ShardQueue`, :class:`QueueFull` backpressure) and merge
 byte-identically.  Progress is first-class: handles stream typed
@@ -43,6 +46,8 @@ from ..core.sweep import ExecutionOptions, SweepCancelled
 from .backends import (BACKEND_NAMES, BackendError, ChaosBackend,
                        ExecutionBackend, InlineBackend, ProcPoolBackend,
                        SubprocessBackend, ThreadBackend, make_backend)
+from .cluster import (ClusterCoordinator, CoordinatorServer, NodeUnreachable,
+                      RemotePoolBackend, WorkerAgent, parse_worker_address)
 from .events import (EVENT_KINDS, TERMINAL_EVENTS, AnalysisCancelled,
                      AnalysisEvent, CancelToken, EventLog)
 from .request import (NOISE_KINDS, SCHEMA_VERSION, AnalysisRequest,
@@ -57,8 +62,9 @@ from .server import (AnalysisServer, RemoteBusy, RemoteError, RemoteHandle,
 from .service import (AnalysisHandle, ResilienceService, ResolvedModel,
                       ServiceStats, ShardProgress, dataset_fingerprint,
                       default_service)
-from .store import (GcReport, ResultStore, StoreEntry, default_store_root,
-                    store_key)
+from .store import (LAYOUT_NAMES, GcReport, LocalDirLayout, ResultStore,
+                    SharedFSLayout, StoreEntry, StoreLayout,
+                    default_store_root, make_layout, store_key)
 
 __all__ = [
     "SCHEMA_VERSION", "NOISE_KINDS", "SchemaError",
@@ -81,4 +87,8 @@ __all__ = [
     "dataset_fingerprint",
     "ResultStore", "StoreEntry", "GcReport", "default_store_root",
     "store_key",
+    "StoreLayout", "LocalDirLayout", "SharedFSLayout", "make_layout",
+    "LAYOUT_NAMES",
+    "WorkerAgent", "RemotePoolBackend", "parse_worker_address",
+    "ClusterCoordinator", "CoordinatorServer", "NodeUnreachable",
 ]

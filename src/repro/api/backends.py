@@ -93,8 +93,10 @@ logger = logging.getLogger("repro.api.backends")
 
 #: Valid values of the service/CLI ``backend`` knob (each may also be
 #: wrapped as ``chaos:<name>`` together with a ``fault_plan``).
+#: ``remote-pool`` (see :mod:`repro.api.cluster`) additionally needs a
+#: ``workers=`` list of ``HOST:PORT`` agent addresses.
 BACKEND_NAMES: tuple[str, ...] = ("inline", "threads", "subprocess",
-                                  "procpool")
+                                  "procpool", "remote-pool")
 
 #: Default shard concurrency for the parallel backends when the caller
 #: does not pass ``max_parallel`` (bounded: sweeps are memory-hungry).
@@ -406,6 +408,10 @@ class ProcPoolBackend(ExecutionBackend):
 
     name = "procpool"
     supports_preempt = True
+    #: Scripted chaos faults ride the wire and execute inside the worker
+    #: (the :class:`ChaosBackend` real-injection path); the TCP
+    #: remote-pool backend advertises the same flag.
+    chaos_rider = True
 
     def __init__(self, max_parallel: int = 0, *,
                  heartbeat_grace: float | None = 10.0,
@@ -743,11 +749,12 @@ class ChaosBackend(ExecutionBackend):
             raise TypeError(f"fault_plan must be a FaultPlan, "
                             f"got {type(fault_plan).__name__}")
         if any(fault.kind == "hang" for fault in fault_plan.faults) \
-                and not isinstance(inner, ProcPoolBackend):
+                and not getattr(inner, "chaos_rider", False):
             raise ValueError(
-                f"hang faults hold a worker process hostage and need the "
-                f"procpool backend's watchdog to recover; the "
-                f"{inner.name!r} backend cannot inject them")
+                f"hang faults hold a worker hostage and need a "
+                f"worker-owning backend's watchdog to recover "
+                f"(procpool or remote-pool); the {inner.name!r} backend "
+                f"cannot inject them")
         self.inner = inner
         self.plan = fault_plan
         self.name = f"chaos:{inner.name}"
@@ -787,7 +794,7 @@ class ChaosBackend(ExecutionBackend):
             return self.inner.submit(request, runner, **kwargs)
         logger.info("chaos: injecting %s on shard %d attempt %d",
                     fault.kind, shard, attempt)
-        if isinstance(self.inner, ProcPoolBackend):
+        if getattr(self.inner, "chaos_rider", False):
             return self.inner.submit(request, runner,
                                      chaos=fault.to_payload(), **kwargs)
         return self._simulate(fault, request, runner, on_start,
@@ -824,7 +831,8 @@ class ChaosBackend(ExecutionBackend):
 
 def make_backend(backend: str | ExecutionBackend | None,
                  max_parallel: int | None = None,
-                 fault_plan: FaultPlan | None = None) -> ExecutionBackend:
+                 fault_plan: FaultPlan | None = None,
+                 workers=None) -> ExecutionBackend:
     """Build (and validate) an execution backend.
 
     Loud-error contract (mirrors the CLI's inapplicable-flag rule):
@@ -834,7 +842,9 @@ def make_backend(backend: str | ExecutionBackend | None,
     ``chaos:<inner>`` prefix wraps the named inner backend in
     :class:`ChaosBackend` and **requires** ``fault_plan``; conversely a
     ``fault_plan`` without the chaos prefix (or a prebuilt backend) is
-    rejected rather than silently dropped.
+    rejected rather than silently dropped.  ``workers`` (a list of
+    ``HOST:PORT`` agent addresses) belongs to the ``remote-pool``
+    backend exclusively — required there, rejected everywhere else.
     """
     if max_parallel is not None and max_parallel < 1:
         raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
@@ -843,6 +853,11 @@ def make_backend(backend: str | ExecutionBackend | None,
             raise ValueError(
                 f"max_parallel={max_parallel} conflicts with the prebuilt "
                 f"{backend.name!r} backend (parallel={backend.parallel})")
+        if workers is not None:
+            raise ValueError(
+                f"workers= does not apply to the prebuilt "
+                f"{backend.name!r} backend (pass the worker set to its "
+                f"own constructor)")
         if fault_plan is not None:
             return ChaosBackend(backend, fault_plan)
         return backend
@@ -863,6 +878,18 @@ def make_backend(backend: str | ExecutionBackend | None,
     if name not in BACKEND_NAMES:
         raise ValueError(f"unknown backend {name!r}; "
                          f"valid: {list(BACKEND_NAMES)}")
+    if workers is not None and name != "remote-pool":
+        raise ValueError(
+            f"workers= only applies to the remote-pool backend; the "
+            f"{name!r} backend owns its own workers (use "
+            f"backend='remote-pool' to dispatch to TCP agents)")
+    if name == "remote-pool":
+        from .cluster import RemotePoolBackend
+        inner: ExecutionBackend = RemotePoolBackend(workers or (),
+                                                    max_parallel or 0)
+        if chaos:
+            return ChaosBackend(inner, fault_plan)
+        return inner
     if name == "inline":
         if max_parallel is not None and max_parallel != 1:
             raise ValueError(

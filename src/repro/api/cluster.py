@@ -1,0 +1,1126 @@
+"""Fleet tier: TCP worker agents, a remote shard pool, and a multi-node
+coordinator.
+
+Three layers, each riding a seam the stack already has (ISSUE 10):
+
+**Worker agents** (``repro worker --listen HOST:PORT``).
+    :class:`WorkerAgent` lifts the procpool's framed stdin/stdout worker
+    protocol (:func:`repro.api.backends._pool_worker_main`) onto TCP
+    verbatim: one JSON document per line — request in, ``{"ok": ...}`` /
+    ``{"error": ...}`` envelope out, ``{"hb": t}`` heartbeat frames while
+    a measurement is in flight, and the same scripted-chaos rider
+    (``{"request": ..., "chaos": ...}``) so the fault-injection harness
+    drives remote workers exactly like local ones.  Each connection
+    additionally opens with a ``{"hello": {"schema": ..., "pid": ...}}``
+    greeting so clients fail fast on schema skew or a non-worker peer.
+    One store-less :class:`~repro.api.service.ResilienceService` lives
+    for the agent's whole life, so shards of the same model reuse its
+    warm engine cache across connections.
+
+**The remote pool** (``make_backend("remote-pool", workers=[...])``).
+    :class:`RemotePoolBackend` is the procpool backend with the process
+    table swapped for a set of ``HOST:PORT`` agents: channels are pooled
+    and reused, a borrow with no idle channel dials the next agent
+    round-robin, and every in-flight shard is watched by the PR 6
+    :class:`~repro.api.resilience.WorkerSupervisor` (wall-clock deadline
+    + heartbeat staleness).  A dead or hung peer is never a hang: the
+    socket breaks (or the watchdog breaks it), the shard fails with the
+    retryable :class:`~repro.api.resilience.WorkerCrashed` /
+    :class:`~repro.api.resilience.WorkerTimeout`, the agent's address
+    sits out a cooldown, and the retry reconnects elsewhere.
+
+**The coordinator** (``repro coordinate --node URL ...``).
+    :class:`ClusterCoordinator` + :class:`CoordinatorServer` federate
+    several ``repro serve`` nodes behind the node API itself — a
+    :class:`~repro.api.server.RemoteService` cannot tell a coordinator
+    from a node.  Submissions route by consistent-hashing the request
+    fingerprint over the node ring (drain-aware: 503ing or unreachable
+    nodes are walked past); job ids are content-addressed store keys, so
+    any node can answer any job id (by store lookup) and losing a node
+    mid-job is survivable — the coordinator resubmits the recorded
+    request to the next ring node, which recomputes the missing shards
+    (or serves them straight from a shared store layout) under the *same*
+    job id, and the proxied event stream carries a ``node_lost`` event at
+    the splice point.
+
+Byte-identity is the contract throughout: a curve measured through a
+remote pool, through a coordinator, after a chaos kill, or served from a
+peer node's shared-layout warm hit is the same curve, byte for byte.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import json
+import logging
+import os
+import socket
+import socketserver
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .backends import (DEFAULT_MAX_PARALLEL, ExecutionBackend, Runner,
+                       ThreadBackend, _heartbeat_loop, _reject_session_ref)
+from .events import TERMINAL_EVENTS, AnalysisEvent
+from .request import SCHEMA_VERSION, AnalysisRequest, AnalysisResult
+from .resilience import (BackendError, WorkerCrashed, WorkerPreempted,
+                         WorkerSupervisor, WorkerTimeout)
+from .server import WAIT_SLICE_SECONDS, RemoteError
+
+__all__ = ["WorkerAgent", "RemotePoolBackend", "ClusterCoordinator",
+           "CoordinatorServer", "NodeUnreachable", "parse_worker_address"]
+
+logger = logging.getLogger("repro.api.cluster")
+
+
+def parse_worker_address(spec) -> tuple[str, int]:
+    """``"HOST:PORT"`` (or a ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host or not port:
+        raise ValueError(f"worker address {spec!r} is not HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"worker address {spec!r} is not HOST:PORT "
+                         f"(port {port!r} is not an integer)") from None
+
+
+# ------------------------------------------------------------- worker agent
+class _AgentServer(socketserver.ThreadingTCPServer):
+    """One thread per worker connection; never joined on close.
+
+    ``block_on_close = False`` because a scripted ``hang`` chaos fault
+    leaves its (daemon) handler thread asleep for an hour — exactly the
+    wedged-worker condition the client watchdog exists for — and
+    ``server_close`` must not wait for it.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    block_on_close = False
+
+
+class WorkerAgent:
+    """A TCP measurement worker (``repro worker --listen HOST:PORT``).
+
+    Serves the framed procpool worker protocol to any number of
+    concurrent connections (see module docstring).  ``port=0`` binds a
+    free port — read :attr:`address` after construction.
+
+    ``hard_exit`` selects how a scripted chaos crash dies: the real CLI
+    agent uses ``os._exit`` (the whole process is the worker), while
+    in-process test agents instead sever every connection and stop
+    accepting — indistinguishable from process death on the wire.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 hard_exit: bool = False):
+        self.hard_exit = hard_exit
+        self.service = _make_worker_service()
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+        self._closed = False
+        self._server = _AgentServer((host, port), _make_agent_handler(self))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "WorkerAgent":
+        """Serve on a background thread; returns self (tests/embedding)."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-worker-agent",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._server.serve_forever()
+
+    # ------------------------------------------------------------- lifecycle
+    def _track(self, connection) -> None:
+        with self._conn_lock:
+            self._conns.add(connection)
+
+    def _untrack(self, connection) -> None:
+        with self._conn_lock:
+            self._conns.discard(connection)
+
+    def die(self) -> None:
+        """Simulate process death in-process: sever every live
+        connection mid-frame and stop accepting (reconnects are refused).
+        The wire picture is identical to a SIGKILLed agent."""
+        with self._conn_lock:
+            conns = list(self._conns)
+        for connection in conns:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self._server.shutdown()
+        self._server.server_close()
+
+    def _crash(self) -> None:
+        """A scripted chaos crash fault fired on this agent."""
+        if self.hard_exit:
+            os._exit(17)
+        self.die()
+
+    def close(self) -> None:
+        """Stop serving and release the agent's service (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.service.close()
+
+
+def _make_worker_service():
+    """The agent's store-less measurement service (late import: the
+    service module imports backends, which lazily imports us)."""
+    from .service import ResilienceService
+    return ResilienceService(use_store=False)
+
+
+def _make_agent_handler(agent: WorkerAgent):
+    class Handler(socketserver.StreamRequestHandler):
+        """One worker connection: the procpool framed loop over TCP.
+
+        Mirrors :func:`repro.api.backends._pool_worker_main` frame for
+        frame (heartbeats, error envelopes, the chaos rider), prefixed
+        by the hello greeting.
+        """
+
+        def handle(self) -> None:  # noqa: D102 — socketserver API
+            agent._track(self.connection)
+            try:
+                self._serve_connection()
+            finally:
+                agent._untrack(self.connection)
+
+        def _serve_connection(self) -> None:
+            write_lock = threading.Lock()
+
+            def emit(document) -> None:
+                text = (document if isinstance(document, str)
+                        else json.dumps(document, sort_keys=True))
+                with write_lock:
+                    # lint: allow(lock-blocking-call): serializing this write IS the lock's job — the heartbeat thread shares the channel
+                    self.wfile.write((text + "\n").encode())
+                    # lint: allow(lock-blocking-call): the flush completes the frame the lock serializes
+                    self.wfile.flush()
+
+            try:
+                emit({"hello": {"schema": SCHEMA_VERSION,
+                                "pid": os.getpid()}})
+                for raw in self.rfile:
+                    line = raw.decode(errors="replace")
+                    if not line.strip():
+                        continue
+                    try:
+                        document = json.loads(line)
+                    except ValueError:
+                        emit({"error": f"undecodable frame: "
+                                       f"{line.strip()[:120]!r}"})
+                        continue
+                    if not isinstance(document, dict):
+                        emit({"error": f"non-object frame: "
+                                       f"{line.strip()[:120]!r}"})
+                        continue
+                    chaos = (document.get("chaos")
+                             if "request" in document else None)
+                    payload = document.get("request", document)
+                    kind = chaos["kind"] if chaos is not None else None
+                    if kind == "crash-before":
+                        agent._crash()
+                        return
+                    if kind == "hang":
+                        # No heartbeats, no progress: indistinguishable
+                        # from a genuinely wedged agent.  The client's
+                        # watchdog severs the channel.
+                        time.sleep(3600)
+                    stop_beat = threading.Event()
+                    beat_thread = threading.Thread(
+                        target=_heartbeat_loop, args=(emit, stop_beat),
+                        daemon=True)
+                    beat_thread.start()
+                    try:
+                        result = agent.service.run(
+                            AnalysisRequest.from_payload(payload))
+                        envelope = {"ok": result.to_payload()}
+                    except Exception as exc:  # noqa: BLE001 — reported to the client
+                        envelope = {"error": f"{type(exc).__name__}: {exc}"}
+                    finally:
+                        # Joined before the envelope is emitted, so no
+                        # stale heartbeat ever follows a result frame.
+                        stop_beat.set()
+                        beat_thread.join(timeout=5)
+                    if kind == "crash-after":
+                        agent._crash()
+                        return
+                    if kind == "corrupt":
+                        emit("{corrupt frame" + "x" * 16)
+                        continue
+                    emit(envelope)
+            except (OSError, ValueError):
+                # The peer hung up (or the agent died under us) — the
+                # client classifies the loss; nothing to answer here.
+                return
+
+    return Handler
+
+
+# ------------------------------------------------------- remote-pool client
+class _TcpChannel:
+    """One pooled TCP connection to a worker agent.
+
+    The wire twin of :class:`repro.api.backends._PoolWorker`: same
+    framed :meth:`measure` round trip, same heartbeat bookkeeping for
+    the supervision watchdog, same :meth:`kill` verdict recording —
+    except "kill" here severs the socket (unblocking the reader)
+    instead of SIGKILLing a child process.
+    """
+
+    def __init__(self, address: tuple[str, int],
+                 connect_timeout: float = 5.0):
+        self.address = address
+        self.describe = f"{address[0]}:{address[1]}"
+        self.last_beat = time.monotonic()
+        self.killed_reason: str | None = None
+        self.killed_preempted = False
+        self._closed = False
+        # Held for the channel's whole life; kill()/close() release it.
+        self.sock = socket.create_connection(address,
+                                             timeout=connect_timeout)
+        try:
+            self._reader = self.sock.makefile("r", encoding="utf-8")
+            self._writer = self.sock.makefile("w", encoding="utf-8")
+            greeting = self._reader.readline()
+            if not greeting:
+                raise WorkerCrashed(
+                    f"remote worker {self.describe} closed the "
+                    f"connection during the greeting")
+            try:
+                hello = json.loads(greeting)["hello"]
+                schema = hello["schema"]
+            except (ValueError, KeyError, TypeError):
+                raise WorkerCrashed(
+                    f"remote worker {self.describe} sent a non-protocol "
+                    f"greeting ({greeting.strip()[:120]!r}); is a "
+                    f"'repro worker' agent listening there?") from None
+            if schema != SCHEMA_VERSION:
+                raise BackendError(
+                    f"remote worker {self.describe} speaks schema "
+                    f"{schema!r}; this client requires {SCHEMA_VERSION!r}")
+            self.pid = hello.get("pid")
+            # The connect timeout covered dial + greeting; measurements
+            # are unbounded on the socket — the supervision watchdog
+            # owns liveness from here.
+            self.sock.settimeout(None)
+        except BaseException:
+            self.close()
+            raise
+
+    def alive(self) -> bool:
+        return not self._closed and self.killed_reason is None
+
+    def kill(self, reason: str, *, preempted: bool = False) -> None:
+        """Watchdog/scheduler teardown: record the verdict, then sever
+        the socket (which unblocks any reader mid-``readline``)."""
+        self.killed_reason = reason
+        self.killed_preempted = preempted
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def _lost(self, detail: str) -> BackendError:
+        """The channel broke: classify watchdog kill vs peer death."""
+        if self.killed_reason is not None:
+            if self.killed_preempted:
+                return WorkerPreempted(self.killed_reason)
+            return WorkerTimeout(self.killed_reason)
+        return WorkerCrashed(detail)
+
+    def measure(self, request: AnalysisRequest,
+                chaos: dict | None = None) -> AnalysisResult:
+        """One framed request/response round trip (raises on loss)."""
+        self.last_beat = time.monotonic()
+        if chaos is None:
+            frame = request.to_json()
+        else:
+            frame = json.dumps({"request": request.to_payload(),
+                                "chaos": chaos}, sort_keys=True)
+        try:
+            self._writer.write(frame + "\n")
+            self._writer.flush()
+            while True:
+                line = self._reader.readline()
+                if not line:
+                    raise self._lost(
+                        f"remote worker {self.describe} closed the "
+                        f"connection mid-request")
+                try:
+                    envelope = json.loads(line)
+                except ValueError:
+                    raise WorkerCrashed(
+                        f"remote worker {self.describe} emitted a "
+                        f"corrupted frame "
+                        f"({line.strip()[:120]!r})") from None
+                if "hb" in envelope:
+                    self.last_beat = time.monotonic()
+                    continue
+                if "error" in envelope:
+                    raise BackendError(
+                        f"remote worker {self.describe} failed: "
+                        f"{envelope['error']}")
+                return AnalysisResult.from_payload(envelope["ok"])
+        except (OSError, ValueError) as exc:
+            raise self._lost(
+                f"remote worker {self.describe} socket failed "
+                f"({exc})") from None
+
+    def close(self) -> None:
+        self._closed = True
+        for stream in (getattr(self, "_reader", None),
+                       getattr(self, "_writer", None)):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass  # flush into a severed socket; already lost
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemotePoolBackend(ExecutionBackend):
+    """Dispatch shards to a configured set of TCP worker agents.
+
+    The procpool's semantics over the network (see module docstring):
+    pooled warm channels, lazy round-robin dialing, supervision with
+    deadline + heartbeat staleness, retryable loss classification, and
+    preemption via channel severing.  A peer that refuses or drops a
+    connection is marked dead for ``dead_cooldown`` seconds so retries
+    reconnect *elsewhere* first; a fully-unreachable fleet raises the
+    retryable :class:`~repro.api.resilience.WorkerCrashed` (the retry
+    backoff doubles as the reconnect probe interval).
+
+    **Lock ordering** (checked by ``repro lint`` and the runtime lock
+    witness): ``_lock`` is a leaf guarding the idle list, the dead map
+    and the counters.  Dialing, measuring, severing and closing channels
+    all happen with the lock dropped — never call into a socket while
+    holding ``_lock``.
+    """
+
+    name = "remote-pool"
+    supports_preempt = True
+    #: Scripted chaos faults ride the wire to the agent (the
+    #: :class:`~repro.api.backends.ChaosBackend` real-injection path).
+    chaos_rider = True
+
+    def __init__(self, workers, max_parallel: int = 0, *,
+                 heartbeat_grace: float | None = 10.0,
+                 poll_interval: float = 0.1,
+                 connect_timeout: float = 5.0,
+                 dead_cooldown: float = 5.0):
+        addresses = tuple(parse_worker_address(worker)
+                          for worker in (workers or ()))
+        if not addresses:
+            raise ValueError(
+                "the remote-pool backend needs at least one worker "
+                "address (workers=['HOST:PORT', ...]); start agents "
+                "with 'repro worker --listen HOST:PORT'")
+        self.addresses = addresses
+        # Two in-flight shards per configured agent by default: one
+        # measuring, one queued behind it on the agent's accept loop.
+        self.parallel = (int(max_parallel)
+                         or max(DEFAULT_MAX_PARALLEL, 2 * len(addresses)))
+        self.heartbeat_grace = heartbeat_grace
+        self.connect_timeout = float(connect_timeout)
+        self.dead_cooldown = float(dead_cooldown)
+        self._dispatch = ThreadBackend(self.parallel)
+        self._supervisor = WorkerSupervisor(poll_interval=poll_interval)
+        self._idle: list[_TcpChannel] = []
+        self._dead: dict[tuple[str, int], float] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._restarts = 0
+        self._connected = 0
+        self._busy = 0
+
+    @property
+    def worker_restarts(self) -> int:
+        """Cumulative lost-channel replacements (crashes + timeouts)."""
+        with self._lock:
+            return self._restarts
+
+    def pool_snapshot(self) -> dict:
+        """Live pool shape for health/queue surfaces."""
+        now = time.monotonic()
+        with self._lock:
+            idle = len(self._idle)
+            busy = self._busy
+            workers = [
+                {"address": f"{host}:{port}",
+                 "dead": (now - self._dead.get((host, port), -1e9)
+                          < self.dead_cooldown)}
+                for host, port in self.addresses]
+            return {"size": idle + busy, "busy": busy, "idle": idle,
+                    "max": self.parallel, "connected": self._connected,
+                    "workers": workers}
+
+    def submit(self, request: AnalysisRequest, runner: Runner, *,
+               on_start: Callable[[], None] | None = None,
+               chaos: dict | None = None, preempt=None):
+        _reject_session_ref(self.name, request)
+
+        def run(req: AnalysisRequest, _chaos=chaos,
+                _preempt=preempt) -> AnalysisResult:
+            return self._run_on_channel(req, chaos=_chaos,
+                                        preempt=_preempt)
+
+        return self._dispatch.submit(request, run, on_start=on_start)
+
+    # --------------------------------------------------------------- pooling
+    def _borrow(self) -> _TcpChannel:
+        stale: list[_TcpChannel] = []
+        channel: _TcpChannel | None = None
+        with self._lock:
+            if self._closed:
+                raise BackendError("remote-pool backend is closed")
+            self._busy += 1
+            while self._idle:
+                candidate = self._idle.pop()  # newest first: warmest
+                if candidate.alive():
+                    channel = candidate
+                    break
+                stale.append(candidate)
+        for dead in stale:
+            dead.close()
+        if channel is not None:
+            return channel
+        try:
+            return self._connect()
+        except BaseException:
+            with self._lock:
+                self._busy -= 1
+            raise
+
+    def _connect(self) -> _TcpChannel:
+        """Dial the next reachable agent (round-robin, dead last)."""
+        now = time.monotonic()
+        with self._lock:
+            start = self._next
+            self._next += 1
+            dead = dict(self._dead)
+        order = [self.addresses[(start + offset) % len(self.addresses)]
+                 for offset in range(len(self.addresses))]
+        fresh = [address for address in order
+                 if now - dead.get(address, -1e9) >= self.dead_cooldown]
+        # With the whole fleet in cooldown there is nothing to prefer —
+        # probe everyone rather than guaranteeing failure.
+        errors = []
+        for address in fresh or order:
+            try:
+                channel = _TcpChannel(address,
+                                      connect_timeout=self.connect_timeout)
+            except (OSError, WorkerCrashed) as exc:
+                errors.append(f"{address[0]}:{address[1]} ({exc})")
+                with self._lock:
+                    self._dead[address] = time.monotonic()
+                continue
+            with self._lock:
+                self._dead.pop(address, None)
+                self._connected += 1
+            return channel
+        raise WorkerCrashed(
+            "no reachable remote worker: " + "; ".join(errors))
+
+    def _run_on_channel(self, request: AnalysisRequest,
+                        chaos: dict | None = None,
+                        preempt=None) -> AnalysisResult:
+        if preempt is not None and preempt.is_set():
+            raise WorkerPreempted(preempt.reason or
+                                  "shard preempted before dispatch")
+        channel = self._borrow()
+        describe = (f"shard {request.fingerprint()[:12]} "
+                    f"on {channel.describe}")
+        timeout = request.options.shard_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        token = self._supervisor.watch(
+            kill=channel.kill, describe=describe, deadline=deadline,
+            beat=lambda: channel.last_beat, grace=self.heartbeat_grace)
+        hook = None
+        if preempt is not None:
+            def hook(reason, _channel=channel):
+                _channel.kill(reason or "shard preempted", preempted=True)
+            preempt.add_hook(hook)
+        try:
+            result = channel.measure(request, chaos=chaos)
+        except BaseException as error:
+            channel.close()          # never reuse a suspect channel
+            with self._lock:
+                self._busy -= 1
+            if isinstance(error, WorkerCrashed) \
+                    and not isinstance(error, WorkerPreempted):
+                with self._lock:
+                    self._dead[channel.address] = time.monotonic()
+                    self._restarts += 1
+                    restarts = self._restarts
+                logger.warning(
+                    "remote worker lost on %s (%s: %s); the next borrow "
+                    "reconnects elsewhere (worker_restarts=%d)",
+                    describe, type(error).__name__, error, restarts)
+            raise
+        finally:
+            if hook is not None:
+                preempt.remove_hook(hook)
+            self._supervisor.unwatch(token)
+        with self._lock:
+            self._busy -= 1
+            if not self._closed:
+                self._idle.append(channel)
+                channel = None
+        if channel is not None:
+            channel.close()
+        return result
+
+    def close(self) -> None:
+        self._dispatch.close()       # waits for in-flight borrows
+        self._supervisor.close()
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for channel in idle:
+            channel.close()
+
+
+# ------------------------------------------------------------- coordinator
+class NodeUnreachable(RemoteError):
+    """A fleet node did not answer (refused, reset, or timed out)."""
+
+
+@dataclass
+class _JobRecord:
+    """What the coordinator remembers about one routed job."""
+
+    node: str
+    payload: bytes | None = None
+    priority: int = 0
+    client_id: str | None = None
+
+
+class ClusterCoordinator:
+    """Federate several ``repro serve`` nodes behind one node-shaped API.
+
+    Routing: each node contributes ``ring_points`` virtual points on a
+    consistent-hash ring; a submission walks the ring from its request
+    fingerprint, skipping draining (503) and unreachable nodes, and the
+    first node to accept owns the job.  Because job ids are
+    content-addressed store keys, ownership is a *routing hint*, not a
+    correctness requirement — any node answers any job id by store
+    lookup, and :meth:`_reroute` resubmits a lost node's recorded
+    request elsewhere under the very same job id.
+
+    **Lock ordering**: ``_lock`` is a leaf guarding ``_jobs``/``_down``;
+    no node I/O ever happens while holding it.
+    """
+
+    def __init__(self, nodes, *, probe_timeout: float = 5.0,
+                 request_timeout: float = 600.0,
+                 down_cooldown: float = 10.0, ring_points: int = 64):
+        self.nodes = tuple(str(node).rstrip("/") for node in nodes)
+        if not self.nodes:
+            raise ValueError("the coordinator needs at least one node "
+                             "URL (repro coordinate --node http://...)")
+        self.probe_timeout = float(probe_timeout)
+        self.request_timeout = float(request_timeout)
+        self.down_cooldown = float(down_cooldown)
+        self._ring = sorted(
+            (self._point(f"{url}#{index}"), url)
+            for url in self.nodes for index in range(ring_points))
+        self._jobs: dict[str, _JobRecord] = {}
+        self._down: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ transport
+    def _node_request(self, url: str, path: str, *,
+                      data: bytes | None = None,
+                      headers: dict | None = None,
+                      timeout: float | None = None):
+        """One proxied round trip → ``(status, headers, body)``.
+
+        HTTP error statuses pass through (the node's 4xx/5xx answer *is*
+        the answer); only transport failure raises
+        :class:`NodeUnreachable`.
+        """
+        request = urllib.request.Request(url + path, data=data,
+                                         headers=headers or {})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=timeout or self.probe_timeout) \
+                    as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return exc.code, exc.headers, exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise NodeUnreachable(
+                f"fleet node {url} is unreachable: {reason}") from None
+
+    # -------------------------------------------------------------- routing
+    @staticmethod
+    def _point(label: str) -> int:
+        return int(hashlib.sha256(label.encode()).hexdigest()[:16], 16)
+
+    def _ring_order(self, key: str) -> list[str]:
+        """Node URLs in ring preference order for ``key``."""
+        index = bisect.bisect(self._ring, (self._point(key), ""))
+        seen: set[str] = set()
+        order: list[str] = []
+        for offset in range(len(self._ring)):
+            _, url = self._ring[(index + offset) % len(self._ring)]
+            if url not in seen:
+                seen.add(url)
+                order.append(url)
+        return order
+
+    def _route(self, key: str) -> list[str]:
+        """Ring order, with recently-lost nodes demoted to the end."""
+        order = self._ring_order(key)
+        now = time.monotonic()
+        with self._lock:
+            down = {url for url, lost in self._down.items()
+                    if now - lost < self.down_cooldown}
+        return ([url for url in order if url not in down]
+                + [url for url in order if url in down])
+
+    def _note_down(self, url: str) -> None:
+        with self._lock:
+            self._down[url] = time.monotonic()
+
+    def _note_up(self, url: str) -> None:
+        with self._lock:
+            self._down.pop(url, None)
+
+    # --------------------------------------------------------------- verbs
+    def submit(self, body: bytes, *, priority: int = 0,
+               client_id: str | None = None):
+        """Route one submission; returns ``(status, headers, body)``."""
+        payload = json.loads(body.decode() or "{}")
+        request = AnalysisRequest.from_payload(payload)
+        if request.model.session is not None:
+            raise ValueError(
+                f"session ref {request.model.key!r} cannot be served "
+                f"remotely: in-memory models do not cross the wire (use "
+                f"benchmark=/preset= refs)")
+        query = f"?priority={int(priority)}" if priority else ""
+        headers = {"Content-Type": "application/json"}
+        if client_id is not None:
+            headers["X-Repro-Client"] = client_id
+        failures = []
+        for url in self._route(request.fingerprint()):
+            try:
+                status, node_headers, node_body = self._node_request(
+                    url, "/v1/submit" + query, data=body, headers=headers,
+                    timeout=self.request_timeout)
+            except NodeUnreachable as exc:
+                failures.append(str(exc))
+                self._note_down(url)
+                continue
+            if status == 503:
+                failures.append(f"fleet node {url} is draining")
+                continue
+            if status != 200:
+                # The node's own verdict (400 bad request, 429 full
+                # queue) — deterministic, not routing's to hide.
+                return status, node_headers, node_body
+            self._note_up(url)
+            answer = json.loads(node_body)
+            with self._lock:
+                self._jobs[answer["job"]] = _JobRecord(
+                    node=url, payload=body, priority=int(priority),
+                    client_id=client_id)
+            answer["node"] = url
+            return (200, node_headers,
+                    json.dumps(answer, sort_keys=True).encode())
+        raise NodeUnreachable(
+            "no live fleet node accepted the submission: "
+            + "; ".join(failures))
+
+    def locate(self, job: str) -> _JobRecord:
+        """The job's owner record; probes every node for jobs this
+        coordinator never routed (any node answers any id by store
+        lookup).  Raises ``KeyError`` when nowhere knows it."""
+        with self._lock:
+            record = self._jobs.get(job)
+        if record is not None:
+            return record
+        for url in self._route(job):
+            try:
+                status, _, _ = self._node_request(
+                    url, f"/v1/status/{job}", timeout=self.probe_timeout)
+            except NodeUnreachable:
+                self._note_down(url)
+                continue
+            if status == 200:
+                with self._lock:
+                    return self._jobs.setdefault(job, _JobRecord(node=url))
+        raise KeyError(job)
+
+    def _reroute(self, job: str, dead: str) -> str | None:
+        """Resubmit a lost node's job elsewhere (same content-addressed
+        id); returns the new owner URL or ``None``."""
+        self._note_down(dead)
+        with self._lock:
+            record = self._jobs.get(job)
+        if record is None or record.payload is None:
+            return None
+        query = (f"?priority={record.priority}" if record.priority else "")
+        headers = {"Content-Type": "application/json"}
+        if record.client_id is not None:
+            headers["X-Repro-Client"] = record.client_id
+        for url in self._route(job):
+            if url == dead:
+                continue
+            try:
+                status, _, body = self._node_request(
+                    url, "/v1/submit" + query, data=record.payload,
+                    headers=headers, timeout=self.request_timeout)
+            except NodeUnreachable:
+                self._note_down(url)
+                continue
+            if status != 200:
+                continue
+            resubmitted = json.loads(body)["job"]
+            with self._lock:
+                record.node = url
+            logger.warning(
+                "fleet node %s lost job %s; resubmitted to %s (same "
+                "content-addressed id: %s)", dead, job, url, resubmitted)
+            return url
+        return None
+
+    def proxy_job(self, job: str, path: str, *, data: bytes | None = None,
+                  timeout: float | None = None):
+        """Proxy a per-job endpoint to its owner, rerouting around a
+        dead node; returns ``(status, headers, body)``."""
+        record = self.locate(job)
+        for _ in range(len(self.nodes)):
+            node = record.node
+            try:
+                return self._node_request(node, path, data=data,
+                                          timeout=timeout
+                                          or self.request_timeout)
+            except NodeUnreachable:
+                if self._reroute(job, node) is None:
+                    raise
+        raise NodeUnreachable(
+            f"no live fleet node can answer job {job!r}")
+
+    def health_payload(self) -> dict:
+        """Per-node health aggregation (the coordinator's own
+        ``/v1/health`` answer)."""
+        nodes: dict[str, dict] = {}
+        live = 0
+        for url in self.nodes:
+            try:
+                status, _, body = self._node_request(
+                    url, "/v1/health", timeout=self.probe_timeout)
+            except NodeUnreachable as exc:
+                self._note_down(url)
+                nodes[url] = {"ok": False, "error": str(exc)}
+                continue
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                nodes[url] = {"ok": False,
+                              "error": f"malformed health body "
+                                       f"(HTTP {status})"}
+                continue
+            if status == 200:
+                live += 1
+                self._note_up(url)
+            nodes[url] = payload
+        return {"ok": live > 0, "coordinator": True,
+                "schema": SCHEMA_VERSION, "live": live, "nodes": nodes}
+
+    def inspect(self) -> dict:
+        """The first reachable node's store inspection."""
+        for url in self._route("inspect"):
+            try:
+                status, _, body = self._node_request(
+                    url, "/v1/inspect", timeout=self.probe_timeout)
+            except NodeUnreachable:
+                self._note_down(url)
+                continue
+            if status == 200:
+                return json.loads(body)
+        raise NodeUnreachable("no live fleet node answered /v1/inspect")
+
+    def stream_events(self, job: str, after: int = 0,
+                      embed_partial: bool = True):
+        """Yield one ndjson line per event, splicing across node loss.
+
+        Serves at most one upstream silence slice per silent stretch —
+        the consumer's own reconnect logic (``after=<last seq>``)
+        resumes, exactly as against a single node.  Losing the owner
+        mid-stream synthesizes a ``node_lost`` event at the splice
+        point, reroutes, and continues from the new owner with
+        ``after=0`` (sequence numbers restart; duplicated ``shard_done``
+        frames are harmless by the monotonic-merge guarantee).
+        """
+        record = self.locate(job)
+        last_seq = after
+        suffix = "" if embed_partial else "&embed_partial=0"
+        while True:
+            node = record.node
+            try:
+                request = urllib.request.Request(
+                    f"{node}/v1/events/{job}?after={last_seq}{suffix}")
+                with urllib.request.urlopen(
+                        request,
+                        timeout=WAIT_SLICE_SECONDS + 15.0) as response:
+                    for raw in response:
+                        line = raw.strip()
+                        if not line:
+                            continue
+                        document = json.loads(line)
+                        last_seq = int(document.get("seq", last_seq))
+                        yield line.decode() + "\n"
+                        if document.get("kind") in TERMINAL_EVENTS:
+                            return
+                return  # silent slice: the consumer reconnects
+            except (urllib.error.URLError, OSError,
+                    http.client.HTTPException, ValueError) as exc:
+                reason = str(getattr(exc, "reason", exc))
+                fresh = self._reroute(job, node)
+                lost = AnalysisEvent(
+                    kind="node_lost", job=job, seq=last_seq + 1,
+                    created=time.time(),
+                    payload={"node": node, "error": reason,
+                             "resubmitted": fresh is not None})
+                yield lost.to_json() + "\n"
+                if fresh is None:
+                    terminal = AnalysisEvent(
+                        kind="error", job=job, seq=last_seq + 2,
+                        created=time.time(),
+                        payload={"error": f"fleet node {node} was lost "
+                                          f"and the job could not be "
+                                          f"resubmitted: {reason}"})
+                    yield terminal.to_json() + "\n"
+                    return
+                last_seq = 0
+
+
+class CoordinatorServer:
+    """Serve one :class:`ClusterCoordinator` over HTTP.
+
+    The surface is the node API itself (same endpoints, same status
+    codes, same headers), so :class:`~repro.api.server.RemoteService`
+    pointed at a coordinator behaves exactly as against a single node.
+    """
+
+    def __init__(self, coordinator: ClusterCoordinator, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.coordinator = coordinator
+        self._closed = False
+        handler = _make_coordinator_handler(coordinator)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CoordinatorServer":
+        """Serve on a background thread; returns self."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-coordinate",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+def _make_coordinator_handler(coordinator: ClusterCoordinator):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args) -> None:  # noqa: D102
+            pass
+
+        def _reply(self, code: int, payload: dict | str,
+                   headers: dict | None = None) -> None:
+            body = (payload if isinstance(payload, str)
+                    else json.dumps(payload, sort_keys=True))
+            data = body.encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _error(self, code: int, message: str) -> None:
+            self._reply(code, {"error": message})
+
+        def _forward(self, status: int, headers, body: bytes) -> None:
+            """Re-send a node's answer under coordinator framing."""
+            content_type = "application/json"
+            if headers is not None and headers.get("Content-Type"):
+                content_type = headers.get("Content-Type")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name in ("X-Repro-From-Cache", "Retry-After"):
+                value = (headers.get(name) if headers is not None
+                         else None)
+                if value is not None:
+                    self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        # ----------------------------------------------------------- routes
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            try:
+                path, _, query = self.path.partition("?")
+                if path == "/v1/health":
+                    self._reply(200, coordinator.health_payload())
+                    return
+                if path == "/v1/inspect":
+                    self._reply(200, coordinator.inspect())
+                    return
+                if path.startswith("/v1/events/"):
+                    self._events_route(path[len("/v1/events/"):], query)
+                    return
+                for prefix in ("/v1/status/", "/v1/result/",
+                               "/v1/partial/"):
+                    if path.startswith(prefix):
+                        job = path[len(prefix):]
+                        suffix = f"?{query}" if query else ""
+                        status, headers, body = coordinator.proxy_job(
+                            job, path + suffix,
+                            timeout=WAIT_SLICE_SECONDS
+                            + coordinator.probe_timeout + 15.0)
+                        self._forward(status, headers, body)
+                        return
+                self._error(404, f"unknown endpoint {path!r}")
+            except KeyError as exc:
+                job = exc.args[0] if exc.args else "?"
+                self._error(404, f"unknown job {job!r}")
+            except NodeUnreachable as exc:
+                self._error(502, str(exc))
+            except Exception as exc:  # noqa: BLE001 — must answer the socket
+                self._error(500, str(exc))
+
+        def _events_route(self, job: str, query: str) -> None:
+            params = urllib.parse.parse_qs(query)
+            try:
+                values = params.get("after")
+                after = int(values[-1]) if values else 0
+            except ValueError:
+                after = 0
+            embed = (params.get("embed_partial", ["1"])[-1]
+                     not in ("0", "false"))
+            # Resolve the owner *before* committing to a 200 chunked
+            # reply — an unknown job must still answer 404.
+            coordinator.locate(job)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            try:
+                for line in coordinator.stream_events(
+                        job, after=after, embed_partial=embed):
+                    self._write_chunk(line)
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-stream — nothing to answer.
+                self.close_connection = True
+
+        def _write_chunk(self, text: str) -> None:
+            data = text.encode()
+            self.wfile.write(f"{len(data):x}\r\n".encode())
+            self.wfile.write(data)
+            self.wfile.write(b"\r\n")
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server API
+            try:
+                path, _, query = self.path.partition("?")
+                if path.startswith("/v1/cancel/"):
+                    job = path[len("/v1/cancel/"):]
+                    status, headers, body = coordinator.proxy_job(
+                        job, "/v1/cancel/" + job, data=b"",
+                        timeout=coordinator.probe_timeout + 15.0)
+                    self._forward(status, headers, body)
+                    return
+                if path != "/v1/submit":
+                    self._error(404, f"unknown endpoint {self.path!r}")
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length)
+                try:
+                    values = urllib.parse.parse_qs(query).get("priority")
+                    priority = int(values[-1]) if values else 0
+                    client = self.headers.get("X-Repro-Client") or None
+                    status, headers, answer = coordinator.submit(
+                        body, priority=priority, client_id=client)
+                except (ValueError, KeyError, TypeError) as exc:
+                    self._error(400, str(exc))
+                    return
+                self._forward(status, headers, answer)
+            except KeyError as exc:
+                job = exc.args[0] if exc.args else "?"
+                self._error(404, f"unknown job {job!r}")
+            except NodeUnreachable as exc:
+                self._error(502, str(exc))
+            except Exception as exc:  # noqa: BLE001 — must answer the socket
+                self._error(500, str(exc))
+
+    return Handler

@@ -62,10 +62,15 @@ __all__ = ["EVENT_KINDS", "TERMINAL_EVENTS", "AnalysisCancelled",
 #: inline path (see :mod:`repro.api.resilience`); ``preempted``
 #: (non-terminal) announces one shard parking at a checkpoint for a
 #: starved tenant — its measured-so-far points are kept and a remainder
-#: shard requeues (payload: shard coordinates, points parked, reason).
+#: shard requeues (payload: shard coordinates, points parked, reason);
+#: ``node_lost`` (non-terminal, coordinator-synthesized) announces a
+#: fleet node dying mid-job — the stream splices to the job's new owner
+#: (payload: the lost node URL, the error, whether the job was
+#: resubmitted; see :mod:`repro.api.cluster`).
 EVENT_KINDS: tuple[str, ...] = ("queued", "started", "shard_done",
                                 "shard_retry", "progress", "degraded",
-                                "preempted", "done", "error", "cancelled")
+                                "preempted", "node_lost", "done", "error",
+                                "cancelled")
 
 #: Kinds that close a log; exactly one terminates every submission.
 TERMINAL_EVENTS: frozenset[str] = frozenset({"done", "error", "cancelled"})
@@ -194,6 +199,26 @@ class AnalysisEvent:
     def from_json(cls, text: str) -> "AnalysisEvent":
         return cls.from_payload(json.loads(text))
 
+    def slim(self) -> "AnalysisEvent":
+        """This event without an embedded merged-so-far partial.
+
+        ``shard_done`` payloads carry the request's cumulative
+        :class:`~repro.api.request.PartialResult` — O(curves) bytes per
+        shard, which a wide request multiplies into O(shards×curves) on
+        the wire.  The slim form (``embed_partial=False`` consumers)
+        replaces it with a ``partial_superseded_by`` pointer at this
+        event's own seq — the same pointer compaction leaves behind —
+        telling the consumer "fetch ``/v1/partial`` (or
+        ``handle.partial()``) for the snapshot".  Other kinds pass
+        through unchanged.
+        """
+        if self.kind != "shard_done" or "partial" not in self.payload:
+            return self
+        payload = {name: value for name, value in self.payload.items()
+                   if name != "partial"}
+        payload.setdefault("partial_superseded_by", self.seq)
+        return dataclasses.replace(self, payload=payload)
+
 
 class EventLog:
     """Append-only, condition-notified event history of one submission.
@@ -250,22 +275,33 @@ class EventLog:
             self._events[index] = dataclasses.replace(stale,
                                                       payload=compacted)
 
-    def snapshot(self, after: int = 0) -> list[AnalysisEvent]:
-        """Events with ``seq > after``, without blocking."""
+    def snapshot(self, after: int = 0, *,
+                 embed_partial: bool = True) -> list[AnalysisEvent]:
+        """Events with ``seq > after``, without blocking.
+
+        ``embed_partial=False`` returns each ``shard_done`` in its slim
+        form (:meth:`AnalysisEvent.slim`) — pointer instead of payload.
+        """
         with self._condition:
-            return self._events[after:]
+            events = self._events[after:]
+        if not embed_partial:
+            events = [event.slim() for event in events]
+        return events
 
     def closed(self) -> bool:
         with self._condition:
             return bool(self._events) and self._events[-1].terminal
 
-    def stream(self, after: int = 0, timeout: float | None = None):
+    def stream(self, after: int = 0, timeout: float | None = None, *,
+               embed_partial: bool = True):
         """Yield events with ``seq > after`` until the terminal event.
 
         ``timeout`` bounds the total silent wait: if no *new* event
         arrives within it the generator returns (the consumer may resume
         with ``after=<last seen seq>``).  With ``timeout=None`` the
-        stream blocks until the log closes.
+        stream blocks until the log closes.  ``embed_partial=False``
+        yields ``shard_done`` events in their slim form
+        (:meth:`AnalysisEvent.slim`).
         """
         index = after
         deadline = (None if timeout is None
@@ -281,7 +317,7 @@ class EventLog:
                 fresh = self._events[index:]
             for event in fresh:
                 index = event.seq
-                yield event
+                yield event if embed_partial else event.slim()
                 if event.terminal:
                     return
             if deadline is not None:

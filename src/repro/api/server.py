@@ -370,11 +370,17 @@ def _make_handler(server: AnalysisServer):
             if handle is None:
                 self._error(404, f"unknown job {job!r}")
                 return
+            params = urllib.parse.parse_qs(query)
             try:
-                values = urllib.parse.parse_qs(query).get("after")
+                values = params.get("after")
                 after = int(values[-1]) if values else 0
             except ValueError:
                 after = 0
+            # ?embed_partial=0 slims shard_done payloads to pointers —
+            # wide requests otherwise amplify O(shards×curves) bytes
+            # through every proxy hop.
+            embed = (params.get("embed_partial", ["1"])[-1]
+                     not in ("0", "false"))
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("Transfer-Encoding", "chunked")
@@ -382,7 +388,8 @@ def _make_handler(server: AnalysisServer):
             try:
                 yielded = 0
                 for event in handle.events(after=after,
-                                           timeout=WAIT_SLICE_SECONDS):
+                                           timeout=WAIT_SLICE_SECONDS,
+                                           embed_partial=embed):
                     yielded += 1
                     self._write_chunk(event.to_json() + "\n")
                 if yielded == 0 and after > 0 and handle.done():
@@ -498,7 +505,8 @@ class RemoteHandle:
                                                      timeout=timeout)
         return self._result
 
-    def events(self, after: int = 0, timeout: float | None = None):
+    def events(self, after: int = 0, timeout: float | None = None, *,
+               embed_partial: bool = True):
         """Stream the job's :class:`~repro.api.events.AnalysisEvent`
         records over the chunked ``/v1/events`` endpoint.
 
@@ -506,9 +514,13 @@ class RemoteHandle:
         without a terminal event (its silence bound); ``timeout`` caps
         the *total* wall-clock spent waiting, after which the generator
         returns (resume later with ``after=<last seen seq>``).
+        ``embed_partial=False`` asks the server for slim ``shard_done``
+        events (pointer instead of the merged-so-far payload; fetch
+        :meth:`partial` for the snapshot).
         """
         yield from self.remote._stream_events(self.key, after=after,
-                                              timeout=timeout)
+                                              timeout=timeout,
+                                              embed_partial=embed_partial)
 
     def partial(self) -> PartialResult:
         """The server's merged-so-far :class:`~repro.api.request.
@@ -639,14 +651,16 @@ class RemoteService:
                 for handle in self.submit_many(requests, priority=priority)]
 
     def _stream_events(self, job: str, *, after: int = 0,
-                       timeout: float | None = None):
+                       timeout: float | None = None,
+                       embed_partial: bool = True):
         """Consume ``/v1/events/<job>`` slices until the terminal event."""
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
+        suffix = "" if embed_partial else "&embed_partial=0"
         while True:
             slice_timeout = WAIT_SLICE_SECONDS + self.poll_grace
             saw_any = False
-            with self._request(f"/v1/events/{job}?after={after}",
+            with self._request(f"/v1/events/{job}?after={after}{suffix}",
                                timeout=slice_timeout) as response:
                 for raw in response:
                     line = raw.strip()

@@ -255,15 +255,20 @@ class AnalysisHandle:
         return self._progress.snapshot()
 
     # --------------------------------------------------------- progressive
-    def events(self, after: int = 0, timeout: float | None = None):
+    def events(self, after: int = 0, timeout: float | None = None, *,
+               embed_partial: bool = True):
         """Stream this submission's :class:`~repro.api.events.
         AnalysisEvent` records (``seq > after``) until the terminal
         event (or ``timeout`` seconds of silence — resume with
         ``after=<last seen seq>``).  Replays losslessly: a consumer that
         attaches after completion still sees the full history.
+        ``embed_partial=False`` slims each ``shard_done`` to a
+        ``partial_superseded_by`` pointer instead of the embedded
+        merged-so-far payload (fetch :meth:`partial` for the snapshot).
         """
         if self._events is not None:
-            yield from self._events.stream(after=after, timeout=timeout)
+            yield from self._events.stream(after=after, timeout=timeout,
+                                           embed_partial=embed_partial)
             return
         # Handles without a log (joined onto a bare in-flight shard
         # future): degrade to one synthesised terminal event.
@@ -413,15 +418,23 @@ class ResilienceService:
         Store root directory; ignored when ``store`` is given.
     use_store:
         ``False`` disables persistence entirely (in-memory service).
+    store_layout:
+        Filesystem geometry of a store built here (ignored when
+        ``store`` is given): ``"local"`` (default, single-node flat
+        directory) or ``"shared"`` (a fleet-mounted root; see
+        :class:`~repro.api.store.SharedFSLayout`).
     backend:
         Execution backend name (``inline``/``threads``/``subprocess``/
-        ``procpool``) or a prebuilt
+        ``procpool``/``remote-pool``) or a prebuilt
         :class:`~repro.api.backends.ExecutionBackend`.  Validated through
         :func:`~repro.api.backends.make_backend` — invalid combinations
         with ``max_parallel`` error loudly.
     max_parallel:
         Shard/request concurrency for the parallel backends; rejected
         for ``inline``.
+    workers:
+        ``HOST:PORT`` agent addresses for the ``remote-pool`` backend
+        (required there, rejected for every other backend).
     nm_chunk:
         Optionally also shard the NM axis into chunks of this many
         values (parallel backends only; merged byte-identically).
@@ -467,8 +480,10 @@ class ResilienceService:
 
     def __init__(self, *, store: ResultStore | None = None,
                  cache_dir: str | None = None, use_store: bool = True,
+                 store_layout: str = "local",
                  backend: str | ExecutionBackend = "inline",
                  max_parallel: int | None = None,
+                 workers=None,
                  nm_chunk: int | None = None,
                  queue_limit: int | None = None,
                  retry_policy: RetryPolicy | None = None,
@@ -477,10 +492,10 @@ class ResilienceService:
                  tenant_weights: dict | None = None,
                  starvation_threshold: float | None = None):
         if store is None and use_store:
-            store = ResultStore(cache_dir)
+            store = ResultStore(cache_dir, layout=store_layout)
         self.store = store
         self.backend = make_backend(backend, max_parallel,
-                                    fault_plan=fault_plan)
+                                    fault_plan=fault_plan, workers=workers)
         self.nm_chunk = nm_chunk
         self.queue = ShardQueue(self.backend, limit=queue_limit,
                                 weights=tenant_weights,

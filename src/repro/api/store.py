@@ -30,13 +30,27 @@ entries keyed under a previous engine revision, and orphaned write
 temporaries always go; age-based and wholesale pruning are opt-in
 (``older_than``/``everything``).  Writes are atomic (temp file +
 ``os.replace``) so concurrent runs never observe torn JSON.
+
+*Where* documents live on disk is a pluggable :class:`StoreLayout`
+(ISSUE 10).  The default :class:`LocalDirLayout` is the historical flat
+directory — one ``<key>.json`` per result directly under the root.
+:class:`SharedFSLayout` targets a root that several fleet nodes mount at
+once (NFS, a bind-mounted volume): documents fan out into two-character
+key-prefix subdirectories, write temporaries embed the writer's
+hostname/PID so concurrent nodes can never collide, publication fsyncs
+before the atomic rename, and orphan collection is age-gated (a fresh
+``.tmp`` is presumed to be another node's in-flight write).  The store's
+keying, completeness guard and gc taxonomy are layout-independent — a
+warm hit produced by node A is a warm hit for node B.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
+import socket
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -45,7 +59,8 @@ from ..core.sweep import ENGINE_REV
 from .request import AnalysisResult, SchemaError
 
 __all__ = ["ResultStore", "StoreEntry", "GcReport", "store_key",
-           "default_store_root"]
+           "default_store_root", "StoreLayout", "LocalDirLayout",
+           "SharedFSLayout", "make_layout", "LAYOUT_NAMES"]
 
 
 def default_store_root() -> str:
@@ -75,6 +90,209 @@ def store_key(request_fingerprint: str, model_crc: int,
     """
     return (f"{request_fingerprint}-m{model_crc & 0xffffffff:08x}"
             f"-d{dataset_crc & 0xffffffff:08x}-e{ENGINE_REV}")
+
+
+# ------------------------------------------------------------------- layouts
+class StoreLayout:
+    """Where result documents live under a store root (see module
+    docstring).
+
+    A layout owns the *filesystem geometry* — key → path, atomic
+    publication, enumeration, orphan discovery — and nothing about
+    result semantics.  ``gc()`` and every read path go through this seam,
+    so a layout is also the unit of multi-node safety: two stores (or two
+    processes on two machines) over the same root must be able to
+    publish, read and collect concurrently.
+    """
+
+    #: Registry name (``make_layout``/CLI ``--store-layout``).
+    name: str = "abstract"
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """Canonical document path for ``key`` (may not exist)."""
+        raise NotImplementedError
+
+    def publish(self, key: str, text: str) -> str:
+        """Atomically persist ``text`` as ``key``'s document; returns
+        the path.  Readers (on any node) see the old document or the new
+        one, never torn bytes."""
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        """Every stored key, unordered (the store sorts)."""
+        raise NotImplementedError
+
+    def orphans(self) -> list[str]:
+        """Write-temporary paths that are safe to collect *now*."""
+        raise NotImplementedError
+
+
+class LocalDirLayout(StoreLayout):
+    """The historical single-node layout: a flat directory of
+    ``<key>.json`` documents with ``mkstemp`` write temporaries alongside.
+    Every ``.tmp`` is immediately collectable — only this process family
+    writes here, and a live :meth:`publish` holds its scratch for
+    milliseconds."""
+
+    name = "local"
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def publish(self, key: str, text: str) -> str:
+        path = self.path_for(key)
+        handle, scratch = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(text)
+            os.replace(scratch, path)
+        except BaseException:
+            try:
+                os.remove(scratch)
+            except FileNotFoundError:
+                # A concurrent gc() already collected the orphan (or the
+                # failure struck after the replace promoted it).
+                pass
+            raise
+        return path
+
+    def keys(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [name[:-len(".json")] for name in names
+                if name.endswith(".json")]
+
+    def orphans(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [os.path.join(self.root, name) for name in names
+                if name.endswith(".tmp")]
+
+
+#: Monotonic per-process counter keeping one process's shared-layout
+#: scratch names unique even across threads.
+_SCRATCH_SEQ = itertools.count()
+
+
+class SharedFSLayout(StoreLayout):
+    """A store root mounted by several fleet nodes at once.
+
+    Differences from :class:`LocalDirLayout`, each motivated by the
+    multi-writer setting:
+
+    * documents fan out into two-character key-prefix subdirectories so
+      a fleet's worth of entries doesn't degrade into one giant
+      directory listing on network filesystems;
+    * scratch names embed ``hostname.pid.seq`` — ``mkstemp`` alone only
+      guarantees uniqueness per filesystem *view*, and two nodes racing
+      the same NFS directory must never reuse a name;
+    * :meth:`publish` flushes and ``fsync``\\ s before the atomic
+      rename, so a crashed node cannot leave a successfully-renamed but
+      empty document for its peers;
+    * :meth:`orphans` only offers ``.tmp`` files older than
+      ``orphan_grace`` seconds — a fresh temporary is presumed to be
+      another node's in-flight write, which makes concurrent ``gc`` from
+      two nodes safe by construction.
+    """
+
+    name = "shared"
+
+    def __init__(self, root: str, orphan_grace: float = 60.0):
+        super().__init__(root)
+        self.orphan_grace = float(orphan_grace)
+
+    @staticmethod
+    def _prefix(key: str) -> str:
+        return key[:2] if len(key) >= 2 else "_"
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, self._prefix(key), key + ".json")
+
+    def publish(self, key: str, text: str) -> str:
+        path = self.path_for(key)
+        bucket = os.path.dirname(path)
+        os.makedirs(bucket, exist_ok=True)
+        scratch = os.path.join(
+            bucket, f".{key}.{socket.gethostname()}.{os.getpid()}"
+                    f".{next(_SCRATCH_SEQ)}.tmp")
+        try:
+            with open(scratch, "w") as stream:
+                stream.write(text)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(scratch, path)
+        except BaseException:
+            try:
+                os.remove(scratch)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def _buckets(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        buckets = []
+        for name in names:
+            bucket = os.path.join(self.root, name)
+            if os.path.isdir(bucket):
+                buckets.append(bucket)
+        return buckets
+
+    def keys(self) -> list[str]:
+        keys = []
+        for bucket in self._buckets():
+            try:
+                names = os.listdir(bucket)
+            except OSError:
+                continue  # bucket raced away under a concurrent gc
+            keys.extend(name[:-len(".json")] for name in names
+                        if name.endswith(".json"))
+        return keys
+
+    def orphans(self) -> list[str]:
+        cutoff = time.time() - self.orphan_grace
+        stale = []
+        for bucket in self._buckets():
+            try:
+                names = os.listdir(bucket)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(bucket, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        stale.append(path)
+                except OSError:
+                    continue  # already published or collected
+        return stale
+
+
+#: Names ``make_layout`` (and the CLI's ``--store-layout``) accepts.
+LAYOUT_NAMES: tuple[str, ...] = ("local", "shared")
+
+
+def make_layout(layout: str, root: str | None = None) -> StoreLayout:
+    """Build a :class:`StoreLayout` by registry name."""
+    if layout not in LAYOUT_NAMES:
+        raise ValueError(f"unknown store layout {layout!r}; "
+                         f"valid: {list(LAYOUT_NAMES)}")
+    resolved = root or default_store_root()
+    if layout == "shared":
+        return SharedFSLayout(resolved)
+    return LocalDirLayout(resolved)
 
 
 @dataclass
@@ -123,14 +341,28 @@ class StoreEntry:
 
 
 class ResultStore:
-    """Content-addressed result persistence (see module docstring)."""
+    """Content-addressed result persistence (see module docstring).
 
-    def __init__(self, root: str | None = None):
-        self.root = root or default_store_root()
-        os.makedirs(self.root, exist_ok=True)
+    ``layout`` selects the filesystem geometry: a :data:`LAYOUT_NAMES`
+    name (``"local"`` — the default single-node flat directory — or
+    ``"shared"`` for a fleet-mounted root) or a prebuilt
+    :class:`StoreLayout` instance.
+    """
+
+    def __init__(self, root: str | None = None,
+                 layout: str | StoreLayout = "local"):
+        if isinstance(layout, StoreLayout):
+            if root is not None and root != layout.root:
+                raise ValueError(
+                    f"conflicting store roots: root={root!r} but the "
+                    f"prebuilt layout owns {layout.root!r}")
+            self.layout = layout
+        else:
+            self.layout = make_layout(layout, root)
+        self.root = self.layout.root
 
     def path_for(self, key: str) -> str:
-        return os.path.join(self.root, key + ".json")
+        return self.layout.path_for(key)
 
     def get(self, key: str) -> AnalysisResult | None:
         """The stored result for ``key``, or ``None``.
@@ -162,21 +394,7 @@ class ResultStore:
         and the store stores exactly what the blocking path returns.
         """
         self._check_complete(key, result)
-        path = self.path_for(key)
-        handle, scratch = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w") as stream:
-                stream.write(result.to_json())
-            os.replace(scratch, path)
-        except BaseException:
-            try:
-                os.remove(scratch)
-            except FileNotFoundError:
-                # A concurrent gc() already collected the orphan (or the
-                # failure struck after the replace promoted it).
-                pass
-            raise
-        return path
+        return self.layout.publish(key, result.to_json())
 
     @staticmethod
     def _check_complete(key: str, result: AnalysisResult) -> None:
@@ -199,12 +417,16 @@ class ResultStore:
                     f"complete results are persisted")
 
     # ------------------------------------------------------------ inspection
+    def _mtime(self, key: str) -> float:
+        """Document mtime, racing deletes to epoch-zero instead of OSError."""
+        try:
+            return os.path.getmtime(self.path_for(key))
+        except OSError:
+            return 0.0
+
     def keys(self) -> list[str]:
         """Stored keys, newest first."""
-        names = [name[:-len(".json")] for name in os.listdir(self.root)
-                 if name.endswith(".json")]
-        return sorted(names, key=lambda key: os.path.getmtime(
-            self.path_for(key)), reverse=True)
+        return sorted(self.layout.keys(), key=self._mtime, reverse=True)
 
     def entries(self) -> list[StoreEntry]:
         """Summaries of every readable stored result, newest first."""
@@ -250,7 +472,10 @@ class ResultStore:
         Always removed:
 
         * **orphans** — ``*.tmp`` write temporaries left by a crashed
-          :meth:`put` (the atomic-replace never promoted them);
+          :meth:`put` (the atomic-replace never promoted them); what is
+          *safely* collectable is the layout's call — the shared layout
+          age-gates them because a fresh temporary may be another node's
+          in-flight write;
         * **engine-rev** entries — keys salted with a previous
           :data:`~repro.core.sweep.ENGINE_REV` (or none at all, the
           pre-salt layout): the current code will never look them up
@@ -264,21 +489,18 @@ class ResultStore:
           older than ``now - older_than`` (the store touches mtime on
           every ``put``, so this is "not re-measured recently");
         * ``everything`` — the full store.
+
+        Concurrent passes (two fleet nodes sweeping one shared root) are
+        safe: every delete goes through :meth:`GcReport.remove`, which
+        treats a lost race as "nothing to count", so each reclaimed file
+        is counted by exactly one report.
         """
         report = GcReport(root=self.root)
         cutoff = None if older_than is None else time.time() - older_than
-        try:
-            names = os.listdir(self.root)
-        except OSError:
-            return report
-        for name in names:
-            path = os.path.join(self.root, name)
-            if name.endswith(".tmp"):
-                report.remove(path, "orphaned")
-                continue
-            if not name.endswith(".json"):
-                continue
-            key = name[:-len(".json")]
+        for path in self.layout.orphans():
+            report.remove(path, "orphaned")
+        for key in self.layout.keys():
+            path = self.path_for(key)
             if everything:
                 report.remove(path, "pruned")
                 continue
@@ -288,8 +510,13 @@ class ResultStore:
             if self.get(key) is None:
                 report.remove(path, "stale")
                 continue
-            if cutoff is not None and os.path.getmtime(path) < cutoff:
-                report.remove(path, "expired")
-                continue
+            if cutoff is not None:
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    continue  # a concurrent gc won the race; not ours
+                if mtime < cutoff:
+                    report.remove(path, "expired")
+                    continue
             report.kept += 1
         return report

@@ -10,6 +10,9 @@ Usage::
     python -m repro run fig10 --quick --backend procpool --progress
     python -m repro run all --quick
     python -m repro serve --port 8035 --queue-limit 64
+    python -m repro worker --listen 127.0.0.1:9035
+    python -m repro run fig9 --quick --backend remote-pool --worker 127.0.0.1:9035
+    python -m repro coordinate --node http://127.0.0.1:8035 --node http://127.0.0.1:8036
     python -m repro run fig9 --quick --remote http://127.0.0.1:8035
     python -m repro run fig9 --quick --remote http://127.0.0.1:8035 --progress
     python -m repro inspect
@@ -46,6 +49,7 @@ from typing import Any, Callable
 
 from .api import ResilienceService, ResultStore, default_service
 from .api.backends import BACKEND_NAMES
+from .api.store import LAYOUT_NAMES
 from .core.sweep import STRATEGIES, ExecutionOptions
 from .experiments import (ablation, bittrue_validation, fig4, fig5, fig6,
                           fig9, fig10, fig11, fig12, table1, table2, table3,
@@ -159,10 +163,13 @@ def _build_service(args):
         return RemoteService(args.remote,
                              client_id=getattr(args, "client_id", None))
     if args.cache_dir is not None or args.backend != "inline" \
-            or args.max_parallel is not None:
+            or args.max_parallel is not None \
+            or args.store_layout != "local" or args.worker:
         return ResilienceService(cache_dir=args.cache_dir,
+                                 store_layout=args.store_layout,
                                  backend=args.backend,
-                                 max_parallel=args.max_parallel)
+                                 max_parallel=args.max_parallel,
+                                 workers=args.worker or None)
     return default_service()
 
 
@@ -266,6 +273,8 @@ def _sweep_flags_given(args) -> list[str]:
         flags.append("--backend")
     if args.max_parallel is not None:
         flags.append("--max-parallel")
+    if args.worker:
+        flags.append("--worker")
     if args.remote is not None:
         flags.append("--remote")
     if args.progress:
@@ -278,8 +287,10 @@ def _flag_conflicts(args) -> str | None:
     if args.remote is not None:
         local_only = [flag for flag, given in (
             ("--cache-dir", args.cache_dir is not None),
+            ("--store-layout", args.store_layout != "local"),
             ("--backend", args.backend != "inline"),
-            ("--max-parallel", args.max_parallel is not None)) if given]
+            ("--max-parallel", args.max_parallel is not None),
+            ("--worker", bool(args.worker))) if given]
         if local_only:
             return (f"{', '.join(local_only)} configure the local service; "
                     f"with --remote the server owns its store and backend "
@@ -287,6 +298,17 @@ def _flag_conflicts(args) -> str | None:
     if args.max_parallel is not None and args.backend == "inline":
         return ("--max-parallel needs a parallel backend; add "
                 "--backend threads or --backend subprocess")
+    return _worker_flag_conflict(args)
+
+
+def _worker_flag_conflict(args) -> str | None:
+    """``--worker`` and ``--backend remote-pool`` travel together."""
+    if args.worker and args.backend != "remote-pool":
+        return ("--worker names remote agents for the remote-pool "
+                "backend; add --backend remote-pool (or drop the flag)")
+    if args.backend == "remote-pool" and not args.worker:
+        return ("--backend remote-pool needs at least one --worker "
+                "HOST:PORT (start agents with 'repro worker --listen')")
     return None
 
 
@@ -334,6 +356,12 @@ def _add_store_flag(parser, help_suffix: str = "") -> None:
                         help="result-store directory (default: "
                              ".artifacts/results, or $REPRO_RESULT_DIR)"
                              + help_suffix)
+    parser.add_argument("--store-layout", choices=list(LAYOUT_NAMES),
+                        default="local",
+                        help="result-store on-disk layout: 'local' (flat "
+                             "single-node directory) or 'shared' "
+                             "(fanned-out, fsync'd layout safe for "
+                             "several nodes over one filesystem)")
 
 
 def _add_backend_flags(parser) -> None:
@@ -344,6 +372,11 @@ def _add_backend_flags(parser) -> None:
     parser.add_argument("--max-parallel", type=int, default=None,
                         help="max concurrent shard executions "
                              "(threads/subprocess backends only)")
+    parser.add_argument("--worker", action="append", default=None,
+                        metavar="HOST:PORT",
+                        help="remote worker agent for --backend "
+                             "remote-pool (repeatable; start agents "
+                             "with 'repro worker --listen HOST:PORT')")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -423,6 +456,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "default: preemption off)")
     _add_backend_flags(serve)
     _add_store_flag(serve)
+    worker = sub.add_parser(
+        "worker", help="serve the framed shard-measurement protocol over "
+                       "TCP for remote-pool clients (see docs/api.md)")
+    worker.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="bind address (default 127.0.0.1:0; port 0 "
+                             "picks a free one, printed at startup)")
+    coordinate = sub.add_parser(
+        "coordinate", help="front several 'repro serve' nodes behind one "
+                           "consistent-hash routing endpoint "
+                           "(see docs/api.md)")
+    coordinate.add_argument("--node", action="append", required=True,
+                            metavar="URL",
+                            help="base URL of one fleet node "
+                                 "(repeatable; e.g. "
+                                 "--node http://127.0.0.1:8035)")
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument("--port", type=int, default=8036,
+                            help="bind port (0 picks a free one)")
     inspect = sub.add_parser(
         "inspect", help="list or dump stored analysis results")
     inspect.add_argument("key", nargs="?", default=None,
@@ -547,14 +599,20 @@ def _serve(args) -> int:
     import threading
 
     from .api.server import AnalysisServer
+    conflict = _worker_flag_conflict(args)
+    if conflict is not None:
+        print(conflict, file=sys.stderr)
+        return 2
     try:
         tenant_weights = _parse_tenant_weights(args.tenant_weight)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     service = ResilienceService(cache_dir=args.cache_dir,
+                                store_layout=args.store_layout,
                                 backend=args.backend,
                                 max_parallel=args.max_parallel,
+                                workers=args.worker or None,
                                 queue_limit=args.queue_limit,
                                 degrade_threshold=args.degrade_threshold,
                                 tenant_weights=tenant_weights,
@@ -594,8 +652,48 @@ def _serve(args) -> int:
     return 0
 
 
+def _worker(args) -> int:
+    from .api.cluster import WorkerAgent, parse_worker_address
+    try:
+        host, port = parse_worker_address(args.listen)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    agent = WorkerAgent(host, port, hard_exit=True)
+    print(f"worker listening on {agent.address} "
+          f"(framed shard protocol; point a remote-pool client at it "
+          f"with --worker {agent.address}); Ctrl-C stops", flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.close()
+    return 0
+
+
+def _coordinate(args) -> int:
+    from .api.cluster import ClusterCoordinator, CoordinatorServer
+    try:
+        coordinator = ClusterCoordinator(args.node)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    server = CoordinatorServer(coordinator, host=args.host, port=args.port)
+    print(f"coordinating {len(args.node)} fleet node"
+          f"{'' if len(args.node) == 1 else 's'} on {server.address} "
+          f"({', '.join(args.node)}); Ctrl-C stops", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _inspect(args) -> int:
-    store = ResultStore(args.cache_dir)
+    store = ResultStore(args.cache_dir, layout=args.store_layout)
     if args.key is not None:
         matches = [key for key in store.keys() if key.startswith(args.key)]
         if not matches:
@@ -647,7 +745,7 @@ def _parse_age(text: str) -> float:
 
 
 def _gc(args) -> int:
-    store = ResultStore(args.cache_dir)
+    store = ResultStore(args.cache_dir, layout=args.store_layout)
     try:
         older_than = (None if args.older_than is None
                       else _parse_age(args.older_than))
@@ -669,6 +767,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "serve":
         return _serve(args)
+    if args.command == "worker":
+        return _worker(args)
+    if args.command == "coordinate":
+        return _coordinate(args)
     if args.command == "inspect":
         return _inspect(args)
     if args.command == "gc":

@@ -336,3 +336,155 @@ class TestGc:
         assert main(["gc", "--older-than", "soon",
                      "--cache-dir", populated.root]) == 2
         assert "invalid age" in capsys.readouterr().err
+
+
+class TestStoreLayouts:
+    """ISSUE 10: the filesystem geometry behind ``ResultStore`` is a
+    pluggable :class:`StoreLayout` — the default local layout is the
+    historical flat directory, and the shared layout makes one root safe
+    for several fleet nodes (fan-out, collision-proof scratch names,
+    fsync'd publication, age-gated orphan collection)."""
+
+    @pytest.fixture()
+    def result(self, service, request_):
+        return service.run(request_)
+
+    def test_layout_registry(self, tmp_path):
+        from repro.api import (LAYOUT_NAMES, LocalDirLayout, ResultStore,
+                               SharedFSLayout, make_layout)
+        assert LAYOUT_NAMES == ("local", "shared")
+        assert isinstance(make_layout("local", str(tmp_path)),
+                          LocalDirLayout)
+        assert isinstance(make_layout("shared", str(tmp_path)),
+                          SharedFSLayout)
+        with pytest.raises(ValueError, match="unknown store layout"):
+            make_layout("sharded", str(tmp_path))
+        with pytest.raises(ValueError, match="unknown store layout"):
+            ResultStore(str(tmp_path), layout="sharded")
+
+    def test_prebuilt_layout_rejects_conflicting_root(self, tmp_path):
+        from repro.api import ResultStore, SharedFSLayout
+        layout = SharedFSLayout(str(tmp_path / "a"))
+        with pytest.raises(ValueError, match="conflicting store roots"):
+            ResultStore(str(tmp_path / "b"), layout=layout)
+        store = ResultStore(layout=layout)  # rootless adoption works
+        assert store.root == layout.root
+
+    def test_shared_layout_fans_out_by_key_prefix(self, tmp_path, result):
+        import os
+        from repro.api import ResultStore
+        store = ResultStore(str(tmp_path / "shared"), layout="shared")
+        path = store.put("abcd-key", result)
+        assert os.path.dirname(path).endswith(os.sep + "ab")
+        assert store.path_for("abcd-key") == path
+        assert store.get("abcd-key") is not None
+
+    def test_write_on_node_a_read_on_node_b(self, tmp_path, result):
+        """The acceptance-criterion core: a warm hit produced by one
+        store instance (node A) serves byte-identically from a second
+        instance over the same shared root (node B) — no recompute."""
+        from repro.api import ResultStore
+        root = str(tmp_path / "shared")
+        node_a = ResultStore(root, layout="shared")
+        node_b = ResultStore(root, layout="shared")
+        node_a.put("fleet-key", result)
+        served = node_b.get("fleet-key")
+        assert served is not None
+        assert served.from_cache
+        assert _accuracies(served) == _accuracies(result)
+        assert node_b.keys() == ["fleet-key"]
+
+    def test_fresh_tmp_survives_gc_aged_tmp_collected(self, tmp_path,
+                                                      result):
+        """A fresh ``.tmp`` under a shared root may be another node's
+        in-flight write — gc must leave it alone until it ages past the
+        orphan grace."""
+        import os
+        from repro.api import ResultStore
+        store = ResultStore(str(tmp_path / "shared"), layout="shared")
+        store.put("live-key", result)
+        scratch = os.path.join(os.path.dirname(store.path_for("live-key")),
+                               ".live-key.otherhost.1234.0.tmp")
+        with open(scratch, "w") as stream:
+            stream.write("{")
+        assert store.gc().by_reason == {}          # fresh: presumed live
+        assert os.path.exists(scratch)
+        ancient = __import__("time").time() - 3600
+        os.utime(scratch, (ancient, ancient))
+        report = store.gc()
+        assert report.by_reason == {"orphaned": 1}
+        assert not os.path.exists(scratch)
+        assert store.get("live-key") is not None   # the entry survived
+
+    def test_age_expiry_through_shared_layout(self, tmp_path, result):
+        import os
+        import time
+        from repro.api import ResultStore
+        store = ResultStore(str(tmp_path / "shared"), layout="shared")
+        store.put("old-key", result)
+        store.put("new-key", result)
+        ancient = time.time() - 90 * 86400
+        os.utime(store.path_for("old-key"), (ancient, ancient))
+        report = store.gc(older_than=30 * 86400)
+        assert report.by_reason == {"expired": 1}
+        assert store.keys() == ["new-key"]
+
+    def test_concurrent_gc_from_two_nodes_counts_exactly_once(
+            self, tmp_path, result):
+        """Two stores sweeping one shared root concurrently: every
+        collectable file is reclaimed, each is counted by exactly one
+        report, and neither pass raises on lost races."""
+        import os
+        import threading
+        import time
+        from repro.api import ResultStore
+        root = str(tmp_path / "shared")
+        node_a = ResultStore(root, layout="shared")
+        node_b = ResultStore(root, layout="shared")
+        node_a.put("keep-key", result)
+        ancient = time.time() - 3600
+        for index in range(6):
+            path = node_a.put(f"dead-{index:02d}-key", result)
+            os.utime(path, (ancient, ancient))
+        reports = {}
+        barrier = threading.Barrier(2)
+
+        def sweep(name, store):
+            barrier.wait()
+            reports[name] = store.gc(older_than=1800)
+
+        threads = [threading.Thread(target=sweep, args=(name, store))
+                   for name, store in (("a", node_a), ("b", node_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = sum(report.removed for report in reports.values())
+        assert total == 6                          # exactly once, no double
+        assert node_a.keys() == ["keep-key"]
+        assert sum(report.by_reason.get("expired", 0)
+                   for report in reports.values()) == 6
+
+    def test_cli_gc_shared_layout(self, tmp_path, result, capsys):
+        """Satellite: ``repro gc --store-layout shared`` sweeps through
+        the layout seam — no flat-root ``os.listdir`` assumptions."""
+        import os
+        from repro.api import ResultStore
+        from repro.cli import main
+        root = str(tmp_path / "shared")
+        store = ResultStore(root, layout="shared")
+        store.put("cli-key", result)
+        scratch = os.path.join(os.path.dirname(store.path_for("cli-key")),
+                               ".cli-key.otherhost.99.0.tmp")
+        with open(scratch, "w") as stream:
+            stream.write("{")
+        ancient = __import__("time").time() - 3600
+        os.utime(scratch, (ancient, ancient))
+        assert main(["gc", "--cache-dir", root,
+                     "--store-layout", "shared"]) == 0
+        out = capsys.readouterr().out
+        assert "1 orphaned" in out and "kept 1" in out
+        assert main(["gc", "--all", "--cache-dir", root,
+                     "--store-layout", "shared"]) == 0
+        assert "1 pruned" in capsys.readouterr().out
+        assert store.keys() == []
